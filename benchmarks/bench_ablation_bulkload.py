@@ -1,0 +1,28 @@
+"""Ablation: bulk-loaded vs insert-loaded B+-tree construction.
+
+The path index bulk-loads its B+-tree from sorted rows (DESIGN.md); this
+benchmark quantifies the build-time difference against one-at-a-time
+insertion, at index scale.
+"""
+
+from repro.storage.btree import BPlusTree
+
+ITEMS = [((path, value), [((1, i), 10)]) for path in range(40)
+         for i, value in enumerate(range(200))]
+SORTED_ITEMS = sorted(ITEMS)
+
+
+def test_bulk_load(benchmark):
+    tree = benchmark(lambda: BPlusTree.from_sorted_items(SORTED_ITEMS))
+    assert len(tree) == len(SORTED_ITEMS)
+
+
+def test_insert_load(benchmark):
+    def build():
+        tree = BPlusTree()
+        for key, value in SORTED_ITEMS:
+            tree.insert(key, value)
+        return tree
+
+    tree = benchmark(build)
+    assert len(tree) == len(SORTED_ITEMS)

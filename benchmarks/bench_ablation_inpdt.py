@@ -1,0 +1,32 @@
+"""Ablation: the InPdt fast path (paper Section 4.2.2.1, optimization 1).
+
+With the fast path off, every candidate element funnels through the
+pdt-cache (pending) machinery and resolves only when its ancestors close.
+Output is identical (asserted in tests); this benchmark quantifies the
+optimization's effect on PDT generation cost.
+"""
+
+import pytest
+
+from repro.core.pdt import generate_pdt
+
+KEYWORDS = ("thomas", "control")
+
+
+@pytest.mark.parametrize("fast_path", [True, False], ids=["fast", "no-fast"])
+def test_pdt_generation_inpdt(benchmark, efficient, fast_path):
+    view = efficient.get_view("bench")
+
+    def build():
+        return [
+            generate_pdt(
+                qpt,
+                efficient.database.get(doc_name).path_index,
+                efficient.database.get(doc_name).inverted_index,
+                KEYWORDS,
+                inpdt_fast_path=fast_path,
+            )
+            for doc_name, qpt in view.qpts.items()
+        ]
+
+    benchmark(build)

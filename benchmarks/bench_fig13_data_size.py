@@ -1,0 +1,57 @@
+"""F13 (Figure 13): all four strategies on the default view.
+
+One benchmark per (strategy, scale) point; the paper's claim is the gap
+between the Efficient series and the three alternatives.
+"""
+
+import pytest
+
+from repro.baselines.gtp import GTPEngine
+from repro.baselines.naive import BaselineEngine
+from repro.baselines.projection import project_serialized
+from repro.bench.experiments import build_database
+from repro.core.engine import KeywordSearchEngine
+from repro.workloads.params import ExperimentParams
+from repro.workloads.views import view_for_params
+
+SCALES = [1, 2]
+KEYWORDS = ("thomas", "control")
+
+
+def _setup(scale, engine_cls):
+    params = ExperimentParams(data_scale=scale)
+    database = build_database(params)
+    engine = engine_cls(database)
+    view = engine.define_view("bench", view_for_params(params))
+    return engine, view, params
+
+
+@pytest.mark.parametrize("scale", SCALES)
+def test_efficient(benchmark, scale):
+    engine, view, params = _setup(scale, KeywordSearchEngine)
+    benchmark(lambda: engine.search(view, KEYWORDS, top_k=params.top_k))
+
+
+@pytest.mark.parametrize("scale", SCALES)
+def test_baseline(benchmark, scale):
+    engine, view, params = _setup(scale, BaselineEngine)
+    benchmark(lambda: engine.search(view, KEYWORDS, top_k=params.top_k))
+
+
+@pytest.mark.parametrize("scale", SCALES)
+def test_gtp(benchmark, scale):
+    engine, view, params = _setup(scale, GTPEngine)
+    benchmark(lambda: engine.search(view, KEYWORDS, top_k=params.top_k))
+
+
+@pytest.mark.parametrize("scale", SCALES)
+def test_proj(benchmark, scale):
+    engine, view, params = _setup(scale, KeywordSearchEngine)
+    database = engine.database
+    serialized = {doc: database.get(doc).serialized for doc in view.qpts}
+    benchmark(
+        lambda: [
+            project_serialized(qpt, serialized[doc])
+            for doc, qpt in view.qpts.items()
+        ]
+    )

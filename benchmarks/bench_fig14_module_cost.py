@@ -1,0 +1,56 @@
+"""F14 (Figure 14): per-module cost of the Efficient pipeline.
+
+Benchmarks each phase in isolation: PDT generation alone, evaluation over
+pre-built PDTs, and post-processing (scoring + top-k materialization).
+"""
+
+from repro.core.pdt import generate_pdt
+from repro.core.prepare import prepare_lists
+from repro.core.rewrite import make_pdt_resolver
+from repro.core.scoring import score_results, select_top_k
+from repro.xmlmodel.node import XMLNode
+from repro.xquery.evaluator import EvalContext, Evaluator
+
+KEYWORDS = ("thomas", "control")
+
+
+def _build_pdts(efficient):
+    view = efficient.get_view("bench")
+    pdts = {}
+    for doc_name, qpt in view.qpts.items():
+        indexed = efficient.database.get(doc_name)
+        lists = prepare_lists(
+            qpt, indexed.path_index, indexed.inverted_index, KEYWORDS
+        )
+        pdts[doc_name] = generate_pdt(
+            qpt, indexed.path_index, indexed.inverted_index, KEYWORDS, lists=lists
+        )
+    return pdts
+
+
+def test_pdt_generation(benchmark, efficient):
+    benchmark(_build_pdts, efficient)
+
+
+def test_evaluator_over_pdts(benchmark, efficient):
+    view = efficient.get_view("bench")
+    pdts = _build_pdts(efficient)
+    evaluator = Evaluator(EvalContext(resolver=make_pdt_resolver(pdts)))
+    benchmark(lambda: evaluator.evaluate(view.expr))
+
+
+def test_post_processing(benchmark, efficient):
+    view = efficient.get_view("bench")
+    pdts = _build_pdts(efficient)
+    evaluator = Evaluator(EvalContext(resolver=make_pdt_resolver(pdts)))
+    results = [
+        item
+        for item in evaluator.evaluate(view.expr)
+        if isinstance(item, XMLNode)
+    ]
+
+    def post():
+        outcome = score_results(results, KEYWORDS)
+        return select_top_k(outcome, 10)
+
+    benchmark(post)

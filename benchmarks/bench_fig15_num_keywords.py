@@ -1,0 +1,14 @@
+"""F15 (Figure 15): varying the number of keywords (1-5)."""
+
+import pytest
+
+from conftest import make_engine_and_view
+from repro.workloads.params import ExperimentParams
+
+
+@pytest.mark.parametrize("num_keywords", [1, 2, 3, 4, 5])
+def test_num_keywords(benchmark, num_keywords):
+    params = ExperimentParams(data_scale=1, num_keywords=num_keywords)
+    engine, view = make_engine_and_view(params)
+    keywords = params.keywords()
+    benchmark(lambda: engine.search(view, keywords, top_k=params.top_k))

@@ -1,0 +1,18 @@
+"""F16 (Figure 16): varying keyword selectivity (low/medium/high).
+
+'Low' selectivity means frequent terms and long inverted lists — the paper
+observes slightly higher cost there.
+"""
+
+import pytest
+
+from conftest import make_engine_and_view
+from repro.workloads.params import ExperimentParams
+
+
+@pytest.mark.parametrize("selectivity", ["low", "medium", "high"])
+def test_keyword_selectivity(benchmark, selectivity):
+    params = ExperimentParams(data_scale=1, keyword_selectivity=selectivity)
+    engine, view = make_engine_and_view(params)
+    keywords = params.keywords()
+    benchmark(lambda: engine.search(view, keywords, top_k=params.top_k))

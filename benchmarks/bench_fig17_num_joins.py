@@ -1,0 +1,18 @@
+"""F17 (Figure 17): varying the number of value joins (0-4).
+
+The paper's biggest step is 0 -> 1: a second PDT plus a value join replace
+a single-document selection.
+"""
+
+import pytest
+
+from conftest import make_engine_and_view
+from repro.workloads.params import ExperimentParams
+
+
+@pytest.mark.parametrize("num_joins", [0, 1, 2, 3, 4])
+def test_num_joins(benchmark, num_joins):
+    params = ExperimentParams(data_scale=1, num_joins=num_joins)
+    engine, view = make_engine_and_view(params)
+    keywords = params.keywords()
+    benchmark(lambda: engine.search(view, keywords, top_k=params.top_k))

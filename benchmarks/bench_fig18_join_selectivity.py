@@ -1,0 +1,14 @@
+"""F18 (Figure 18): varying join selectivity (1X, 0.5X, 0.2X, 0.1X)."""
+
+import pytest
+
+from conftest import make_engine_and_view
+from repro.workloads.params import ExperimentParams
+
+
+@pytest.mark.parametrize("join_selectivity", [1.0, 0.5, 0.2, 0.1])
+def test_join_selectivity(benchmark, join_selectivity):
+    params = ExperimentParams(data_scale=1, join_selectivity=join_selectivity)
+    engine, view = make_engine_and_view(params)
+    keywords = params.keywords()
+    benchmark(lambda: engine.search(view, keywords, top_k=params.top_k))

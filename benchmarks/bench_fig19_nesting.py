@@ -1,0 +1,14 @@
+"""F19 (Figure 19): varying the level of FLWOR nestings (1-4)."""
+
+import pytest
+
+from conftest import make_engine_and_view
+from repro.workloads.params import ExperimentParams
+
+
+@pytest.mark.parametrize("nesting_level", [1, 2, 3, 4])
+def test_nesting_level(benchmark, nesting_level):
+    params = ExperimentParams(data_scale=1, nesting_level=nesting_level)
+    engine, view = make_engine_and_view(params)
+    keywords = params.keywords()
+    benchmark(lambda: engine.search(view, keywords, top_k=params.top_k))

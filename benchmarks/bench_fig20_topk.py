@@ -1,0 +1,18 @@
+"""F20 (Figure 20): varying K in top-K (1..40).
+
+The paper's shape: flat — materializing a few more winners is nearly free
+because only the top-k results ever touch document storage.
+"""
+
+import pytest
+
+from conftest import make_engine_and_view
+from repro.workloads.params import ExperimentParams
+
+
+@pytest.mark.parametrize("top_k", [1, 10, 20, 30, 40])
+def test_top_k(benchmark, top_k):
+    params = ExperimentParams(data_scale=1, top_k=top_k)
+    engine, view = make_engine_and_view(params)
+    keywords = params.keywords()
+    benchmark(lambda: engine.search(view, keywords, top_k=top_k))

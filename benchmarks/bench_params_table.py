@@ -1,0 +1,12 @@
+"""T1 (Table 1): the experimental parameter grid.
+
+Not a timing benchmark — prints the grid once so a benchmark run documents
+the parameter space it draws from.
+"""
+
+from repro.bench.experiments import run_params_table
+
+
+def test_params_table(benchmark):
+    table = benchmark.pedantic(run_params_table, rounds=1, iterations=1)
+    assert len(table.rows) == 8

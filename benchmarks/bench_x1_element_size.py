@@ -1,0 +1,14 @@
+"""X1 (Sec. 5.2.3): varying the average size of view elements (1X-5X)."""
+
+import pytest
+
+from conftest import make_engine_and_view
+from repro.workloads.params import ExperimentParams
+
+
+@pytest.mark.parametrize("element_size", [1, 2, 3])
+def test_element_size(benchmark, element_size):
+    params = ExperimentParams(data_scale=1, element_size=element_size)
+    engine, view = make_engine_and_view(params)
+    keywords = params.keywords()
+    benchmark(lambda: engine.search(view, keywords, top_k=params.top_k))

@@ -1,0 +1,31 @@
+"""X2 (Sec. 5.2.3): PDT generation and the pruning ratio.
+
+Benchmarks PDT generation alone and asserts the paper's pruning claim
+(the PDT is a small fraction of the base data).
+"""
+
+from repro.core.pdt import generate_pdt
+
+KEYWORDS = ("thomas", "control")
+
+
+def test_pdt_generation_and_ratio(benchmark, efficient):
+    view = efficient.get_view("bench")
+
+    def build():
+        return {
+            doc_name: generate_pdt(
+                qpt,
+                efficient.database.get(doc_name).path_index,
+                efficient.database.get(doc_name).inverted_index,
+                KEYWORDS,
+            )
+            for doc_name, qpt in view.qpts.items()
+        }
+
+    pdts = benchmark(build)
+    data_elements = sum(
+        len(efficient.database.get(doc).store) for doc in view.qpts
+    )
+    pdt_elements = sum(p.node_count for p in pdts.values())
+    assert pdt_elements < 0.25 * data_elements

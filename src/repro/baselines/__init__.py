@@ -1,0 +1,26 @@
+"""The paper's comparison systems (Section 5.1).
+
+* :mod:`repro.baselines.naive` — Baseline: materialize the whole view at
+  query time, then evaluate the keyword query over it.
+* :mod:`repro.baselines.gtp` — GTP with TermJoin: structural joins over
+  tag-index streams plus base-data access for join values.
+* :mod:`repro.baselines.projection` — Proj: projecting XML documents by a
+  full document scan.
+"""
+
+from repro.baselines.naive import BaselineEngine
+from repro.baselines.gtp import GTPEngine, structural_join
+from repro.baselines.projection import (
+    project_document,
+    project_serialized,
+    ProjectionResult,
+)
+
+__all__ = [
+    "BaselineEngine",
+    "GTPEngine",
+    "structural_join",
+    "project_document",
+    "project_serialized",
+    "ProjectionResult",
+]

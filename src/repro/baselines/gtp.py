@@ -1,0 +1,304 @@
+"""GTP with TermJoin: structural joins plus base-data value access.
+
+The paper's second comparison system (Chen et al.'s Generalized Tree
+Patterns evaluated with Al-Khalifa et al.'s TermJoin) solves the same
+sub-problem as PDT generation — find the elements satisfying the pattern's
+mutual constraints — but does it the pre-path-index way:
+
+* per-node candidate streams come from the *tag index* (every element with
+  the tag, regardless of its path), so the streams are much longer than
+  the path-index lists;
+* the document hierarchy is reconstructed with stack-based *structural
+  joins* between parent and child streams (one semijoin per QPT edge, in
+  both directions: descendant constraints bottom-up, ancestor constraints
+  top-down);
+* predicate operands and join values are fetched from the *base data*
+  (document storage), the second cost the paper calls out.
+
+The output is the same record set the streaming PDT algorithm produces, so
+the rest of the pipeline (evaluator, scorer, materializer) is shared — the
+comparison isolates exactly the two architectural differences the paper
+credits for its speedup.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Optional, Sequence, Union
+
+from repro.core.engine import PhaseTimings, SearchOutcome, SearchResult, View
+from repro.core.pdt import PDTRecord, PDTResult, assemble_pdt
+from repro.core.qpt import QPT, QPTNode, generate_qpts
+from repro.core.rewrite import make_pdt_resolver
+from repro.core.scoring import score_results, select_top_k
+from repro.dewey import DeweyID
+from repro.storage.database import XMLDatabase
+from repro.xmlmodel.node import XMLNode
+from repro.xmlmodel.tokenizer import normalize_keyword
+from repro.xquery.evaluator import EvalContext, Evaluator
+from repro.xquery.functions import inline_functions
+from repro.xquery.parser import parse_query
+
+Dewey = tuple[int, ...]
+
+
+def structural_join(
+    ancestors: Sequence[Dewey],
+    descendants: Sequence[Dewey],
+    axis: str,
+) -> tuple[set[Dewey], set[Dewey]]:
+    """Stack-based structural (semi)join between two sorted Dewey lists.
+
+    Returns ``(matched_ancestors, matched_descendants)``: the ancestors
+    with at least one qualifying descendant and the descendants with at
+    least one qualifying ancestor, under axis ``/`` (parent-child) or
+    ``//`` (ancestor-descendant).  Single merge pass, O((|A|+|D|) * depth).
+    """
+    matched_anc: set[Dewey] = set()
+    matched_desc: set[Dewey] = set()
+    stack: list[Dewey] = []  # open ancestors (each a prefix of the next)
+    ai = di = 0
+    while di < len(descendants):
+        descendant = descendants[di]
+        # Open every ancestor that starts at or before this descendant.
+        # Ancestors equal to the descendant id are *not* its ancestors.
+        while ai < len(ancestors) and ancestors[ai] <= descendant:
+            candidate = ancestors[ai]
+            while stack and candidate[: len(stack[-1])] != stack[-1]:
+                stack.pop()
+            stack.append(candidate)
+            ai += 1
+        # Drop open ancestors that cannot contain this descendant.
+        while stack and descendant[: len(stack[-1])] != stack[-1]:
+            stack.pop()
+        for open_ancestor in stack:
+            if open_ancestor == descendant:
+                continue
+            if axis == "/" and len(open_ancestor) != len(descendant) - 1:
+                continue
+            matched_anc.add(open_ancestor)
+            matched_desc.add(descendant)
+        di += 1
+    return matched_anc, matched_desc
+
+
+@dataclass
+class GTPStatistics:
+    """Work counters for the GTP run (reported by benchmarks)."""
+
+    tag_stream_entries: int = 0
+    structural_joins: int = 0
+    base_value_accesses: int = 0
+
+
+class GTPEngine:
+    """Keyword search over views via GTP + TermJoin (comparison system)."""
+
+    def __init__(self, database: XMLDatabase, normalize_scores: bool = True):
+        self.database = database
+        self.normalize_scores = normalize_scores
+        self.last_timings: Optional[PhaseTimings] = None
+        self.last_statistics: Optional[GTPStatistics] = None
+
+    def define_view(self, name: str, text: str) -> View:
+        program = parse_query(text)
+        expr = inline_functions(program)
+        return View(name=name, text=text, expr=expr, qpts=generate_qpts(expr))
+
+    # -- pattern matching via structural joins -------------------------------
+
+    def build_pruned_document(
+        self, qpt: QPT, keywords: tuple[str, ...], stats: GTPStatistics
+    ) -> PDTResult:
+        """Compute the QPT's PDT-equivalent with structural joins."""
+        indexed = self.database.get(qpt.doc_name)
+        tag_index = indexed.tag_index
+        store = indexed.store
+        inverted = indexed.inverted_index
+
+        # Candidate streams per QPT node from the tag index, with
+        # predicates checked against base-data values (TermJoin has no
+        # (path, value) index to push predicates into).
+        candidates: dict[int, list[Dewey]] = {}
+        values: dict[int, dict[Dewey, Optional[str]]] = {}
+        for qnode in qpt.nodes:
+            stream = tag_index.lookup(qnode.tag)
+            stats.tag_stream_entries += len(stream)
+            if qnode.predicates:
+                kept: list[Dewey] = []
+                node_values: dict[Dewey, Optional[str]] = {}
+                for dewey in stream:
+                    record = store.record(DeweyID(dewey))
+                    stats.base_value_accesses += 1
+                    if all(p.matches(record.value) for p in qnode.predicates):
+                        kept.append(dewey)
+                        node_values[dewey] = record.value
+                candidates[qnode.index] = kept
+                values[qnode.index] = node_values
+            else:
+                candidates[qnode.index] = list(stream)
+
+        # Descendant constraints, bottom-up (CE of Definition 1): one
+        # structural semijoin per mandatory edge.
+        for qnode in reversed(qpt.nodes):
+            pool = candidates[qnode.index]
+            for edge in qnode.mandatory_child_edges():
+                child_pool = candidates[edge.child.index]
+                matched_anc, _ = structural_join(pool, child_pool, edge.axis)
+                stats.structural_joins += 1
+                pool = [dewey for dewey in pool if dewey in matched_anc]
+            candidates[qnode.index] = pool
+
+        # Ancestor constraints, top-down (PE of Definition 2).
+        selected: dict[int, list[Dewey]] = {}
+        for qnode in qpt.nodes:  # pre-order
+            edge = qnode.parent_edge
+            assert edge is not None
+            pool = candidates[qnode.index]
+            if edge.parent is qpt.root:
+                if edge.axis == "/":
+                    pool = [dewey for dewey in pool if len(dewey) == 1]
+                selected[qnode.index] = pool
+                continue
+            parent_pool = selected[edge.parent.index]
+            _, matched_desc = structural_join(parent_pool, pool, edge.axis)
+            stats.structural_joins += 1
+            selected[qnode.index] = [d for d in pool if d in matched_desc]
+
+        # Assemble the records; join values and byte lengths come from the
+        # base data (the GTP cost the paper highlights).
+        records: dict[Dewey, PDTRecord] = {}
+        for qnode in qpt.nodes:
+            for dewey in selected[qnode.index]:
+                record = records.get(dewey)
+                if record is None:
+                    base = store.record(DeweyID(dewey))
+                    stats.base_value_accesses += 1
+                    record = PDTRecord(
+                        dewey=dewey,
+                        tag=qnode.tag,
+                        value=base.value,
+                        byte_length=base.byte_length,
+                    )
+                    records[dewey] = record
+                if qnode.v_ann or qnode.predicates:
+                    record.wants_value = True
+                if qnode.c_ann:
+                    record.wants_content = True
+
+        # TermJoin: compute per-keyword tf for content nodes by a
+        # structural merge join between the content-node stream and each
+        # keyword's full posting list (TermJoin has no subtree prefix-sum
+        # index; the Efficient pipeline's range-sum lookup is exactly the
+        # optimization the paper credits to its inverted-list usage).
+        content_nodes = sorted(
+            dewey for dewey, record in records.items() if record.wants_content
+        )
+        tf_by_node: dict[Dewey, dict[str, int]] = {
+            dewey: {} for dewey in content_nodes
+        }
+        for keyword in keywords:
+            postings = inverted.lookup(keyword).postings
+            stats.tag_stream_entries += len(postings)
+            totals = _termjoin_subtree_tf(content_nodes, postings)
+            stats.structural_joins += 1
+            for dewey, total in totals.items():
+                tf_by_node[dewey][keyword] = total
+
+        def tf_lookup(dewey_id: DeweyID) -> dict[str, int]:
+            totals = tf_by_node.get(dewey_id.components, {})
+            return {keyword: totals.get(keyword, 0) for keyword in keywords}
+
+        return assemble_pdt(
+            doc_name=qpt.doc_name,
+            records=records,
+            keywords=keywords,
+            tf_lookup=tf_lookup,
+            entry_count=stats.tag_stream_entries,
+        )
+
+    # -- search -------------------------------------------------------------------
+
+    def search(
+        self,
+        view: Union[View, str],
+        keywords: Sequence[str],
+        top_k: Optional[int] = 10,
+        conjunctive: bool = True,
+    ) -> list[SearchResult]:
+        return self.search_detailed(view, keywords, top_k, conjunctive).results
+
+    def search_detailed(
+        self,
+        view: View,
+        keywords: Sequence[str],
+        top_k: Optional[int] = 10,
+        conjunctive: bool = True,
+    ) -> SearchOutcome:
+        timings = PhaseTimings()
+        stats = GTPStatistics()
+        normalized = tuple(normalize_keyword(keyword) for keyword in keywords)
+
+        start = time.perf_counter()
+        pruned_docs = {
+            doc_name: self.build_pruned_document(qpt, normalized, stats)
+            for doc_name, qpt in view.qpts.items()
+        }
+        timings.pdt = time.perf_counter() - start
+
+        start = time.perf_counter()
+        evaluator = Evaluator(EvalContext(resolver=make_pdt_resolver(pruned_docs)))
+        items = evaluator.evaluate(view.expr)
+        view_results = [item for item in items if isinstance(item, XMLNode)]
+        timings.evaluator = time.perf_counter() - start
+
+        start = time.perf_counter()
+        outcome = score_results(
+            view_results,
+            normalized,
+            conjunctive=conjunctive,
+            normalize=self.normalize_scores,
+        )
+        winners = select_top_k(outcome, top_k)
+        results = [
+            SearchResult(
+                rank=rank, score=scored.score, scored=scored, _database=self.database
+            )
+            for rank, scored in enumerate(winners, start=1)
+        ]
+        for result in results:
+            result.materialize()
+        timings.post_processing = time.perf_counter() - start
+
+        self.last_timings = timings
+        self.last_statistics = stats
+        return SearchOutcome(
+            results=results,
+            view_size=outcome.view_size,
+            matching_count=len(outcome.results),
+            idf=outcome.idf,
+            pdts=pruned_docs,
+            timings=timings,
+        )
+
+def _termjoin_subtree_tf(
+    content_nodes: Sequence[Dewey], postings
+) -> dict[Dewey, int]:
+    """Merge-join content nodes with a posting list, summing contained tf."""
+    totals: dict[Dewey, int] = {}
+    stack: list[Dewey] = []
+    ni = 0
+    for posting in postings:
+        dewey = posting.dewey
+        while ni < len(content_nodes) and content_nodes[ni] <= dewey:
+            candidate = content_nodes[ni]
+            while stack and candidate[: len(stack[-1])] != stack[-1]:
+                stack.pop()
+            stack.append(candidate)
+            ni += 1
+        while stack and dewey[: len(stack[-1])] != stack[-1]:
+            stack.pop()
+        for ancestor in stack:
+            totals[ancestor] = totals.get(ancestor, 0) + posting.tf
+    return totals

@@ -1,0 +1,63 @@
+"""``python -m repro.bench``: run every experiment and print the series.
+
+Options::
+
+    python -m repro.bench                 # all experiments, default scales
+    python -m repro.bench F13 F14         # a subset
+    python -m repro.bench --repeats 3     # more timing repeats
+    python -m repro.bench --markdown out.md   # dump markdown tables
+"""
+
+from __future__ import annotations
+
+import argparse
+import inspect
+import sys
+
+from repro.bench.experiments import ALL_EXPERIMENTS
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Regenerate the paper's evaluation tables/figures.",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        metavar="ID",
+        help=f"experiment ids to run (default: all of {', '.join(ALL_EXPERIMENTS)})",
+    )
+    parser.add_argument("--repeats", type=int, default=1)
+    parser.add_argument(
+        "--markdown", metavar="PATH", help="also write markdown tables to PATH"
+    )
+    args = parser.parse_args(argv)
+
+    selected = args.experiments or list(ALL_EXPERIMENTS)
+    unknown = [e for e in selected if e not in ALL_EXPERIMENTS]
+    if unknown:
+        parser.error(f"unknown experiment ids: {', '.join(unknown)}")
+
+    tables = []
+    for experiment_id in selected:
+        runner = ALL_EXPERIMENTS[experiment_id]
+        kwargs = {}
+        if "repeats" in inspect.signature(runner).parameters:
+            kwargs["repeats"] = args.repeats
+        table = runner(**kwargs)
+        tables.append(table)
+        print(table.to_text())
+        print()
+
+    if args.markdown:
+        with open(args.markdown, "w") as handle:
+            for table in tables:
+                handle.write(table.to_markdown())
+                handle.write("\n")
+        print(f"markdown written to {args.markdown}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

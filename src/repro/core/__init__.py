@@ -1,0 +1,27 @@
+"""The paper's primary contribution: QPT generation, index-only PDT
+generation, scoring with deferred materialization, and the end-to-end
+keyword-search-over-views engine."""
+
+from repro.core.qpt import QPT, QPTNode, QPTEdge, generate_qpts
+from repro.core.pdt import generate_pdt, PDTResult
+from repro.core.reference import reference_pdt
+from repro.core.scoring import ScoredResult, score_results, select_top_k
+from repro.core.materialize import materialize_result
+from repro.core.engine import KeywordSearchEngine, SearchResult, View
+
+__all__ = [
+    "QPT",
+    "QPTNode",
+    "QPTEdge",
+    "generate_qpts",
+    "generate_pdt",
+    "PDTResult",
+    "reference_pdt",
+    "ScoredResult",
+    "score_results",
+    "select_top_k",
+    "materialize_result",
+    "KeywordSearchEngine",
+    "SearchResult",
+    "View",
+]

@@ -1,0 +1,373 @@
+"""The end-to-end keyword-search-over-virtual-views engine.
+
+``KeywordSearchEngine`` wires the paper's architecture together
+(Figure 3): on a keyword query over a view it generates QPTs (phase 1),
+builds PDTs from indices alone (phase 2), evaluates the unmodified view
+query over the PDTs, scores every pruned result, and materializes only the
+top-k winners from document storage (phase 3).  Per-phase wall-clock
+timings are recorded in ``last_timings`` — Figure 14's module breakdown.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Union
+
+from repro.core.materialize import materialize_result
+from repro.core.pdt import PDTResult, generate_pdt
+from repro.core.prepare import prepare_lists
+from repro.core.qpt import QPT, generate_qpts
+from repro.core.rewrite import make_pdt_resolver
+from repro.core.scoring import (
+    ScoredResult,
+    ScoringOutcome,
+    score_results,
+    select_top_k,
+)
+from repro.errors import UnsupportedQueryError, ViewDefinitionError
+from repro.storage.database import XMLDatabase
+from repro.xmlmodel.node import XMLNode
+from repro.xmlmodel.serializer import serialize
+from repro.xmlmodel.tokenizer import normalize_keyword
+from repro.xquery.ast import (
+    BooleanExpr,
+    Expr,
+    FLWOR,
+    FTContains,
+    Program,
+    VarRef,
+)
+from repro.xquery.evaluator import EvalContext, Evaluator
+from repro.xquery.functions import inline_functions
+from repro.xquery.parser import parse_query
+
+
+@dataclass
+class View:
+    """A named virtual view: parsed definition plus its QPTs."""
+
+    name: str
+    text: str
+    expr: Expr  # function-free view expression
+    qpts: dict[str, QPT]
+
+    @property
+    def document_names(self) -> list[str]:
+        return sorted(self.qpts)
+
+
+@dataclass
+class PhaseTimings:
+    """Wall-clock seconds per pipeline phase (Figure 14's modules)."""
+
+    qpt: float = 0.0
+    pdt: float = 0.0
+    evaluator: float = 0.0
+    post_processing: float = 0.0
+
+    @property
+    def total(self) -> float:
+        return self.qpt + self.pdt + self.evaluator + self.post_processing
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "qpt": self.qpt,
+            "pdt": self.pdt,
+            "evaluator": self.evaluator,
+            "post_processing": self.post_processing,
+            "total": self.total,
+        }
+
+
+@dataclass
+class SearchResult:
+    """One ranked result: scores from the pruned form, content on demand."""
+
+    rank: int
+    score: float
+    scored: ScoredResult
+    _database: XMLDatabase = field(repr=False, default=None)
+    _materialized: Optional[XMLNode] = field(repr=False, default=None)
+
+    @property
+    def pruned(self) -> XMLNode:
+        return self.scored.node
+
+    def tf(self, keyword: str) -> int:
+        return self.scored.tf(keyword)
+
+    def materialize(self) -> XMLNode:
+        """Fetch full content from document storage (cached)."""
+        if self._materialized is None:
+            self._materialized = materialize_result(self.scored.node, self._database)
+        return self._materialized
+
+    def to_xml(self, indent: Optional[int] = None) -> str:
+        return serialize(self.materialize(), indent=indent)
+
+
+@dataclass
+class SearchOutcome:
+    """Everything a search produced (results + diagnostics)."""
+
+    results: list[SearchResult]
+    view_size: int
+    matching_count: int
+    idf: dict[str, float]
+    pdts: dict[str, PDTResult]
+    timings: PhaseTimings
+
+
+class KeywordSearchEngine:
+    """Keyword search over virtual XML views (the paper's Efficient system)."""
+
+    def __init__(self, database: XMLDatabase, normalize_scores: bool = True):
+        self.database = database
+        self.normalize_scores = normalize_scores
+        self.last_timings: Optional[PhaseTimings] = None
+        self._views: dict[str, View] = {}
+
+    # -- view management --------------------------------------------------------
+
+    def define_view(self, name: str, text: str) -> View:
+        """Parse and analyze a view definition; QPTs are built once here."""
+        program = parse_query(text)
+        expr = inline_functions(program)
+        qpts = generate_qpts(expr)
+        if not qpts:
+            raise ViewDefinitionError(
+                "view references no documents; nothing to search"
+            )
+        for doc_name in qpts:
+            self.database.get(doc_name)  # fail fast on unknown documents
+        view = View(name=name, text=text, expr=expr, qpts=qpts)
+        self._views[name] = view
+        return view
+
+    def get_view(self, name: str) -> View:
+        try:
+            return self._views[name]
+        except KeyError:
+            raise ViewDefinitionError(f"no view named {name!r}") from None
+
+    # -- search -------------------------------------------------------------------
+
+    def search(
+        self,
+        view: Union[View, str],
+        keywords: Sequence[str],
+        top_k: Optional[int] = 10,
+        conjunctive: bool = True,
+    ) -> list[SearchResult]:
+        """Ranked keyword search over a virtual view (Problem Ranked-KS)."""
+        return self.search_detailed(view, keywords, top_k, conjunctive).results
+
+    def search_detailed(
+        self,
+        view: Union[View, str],
+        keywords: Sequence[str],
+        top_k: Optional[int] = 10,
+        conjunctive: bool = True,
+    ) -> SearchOutcome:
+        timings = PhaseTimings()
+        start = time.perf_counter()
+        if isinstance(view, str):
+            view = self.get_view(view)
+        normalized = tuple(normalize_keyword(keyword) for keyword in keywords)
+        timings.qpt = time.perf_counter() - start
+
+        # Phase 2: PDT generation — indices only.
+        start = time.perf_counter()
+        pdts: dict[str, PDTResult] = {}
+        for doc_name, qpt in view.qpts.items():
+            indexed = self.database.get(doc_name)
+            lists = prepare_lists(
+                qpt, indexed.path_index, indexed.inverted_index, normalized
+            )
+            pdts[doc_name] = generate_pdt(
+                qpt,
+                indexed.path_index,
+                indexed.inverted_index,
+                normalized,
+                lists=lists,
+            )
+        timings.pdt = time.perf_counter() - start
+
+        # Phase 3a: evaluate the unmodified view query over the PDTs.
+        start = time.perf_counter()
+        evaluator = Evaluator(EvalContext(resolver=make_pdt_resolver(pdts)))
+        items = evaluator.evaluate(view.expr)
+        view_results = [item for item in items if isinstance(item, XMLNode)]
+        timings.evaluator = time.perf_counter() - start
+
+        # Phase 3b: score, select top-k, materialize only the winners.
+        start = time.perf_counter()
+        outcome = score_results(
+            view_results,
+            normalized,
+            conjunctive=conjunctive,
+            normalize=self.normalize_scores,
+        )
+        winners = select_top_k(outcome, top_k)
+        results = [
+            SearchResult(
+                rank=rank,
+                score=scored.score,
+                scored=scored,
+                _database=self.database,
+            )
+            for rank, scored in enumerate(winners, start=1)
+        ]
+        for result in results:
+            result.materialize()
+        timings.post_processing = time.perf_counter() - start
+
+        self.last_timings = timings
+        return SearchOutcome(
+            results=results,
+            view_size=outcome.view_size,
+            matching_count=len(outcome.results),
+            idf=outcome.idf,
+            pdts=pdts,
+            timings=timings,
+        )
+
+    # -- diagnostics ------------------------------------------------------------
+
+    def explain(self, view: Union[View, str], keywords: Sequence[str] = ()) -> str:
+        """A human-readable plan report for a view.
+
+        Shows each document's QPT (structure, axes, optional/mandatory
+        edges, v/c annotations), the fixed probe plan PrepareLists will
+        issue, and — when keywords are given — the PDT sizes a search
+        would construct.  Intended for debugging view definitions and for
+        teaching the architecture; not used by the pipeline itself.
+        """
+        from repro.core.prepare import probe_plan
+
+        if isinstance(view, str):
+            view = self.get_view(view)
+        lines: list[str] = [f"view {view.name!r}"]
+        normalized = tuple(normalize_keyword(keyword) for keyword in keywords)
+        for doc_name in view.document_names:
+            qpt = view.qpts[doc_name]
+            lines.append(qpt.describe())
+            lines.append("  probe plan:")
+            for tag, pattern, with_values in probe_plan(qpt):
+                shape = "".join(f"{axis}{step}" for axis, step in pattern)
+                kind = "ids+values" if with_values else "ids"
+                lines.append(f"    {shape}  ->  {kind}")
+            if normalized:
+                indexed = self.database.get(doc_name)
+                pdt = generate_pdt(
+                    qpt, indexed.path_index, indexed.inverted_index, normalized
+                )
+                lines.append(
+                    f"  pdt: {pdt.node_count} elements "
+                    f"(of {len(indexed.store)} in the document)"
+                )
+        if normalized:
+            lines.append(f"keywords: {', '.join(normalized)}")
+        return "\n".join(lines)
+
+    # -- regular (non-keyword) queries via PDTs --------------------------------
+
+    def evaluate_view(
+        self, view: Union[View, str], materialize: bool = True
+    ) -> list[XMLNode]:
+        """Evaluate a view *without* keywords, through the PDT machinery.
+
+        This implements the paper's closing observation ("our proposed PDT
+        algorithms may be applied to optimize regular queries"): the view
+        is evaluated over PDTs and, when ``materialize`` is set, each
+        result is expanded from document storage.  With
+        ``materialize=False`` the pruned results are returned as-is,
+        which is what a pagination layer would keep around.
+        """
+        if isinstance(view, str):
+            view = self.get_view(view)
+        pdts: dict[str, PDTResult] = {}
+        for doc_name, qpt in view.qpts.items():
+            indexed = self.database.get(doc_name)
+            pdts[doc_name] = generate_pdt(
+                qpt, indexed.path_index, indexed.inverted_index, ()
+            )
+        evaluator = Evaluator(EvalContext(resolver=make_pdt_resolver(pdts)))
+        results = [
+            item
+            for item in evaluator.evaluate(view.expr)
+            if isinstance(item, XMLNode)
+        ]
+        if not materialize:
+            return results
+        return [materialize_result(node, self.database) for node in results]
+
+    # -- full keyword-query form (Figure 2) ----------------------------------------
+
+    def execute(
+        self, query_text: str, top_k: Optional[int] = 10
+    ) -> list[SearchResult]:
+        """Run a complete keyword query over a view, as in Figure 2.
+
+        The query must be a FLWOR whose where clause applies ``ftcontains``
+        to the iteration variable and whose return clause yields that
+        variable; the remainder of the query is the view definition.
+        """
+        program = parse_query(query_text)
+        expr = inline_functions(program)
+        view_expr, keywords, conjunctive = extract_keyword_query(expr)
+        qpts = generate_qpts(view_expr)
+        view = View(name="<inline>", text=query_text, expr=view_expr, qpts=qpts)
+        return self.search(view, keywords, top_k=top_k, conjunctive=conjunctive)
+
+
+def extract_keyword_query(expr: Expr) -> tuple[Expr, tuple[str, ...], bool]:
+    """Split a Figure-2-style keyword query into (view expr, keywords, mode).
+
+    Recognized form: ``(let/for)+ where … $v ftcontains(…) … return $v``
+    where ``$v`` is bound by the last for clause.  The ftcontains conjunct
+    is removed from the where clause; what remains is the view definition
+    whose results the engine scores.
+    """
+    if not isinstance(expr, FLWOR) or expr.where is None:
+        raise UnsupportedQueryError(
+            "keyword queries must be FLWOR expressions with an ftcontains "
+            "where clause (see Figure 2 of the paper)"
+        )
+    ft, remainder = _split_ftcontains(expr.where)
+    if ft is None:
+        raise UnsupportedQueryError("the where clause has no ftcontains condition")
+    if not isinstance(expr.ret, VarRef) or not isinstance(ft.expr, VarRef):
+        raise UnsupportedQueryError(
+            "ftcontains must apply to the returned view variable"
+        )
+    if expr.ret.name != ft.expr.name:
+        raise UnsupportedQueryError(
+            f"ftcontains variable ${ft.expr.name} does not match the returned "
+            f"variable ${expr.ret.name}"
+        )
+    view_expr = FLWOR(expr.clauses, remainder, expr.ret)
+    return view_expr, ft.keywords, ft.conjunctive
+
+
+def _split_ftcontains(where: Expr) -> tuple[Optional[FTContains], Optional[Expr]]:
+    """Remove the (single) ftcontains conjunct from a where clause."""
+    if isinstance(where, FTContains):
+        return where, None
+    if isinstance(where, BooleanExpr) and where.op == "and":
+        ft = None
+        rest: list[Expr] = []
+        for operand in where.operands:
+            if isinstance(operand, FTContains) and ft is None:
+                ft = operand
+            else:
+                rest.append(operand)
+        if ft is None:
+            return None, where
+        if not rest:
+            return ft, None
+        if len(rest) == 1:
+            return ft, rest[0]
+        return ft, BooleanExpr("and", tuple(rest))
+    return None, where

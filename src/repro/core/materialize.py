@@ -1,0 +1,31 @@
+"""Top-k result materialization (paper Section 4.2.2.2, final step).
+
+Only after the top-k results are identified are their contents fetched
+from document storage: every pruned node in a winning result is expanded
+into the full base subtree it stands for.  This is the single point in the
+Efficient pipeline that touches the document store.
+"""
+
+from __future__ import annotations
+
+from repro.errors import StorageError
+from repro.storage.database import XMLDatabase
+from repro.xmlmodel.node import XMLNode
+
+
+def materialize_result(node: XMLNode, database: XMLDatabase) -> XMLNode:
+    """Expand a pruned view result into a fully materialized tree.
+
+    Constructed nodes are copied; pruned nodes are replaced by the stored
+    subtree they reference.  Nodes that are neither (already materialized
+    base elements, as in Baseline results) are deep-copied as-is.
+    """
+    anno = node.anno
+    if anno is not None and anno.pruned:
+        if anno.doc is None or anno.dewey is None:
+            raise StorageError("pruned node lacks document/dewey annotations")
+        return database.get(anno.doc).store.materialize_subtree(anno.dewey)
+    copy = XMLNode(node.tag, node.text)
+    for child in node.children:
+        copy.append(materialize_result(child, database))
+    return copy

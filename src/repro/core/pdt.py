@@ -1,0 +1,404 @@
+"""GeneratePDT: single-pass, index-only Pruned Document Tree generation.
+
+This module implements the paper's central algorithm (Section 4.2.2 and the
+generalized Appendix E version).  Given a QPT and the lists returned by
+PrepareLists, it computes the PDT — the projection of the base document
+satisfying the mutual ancestor/descendant/predicate constraints — while
+reading each Dewey ID exactly once and never touching the base documents.
+
+Formulation.  The paper drives a Candidate Tree through repeated
+``MinIDPath`` maintenance; we implement the identical computation with the
+equivalent *stack* discipline over the k-way merge of the id lists:
+
+* ids are consumed in Dewey (document) order, so the open Dewey prefixes of
+  the current id form a stack; a prefix is *closed* (popped) exactly when
+  no further descendants can arrive — the point at which the paper removes
+  a CT node and its DescendantMap is final;
+* each open prefix holds one item per matching QPT node (the CTQNodeSet of
+  Appendix E, needed for repeating tags such as ``//a//a``), each with its
+  own DescendantMap (DM), ParentList (PL) and InPdt flag;
+* an item that satisfies its descendant constraints reports to its PL
+  (paper: AddCTNode lines 15-16); if additionally a parent item is already
+  InPdt (or the item is anchored at the document node) it is emitted
+  immediately (the InPdt fast path of Section 4.2.2.1); otherwise, when its
+  element closes, it registers with its still-open parents — this register
+  list *is* the PdtCache: descendants that satisfy descendant constraints
+  whose ancestor constraints are still unresolved;
+* when a parent item becomes InPdt it cascades through its pending
+  registrations; when it closes without becoming a candidate the
+  registrations are dropped, exactly like pdt-cache entries whose parent
+  lists empty out (CreatePDTNodes line 26).
+
+Equivalence with Definitions 1-3 is enforced by property tests against
+``repro.core.reference``.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.prepare import PreparedLists, prepare_lists
+from repro.core.qpt import QPT, QPTNode
+from repro.dewey import DeweyID
+from repro.storage.inverted_index import InvertedIndex
+from repro.storage.path_index import PathIndex
+from repro.xmlmodel.node import NodeAnnotations, XMLNode
+
+FRAGMENT_TAG = "#fragment"
+EMPTY_TAG = "#empty-document"
+
+
+@dataclass
+class PDTResult:
+    """A generated PDT plus the statistics the benchmarks report."""
+
+    doc_name: str
+    root: XMLNode
+    node_count: int
+    entry_count: int
+    keywords: tuple[str, ...]
+
+    @property
+    def is_empty(self) -> bool:
+        return self.root.tag == EMPTY_TAG
+
+
+class _Item:
+    """One (element, QPT node) pair under consideration (a CTQNodeSet entry)."""
+
+    __slots__ = ("qnode", "owner", "dm_missing", "parents", "pending",
+                 "candidate", "in_pdt")
+
+    def __init__(self, qnode: QPTNode, owner: "_OpenElement"):
+        self.qnode = qnode
+        self.owner = owner
+        # DescendantMap, tracked as the count of mandatory child edges not
+        # yet satisfied (all-ones DM == dm_missing == 0).
+        self.dm_missing = {
+            edge.child.index for edge in qnode.mandatory_child_edges()
+        }
+        self.parents: list[_Item] = []  # ParentList
+        self.pending: list[_Item] = []  # PdtCache registrations
+        self.candidate = False
+        self.in_pdt = False
+
+
+class _OpenElement:
+    """An open Dewey prefix on the stack (a live CT node)."""
+
+    __slots__ = ("dewey", "depth", "items", "value", "byte_length")
+
+    def __init__(self, dewey: tuple[int, ...]):
+        self.dewey = dewey
+        self.depth = len(dewey)
+        self.items: list[_Item] = []
+        self.value: Optional[str] = None
+        self.byte_length: Optional[int] = None
+
+
+@dataclass
+class PDTRecord:
+    """An emitted PDT element (pre-tree-construction).
+
+    Shared with the GTP baseline, which computes the same records through
+    structural joins instead of the single-pass merge.
+    """
+
+    dewey: tuple[int, ...]
+    tag: str
+    value: Optional[str]
+    byte_length: int
+    wants_value: bool = False
+    wants_content: bool = False
+
+
+class _PDTBuilder:
+    """Runs the single merge pass and accumulates emitted records.
+
+    ``inpdt_fast_path`` toggles the Section 4.2.2.1 optimization: with it
+    on (the default), an item whose ancestor constraint is already
+    established is emitted the moment it becomes a candidate; with it off,
+    every candidate goes through the pdt-cache (pending) machinery and is
+    resolved when ancestors close — same output, more cache traffic.  Kept
+    switchable for the ablation benchmark.
+    """
+
+    def __init__(
+        self,
+        qpt: QPT,
+        lists: PreparedLists,
+        path_index: PathIndex,
+        inpdt_fast_path: bool = True,
+    ):
+        self._qpt = qpt
+        self._lists = lists
+        self._path_index = path_index
+        self._inpdt_fast_path = inpdt_fast_path
+        self._stack: list[_OpenElement] = []
+        self._records: dict[tuple[int, ...], PDTRecord] = {}
+
+    # -- main loop -----------------------------------------------------------
+
+    def run(self) -> dict[tuple[int, ...], PDTRecord]:
+        def stream(node_index, path_list):
+            for entry in path_list:
+                yield (entry.dewey, node_index, entry)
+
+        merged = heapq.merge(
+            *(
+                stream(node_index, path_list)
+                for node_index, path_list in self._lists.path_lists.items()
+            ),
+            key=lambda triple: triple[0],
+        )
+        group_dewey: Optional[tuple[int, ...]] = None
+        group: list[tuple[int, object]] = []
+        for dewey, node_index, entry in merged:
+            if dewey != group_dewey:
+                if group_dewey is not None:
+                    self._process_group(group_dewey, group)
+                group_dewey = dewey
+                group = []
+            group.append((node_index, entry))
+        if group_dewey is not None:
+            self._process_group(group_dewey, group)
+        while self._stack:
+            self._close(self._stack.pop())
+        return self._records
+
+    def _process_group(self, dewey: tuple[int, ...], group: list) -> None:
+        # Close open elements that are not ancestors of the incoming id:
+        # Dewey order guarantees they can receive no further descendants.
+        while self._stack and dewey[: self._stack[-1].depth] != self._stack[-1].dewey:
+            self._close(self._stack.pop())
+        direct: dict[int, object] = {node_index: entry for node_index, entry in group}
+        # The concrete data path of the incoming element names every
+        # ancestor tag, so each prefix can be matched against the QPT.
+        any_entry = group[0][1]
+        data_path = self._path_index.path_by_id(any_entry.path_id)
+        open_depth = self._stack[-1].depth if self._stack else 0
+        for depth in range(open_depth + 1, len(dewey) + 1):
+            prefix_tags = data_path[:depth]
+            matches = self._qpt.match_table(prefix_tags)[depth - 1]
+            if not matches:
+                continue
+            prefix = dewey[:depth]
+            element = _OpenElement(prefix)
+            is_self = depth == len(dewey)
+            for qnode in matches:
+                if qnode.index in self._lists.probed and (
+                    not is_self or qnode.index not in direct
+                ):
+                    # A probed node's elements must be confirmed by a direct
+                    # list entry (the list is complete and pre-filtered by
+                    # the node's predicates); a pattern match alone means
+                    # the predicate rejected this element.
+                    continue
+                item = _Item(qnode, element)
+                if not self._attach_parents(item, element):
+                    continue  # ancestor constraint is unsatisfiable
+                element.items.append(item)
+            if is_self:
+                for node_index, entry in group:
+                    if entry.value is not None:
+                        element.value = entry.value
+                    element.byte_length = entry.byte_length
+            if element.items:
+                self._stack.append(element)
+                for item in element.items:
+                    if not item.dm_missing:
+                        self._mark_candidate(item)
+
+    def _attach_parents(self, item: _Item, element: _OpenElement) -> bool:
+        """Build the ParentList; returns False if no parent can exist."""
+        edge = item.qnode.parent_edge
+        assert edge is not None
+        if edge.parent is self._qpt.root:
+            # Anchored at the document node: '/' requires the document root
+            # element, '//' any depth.  Ancestor constraint auto-satisfied.
+            return edge.axis == "//" or element.depth == 1
+        want_exact = element.depth - 1 if edge.axis == "/" else None
+        for ancestor in self._stack:
+            if want_exact is not None and ancestor.depth != want_exact:
+                continue
+            for candidate in ancestor.items:
+                if candidate.qnode is edge.parent:
+                    item.parents.append(candidate)
+        return bool(item.parents)
+
+    # -- constraint propagation -------------------------------------------------
+
+    def _mark_candidate(self, item: _Item) -> None:
+        """Item satisfies its descendant constraints (DM all ones)."""
+        if item.candidate:
+            return
+        item.candidate = True
+        # Report to the ParentList (AddCTNode lines 15-16).
+        child_index = item.qnode.index
+        for parent in item.parents:
+            missing = parent.dm_missing
+            if child_index in missing:
+                missing.discard(child_index)
+                if not missing:
+                    self._mark_candidate(parent)
+        # InPdt fast path: ancestor constraint already established.
+        if self._inpdt_fast_path and (
+            item.qnode.parent_edge.parent is self._qpt.root
+            or any(parent.in_pdt for parent in item.parents)
+        ):
+            self._set_in_pdt(item)
+
+    def _set_in_pdt(self, item: _Item) -> None:
+        if item.in_pdt:
+            return
+        item.in_pdt = True
+        self._emit(item)
+        # Cascade through the pdt-cache registrations.
+        for waiter in item.pending:
+            if waiter.candidate and not waiter.in_pdt:
+                self._set_in_pdt(waiter)
+        item.pending = []
+
+    def _close(self, element: _OpenElement) -> None:
+        """All descendants of ``element`` have been processed."""
+        for item in element.items:
+            if not item.candidate or item.in_pdt:
+                continue
+            if item.qnode.parent_edge.parent is self._qpt.root or any(
+                parent.in_pdt for parent in item.parents
+            ):
+                self._set_in_pdt(item)
+                continue
+            # Defer the ancestor check: register with every still-open
+            # parent (the element's ancestors are exactly the open stack,
+            # so all parents are alive here).  This is the PdtCache.
+            for parent in item.parents:
+                parent.pending.append(item)
+
+    # -- emission -----------------------------------------------------------------
+
+    def _emit(self, item: _Item) -> None:
+        element = item.owner
+        record = self._records.get(element.dewey)
+        if record is None:
+            tag = self._tag_of(item)
+            record = PDTRecord(
+                dewey=element.dewey,
+                tag=tag,
+                value=element.value,
+                byte_length=element.byte_length or 0,
+            )
+            self._records[element.dewey] = record
+        if item.qnode.v_ann or item.qnode.predicates:
+            record.wants_value = True
+        if item.qnode.c_ann:
+            record.wants_content = True
+
+    def _tag_of(self, item: _Item) -> str:
+        return item.qnode.tag
+
+
+def generate_pdt(
+    qpt: QPT,
+    path_index: PathIndex,
+    inverted_index: InvertedIndex,
+    keywords: tuple[str, ...],
+    lists: Optional[PreparedLists] = None,
+    inpdt_fast_path: bool = True,
+) -> PDTResult:
+    """Generate the PDT for ``qpt`` using only the given indices.
+
+    ``keywords`` must already be normalized (see
+    :func:`repro.xmlmodel.tokenizer.normalize_keyword`).  ``lists`` can be
+    supplied to reuse probes (the engine prepares them once per query).
+    """
+    if lists is None:
+        lists = prepare_lists(qpt, path_index, inverted_index, keywords)
+    records = _PDTBuilder(
+        qpt, lists, path_index, inpdt_fast_path=inpdt_fast_path
+    ).run()
+    return _build_tree(qpt, records, lists, keywords)
+
+
+def _build_tree(
+    qpt: QPT,
+    records: dict[tuple[int, ...], "PDTRecord"],
+    lists: PreparedLists,
+    keywords: tuple[str, ...],
+) -> PDTResult:
+    def tf_lookup(dewey_id: DeweyID) -> dict[str, int]:
+        return {
+            keyword: posting_list.subtree_tf(dewey_id)
+            for keyword, posting_list in lists.inv_lists.items()
+        }
+
+    return assemble_pdt(
+        doc_name=qpt.doc_name,
+        records=records,
+        keywords=keywords,
+        tf_lookup=tf_lookup,
+        entry_count=lists.total_path_entries(),
+    )
+
+
+def assemble_pdt(
+    doc_name: str,
+    records: dict[tuple[int, ...], PDTRecord],
+    keywords: tuple[str, ...],
+    tf_lookup,
+    entry_count: int,
+) -> PDTResult:
+    """Nest PDT records into an XML tree (Definition 3's edge set:
+    parent = nearest emitted ancestor).
+
+    ``tf_lookup(dewey_id) -> {keyword: tf}`` supplies the per-keyword
+    subtree term frequencies attached to content ('c') nodes.  Shared with
+    the GTP baseline, which produces the same records via structural joins.
+    """
+    if not records:
+        return PDTResult(
+            doc_name=doc_name,
+            root=XMLNode(EMPTY_TAG),
+            node_count=0,
+            entry_count=entry_count,
+            keywords=keywords,
+        )
+    ordered = sorted(records)
+    nodes: dict[tuple[int, ...], XMLNode] = {}
+    top_level: list[XMLNode] = []
+    stack: list[tuple[int, ...]] = []
+    for dewey in ordered:
+        record = records[dewey]
+        node = XMLNode(record.tag)
+        if record.wants_value and record.value is not None:
+            node.text = record.value
+        anno = NodeAnnotations(dewey=DeweyID(dewey), byte_length=record.byte_length)
+        anno.pruned = record.wants_content
+        anno.doc = doc_name
+        if record.wants_content:
+            anno.term_frequencies = tf_lookup(anno.dewey)
+        node.anno = anno
+        nodes[dewey] = node
+        while stack and dewey[: len(stack[-1])] != stack[-1]:
+            stack.pop()
+        if stack:
+            nodes[stack[-1]].append(node)
+        else:
+            top_level.append(node)
+        stack.append(dewey)
+    if len(top_level) == 1 and len(ordered[0]) == 1:
+        # The document root element itself is in the PDT: it is the tree.
+        root = top_level[0]
+    else:
+        root = XMLNode(FRAGMENT_TAG)
+        for node in top_level:
+            root.append(node)
+    return PDTResult(
+        doc_name=doc_name,
+        root=root,
+        node_count=len(records),
+        entry_count=entry_count,
+        keywords=keywords,
+    )

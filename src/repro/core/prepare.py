@@ -1,0 +1,72 @@
+"""PrepareLists: the fixed set of index probes (paper Fig. 7 and Fig. 8).
+
+The number of probes is proportional to the *query* size, never the data
+size: one path-index probe per QPT node that needs one (no mandatory child
+edges — which includes every leaf — or carrying 'v'/'c'/predicate
+annotations), and one inverted-list probe per query keyword.  Probes for
+'v' nodes retrieve values together with Dewey IDs (LookUpIDValue);
+predicates are pushed into the probe so the returned lists are pre-filtered.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.qpt import QPT, QPTNode
+from repro.storage.inverted_index import InvertedIndex, PostingList
+from repro.storage.path_index import PathIndex, PathList
+
+
+@dataclass
+class PreparedLists:
+    """Output of PrepareLists: per-node path lists and per-keyword postings.
+
+    ``path_lists`` is keyed by QPT-node index; ``probed`` is the set of
+    node indexes that have their own list (elements matching such a node
+    must be confirmed by a direct list entry — predicate filtering happens
+    in the index probe, so pattern matching alone is not enough).
+    """
+
+    path_lists: dict[int, PathList]
+    inv_lists: dict[str, PostingList]
+    probed: frozenset[int]
+
+    def total_path_entries(self) -> int:
+        return sum(len(lst) for lst in self.path_lists.values())
+
+    def total_postings(self) -> int:
+        return sum(len(lst) for lst in self.inv_lists.values())
+
+
+def prepare_lists(
+    qpt: QPT,
+    path_index: PathIndex,
+    inverted_index: InvertedIndex,
+    keywords: tuple[str, ...],
+) -> PreparedLists:
+    """Issue the index probes for ``qpt`` and the query keywords."""
+    path_lists: dict[int, PathList] = {}
+    for node in qpt.probed_nodes():
+        path_lists[node.index] = path_index.lookup_ids(
+            qpt.pattern(node),
+            predicates=node.predicates,
+            with_values=node.v_ann,
+        )
+    inv_lists = {keyword: inverted_index.lookup(keyword) for keyword in keywords}
+    return PreparedLists(
+        path_lists=path_lists,
+        inv_lists=inv_lists,
+        probed=frozenset(path_lists),
+    )
+
+
+def probe_plan(qpt: QPT) -> list[tuple[str, tuple[tuple[str, str], ...], bool]]:
+    """Human-readable probe plan: (tag, pattern, with_values) per probe.
+
+    Used by documentation/examples to show the fixed probe set the
+    algorithm issues for a view (paper Fig. 8's left column).
+    """
+    plan: list[tuple[str, tuple[tuple[str, str], ...], bool]] = []
+    for node in qpt.probed_nodes():
+        plan.append((node.tag, qpt.pattern(node), node.v_ann))
+    return plan

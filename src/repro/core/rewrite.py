@@ -1,0 +1,38 @@
+"""Query rewriting: evaluate the original view over PDTs.
+
+The paper's QPT Generation Module "rewrites the original query to go over
+PDTs instead of the base data" (Section 3.1).  Because the evaluator
+resolves ``fn:doc`` through a pluggable resolver, the rewrite is realized
+as a resolver that maps each document name to its PDT root — the query
+text/AST is untouched, and the evaluator is the stock one (the paper's
+"no changes to the XML query evaluator" requirement).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping
+
+from repro.core.pdt import PDTResult
+from repro.errors import DocumentNotFoundError
+from repro.xmlmodel.node import XMLNode
+
+
+def make_pdt_resolver(pdts: Mapping[str, PDTResult]) -> Callable[[str], XMLNode]:
+    """A document resolver that serves PDT roots instead of base documents."""
+
+    def resolve(name: str) -> XMLNode:
+        pdt = pdts.get(name)
+        if pdt is None:
+            raise DocumentNotFoundError(name)
+        return pdt.root
+
+    return resolve
+
+
+def make_base_resolver(database) -> Callable[[str], XMLNode]:
+    """The ordinary resolver over base documents (Baseline path)."""
+
+    def resolve(name: str) -> XMLNode:
+        return database.get(name).root
+
+    return resolve

@@ -1,0 +1,140 @@
+"""TF-IDF scoring over (pruned or materialized) view results.
+
+The same scorer serves both pipelines, which is how Theorem 4.1's score
+equality is realized structurally:
+
+* Baseline results reference fully materialized base elements, so term
+  frequencies come from tokenizing the text and byte lengths from the
+  canonical serialization;
+* Efficient results reference pruned PDT elements whose annotations carry
+  the identical quantities (subtree tf from the inverted index, subtree
+  byte length from the path index), so the walk stops at pruned nodes and
+  reads the annotations.
+
+Definitions (paper Section 2.2): ``tf(e, k)`` is the number of occurrences
+of k in e and its descendants; ``idf(k) = |V(D)| / |{e in V(D):
+contains(e, k)}|``; ``score(e, Q) = sum_k tf(e, k) * idf(k)``, optionally
+normalized by the element's byte length (Section 4.2.2.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Sequence
+
+from repro.xmlmodel.node import XMLNode
+from repro.xmlmodel.serializer import escape_text
+from repro.xmlmodel.tokenizer import token_frequencies
+
+
+@dataclass
+class ResultStatistics:
+    """Per-result aggregates used by scoring and by the benchmarks."""
+
+    term_frequencies: dict[str, int]
+    byte_length: int
+
+
+def aggregate_result(node: XMLNode, keywords: Sequence[str]) -> ResultStatistics:
+    """Aggregate tf per keyword and the byte length of one view result.
+
+    Walks the result tree; a node with a *pruned* annotation contributes
+    its annotated statistics and is not descended into (its PDT-resident
+    children are part of the annotated subtree already).
+    """
+    tfs = {keyword: 0 for keyword in keywords}
+    length = _aggregate(node, tfs)
+    return ResultStatistics(term_frequencies=tfs, byte_length=length)
+
+
+def _aggregate(node: XMLNode, tfs: dict[str, int]) -> int:
+    anno = node.anno
+    if anno is not None and anno.pruned:
+        for keyword in tfs:
+            tfs[keyword] += anno.term_frequencies.get(keyword, 0)
+        return anno.byte_length
+    value = node.value
+    if value is not None:
+        frequencies = token_frequencies(value)
+        for keyword in tfs:
+            tfs[keyword] += frequencies.get(keyword, 0)
+    if value is None and not node.children:
+        return len(node.tag) + 3  # <tag/>
+    length = 2 * len(node.tag) + 5  # <tag></tag>
+    if value is not None:
+        length += len(escape_text(value))
+    for child in node.children:
+        length += _aggregate(child, tfs)
+    return length
+
+
+@dataclass
+class ScoredResult:
+    """One view result with its statistics and TF-IDF score."""
+
+    index: int  # position in the view result sequence (document order)
+    node: XMLNode
+    statistics: ResultStatistics
+    score: float = 0.0
+
+    def tf(self, keyword: str) -> int:
+        return self.statistics.term_frequencies.get(keyword, 0)
+
+    def contains(self, keyword: str) -> bool:
+        return self.tf(keyword) > 0
+
+
+@dataclass
+class ScoringOutcome:
+    """Scored results plus the collection-level statistics (idf values)."""
+
+    results: list[ScoredResult]  # keyword-satisfying results, document order
+    view_size: int  # |V(D)| — all view results, pre-filter
+    idf: dict[str, float]
+    all_results: list[ScoredResult] = field(default_factory=list)
+
+
+def score_results(
+    view_results: Iterable[XMLNode],
+    keywords: Sequence[str],
+    conjunctive: bool = True,
+    normalize: bool = True,
+) -> ScoringOutcome:
+    """Score every view result and apply the keyword semantics.
+
+    ``idf`` is computed over the *entire* view result sequence — not just
+    the keyword-satisfying results — exactly as in Section 2.2 where
+    ``V(D)`` is the full view.
+    """
+    scored: list[ScoredResult] = []
+    for index, node in enumerate(view_results):
+        statistics = aggregate_result(node, keywords)
+        scored.append(ScoredResult(index=index, node=node, statistics=statistics))
+    view_size = len(scored)
+    idf: dict[str, float] = {}
+    for keyword in keywords:
+        containing = sum(1 for result in scored if result.contains(keyword))
+        idf[keyword] = view_size / containing if containing else 0.0
+    for result in scored:
+        raw = sum(result.tf(keyword) * idf[keyword] for keyword in keywords)
+        if normalize and result.statistics.byte_length > 0:
+            raw /= result.statistics.byte_length
+        result.score = raw
+    if conjunctive:
+        kept = [r for r in scored if all(r.contains(k) for k in keywords)]
+    else:
+        kept = [r for r in scored if any(r.contains(k) for k in keywords)]
+    return ScoringOutcome(
+        results=kept, view_size=view_size, idf=idf, all_results=scored
+    )
+
+
+def select_top_k(outcome: ScoringOutcome, k: Optional[int]) -> list[ScoredResult]:
+    """The k highest-scoring results; ties broken by document order.
+
+    ``k=None`` returns every keyword-satisfying result, ranked.
+    """
+    ranked = sorted(outcome.results, key=lambda r: (-r.score, r.index))
+    if k is None:
+        return ranked
+    return ranked[: max(k, 0)]

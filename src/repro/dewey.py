@@ -1,0 +1,161 @@
+"""Dewey IDs: hierarchical element identifiers (paper Section 3.2, Fig. 4a).
+
+A Dewey ID identifies an XML element by the path of child ordinals from the
+document root: the root element is ``1``, its second child is ``1.2``, that
+child's first child is ``1.2.1`` and so on.  The defining property used
+throughout the paper is that *the ID of an element contains the ID of its
+parent as a prefix*, which makes ancestor/descendant checks and document-order
+comparisons pure ID operations — no data access required.
+
+``DeweyID`` wraps a tuple of positive integers.  Tuples compare
+lexicographically in Python, which for Dewey IDs coincides with document
+order restricted to ancestor-free comparisons; for full document order
+(where an ancestor precedes its descendants) tuple comparison is *also*
+correct because a strict prefix sorts before its extensions.
+"""
+
+from __future__ import annotations
+
+from functools import total_ordering
+from typing import Iterator, Sequence
+
+
+@total_ordering
+class DeweyID:
+    """An immutable, hashable Dewey identifier.
+
+    Instances are ordered in document order and support the prefix algebra
+    the PDT-generation algorithm relies on (``parent``, ``is_ancestor_of``,
+    ``prefix``, ``child_bound``).
+    """
+
+    __slots__ = ("components",)
+
+    def __init__(self, components: Sequence[int]):
+        comps = tuple(int(c) for c in components)
+        if not comps:
+            raise ValueError("a Dewey ID must have at least one component")
+        if any(c <= 0 for c in comps):
+            raise ValueError(f"Dewey components must be positive: {comps}")
+        self.components = comps
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def parse(cls, text: str) -> "DeweyID":
+        """Parse the dotted form used in the paper's figures, e.g. ``1.2.3``."""
+        try:
+            return cls(tuple(int(part) for part in text.split(".")))
+        except ValueError as exc:
+            raise ValueError(f"invalid Dewey ID text: {text!r}") from exc
+
+    @classmethod
+    def root(cls) -> "DeweyID":
+        """The ID of a document's root element (``1``)."""
+        return cls((1,))
+
+    def child(self, ordinal: int) -> "DeweyID":
+        """The ID of this element's ``ordinal``-th child (1-based)."""
+        if ordinal <= 0:
+            raise ValueError("child ordinal must be positive")
+        return DeweyID(self.components + (ordinal,))
+
+    # -- structure ---------------------------------------------------------
+
+    @property
+    def depth(self) -> int:
+        """Number of components; the document root has depth 1."""
+        return len(self.components)
+
+    @property
+    def parent(self) -> "DeweyID | None":
+        """The parent ID, or ``None`` for the document root."""
+        if len(self.components) == 1:
+            return None
+        return DeweyID(self.components[:-1])
+
+    def prefix(self, depth: int) -> "DeweyID":
+        """The ancestor-or-self ID at the given depth (1-based)."""
+        if not 1 <= depth <= len(self.components):
+            raise ValueError(
+                f"prefix depth {depth} out of range for {self} (depth {self.depth})"
+            )
+        return DeweyID(self.components[:depth])
+
+    def prefixes(self) -> Iterator["DeweyID"]:
+        """Yield every proper ancestor followed by self, root first."""
+        for depth in range(1, len(self.components) + 1):
+            yield DeweyID(self.components[:depth])
+
+    def is_ancestor_of(self, other: "DeweyID") -> bool:
+        """True iff self is a *proper* ancestor of other."""
+        mine, theirs = self.components, other.components
+        return len(mine) < len(theirs) and theirs[: len(mine)] == mine
+
+    def is_ancestor_or_self_of(self, other: "DeweyID") -> bool:
+        mine, theirs = self.components, other.components
+        return len(mine) <= len(theirs) and theirs[: len(mine)] == mine
+
+    def is_parent_of(self, other: "DeweyID") -> bool:
+        """True iff self is the immediate parent of other."""
+        mine, theirs = self.components, other.components
+        return len(mine) + 1 == len(theirs) and theirs[: len(mine)] == mine
+
+    def is_sibling_of(self, other: "DeweyID") -> bool:
+        """True iff self and other share a parent and are distinct."""
+        return (
+            self.components != other.components
+            and len(self.components) == len(other.components)
+            and self.components[:-1] == other.components[:-1]
+        )
+
+    def common_ancestor(self, other: "DeweyID") -> "DeweyID | None":
+        """Deepest common ancestor-or-self, or ``None`` for disjoint roots."""
+        common = []
+        for a, b in zip(self.components, other.components):
+            if a != b:
+                break
+            common.append(a)
+        if not common:
+            return None
+        return DeweyID(common)
+
+    def child_bound(self) -> tuple[int, ...]:
+        """Exclusive upper bound of this element's subtree in document order.
+
+        Every descendant id ``d`` satisfies
+        ``self.components <= d.components < self.child_bound()`` under tuple
+        comparison, which lets sorted posting lists be range-scanned for
+        "within subtree" aggregation (used for tf roll-ups).
+        """
+        return self.components[:-1] + (self.components[-1] + 1,)
+
+    # -- dunder ------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, DeweyID):
+            return self.components == other.components
+        return NotImplemented
+
+    def __lt__(self, other: "DeweyID") -> bool:
+        if isinstance(other, DeweyID):
+            return self.components < other.components
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self.components)
+
+    def __len__(self) -> int:
+        return len(self.components)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self.components)
+
+    def __getitem__(self, index):
+        return self.components[index]
+
+    def __str__(self) -> str:
+        return ".".join(str(c) for c in self.components)
+
+    def __repr__(self) -> str:
+        return f"DeweyID({self})"

@@ -1,0 +1,68 @@
+"""Exception hierarchy for the repro library.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while still
+being able to distinguish parse errors from evaluation errors, etc.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class XMLParseError(ReproError):
+    """Raised when an XML document cannot be parsed.
+
+    Carries the byte/character ``position`` (offset into the input) and the
+    1-based ``line`` where the problem was detected.
+    """
+
+    def __init__(self, message: str, position: int = -1, line: int = -1):
+        suffix = ""
+        if line >= 0:
+            suffix = f" (line {line})"
+        elif position >= 0:
+            suffix = f" (offset {position})"
+        super().__init__(message + suffix)
+        self.position = position
+        self.line = line
+
+
+class XQuerySyntaxError(ReproError):
+    """Raised when a view/query does not conform to the supported grammar."""
+
+    def __init__(self, message: str, position: int = -1):
+        suffix = f" (at token offset {position})" if position >= 0 else ""
+        super().__init__(message + suffix)
+        self.position = position
+
+
+class XQueryEvalError(ReproError):
+    """Raised when a well-formed query fails during evaluation."""
+
+
+class UnsupportedQueryError(XQuerySyntaxError):
+    """Raised for constructs outside the supported XQuery subset.
+
+    The paper's system redirects only queries that satisfy the supported
+    grammar (Appendix A); anything else is rejected explicitly rather than
+    silently mis-evaluated.
+    """
+
+
+class StorageError(ReproError):
+    """Raised on index/document-store misuse (unknown document, bad range)."""
+
+
+class DocumentNotFoundError(StorageError):
+    """Raised when a query references a document not loaded in the database."""
+
+    def __init__(self, name: str):
+        super().__init__(f"document not loaded in database: {name!r}")
+        self.name = name
+
+
+class ViewDefinitionError(ReproError):
+    """Raised when a view definition cannot be analyzed into QPTs."""

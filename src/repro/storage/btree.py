@@ -1,0 +1,293 @@
+"""A B+-tree keyed by tuples, backing the path and inverted indices.
+
+The paper stores its Path-Values table and per-keyword lookup structures in
+B+-trees (Figures 4 and 5).  This module provides the tree: unique tuple
+keys, point lookups, ordered range scans, and prefix scans over composite
+keys — a prefix scan with key ``(path,)`` over ``(path, value)`` rows is
+exactly the "Path is the prefix of the composite key" probe of Section 3.2.
+
+The implementation is a classic in-memory B+-tree: internal nodes hold
+separator keys and children; leaves hold (key, value) pairs and are linked
+left-to-right so range scans are sequential.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right, insort
+from typing import Any, Iterator, Optional
+
+DEFAULT_ORDER = 64
+
+
+class _Leaf:
+    __slots__ = ("keys", "values", "next")
+
+    def __init__(self):
+        self.keys: list[Any] = []
+        self.values: list[Any] = []
+        self.next: Optional[_Leaf] = None
+
+
+class _Internal:
+    __slots__ = ("keys", "children")
+
+    def __init__(self):
+        # children[i] covers keys < keys[i]; children[-1] covers the rest.
+        self.keys: list[Any] = []
+        self.children: list[Any] = []
+
+
+class BPlusTree:
+    """An in-memory B+-tree with unique keys.
+
+    ``order`` is the maximum number of keys per node; nodes split when they
+    exceed it.  Keys may be any totally-ordered values; tuples are the
+    common case (composite keys).
+    """
+
+    def __init__(self, order: int = DEFAULT_ORDER):
+        if order < 3:
+            raise ValueError("B+-tree order must be at least 3")
+        self._order = order
+        self._root: _Leaf | _Internal = _Leaf()
+        self._size = 0
+
+    # -- basic operations ---------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._size
+
+    def insert(self, key: Any, value: Any) -> None:
+        """Insert ``key`` -> ``value``; replaces the value of an equal key."""
+        split = self._insert(self._root, key, value)
+        if split is not None:
+            separator, right = split
+            new_root = _Internal()
+            new_root.keys = [separator]
+            new_root.children = [self._root, right]
+            self._root = new_root
+
+    def get(self, key: Any, default: Any = None) -> Any:
+        """Point lookup; returns ``default`` when the key is absent."""
+        leaf = self._find_leaf(key)
+        index = bisect_left(leaf.keys, key)
+        if index < len(leaf.keys) and leaf.keys[index] == key:
+            return leaf.values[index]
+        return default
+
+    def __contains__(self, key: Any) -> bool:
+        sentinel = object()
+        return self.get(key, sentinel) is not sentinel
+
+    # -- scans ----------------------------------------------------------------
+
+    def items(self) -> Iterator[tuple[Any, Any]]:
+        """All (key, value) pairs in key order."""
+        leaf = self._leftmost_leaf()
+        while leaf is not None:
+            yield from zip(leaf.keys, leaf.values)
+            leaf = leaf.next
+
+    def range(
+        self,
+        low: Any = None,
+        high: Any = None,
+        include_high: bool = False,
+    ) -> Iterator[tuple[Any, Any]]:
+        """(key, value) pairs with ``low <= key < high`` in key order.
+
+        ``low=None`` starts at the smallest key; ``high=None`` runs to the
+        end; ``include_high=True`` makes the upper bound inclusive.
+        """
+        leaf = self._leftmost_leaf() if low is None else self._find_leaf(low)
+        index = 0 if low is None else bisect_left(leaf.keys, low)
+        while leaf is not None:
+            keys = leaf.keys
+            for i in range(index, len(keys)):
+                key = keys[i]
+                if high is not None:
+                    if include_high:
+                        if key > high:
+                            return
+                    elif key >= high:
+                        return
+                yield key, leaf.values[i]
+            leaf = leaf.next
+            index = 0
+
+    def prefix_range(self, prefix: tuple) -> Iterator[tuple[Any, Any]]:
+        """All pairs whose tuple key starts with ``prefix``, in key order.
+
+        This is the composite-key probe used for "path queries without value
+        predicates" (Section 3.2): scan every (path, value) row for a path.
+        """
+        plen = len(prefix)
+        for key, value in self.range(low=prefix):
+            if not isinstance(key, tuple) or key[:plen] != prefix:
+                return
+            yield key, value
+
+    # -- internals ------------------------------------------------------------
+
+    def _find_leaf(self, key: Any) -> _Leaf:
+        node = self._root
+        while isinstance(node, _Internal):
+            node = node.children[bisect_right(node.keys, key)]
+        return node
+
+    def _leftmost_leaf(self) -> _Leaf:
+        node = self._root
+        while isinstance(node, _Internal):
+            node = node.children[0]
+        return node
+
+    def _insert(self, node, key, value):
+        """Recursive insert; returns (separator, new_right_node) on split."""
+        if isinstance(node, _Leaf):
+            index = bisect_left(node.keys, key)
+            if index < len(node.keys) and node.keys[index] == key:
+                node.values[index] = value
+                return None
+            node.keys.insert(index, key)
+            node.values.insert(index, value)
+            self._size += 1
+            if len(node.keys) <= self._order:
+                return None
+            return self._split_leaf(node)
+
+        index = bisect_right(node.keys, key)
+        split = self._insert(node.children[index], key, value)
+        if split is None:
+            return None
+        separator, right = split
+        node.keys.insert(index, separator)
+        node.children.insert(index + 1, right)
+        if len(node.keys) <= self._order:
+            return None
+        return self._split_internal(node)
+
+    def _split_leaf(self, leaf: _Leaf):
+        mid = len(leaf.keys) // 2
+        right = _Leaf()
+        right.keys = leaf.keys[mid:]
+        right.values = leaf.values[mid:]
+        right.next = leaf.next
+        leaf.keys = leaf.keys[:mid]
+        leaf.values = leaf.values[:mid]
+        leaf.next = right
+        return right.keys[0], right
+
+    def _split_internal(self, node: _Internal):
+        mid = len(node.keys) // 2
+        separator = node.keys[mid]
+        right = _Internal()
+        right.keys = node.keys[mid + 1 :]
+        right.children = node.children[mid + 1 :]
+        node.keys = node.keys[:mid]
+        node.children = node.children[: mid + 1]
+        return separator, right
+
+    # -- bulk loading -----------------------------------------------------------
+
+    @classmethod
+    def from_sorted_items(
+        cls, items: list[tuple[Any, Any]], order: int = DEFAULT_ORDER
+    ) -> "BPlusTree":
+        """Bulk-load a tree from key-sorted unique (key, value) pairs.
+
+        Builds leaves left to right and stacks internal levels on top; this
+        is how the database constructs its indices after a document load.
+        """
+        tree = cls(order=order)
+        if not items:
+            return tree
+        fill = max(2, (order * 3) // 4)
+        leaves: list[_Leaf] = []
+        for start in range(0, len(items), fill):
+            chunk = items[start : start + fill]
+            leaf = _Leaf()
+            leaf.keys = [key for key, _ in chunk]
+            leaf.values = [value for _, value in chunk]
+            if leaves:
+                leaves[-1].next = leaf
+            leaves.append(leaf)
+        tree._size = len(items)
+
+        level: list = leaves
+        while len(level) > 1:
+            parents: list[_Internal] = []
+            for start in range(0, len(level), fill + 1):
+                group = level[start : start + fill + 1]
+                if len(group) == 1 and parents:
+                    # Fold a lone trailing child into the previous parent.
+                    parent = parents[-1]
+                    parent.keys.append(_smallest_key(group[0]))
+                    parent.children.append(group[0])
+                    continue
+                parent = _Internal()
+                parent.children = group
+                parent.keys = [_smallest_key(child) for child in group[1:]]
+                parents.append(parent)
+            level = parents
+        tree._root = level[0]
+        return tree
+
+    # -- validation (used by tests) ---------------------------------------------
+
+    def check_invariants(self) -> None:
+        """Raise AssertionError if structural invariants are violated."""
+        keys = [key for key, _ in self.items()]
+        assert keys == sorted(keys), "leaf chain out of order"
+        assert len(set(keys)) == len(keys), "duplicate keys in leaves"
+        assert len(keys) == self._size, "size counter mismatch"
+        self._check_node(self._root, None, None)
+
+    def _check_node(self, node, low, high) -> None:
+        if isinstance(node, _Leaf):
+            for key in node.keys:
+                assert low is None or key >= low
+                assert high is None or key < high
+            return
+        assert node.keys == sorted(node.keys)
+        assert len(node.children) == len(node.keys) + 1
+        bounds = [low, *node.keys, high]
+        for child, (lo, hi) in zip(node.children, zip(bounds, bounds[1:])):
+            self._check_node(child, lo, hi)
+
+
+def _smallest_key(node) -> Any:
+    while isinstance(node, _Internal):
+        node = node.children[0]
+    return node.keys[0]
+
+
+class SortedIDList:
+    """A sorted list of Dewey-comparable keys with membership and range ops.
+
+    Used as the per-keyword "B+-tree built on top of each inverted list"
+    (Section 3.2, Figure 4b): checking whether a given element contains a
+    keyword, and aggregating postings within an element's subtree, are a
+    binary search and a range slice respectively.
+    """
+
+    __slots__ = ("_keys",)
+
+    def __init__(self, keys: Optional[list] = None):
+        self._keys = sorted(keys) if keys else []
+
+    def add(self, key) -> None:
+        insort(self._keys, key)
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+    def __iter__(self):
+        return iter(self._keys)
+
+    def __contains__(self, key) -> bool:
+        index = bisect_left(self._keys, key)
+        return index < len(self._keys) and self._keys[index] == key
+
+    def range_indices(self, low, high) -> tuple[int, int]:
+        """Index slice [i, j) with ``low <= key < high``."""
+        return bisect_left(self._keys, low), bisect_left(self._keys, high)

@@ -1,0 +1,147 @@
+"""The XML database: named documents plus their indices.
+
+``XMLDatabase`` is the substrate both evaluation strategies run on: the
+Efficient pipeline consumes only the path and inverted indices until top-k
+materialization; the Baseline evaluates directly over the stored trees.
+Keeping both behind one object makes the comparison the paper makes — same
+storage, different evaluation path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional, Union
+
+from repro.errors import DocumentNotFoundError, StorageError
+from repro.storage.document_store import DocumentStore
+from repro.storage.inverted_index import InvertedIndex
+from repro.storage.path_index import PathIndex
+from repro.storage.tag_index import TagIndex
+from repro.xmlmodel.node import Document, XMLNode
+from repro.xmlmodel.parser import parse_xml
+
+
+@dataclass
+class IndexedDocument:
+    """One loaded document with its storage and indices."""
+
+    document: Document
+    store: DocumentStore
+    path_index: PathIndex
+    inverted_index: InvertedIndex
+    _tag_index: Optional[TagIndex] = None
+    _serialized: Optional[str] = None
+
+    @property
+    def name(self) -> str:
+        return self.document.name
+
+    @property
+    def root(self) -> XMLNode:
+        return self.document.root
+
+    @property
+    def tag_index(self) -> TagIndex:
+        """Built lazily: only the GTP baseline needs it."""
+        if self._tag_index is None:
+            self._tag_index = TagIndex.from_tree(self.document.root)
+        return self._tag_index
+
+    @property
+    def serialized(self) -> str:
+        """The canonical serialized document (cached).
+
+        This stands in for the on-disk XML file; the Proj baseline scans
+        it (parse + project), which is what "full scan of the underlying
+        documents" costs.
+        """
+        if self._serialized is None:
+            from repro.xmlmodel.serializer import serialize
+
+            self._serialized = serialize(self.document.root)
+        return self._serialized
+
+
+class XMLDatabase:
+    """A set of indexed XML documents addressable by name (``fn:doc``)."""
+
+    def __init__(self, index_tag_names: bool = False, store_positions: bool = False):
+        self._documents: dict[str, IndexedDocument] = {}
+        self.index_tag_names = index_tag_names
+        self.store_positions = store_positions
+
+    # -- loading -----------------------------------------------------------
+
+    def load_document(
+        self, name: str, source: Union[str, XMLNode, Document]
+    ) -> IndexedDocument:
+        """Parse (if needed), Dewey-label and index a document.
+
+        ``source`` may be XML text, an unlabelled :class:`XMLNode` tree, or
+        a pre-built :class:`Document`.
+        """
+        if name in self._documents:
+            raise StorageError(f"document already loaded: {name!r}")
+        if isinstance(source, Document):
+            document = source
+            document.name = name
+        elif isinstance(source, XMLNode):
+            document = Document(name, source)
+        else:
+            document = Document(name, parse_xml(source))
+        indexed = IndexedDocument(
+            document=document,
+            store=DocumentStore.from_tree(document.root),
+            path_index=PathIndex.from_tree(document.root),
+            inverted_index=InvertedIndex.from_tree(
+                document.root,
+                store_positions=self.store_positions,
+                index_tag_names=self.index_tag_names,
+            ),
+        )
+        self._documents[name] = indexed
+        return indexed
+
+    def drop_document(self, name: str) -> None:
+        if name not in self._documents:
+            raise DocumentNotFoundError(name)
+        del self._documents[name]
+
+    # -- access ------------------------------------------------------------
+
+    def get(self, name: str) -> IndexedDocument:
+        indexed = self._documents.get(name)
+        if indexed is None:
+            raise DocumentNotFoundError(name)
+        return indexed
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._documents
+
+    def document_names(self) -> list[str]:
+        return sorted(self._documents)
+
+    def documents(self) -> Iterable[IndexedDocument]:
+        return self._documents.values()
+
+    # -- statistics ----------------------------------------------------------
+
+    def statistics(self) -> dict[str, dict[str, int]]:
+        """Per-document size statistics (elements, vocabulary, paths)."""
+        stats: dict[str, dict[str, int]] = {}
+        for name, indexed in self._documents.items():
+            stats[name] = {
+                "elements": len(indexed.store),
+                "vocabulary": indexed.inverted_index.vocabulary_size(),
+                "distinct_paths": len(indexed.path_index.data_paths),
+            }
+        return stats
+
+    def reset_access_counters(self) -> None:
+        """Zero every probe/access counter (used by tests and the harness)."""
+        for indexed in self._documents.values():
+            indexed.store.access_count = 0
+            indexed.path_index.probe_count = 0
+            indexed.inverted_index.probe_count = 0
+            if indexed._tag_index is not None:
+                indexed._tag_index.probe_count = 0

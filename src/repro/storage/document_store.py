@@ -1,0 +1,149 @@
+"""Dewey-ordered document storage.
+
+The document store is the "Document Storage" box of the paper's architecture
+(Figure 3): the only component that holds full element content.  Phases 1
+and 2 (QPT/PDT generation) never touch it; it is consulted only when the
+top-k results are materialized — tests assert this via ``access_count``.
+
+Elements are stored as *packed* records sorted by Dewey ID, so a subtree is
+a contiguous range (``[id, id.child_bound())``) and materialization is a
+binary search plus a sequential scan.  Records are deserialized on access:
+the paper's document storage is disk-resident, and charging a decode per
+touched record is what keeps the base-data-access cost asymmetry between
+the strategies honest (the GTP baseline fetches values per candidate; the
+Efficient pipeline touches records only for the top-k winners).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from repro.dewey import DeweyID
+from repro.errors import StorageError
+from repro.xmlmodel.node import XMLNode
+from repro.xmlmodel.serializer import serialized_length
+
+_FIELD_SEP = "\x1f"
+_NONE_MARK = "\x1e"
+
+
+@dataclass(frozen=True)
+class ElementRecord:
+    """One stored element: identity, tag, atomic value and subtree length."""
+
+    dewey: tuple[int, ...]
+    tag: str
+    value: Optional[str]
+    byte_length: int
+
+    @property
+    def dewey_id(self) -> DeweyID:
+        return DeweyID(self.dewey)
+
+
+def _pack(tag: str, value: Optional[str], byte_length: int) -> str:
+    return _FIELD_SEP.join(
+        (tag, _NONE_MARK if value is None else value, str(byte_length))
+    )
+
+
+def _unpack(dewey: tuple[int, ...], packed: str) -> ElementRecord:
+    tag, value, byte_length = packed.split(_FIELD_SEP)
+    return ElementRecord(
+        dewey=dewey,
+        tag=tag,
+        value=None if value == _NONE_MARK else value,
+        byte_length=int(byte_length),
+    )
+
+
+class DocumentStore:
+    """Stores one document's elements in document (Dewey) order."""
+
+    def __init__(self, keys: list[tuple[int, ...]], packed: list[str]):
+        if len(keys) != len(packed):
+            raise StorageError("keys and records must align")
+        self._keys = keys
+        self._packed = packed
+        self.access_count = 0
+
+    @classmethod
+    def from_tree(cls, root: XMLNode) -> "DocumentStore":
+        """Build the store from a Dewey-labelled tree.
+
+        Pre-order traversal yields records already in Dewey order; the
+        subtree byte length stored per element is the canonical serialized
+        length used for score normalization.
+        """
+        keys: list[tuple[int, ...]] = []
+        packed: list[str] = []
+        for node in root.iter():
+            if node.dewey is None:
+                raise StorageError("document store requires Dewey-labelled trees")
+            keys.append(node.dewey.components)
+            packed.append(_pack(node.tag, node.value, serialized_length(node)))
+        return cls(keys, packed)
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+    # -- lookups -------------------------------------------------------------
+
+    def _locate(self, dewey: DeweyID) -> int:
+        index = bisect_left(self._keys, dewey.components)
+        if index >= len(self._keys) or self._keys[index] != dewey.components:
+            raise StorageError(f"no element with id {dewey}")
+        return index
+
+    def record(self, dewey: DeweyID) -> ElementRecord:
+        """Fetch a single element record (counts as one base-data access)."""
+        index = self._locate(dewey)
+        self.access_count += 1
+        return _unpack(self._keys[index], self._packed[index])
+
+    def subtree_records(self, dewey: DeweyID) -> list[ElementRecord]:
+        """All records in the subtree rooted at ``dewey`` (document order)."""
+        low = self._locate(dewey)
+        high = bisect_left(self._keys, dewey.child_bound())
+        self.access_count += high - low
+        return [
+            _unpack(self._keys[i], self._packed[i]) for i in range(low, high)
+        ]
+
+    def iter_records(self) -> Iterator[ElementRecord]:
+        """Full scan in document order."""
+        self.access_count += len(self._keys)
+        for key, packed in zip(self._keys, self._packed):
+            yield _unpack(key, packed)
+
+    # -- materialization -------------------------------------------------------
+
+    def materialize_subtree(self, dewey: DeweyID) -> XMLNode:
+        """Rebuild the XML subtree rooted at ``dewey`` from stored records."""
+        records = self.subtree_records(dewey)
+        return build_tree_from_records(records)
+
+
+def build_tree_from_records(records: list[ElementRecord]) -> XMLNode:
+    """Reconstruct a subtree from Dewey-ordered records.
+
+    The first record is the subtree root; each subsequent record's parent is
+    the nearest previous record whose Dewey ID is a proper prefix.
+    """
+    if not records:
+        raise StorageError("cannot build a tree from zero records")
+    root_record = records[0]
+    root = XMLNode(root_record.tag, root_record.value, dewey=root_record.dewey_id)
+    stack: list[tuple[tuple[int, ...], XMLNode]] = [(root_record.dewey, root)]
+    for record in records[1:]:
+        dewey = record.dewey
+        while stack and dewey[: len(stack[-1][0])] != stack[-1][0]:
+            stack.pop()
+        if not stack:
+            raise StorageError(f"record {record.dewey} outside the subtree")
+        node = XMLNode(record.tag, record.value, dewey=record.dewey_id)
+        stack[-1][1].append(node)
+        stack.append((dewey, node))
+    return root

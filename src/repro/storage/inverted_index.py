@@ -1,0 +1,143 @@
+"""XML inverted-list indices (paper Section 3.2, Figure 4b).
+
+For every keyword the index stores the Dewey-ordered list of elements that
+*directly* contain the keyword, with the term frequency (and optionally the
+position list) per element.  Because Dewey IDs make a subtree a contiguous
+ID range, the tf of a keyword within an arbitrary element's subtree — the
+quantity the PDT attaches to 'c' nodes — is a range sum over the posting
+list, answered in O(log n) with prefix sums (this plays the role of the
+"B+-tree built on top of each inverted list").
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.dewey import DeweyID
+from repro.xmlmodel.node import XMLNode
+from repro.xmlmodel.tokenizer import tokenize
+
+
+@dataclass(frozen=True)
+class Posting:
+    """One inverted-list entry: element id, tf, optional positions."""
+
+    dewey: tuple[int, ...]
+    tf: int
+    positions: tuple[int, ...] = field(default=())
+
+
+class PostingList:
+    """Dewey-ordered postings for one keyword with subtree aggregation."""
+
+    __slots__ = ("keyword", "_deweys", "_tfs", "_cumulative", "_postings")
+
+    def __init__(self, keyword: str, postings: list[Posting]):
+        self.keyword = keyword
+        self._postings = postings
+        self._deweys = [p.dewey for p in postings]
+        self._tfs = [p.tf for p in postings]
+        cumulative = [0]
+        for tf in self._tfs:
+            cumulative.append(cumulative[-1] + tf)
+        self._cumulative = cumulative
+
+    def __len__(self) -> int:
+        return len(self._postings)
+
+    def __iter__(self):
+        return iter(self._postings)
+
+    @property
+    def postings(self) -> list[Posting]:
+        return self._postings
+
+    def direct_tf(self, dewey: DeweyID) -> int:
+        """tf of the keyword directly inside the element ``dewey``."""
+        index = bisect_left(self._deweys, dewey.components)
+        if index < len(self._deweys) and self._deweys[index] == dewey.components:
+            return self._tfs[index]
+        return 0
+
+    def subtree_tf(self, dewey: DeweyID) -> int:
+        """Total tf within the subtree rooted at ``dewey`` (range sum)."""
+        low = bisect_left(self._deweys, dewey.components)
+        high = bisect_left(self._deweys, dewey.child_bound())
+        return self._cumulative[high] - self._cumulative[low]
+
+    def contains_subtree(self, dewey: DeweyID) -> bool:
+        """Does the subtree rooted at ``dewey`` contain the keyword?"""
+        low = bisect_left(self._deweys, dewey.components)
+        high = bisect_left(self._deweys, dewey.child_bound())
+        return high > low
+
+
+class InvertedIndex:
+    """Inverted-list index for one document."""
+
+    def __init__(self, lists: dict[str, PostingList], store_positions: bool):
+        self._lists = lists
+        self.store_positions = store_positions
+        self.probe_count = 0
+
+    @classmethod
+    def from_tree(
+        cls,
+        root: XMLNode,
+        store_positions: bool = False,
+        index_tag_names: bool = False,
+    ) -> "InvertedIndex":
+        """Tokenize every element's direct text and build the lists.
+
+        ``index_tag_names`` additionally indexes each element's tag name as
+        a token (the paper notes a keyword "can appear in the tag name");
+        it defaults off and must match the scorer's configuration.
+        """
+        accumulator: dict[str, list[Posting]] = {}
+        for node in root.iter():
+            tokens: list[str] = []
+            if index_tag_names:
+                tokens.extend(tokenize(node.tag))
+            if node.text:
+                tokens.extend(tokenize(node.text))
+            if not tokens:
+                continue
+            counts: dict[str, int] = {}
+            positions: dict[str, list[int]] = {}
+            for position, token in enumerate(tokens):
+                counts[token] = counts.get(token, 0) + 1
+                if store_positions:
+                    positions.setdefault(token, []).append(position)
+            for token, tf in counts.items():
+                accumulator.setdefault(token, []).append(
+                    Posting(
+                        dewey=node.dewey.components,
+                        tf=tf,
+                        positions=tuple(positions.get(token, ())),
+                    )
+                )
+        lists = {
+            token: PostingList(token, sorted(postings, key=lambda p: p.dewey))
+            for token, postings in accumulator.items()
+        }
+        return cls(lists, store_positions)
+
+    def lookup(self, keyword: str) -> PostingList:
+        """The posting list for ``keyword`` (empty list if absent)."""
+        self.probe_count += 1
+        existing = self._lists.get(keyword)
+        if existing is not None:
+            return existing
+        return PostingList(keyword, [])
+
+    def vocabulary_size(self) -> int:
+        return len(self._lists)
+
+    def document_frequency(self, keyword: str) -> int:
+        """Number of elements directly containing ``keyword``."""
+        return len(self._lists.get(keyword, ()))
+
+    def __contains__(self, keyword: str) -> bool:
+        return keyword in self._lists

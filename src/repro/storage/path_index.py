@@ -1,0 +1,254 @@
+"""The (Path, Value) path index of paper Section 3.2 (Figure 5).
+
+The Path-Values table holds one row per unique (root-to-element path,
+atomic value) pair; the row stores the sorted list of Dewey IDs of the
+elements on that path with that value.  A B+-tree over the composite key
+``(path, value)`` supports:
+
+* value-predicate probes — ``/book/author/fn[. = 'Jane']`` is a key probe
+  with ``(path, 'Jane')``; range predicates are range scans within a path;
+* path probes — a prefix scan with ``(path,)`` merges every row of a path;
+* descendant-axis queries — a *path dictionary* (DataGuide: the set of all
+  distinct root-to-element tag paths in the document) expands patterns with
+  ``//`` into concrete data paths, each probed as above.
+
+Each ID entry also carries the element's subtree byte length, the
+index-resident statistic the PDT needs for score normalization (paper
+Definition 3 attaches byte lengths to PDT nodes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence
+
+from repro.dewey import DeweyID
+from repro.storage.btree import BPlusTree
+from repro.values import Predicate, atom_key
+from repro.xmlmodel.node import XMLNode
+from repro.xmlmodel.serializer import serialized_length
+
+# One step of a path pattern: (axis, tag); axis is '/' or '//'.
+PathPattern = tuple[tuple[str, str], ...]
+
+
+@dataclass(frozen=True)
+class PathListEntry:
+    """One element surfaced by a path-index probe.
+
+    ``value`` is populated only by value-retrieving probes ('v' nodes);
+    ``path_id`` identifies the concrete data path of the element, which the
+    PDT generator uses to match Dewey prefixes to QPT nodes.
+    """
+
+    dewey: tuple[int, ...]
+    path_id: int
+    value: Optional[str]
+    byte_length: int
+
+    @property
+    def dewey_id(self) -> DeweyID:
+        return DeweyID(self.dewey)
+
+
+class PathList:
+    """A Dewey-ordered list of entries for one QPT node (paper Fig. 8)."""
+
+    __slots__ = ("entries",)
+
+    def __init__(self, entries: list[PathListEntry]):
+        self.entries = entries
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __iter__(self):
+        return iter(self.entries)
+
+
+class PathIndex:
+    """Path index for one document."""
+
+    def __init__(self):
+        self._table = BPlusTree()
+        self._paths: list[tuple[str, ...]] = []
+        self._path_ids: dict[tuple[str, ...], int] = {}
+        self.probe_count = 0
+
+    # -- construction ----------------------------------------------------------
+
+    @classmethod
+    def from_tree(cls, root: XMLNode) -> "PathIndex":
+        index = cls()
+        rows: dict[tuple[int, tuple], list[tuple[tuple[int, ...], int]]] = {}
+        stack: list[tuple[XMLNode, tuple[str, ...]]] = [(root, (root.tag,))]
+        while stack:
+            node, path = stack.pop()
+            path_id = index._intern_path(path)
+            key = (path_id, atom_key(node.value))
+            rows.setdefault(key, []).append(
+                (node.dewey.components, serialized_length(node))
+            )
+            for child in node.children:
+                stack.append((child, path + (child.tag,)))
+        # Row payload: Dewey-sorted [(dewey, byte_length), ...].
+        items = [(key, sorted(rows[key])) for key in sorted(rows)]
+        index._table = BPlusTree.from_sorted_items(items)
+        return index
+
+    def _intern_path(self, path: tuple[str, ...]) -> int:
+        path_id = self._path_ids.get(path)
+        if path_id is None:
+            path_id = len(self._paths)
+            self._paths.append(path)
+            self._path_ids[path] = path_id
+        return path_id
+
+    # -- path dictionary (DataGuide) --------------------------------------------
+
+    @property
+    def data_paths(self) -> Sequence[tuple[str, ...]]:
+        """All distinct root-to-element paths, indexed by ``path_id``."""
+        return self._paths
+
+    def path_by_id(self, path_id: int) -> tuple[str, ...]:
+        return self._paths[path_id]
+
+    def expand_pattern(self, pattern: PathPattern) -> list[int]:
+        """Concrete path ids matching a ``/``/``//`` path pattern.
+
+        This is the "the index is probed for each full data path" expansion
+        of Section 3.2; the DataGuide is tiny compared to the data, so the
+        match is cheap and independent of document size.
+        """
+        return [
+            path_id
+            for path_id, path in enumerate(self._paths)
+            if pattern_matches_path(pattern, path)
+        ]
+
+    # -- probes -------------------------------------------------------------------
+
+    def lookup_ids(
+        self,
+        pattern: PathPattern,
+        predicates: Iterable[Predicate] = (),
+        with_values: bool = False,
+    ) -> PathList:
+        """Probe the index for a QPT path (LookUpID / LookUpIDValue, Fig. 7).
+
+        Returns a single Dewey-ordered :class:`PathList` merging every
+        matching (path, value) row.  ``predicates`` are pushed into the
+        probe: an equality predicate becomes a point probe per concrete
+        path; other operators filter rows by value.  ``with_values``
+        attaches atomic values to the entries (the 'v'-annotation case).
+        """
+        predicates = tuple(predicates)
+        merged: list[PathListEntry] = []
+        for path_id in self.expand_pattern(pattern):
+            merged.extend(self._probe_path(path_id, predicates, with_values))
+        merged.sort(key=lambda entry: entry.dewey)
+        return PathList(merged)
+
+    def _probe_path(
+        self,
+        path_id: int,
+        predicates: tuple[Predicate, ...],
+        with_values: bool,
+    ) -> list[PathListEntry]:
+        self.probe_count += 1
+        equality = [p for p in predicates if p.op == "="]
+        if equality:
+            # Point probe with the composite key (path, value); remaining
+            # predicates (if any) filter the probed value.
+            literal = equality[0].literal
+            key = (path_id, atom_key(literal))
+            row = self._table.get(key)
+            if row is None:
+                return []
+            value = literal
+            if not all(p.matches(value) for p in predicates):
+                return []
+            return [
+                PathListEntry(dewey, path_id, value if with_values else None, length)
+                for dewey, length in row
+            ]
+        entries: list[PathListEntry] = []
+        for key, row in self._table.prefix_range((path_id,)):
+            kind = key[1][0]
+            value = None if kind == 0 else key[1][-1]
+            if predicates and not all(p.matches(value) for p in predicates):
+                continue
+            keep_value = value if with_values else None
+            entries.extend(
+                PathListEntry(dewey, path_id, keep_value, length)
+                for dewey, length in row
+            )
+        return entries
+
+    def ids_on_path(self, path_id: int) -> list[tuple[int, ...]]:
+        """All element ids on one concrete path (used by the tag index)."""
+        ids: list[tuple[int, ...]] = []
+        for _, row in self._table.prefix_range((path_id,)):
+            ids.extend(dewey for dewey, _ in row)
+        ids.sort()
+        return ids
+
+
+def pattern_matches_path(pattern: PathPattern, path: tuple[str, ...]) -> bool:
+    """Does a ``/``/``//`` pattern match a concrete root-to-element path?
+
+    The first step's axis describes the relation to the document root:
+    ``/`` anchors at the root element, ``//`` matches at any depth.  The
+    match must consume the entire concrete path (patterns address the
+    element at the path's end).
+    """
+    return _match_from(pattern, 0, path, 0)
+
+
+def _match_from(
+    pattern: PathPattern, step: int, path: tuple[str, ...], position: int
+) -> bool:
+    if step == len(pattern):
+        return position == len(path)
+    axis, tag = pattern[step]
+    if axis == "/":
+        if position < len(path) and path[position] == tag:
+            return _match_from(pattern, step + 1, path, position + 1)
+        return False
+    # '//': the tag may appear at this depth or any deeper depth.
+    for candidate in range(position, len(path)):
+        if path[candidate] == tag and _match_from(
+            pattern, step + 1, path, candidate + 1
+        ):
+            return True
+    return False
+
+
+def match_depths(pattern: PathPattern, path: tuple[str, ...]) -> list[set[int]]:
+    """For each depth d of ``path``, the pattern steps its prefix can end at.
+
+    ``result[d]`` (0-based depth => path prefix of length d+1) is the set of
+    pattern step indices s such that steps ``0..s`` match the prefix exactly.
+    The PDT generator uses this to decide which QPT nodes a Dewey prefix
+    corresponds to, including the repeating-tag case (``//a//a``) where one
+    prefix matches several steps.
+    """
+    depth_count = len(path)
+    step_count = len(pattern)
+    # matches[s][d] = steps 0..s-1 match prefix of length d.
+    matches = [[False] * (depth_count + 1) for _ in range(step_count + 1)]
+    matches[0][0] = True
+    for s in range(1, step_count + 1):
+        axis, tag = pattern[s - 1]
+        for d in range(1, depth_count + 1):
+            if path[d - 1] != tag:
+                continue
+            if axis == "/":
+                matches[s][d] = matches[s - 1][d - 1]
+            else:
+                matches[s][d] = any(matches[s - 1][k] for k in range(d))
+    result: list[set[int]] = []
+    for d in range(1, depth_count + 1):
+        result.append({s - 1 for s in range(1, step_count + 1) if matches[s][d]})
+    return result

@@ -1,0 +1,44 @@
+"""Tag index: tag name -> Dewey-ordered element id list.
+
+This is the element-stream source for the GTP+TermJoin baseline's
+structural joins (the paper's comparison system reconstructs document
+hierarchy by joining per-tag id streams).  The Efficient pipeline does not
+use it — that asymmetry (path index vs structural joins) is one of the two
+reasons the paper gives for its speedup.
+"""
+
+from __future__ import annotations
+
+from repro.dewey import DeweyID
+from repro.xmlmodel.node import XMLNode
+
+
+class TagIndex:
+    """Per-document mapping from tag name to sorted element ids."""
+
+    def __init__(self, lists: dict[str, list[tuple[int, ...]]]):
+        self._lists = lists
+        self.probe_count = 0
+
+    @classmethod
+    def from_tree(cls, root: XMLNode) -> "TagIndex":
+        lists: dict[str, list[tuple[int, ...]]] = {}
+        for node in root.iter():
+            lists.setdefault(node.tag, []).append(node.dewey.components)
+        for ids in lists.values():
+            ids.sort()
+        return cls(lists)
+
+    def lookup(self, tag: str) -> list[tuple[int, ...]]:
+        """Sorted Dewey component tuples of all elements with ``tag``."""
+        self.probe_count += 1
+        return self._lists.get(tag, [])
+
+    def lookup_ids(self, tag: str) -> list[DeweyID]:
+        return [DeweyID(components) for components in self.lookup(tag)]
+
+    def tags(self) -> list[str]:
+        return sorted(self._lists)
+
+    def __contains__(self, tag: str) -> bool:
+        return tag in self._lists

@@ -1,0 +1,35 @@
+"""Workload generators and parameterized view builders for the evaluation.
+
+``inex`` generates the synthetic INEX-like collection (the paper's 500MB
+INEX dataset is licensed; see DESIGN.md for the substitution argument),
+``bookrev`` generates the books & reviews running example, ``views`` builds
+the XQuery view definitions the experiments sweep over, and ``params``
+captures Table 1's parameter space.
+"""
+
+from repro.workloads.inex import INEXConfig, generate_inex_database
+from repro.workloads.bookrev import generate_bookrev_database
+from repro.workloads.views import (
+    selection_view,
+    authors_articles_view,
+    nested_view,
+    view_for_params,
+)
+from repro.workloads.params import (
+    ExperimentParams,
+    KEYWORDS_BY_SELECTIVITY,
+    PARAMETER_TABLE,
+)
+
+__all__ = [
+    "INEXConfig",
+    "generate_inex_database",
+    "generate_bookrev_database",
+    "selection_view",
+    "authors_articles_view",
+    "nested_view",
+    "view_for_params",
+    "ExperimentParams",
+    "KEYWORDS_BY_SELECTIVITY",
+    "PARAMETER_TABLE",
+]

@@ -1,0 +1,92 @@
+"""The books & reviews running example (paper Figures 1 and 2).
+
+A small deterministic generator for the two-source aggregation scenario:
+``books.xml`` (books with isbn, title, publisher, year) and ``reviews.xml``
+(reviews joining books on isbn).  Used by the quickstart example and by
+integration tests that mirror the paper's narrative.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.storage.database import XMLDatabase
+from repro.xmlmodel.node import XMLNode
+
+_TOPICS = [
+    "xml web services",
+    "artificial intelligence",
+    "database systems",
+    "information retrieval",
+    "distributed computing",
+    "compiler construction",
+    "operating systems",
+    "machine learning",
+]
+_PUBLISHERS = ["prentice hall", "addison wesley", "morgan kaufmann", "springer"]
+_OPINIONS = [
+    "easy to read and full of practical search examples",
+    "dense but rewarding treatment of xml query processing",
+    "excellent introduction to keyword search over structured data",
+    "covers indexing and ranking in great depth",
+    "a bit dated but the fundamentals hold",
+    "the chapters about views and virtual data are superb",
+]
+_RATES = ["excellent", "good", "average", "poor"]
+_REVIEWERS = ["john", "alex", "mary", "tina", "victor", "nadia"]
+
+BOOKREV_VIEW = """
+for $book in fn:doc(books.xml)/books//book
+where $book/year > 1995
+return <bookrevs>
+   <book> {$book/title} </book>,
+   {for $rev in fn:doc(reviews.xml)/reviews//review
+    where $rev/isbn = $book/isbn
+    return $rev/content}
+</bookrevs>
+"""
+
+BOOKREV_KEYWORD_QUERY = """
+let $view :=
+  for $book in fn:doc(books.xml)/books//book
+  where $book/year > 1995
+  return <bookrevs>
+     <book> {$book/title} </book>,
+     {for $rev in fn:doc(reviews.xml)/reviews//review
+      where $rev/isbn = $book/isbn
+      return $rev/content}
+  </bookrevs>
+for $bookrev in $view
+where $bookrev ftcontains('xml' & 'search')
+return $bookrev
+"""
+
+
+def generate_bookrev_database(
+    book_count: int = 40,
+    reviews_per_book: int = 2,
+    seed: int = 11,
+    **database_kwargs,
+) -> XMLDatabase:
+    """Generate and index books.xml and reviews.xml."""
+    rng = random.Random(seed)
+    books = XMLNode("books")
+    reviews = XMLNode("reviews")
+    for number in range(1, book_count + 1):
+        isbn = f"{number:03d}-{rng.randint(10, 99)}-{rng.randint(1000, 9999)}"
+        book = books.make_child("book")
+        book.make_child("isbn", isbn)
+        topic = rng.choice(_TOPICS)
+        book.make_child("title", f"{topic} volume {number}")
+        book.make_child("publisher", rng.choice(_PUBLISHERS))
+        book.make_child("year", str(rng.randint(1988, 2006)))
+        for _ in range(rng.randint(0, reviews_per_book)):
+            review = reviews.make_child("review")
+            review.make_child("isbn", isbn)
+            review.make_child("rate", rng.choice(_RATES))
+            review.make_child("content", rng.choice(_OPINIONS))
+            review.make_child("reviewer", rng.choice(_REVIEWERS))
+    database = XMLDatabase(**database_kwargs)
+    database.load_document("books.xml", books)
+    database.load_document("reviews.xml", reviews)
+    return database

@@ -1,0 +1,66 @@
+"""The experimental parameter space (paper Table 1).
+
+Every experiment varies one parameter and holds the rest at the paper's
+defaults (bold in Table 1).  Data sizes are scale units rather than
+hundreds of megabytes — the substrate is a pure-Python simulator and the
+claims under test are shape claims (see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+# Keyword pairs per selectivity class (Table 1).  "Low selectivity" means
+# frequent terms (long inverted lists), mirroring Section 5.2.3's reading.
+KEYWORDS_BY_SELECTIVITY: dict[str, tuple[str, ...]] = {
+    "low": ("ieee", "computing"),
+    "medium": ("thomas", "control"),
+    "high": ("moore", "burnett"),
+}
+
+
+@dataclass(frozen=True)
+class ExperimentParams:
+    """One experiment configuration (a row of Table 1 with defaults)."""
+
+    data_scale: int = 3  # paper default: 300MB of 100..500MB
+    num_keywords: int = 2
+    keyword_selectivity: str = "medium"  # low | medium | high
+    num_joins: int = 1  # 0..4 value joins in the view
+    join_selectivity: float = 1.0  # 1X, 0.5X, 0.2X, 0.1X
+    nesting_level: int = 2  # 1..4 nested FLWOR levels
+    top_k: int = 10  # 1, 10, 20, 30, 40
+    element_size: int = 1  # 1X..5X average view-element size
+    seed: int = 7
+
+    def with_(self, **kwargs) -> "ExperimentParams":
+        """A copy with some parameters replaced (sweep helper)."""
+        return replace(self, **kwargs)
+
+    def keywords(self) -> tuple[str, ...]:
+        """The query keywords: cycle the selectivity class's pair.
+
+        ``num_keywords`` beyond the pair reuses neighbouring classes so
+        that 1..5 keywords are always available (the paper does not list
+        its exact per-count keyword sets).
+        """
+        order = ["medium", "low", "high"]
+        order.remove(self.keyword_selectivity)
+        pool = list(KEYWORDS_BY_SELECTIVITY[self.keyword_selectivity])
+        for cls in order:
+            pool.extend(KEYWORDS_BY_SELECTIVITY[cls])
+        return tuple(pool[: self.num_keywords])
+
+
+# Table 1 verbatim: parameter -> swept values (defaults marked by the
+# ExperimentParams defaults above).
+PARAMETER_TABLE: dict[str, list] = {
+    "data_scale": [1, 2, 3, 4, 5],
+    "num_keywords": [1, 2, 3, 4, 5],
+    "keyword_selectivity": ["low", "medium", "high"],
+    "num_joins": [0, 1, 2, 3, 4],
+    "join_selectivity": [1.0, 0.5, 0.2, 0.1],
+    "nesting_level": [1, 2, 3, 4],
+    "top_k": [1, 10, 20, 30, 40],
+    "element_size": [1, 2, 3, 4, 5],
+}

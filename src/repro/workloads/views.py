@@ -1,0 +1,129 @@
+"""Parameterized view builders for the experiment sweeps.
+
+The default experiment view nests articles under their authors via a value
+join on the author name (Section 5.1: "a view in which articles are nested
+under their authors").  The builders below produce the XQuery text for the
+whole Table 1 sweep:
+
+* ``num_joins`` — 0 removes the value join (selection only); 1 is the
+  default authors-articles join; 2-4 chain further per-``fno`` joins
+  (reviews, citations, venues) nested under each article;
+* ``nesting_level`` — 1 is selection-only, 2 the default, 3 and 4 wrap the
+  view in additional FLWOR levels over author groups / the author list.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.params import ExperimentParams
+
+# Per-fno join chain: (document, root tag, item tag, content field).
+_JOIN_CHAIN = [
+    ("reviews.xml", "reviews", "review", "comment"),
+    ("citations.xml", "citations", "citation", "note"),
+    ("venues.xml", "venues", "venue", "note"),
+]
+
+YEAR_THRESHOLD = 1995
+
+
+def selection_view(year: int = YEAR_THRESHOLD) -> str:
+    """Selection-only view over articles (0 joins / nesting level 1)."""
+    return f"""
+for $art in fn:doc(articles.xml)/books//article
+where $art/fm/yr > {year}
+return <pub>
+    {{$art/fm/atl}},
+    {{$art/bdy}}
+</pub>
+"""
+
+
+def _article_body(num_joins: int, year: int, var: str = "$art") -> str:
+    """The per-article return body with the per-fno join chain nested."""
+    nested = ""
+    for index in range(max(0, num_joins - 1)):
+        doc, root_tag, item_tag, content = _JOIN_CHAIN[index]
+        item_var = f"$j{index}"
+        nested += f""",
+      {{for {item_var} in fn:doc({doc})/{root_tag}//{item_tag}
+        where {item_var}/fno = {var}/fno
+        return {item_var}/{content}}}"""
+    return f"""<pub>
+      {{{var}/fm/atl}},
+      {{{var}/bdy}}{nested}
+    </pub>"""
+
+
+def authors_articles_view(
+    num_joins: int = 1, year: int = YEAR_THRESHOLD
+) -> str:
+    """The default view: articles nested under their authors.
+
+    ``num_joins=0`` degrades to the selection view; higher values chain
+    per-fno joins under each article.
+    """
+    if num_joins == 0:
+        return selection_view(year)
+    body = _article_body(num_joins, year)
+    return f"""
+for $a in fn:doc(authors.xml)/authors//author
+return <authorpubs>
+   <name> {{$a/name}} </name>,
+   {{for $art in fn:doc(articles.xml)/books//article
+     where $art/fm/au = $a/name and $art/fm/yr > {year}
+     return {body}}}
+</authorpubs>
+"""
+
+
+def nested_view(
+    nesting_level: int = 2,
+    num_joins: int = 1,
+    year: int = YEAR_THRESHOLD,
+) -> str:
+    """The nesting-level sweep (Table 1, "Level of nestings").
+
+    Level 1 removes the value join and keeps the selection predicate;
+    level 2 is the default view; levels 3 and 4 wrap the view one more
+    FLWOR level at a time (author groups, then the whole author list).
+    """
+    if nesting_level <= 1:
+        return selection_view(year)
+    if nesting_level == 2:
+        return authors_articles_view(num_joins=max(num_joins, 1), year=year)
+    body = _article_body(max(num_joins, 1), year)
+    inner = f"""for $a in $g//author
+       return <authorpubs>
+          <name> {{$a/name}} </name>,
+          {{for $art in fn:doc(articles.xml)/books//article
+            where $art/fm/au = $a/name and $art/fm/yr > {year}
+            return {body}}}
+       </authorpubs>"""
+    if nesting_level == 3:
+        return f"""
+for $g in fn:doc(authors.xml)/authors/group
+return <grouppubs>
+   {{$g/affiliation}},
+   {{{inner}}}
+</grouppubs>
+"""
+    # Level 4: one more FLWOR over the whole author list.
+    return f"""
+for $all in fn:doc(authors.xml)/authors
+return <digest>
+   {{for $g in $all/group
+     return <grouppubs>
+        {{$g/affiliation}},
+        {{{inner}}}
+     </grouppubs>}}
+</digest>
+"""
+
+
+def view_for_params(params: ExperimentParams) -> str:
+    """The view a Table 1 configuration asks for."""
+    if params.nesting_level != 2:
+        return nested_view(
+            nesting_level=params.nesting_level, num_joins=params.num_joins
+        )
+    return authors_articles_view(num_joins=params.num_joins)

@@ -1,0 +1,18 @@
+"""XML substrate: tree model, from-scratch parser, serializer, tokenizer."""
+
+from repro.xmlmodel.node import XMLNode, Document, NodeAnnotations
+from repro.xmlmodel.parser import parse_xml, parse_document
+from repro.xmlmodel.serializer import serialize, serialized_length
+from repro.xmlmodel.tokenizer import tokenize, token_frequencies
+
+__all__ = [
+    "XMLNode",
+    "Document",
+    "NodeAnnotations",
+    "parse_xml",
+    "parse_document",
+    "serialize",
+    "serialized_length",
+    "tokenize",
+    "token_frequencies",
+]

@@ -1,0 +1,89 @@
+"""Canonical XML serialization.
+
+The serializer defines the byte lengths used for score normalization
+(Theorem 4.1 requires ``PDTByteLength(e) == len(e')`` for materialized
+elements, so a single canonical form is used everywhere: by the document
+store at indexing time, by the Baseline when it materializes the view, and
+by the materialization module when it expands top-k results).
+
+Canonical form: ``<tag>text<child…/>…</tag>``; direct text precedes the
+children; empty elements are written as ``<tag/>``; the five predefined
+entities are escaped in text.
+"""
+
+from __future__ import annotations
+
+from repro.xmlmodel.node import XMLNode
+
+_ESCAPES = {"&": "&amp;", "<": "&lt;", ">": "&gt;"}
+
+
+def escape_text(text: str) -> str:
+    """Escape markup characters in character data."""
+    if not any(ch in text for ch in _ESCAPES):
+        return text
+    for raw, escaped in _ESCAPES.items():
+        text = text.replace(raw, escaped)
+    return text
+
+
+def serialize(node: XMLNode, indent: int | None = None) -> str:
+    """Serialize ``node`` to canonical XML text.
+
+    ``indent`` pretty-prints with the given indent width; the canonical
+    (length-defining) form is ``indent=None``.
+    """
+    parts: list[str] = []
+    if indent is None:
+        _write_compact(node, parts)
+    else:
+        _write_pretty(node, parts, 0, indent)
+    return "".join(parts)
+
+
+def _write_compact(node: XMLNode, parts: list[str]) -> None:
+    value = node.value
+    if value is None and not node.children:
+        parts.append(f"<{node.tag}/>")
+        return
+    parts.append(f"<{node.tag}>")
+    if value is not None:
+        parts.append(escape_text(value))
+    for child in node.children:
+        _write_compact(child, parts)
+    parts.append(f"</{node.tag}>")
+
+
+def _write_pretty(node: XMLNode, parts: list[str], level: int, width: int) -> None:
+    pad = " " * (level * width)
+    value = node.value
+    if value is None and not node.children:
+        parts.append(f"{pad}<{node.tag}/>\n")
+        return
+    if not node.children:
+        parts.append(f"{pad}<{node.tag}>{escape_text(value or '')}</{node.tag}>\n")
+        return
+    parts.append(f"{pad}<{node.tag}>")
+    if value is not None:
+        parts.append(escape_text(value))
+    parts.append("\n")
+    for child in node.children:
+        _write_pretty(child, parts, level + 1, width)
+    parts.append(f"{pad}</{node.tag}>\n")
+
+
+def serialized_length(node: XMLNode) -> int:
+    """Length in characters of the canonical serialization of ``node``.
+
+    Computed without building the full string (one pass, O(subtree)).
+    """
+    value = node.value
+    total = 0
+    if value is None and not node.children:
+        return len(node.tag) + 3  # <tag/>
+    total += 2 * len(node.tag) + 5  # <tag> + </tag>
+    if value is not None:
+        total += len(escape_text(value))
+    for child in node.children:
+        total += serialized_length(child)
+    return total

@@ -1,0 +1,58 @@
+"""XQuery-subset compiler and evaluator (paper Appendix A grammar).
+
+The supported language covers the paper's view-definition subset: XPath
+expressions with child/descendant axes and leaf-value predicates, nested
+FLWOR expressions, conditional expressions, element constructors,
+non-recursive user functions, and a top-level ``ftcontains`` for keyword
+queries over views.
+"""
+
+from repro.xquery.ast import (
+    Comparison,
+    ContextItem,
+    DocCall,
+    ElementConstructor,
+    FLWOR,
+    ForClause,
+    FTContains,
+    FunctionCall,
+    FunctionDecl,
+    IfExpr,
+    LetClause,
+    Literal,
+    PathExpr,
+    Program,
+    SequenceExpr,
+    Step,
+    TextLiteral,
+    VarRef,
+)
+from repro.xquery.parser import parse_query, parse_expression
+from repro.xquery.evaluator import Evaluator, EvalContext
+from repro.xquery.functions import inline_functions
+
+__all__ = [
+    "Comparison",
+    "ContextItem",
+    "DocCall",
+    "ElementConstructor",
+    "FLWOR",
+    "ForClause",
+    "FTContains",
+    "FunctionCall",
+    "FunctionDecl",
+    "IfExpr",
+    "LetClause",
+    "Literal",
+    "PathExpr",
+    "Program",
+    "SequenceExpr",
+    "Step",
+    "TextLiteral",
+    "VarRef",
+    "parse_query",
+    "parse_expression",
+    "Evaluator",
+    "EvalContext",
+    "inline_functions",
+]

@@ -1,0 +1,104 @@
+"""Non-recursive user-function inlining.
+
+QPT generation (Appendix B, Case 6) treats a function call as a chain of
+``let`` bindings of the parameters around the function body.  Performing
+that rewrite once, up front, means both the QPT generator and any other
+static analysis only ever see function-free expressions.  The evaluator can
+run either form; the engine uses the inlined form so the executed query and
+the analyzed query are the same tree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.errors import UnsupportedQueryError
+from repro.xquery.ast import (
+    BooleanExpr,
+    Comparison,
+    ElementConstructor,
+    Expr,
+    FLWOR,
+    ForClause,
+    FTContains,
+    FunctionCall,
+    FunctionDecl,
+    IfExpr,
+    LetClause,
+    PathExpr,
+    Program,
+    SequenceExpr,
+)
+
+
+def inline_functions(program: Program) -> Expr:
+    """Return the program body with every function call inlined.
+
+    Raises :class:`UnsupportedQueryError` on recursion (direct or mutual),
+    matching the grammar's "non-recursive functions" restriction.
+    """
+    functions = program.function_map()
+    return _inline(program.body, functions, ())
+
+
+def _inline(
+    expr: Expr, functions: dict[str, FunctionDecl], stack: tuple[str, ...]
+) -> Expr:
+    if isinstance(expr, FunctionCall):
+        decl = functions.get(expr.name)
+        if decl is None:
+            raise UnsupportedQueryError(f"undeclared function: {expr.name}")
+        if expr.name in stack:
+            raise UnsupportedQueryError(
+                f"recursive function {expr.name} is not supported"
+            )
+        if len(expr.args) != len(decl.params):
+            raise UnsupportedQueryError(
+                f"{expr.name} expects {len(decl.params)} arguments, "
+                f"got {len(expr.args)}"
+            )
+        body = _inline(decl.body, functions, stack + (expr.name,))
+        args = [_inline(arg, functions, stack) for arg in expr.args]
+        if not decl.params:
+            return body
+        clauses = tuple(
+            LetClause(param, arg) for param, arg in zip(decl.params, args)
+        )
+        return FLWOR(clauses, None, body)
+
+    rebuild = lambda e: _inline(e, functions, stack)  # noqa: E731
+
+    if isinstance(expr, PathExpr):
+        return replace(
+            expr,
+            source=rebuild(expr.source),
+            predicates=tuple(rebuild(p) for p in expr.predicates),
+        )
+    if isinstance(expr, Comparison):
+        return replace(expr, left=rebuild(expr.left), right=rebuild(expr.right))
+    if isinstance(expr, BooleanExpr):
+        return replace(expr, operands=tuple(rebuild(o) for o in expr.operands))
+    if isinstance(expr, FTContains):
+        return replace(expr, expr=rebuild(expr.expr))
+    if isinstance(expr, IfExpr):
+        return IfExpr(
+            rebuild(expr.condition),
+            rebuild(expr.then_branch),
+            rebuild(expr.else_branch),
+        )
+    if isinstance(expr, FLWOR):
+        clauses = tuple(
+            (
+                ForClause(c.var, rebuild(c.expr))
+                if isinstance(c, ForClause)
+                else LetClause(c.var, rebuild(c.expr))
+            )
+            for c in expr.clauses
+        )
+        where = rebuild(expr.where) if expr.where is not None else None
+        return FLWOR(clauses, where, rebuild(expr.ret))
+    if isinstance(expr, ElementConstructor):
+        return replace(expr, content=tuple(rebuild(c) for c in expr.content))
+    if isinstance(expr, SequenceExpr):
+        return replace(expr, items=tuple(rebuild(i) for i in expr.items))
+    return expr

@@ -1,0 +1,129 @@
+"""Tokenizer for the XQuery subset.
+
+Produces a flat token list for the recursive-descent parser.  Element
+constructors are lexed structurally (``<`` ``tag`` ``>`` … ``</`` ``tag``
+``>``); the parser decides from context whether ``<`` opens a constructor
+or is a comparison operator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.errors import XQuerySyntaxError
+
+# Token types.
+NAME = "NAME"  # identifier or qname (fn:doc, tag names, keywords)
+VARIABLE = "VARIABLE"  # $name (value excludes the $)
+STRING = "STRING"  # quoted literal (value is the unquoted text)
+NUMBER = "NUMBER"  # numeric literal (value is the lexeme)
+SYMBOL = "SYMBOL"  # punctuation / operators
+EOF = "EOF"
+
+_SYMBOLS = (
+    "//",
+    ":=",
+    "!=",
+    "<=",
+    ">=",
+    "</",
+    "/>",
+    "/",
+    "(",
+    ")",
+    "[",
+    "]",
+    "{",
+    "}",
+    "<",
+    ">",
+    "=",
+    ",",
+    ";",
+    "&",
+    "|",
+    ".",
+)
+
+_NAME_START = set("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_")
+_NAME_CHARS = _NAME_START | set("0123456789-.:")
+
+
+@dataclass(frozen=True)
+class Token:
+    type: str
+    value: str
+    position: int
+
+    def __str__(self) -> str:
+        return f"{self.type}({self.value!r})"
+
+
+def tokenize_query(text: str) -> list[Token]:
+    """Tokenize ``text``; raises :class:`XQuerySyntaxError` on bad input."""
+    return list(_tokens(text))
+
+
+def _tokens(text: str) -> Iterator[Token]:
+    pos = 0
+    length = len(text)
+    while pos < length:
+        ch = text[pos]
+        if ch in " \t\r\n":
+            pos += 1
+            continue
+        if text.startswith("(:", pos):  # XQuery comment (: ... :)
+            end = text.find(":)", pos + 2)
+            if end < 0:
+                raise XQuerySyntaxError("unterminated comment", pos)
+            pos = end + 2
+            continue
+        if ch in ("'", '"'):
+            end = text.find(ch, pos + 1)
+            if end < 0:
+                raise XQuerySyntaxError("unterminated string literal", pos)
+            yield Token(STRING, text[pos + 1 : end], pos)
+            pos = end + 1
+            continue
+        if ch == "$":
+            start = pos + 1
+            if start >= length or text[start] not in _NAME_START:
+                raise XQuerySyntaxError("expected variable name after '$'", pos)
+            end = start + 1
+            while end < length and text[end] in _NAME_CHARS:
+                end += 1
+            yield Token(VARIABLE, text[start:end], pos)
+            pos = end
+            continue
+        if ch.isdigit():
+            end = pos + 1
+            seen_dot = False
+            while end < length and (text[end].isdigit() or text[end] == "."):
+                if text[end] == ".":
+                    # Keep '1.2' numeric but stop before '1.foo' or '1..2'.
+                    if seen_dot or end + 1 >= length or not text[end + 1].isdigit():
+                        break
+                    seen_dot = True
+                end += 1
+            yield Token(NUMBER, text[pos:end], pos)
+            pos = end
+            continue
+        if ch in _NAME_START:
+            end = pos + 1
+            while end < length and text[end] in _NAME_CHARS:
+                end += 1
+            # Names must not swallow a trailing '.' or ':' (e.g. 'doc(a).').
+            while end > pos + 1 and text[end - 1] in ".:":
+                end -= 1
+            yield Token(NAME, text[pos:end], pos)
+            pos = end
+            continue
+        for symbol in _SYMBOLS:
+            if text.startswith(symbol, pos):
+                yield Token(SYMBOL, symbol, pos)
+                pos += len(symbol)
+                break
+        else:
+            raise XQuerySyntaxError(f"unexpected character {ch!r}", pos)
+    yield Token(EOF, "", length)

@@ -1,0 +1,90 @@
+"""Benchmark harness tests: tables render, experiments produce sane series."""
+
+import pytest
+
+from repro.bench.experiments import (
+    build_database,
+    clear_database_cache,
+    run_fig13_data_size,
+    run_fig14_module_cost,
+    run_params_table,
+    run_x2_pdt_size,
+)
+from repro.bench.harness import ExperimentTable, speedup, timed
+from repro.workloads.params import ExperimentParams
+
+
+class TestHarness:
+    def _table(self):
+        table = ExperimentTable(
+            experiment_id="T", title="demo", parameter="x", columns=["a", "b"]
+        )
+        table.add_row(1, a=0.5, b=2)
+        table.add_row(2, a=1.5, b="text")
+        table.note("a note")
+        return table
+
+    def test_text_rendering(self):
+        text = self._table().to_text()
+        assert "== T: demo ==" in text
+        assert "0.5000" in text
+        assert "note: a note" in text
+
+    def test_markdown_rendering(self):
+        md = self._table().to_markdown()
+        assert md.startswith("### T: demo")
+        assert "| 1 | 0.5000 | 2 |" in md
+
+    def test_column_accessor(self):
+        assert self._table().column("a") == [0.5, 1.5]
+        assert self._table().labels() == ["1", "2"]
+
+    def test_timed_returns_minimum(self):
+        calls = []
+
+        def work():
+            calls.append(1)
+            return "out"
+
+        elapsed, result = timed(work, repeats=3)
+        assert result == "out"
+        assert len(calls) == 3
+        assert elapsed >= 0
+
+    def test_speedup(self):
+        assert speedup([4.0, 9.0], [2.0, 3.0]) == [2.0, 3.0]
+        assert speedup([1.0], [0.0]) == [float("inf")]
+
+
+class TestExperiments:
+    """Tiny-scale smoke runs of the experiment functions."""
+
+    def test_params_table_lists_table1(self):
+        table = run_params_table()
+        assert table.labels()[0] == "data_scale"
+        assert len(table.rows) == 8
+
+    def test_build_database_cached(self):
+        clear_database_cache()
+        params = ExperimentParams(data_scale=1)
+        assert build_database(params) is build_database(params)
+
+    def test_fig13_shapes(self):
+        table = run_fig13_data_size(scales=[1], repeats=1)
+        assert table.columns == ["baseline", "gtp", "proj", "efficient"]
+        row = table.rows[0].values
+        assert all(row[c] > 0 for c in table.columns)
+        # The headline claim, at any scale: Efficient beats Baseline.
+        assert row["baseline"] > row["efficient"]
+
+    def test_fig14_breakdown_sums_to_total(self):
+        table = run_fig14_module_cost(scales=[1], repeats=1)
+        row = table.rows[0].values
+        parts = row["pdt"] + row["evaluator"] + row["post_processing"]
+        assert parts == pytest.approx(row["total"], rel=0.3)
+
+    def test_x2_pruning_effective(self):
+        table = run_x2_pdt_size(scales=[1])
+        row = table.rows[0].values
+        assert row["pdt_elements"] < row["data_elements"]
+        assert row["ratio_percent"] < 25.0

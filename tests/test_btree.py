@@ -1,0 +1,181 @@
+"""B+-tree tests: operations, splits, scans, bulk load, invariants."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.storage.btree import BPlusTree, SortedIDList
+
+
+class TestBasicOperations:
+    def test_empty_tree(self):
+        tree = BPlusTree()
+        assert len(tree) == 0
+        assert tree.get("missing") is None
+        assert "missing" not in tree
+
+    def test_insert_and_get(self):
+        tree = BPlusTree()
+        tree.insert(("a", 1), "first")
+        assert tree.get(("a", 1)) == "first"
+        assert ("a", 1) in tree
+
+    def test_insert_replaces_existing(self):
+        tree = BPlusTree()
+        tree.insert("k", 1)
+        tree.insert("k", 2)
+        assert tree.get("k") == 2
+        assert len(tree) == 1
+
+    def test_get_default(self):
+        assert BPlusTree().get("x", default=-1) == -1
+
+    def test_order_must_be_sane(self):
+        with pytest.raises(ValueError):
+            BPlusTree(order=2)
+
+    def test_many_inserts_force_splits(self):
+        tree = BPlusTree(order=4)
+        for i in range(500):
+            tree.insert(i, i * 10)
+        assert len(tree) == 500
+        for i in range(500):
+            assert tree.get(i) == i * 10
+        tree.check_invariants()
+
+    def test_reverse_insertion_order(self):
+        tree = BPlusTree(order=4)
+        for i in reversed(range(200)):
+            tree.insert(i, i)
+        assert [k for k, _ in tree.items()] == list(range(200))
+        tree.check_invariants()
+
+
+class TestScans:
+    def _tree(self):
+        tree = BPlusTree(order=4)
+        for i in range(0, 100, 2):  # even keys 0..98
+            tree.insert(i, str(i))
+        return tree
+
+    def test_items_sorted(self):
+        tree = self._tree()
+        keys = [k for k, _ in tree.items()]
+        assert keys == sorted(keys)
+
+    def test_range_half_open(self):
+        tree = self._tree()
+        keys = [k for k, _ in tree.range(10, 20)]
+        assert keys == [10, 12, 14, 16, 18]
+
+    def test_range_inclusive_high(self):
+        tree = self._tree()
+        keys = [k for k, _ in tree.range(10, 20, include_high=True)]
+        assert keys == [10, 12, 14, 16, 18, 20]
+
+    def test_range_from_missing_low(self):
+        tree = self._tree()
+        keys = [k for k, _ in tree.range(11, 16)]
+        assert keys == [12, 14]
+
+    def test_range_unbounded(self):
+        tree = self._tree()
+        assert len(list(tree.range())) == 50
+        assert [k for k, _ in tree.range(low=90)] == [90, 92, 94, 96, 98]
+
+    def test_prefix_range_composite_keys(self):
+        tree = BPlusTree(order=4)
+        for path in ("p1", "p2", "p3"):
+            for value in range(5):
+                tree.insert((path, value), f"{path}:{value}")
+        hits = list(tree.prefix_range(("p2",)))
+        assert [k for k, _ in hits] == [("p2", v) for v in range(5)]
+
+    def test_prefix_range_empty(self):
+        tree = BPlusTree()
+        tree.insert(("a", 1), "x")
+        assert list(tree.prefix_range(("b",))) == []
+
+
+class TestBulkLoad:
+    def test_bulk_load_round_trip(self):
+        items = [((i,), i * 2) for i in range(1000)]
+        tree = BPlusTree.from_sorted_items(items, order=16)
+        assert len(tree) == 1000
+        assert list(tree.items()) == items
+        tree.check_invariants()
+
+    def test_bulk_load_empty(self):
+        tree = BPlusTree.from_sorted_items([])
+        assert len(tree) == 0
+        assert list(tree.items()) == []
+
+    def test_bulk_load_single(self):
+        tree = BPlusTree.from_sorted_items([("k", "v")])
+        assert tree.get("k") == "v"
+
+    @pytest.mark.parametrize("count", [1, 2, 3, 5, 48, 49, 50, 97, 1234])
+    def test_bulk_load_boundary_sizes(self, count):
+        items = [(i, -i) for i in range(count)]
+        tree = BPlusTree.from_sorted_items(items, order=8)
+        assert list(tree.items()) == items
+        tree.check_invariants()
+
+    def test_bulk_load_then_insert(self):
+        tree = BPlusTree.from_sorted_items([(i, i) for i in range(0, 100, 2)])
+        for i in range(1, 100, 2):
+            tree.insert(i, i)
+        assert [k for k, _ in tree.items()] == list(range(100))
+        tree.check_invariants()
+
+
+class TestProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.dictionaries(
+            st.tuples(st.integers(0, 50), st.integers(0, 50)),
+            st.integers(),
+            max_size=300,
+        )
+    )
+    def test_matches_dict_semantics(self, model):
+        tree = BPlusTree(order=5)
+        for key, value in model.items():
+            tree.insert(key, value)
+        assert len(tree) == len(model)
+        assert dict(tree.items()) == model
+        assert [k for k, _ in tree.items()] == sorted(model)
+        tree.check_invariants()
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(st.integers(0, 200), unique=True, min_size=1, max_size=200),
+        st.integers(0, 200),
+        st.integers(0, 200),
+    )
+    def test_range_scan_matches_filter(self, keys, low, high):
+        tree = BPlusTree(order=5)
+        for key in keys:
+            tree.insert(key, key)
+        expected = sorted(k for k in keys if low <= k < high)
+        assert [k for k, _ in tree.range(low, high)] == expected
+
+
+class TestSortedIDList:
+    def test_membership(self):
+        lst = SortedIDList([(1, 2), (1, 5), (2, 1)])
+        assert (1, 5) in lst
+        assert (1, 3) not in lst
+
+    def test_add_keeps_order(self):
+        lst = SortedIDList()
+        for key in [(3,), (1,), (2,)]:
+            lst.add(key)
+        assert list(lst) == [(1,), (2,), (3,)]
+
+    def test_range_indices(self):
+        lst = SortedIDList([(1,), (1, 2), (1, 3), (2,)])
+        low, high = lst.range_indices((1,), (2,))
+        assert (low, high) == (0, 3)
+
+    def test_len(self):
+        assert len(SortedIDList([(1,), (2,)])) == 2

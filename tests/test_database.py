@@ -1,0 +1,110 @@
+"""XMLDatabase and tag index tests."""
+
+import pytest
+
+from repro.errors import DocumentNotFoundError, StorageError
+from repro.storage.database import XMLDatabase
+from repro.storage.tag_index import TagIndex
+from repro.xmlmodel.node import Document, XMLNode
+from repro.xmlmodel.parser import parse_xml
+
+
+class TestLoading:
+    def test_load_from_text(self):
+        db = XMLDatabase()
+        indexed = db.load_document("a.xml", "<a><b>x</b></a>")
+        assert indexed.name == "a.xml"
+        assert len(indexed.store) == 2
+
+    def test_load_from_tree(self):
+        db = XMLDatabase()
+        root = XMLNode("r")
+        root.make_child("c", "v")
+        indexed = db.load_document("t.xml", root)
+        assert indexed.root.dewey is not None
+        assert len(indexed.store) == 2
+
+    def test_load_from_document(self):
+        db = XMLDatabase()
+        doc = Document("orig", parse_xml("<a/>"))
+        indexed = db.load_document("renamed.xml", doc)
+        assert indexed.name == "renamed.xml"
+
+    def test_duplicate_name_rejected(self):
+        db = XMLDatabase()
+        db.load_document("a.xml", "<a/>")
+        with pytest.raises(StorageError):
+            db.load_document("a.xml", "<a/>")
+
+    def test_drop_document(self):
+        db = XMLDatabase()
+        db.load_document("a.xml", "<a/>")
+        db.drop_document("a.xml")
+        assert "a.xml" not in db
+        with pytest.raises(DocumentNotFoundError):
+            db.drop_document("a.xml")
+
+
+class TestAccess:
+    def test_get_missing_raises(self):
+        with pytest.raises(DocumentNotFoundError):
+            XMLDatabase().get("nope.xml")
+
+    def test_document_names_sorted(self):
+        db = XMLDatabase()
+        db.load_document("b.xml", "<a/>")
+        db.load_document("a.xml", "<a/>")
+        assert db.document_names() == ["a.xml", "b.xml"]
+
+    def test_statistics(self):
+        db = XMLDatabase()
+        db.load_document("a.xml", "<a><b>one two</b><c>three</c></a>")
+        stats = db.statistics()["a.xml"]
+        assert stats["elements"] == 3
+        assert stats["vocabulary"] == 3
+        assert stats["distinct_paths"] == 3
+
+    def test_reset_access_counters(self):
+        db = XMLDatabase()
+        indexed = db.load_document("a.xml", "<a><b>x</b></a>")
+        from repro.dewey import DeweyID
+
+        indexed.store.record(DeweyID.root())
+        indexed.inverted_index.lookup("x")
+        db.reset_access_counters()
+        assert indexed.store.access_count == 0
+        assert indexed.inverted_index.probe_count == 0
+
+    def test_serialized_is_cached_and_correct(self):
+        db = XMLDatabase()
+        indexed = db.load_document("a.xml", "<a><b>x</b></a>")
+        assert indexed.serialized == "<a><b>x</b></a>"
+        assert indexed.serialized is indexed.serialized  # cached
+
+
+class TestTagIndex:
+    def test_from_tree(self):
+        doc = Document("d.xml", parse_xml("<a><b/><c><b/></c></a>"))
+        index = TagIndex.from_tree(doc.root)
+        assert index.lookup("b") == [(1, 1), (1, 2, 1)]
+        assert index.lookup("missing") == []
+
+    def test_lazy_on_database(self):
+        db = XMLDatabase()
+        indexed = db.load_document("a.xml", "<a><b/></a>")
+        assert indexed._tag_index is None
+        assert indexed.tag_index.lookup("b") == [(1, 1)]
+        assert indexed._tag_index is not None
+
+    def test_tags_listing(self):
+        doc = Document("d.xml", parse_xml("<a><b/><c/></a>"))
+        index = TagIndex.from_tree(doc.root)
+        assert index.tags() == ["a", "b", "c"]
+        assert "a" in index
+
+    def test_lookup_ids_wrapper(self):
+        doc = Document("d.xml", parse_xml("<a><b/></a>"))
+        index = TagIndex.from_tree(doc.root)
+        from repro.dewey import DeweyID
+
+        assert index.lookup_ids("b") == [DeweyID.parse("1.1")]

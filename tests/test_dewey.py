@@ -1,0 +1,171 @@
+"""Dewey ID algebra tests (ordering, prefixes, ancestry, subtree bounds)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.dewey import DeweyID
+
+components = st.lists(st.integers(min_value=1, max_value=9), min_size=1, max_size=6)
+
+
+class TestConstruction:
+    def test_parse_dotted_form(self):
+        assert DeweyID.parse("1.2.3").components == (1, 2, 3)
+
+    def test_parse_single_component(self):
+        assert DeweyID.parse("7").components == (7,)
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            DeweyID.parse("1.a.3")
+
+    def test_parse_rejects_empty(self):
+        with pytest.raises(ValueError):
+            DeweyID.parse("")
+
+    def test_empty_components_rejected(self):
+        with pytest.raises(ValueError):
+            DeweyID(())
+
+    def test_nonpositive_components_rejected(self):
+        with pytest.raises(ValueError):
+            DeweyID((1, 0, 2))
+        with pytest.raises(ValueError):
+            DeweyID((-1,))
+
+    def test_root(self):
+        assert DeweyID.root().components == (1,)
+
+    def test_child(self):
+        assert DeweyID.root().child(3) == DeweyID.parse("1.3")
+
+    def test_child_rejects_nonpositive_ordinal(self):
+        with pytest.raises(ValueError):
+            DeweyID.root().child(0)
+
+    def test_str_roundtrip(self):
+        text = "1.12.3.4"
+        assert str(DeweyID.parse(text)) == text
+
+
+class TestStructure:
+    def test_depth(self):
+        assert DeweyID.parse("1.2.3").depth == 3
+
+    def test_parent(self):
+        assert DeweyID.parse("1.2.3").parent == DeweyID.parse("1.2")
+
+    def test_root_has_no_parent(self):
+        assert DeweyID.root().parent is None
+
+    def test_prefix(self):
+        assert DeweyID.parse("1.2.3.4").prefix(2) == DeweyID.parse("1.2")
+
+    def test_prefix_full_depth_is_self(self):
+        dewey = DeweyID.parse("1.2.3")
+        assert dewey.prefix(3) == dewey
+
+    def test_prefix_out_of_range(self):
+        with pytest.raises(ValueError):
+            DeweyID.parse("1.2").prefix(3)
+        with pytest.raises(ValueError):
+            DeweyID.parse("1.2").prefix(0)
+
+    def test_prefixes_yields_root_first(self):
+        prefixes = list(DeweyID.parse("1.2.3").prefixes())
+        assert prefixes == [
+            DeweyID.parse("1"),
+            DeweyID.parse("1.2"),
+            DeweyID.parse("1.2.3"),
+        ]
+
+
+class TestAncestry:
+    def test_proper_ancestor(self):
+        assert DeweyID.parse("1.2").is_ancestor_of(DeweyID.parse("1.2.3.4"))
+
+    def test_self_is_not_proper_ancestor(self):
+        dewey = DeweyID.parse("1.2")
+        assert not dewey.is_ancestor_of(dewey)
+
+    def test_ancestor_or_self(self):
+        dewey = DeweyID.parse("1.2")
+        assert dewey.is_ancestor_or_self_of(dewey)
+        assert dewey.is_ancestor_or_self_of(DeweyID.parse("1.2.9"))
+
+    def test_sibling_is_not_ancestor(self):
+        assert not DeweyID.parse("1.2").is_ancestor_of(DeweyID.parse("1.3"))
+
+    def test_is_parent_of(self):
+        assert DeweyID.parse("1.2").is_parent_of(DeweyID.parse("1.2.1"))
+        assert not DeweyID.parse("1").is_parent_of(DeweyID.parse("1.2.1"))
+
+    def test_is_sibling_of(self):
+        assert DeweyID.parse("1.2").is_sibling_of(DeweyID.parse("1.5"))
+        assert not DeweyID.parse("1.2").is_sibling_of(DeweyID.parse("1.2"))
+        assert not DeweyID.parse("1.2").is_sibling_of(DeweyID.parse("1.2.1"))
+
+    def test_common_ancestor(self):
+        a = DeweyID.parse("1.2.3")
+        b = DeweyID.parse("1.2.5.1")
+        assert a.common_ancestor(b) == DeweyID.parse("1.2")
+
+    def test_common_ancestor_of_disjoint_roots(self):
+        assert DeweyID.parse("1.2").common_ancestor(DeweyID.parse("2.2")) is None
+
+
+class TestOrderingAndBounds:
+    def test_document_order_prefix_first(self):
+        assert DeweyID.parse("1.2") < DeweyID.parse("1.2.1")
+
+    def test_document_order_siblings(self):
+        assert DeweyID.parse("1.2") < DeweyID.parse("1.10")
+
+    def test_child_bound_excludes_following_sibling(self):
+        dewey = DeweyID.parse("1.2")
+        assert dewey.child_bound() == (1, 3)
+        assert DeweyID.parse("1.3").components >= dewey.child_bound()
+
+    def test_child_bound_contains_all_descendants(self):
+        dewey = DeweyID.parse("1.2")
+        descendant = DeweyID.parse("1.2.9.9")
+        assert dewey.components <= descendant.components < dewey.child_bound()
+
+    def test_hashable_and_equal(self):
+        assert len({DeweyID.parse("1.2"), DeweyID((1, 2))}) == 1
+
+    def test_iteration_and_indexing(self):
+        dewey = DeweyID.parse("1.2.3")
+        assert list(dewey) == [1, 2, 3]
+        assert dewey[1] == 2
+        assert len(dewey) == 3
+
+
+class TestProperties:
+    @given(components, components)
+    def test_order_matches_tuple_order(self, a, b):
+        assert (DeweyID(a) < DeweyID(b)) == (tuple(a) < tuple(b))
+
+    @given(components)
+    def test_prefixes_are_ancestors_or_self(self, comps):
+        dewey = DeweyID(comps)
+        for prefix in dewey.prefixes():
+            assert prefix.is_ancestor_or_self_of(dewey)
+
+    @given(components, components)
+    def test_ancestor_iff_strict_prefix(self, a, b):
+        x, y = DeweyID(a), DeweyID(b)
+        expected = len(a) < len(b) and tuple(b[: len(a)]) == tuple(a)
+        assert x.is_ancestor_of(y) == expected
+
+    @given(components, components)
+    def test_descendants_fall_inside_child_bound(self, a, b):
+        x, y = DeweyID(a), DeweyID(b)
+        inside = x.components <= y.components < x.child_bound()
+        assert inside == x.is_ancestor_or_self_of(y)
+
+    @given(components)
+    def test_parent_child_inverse(self, comps):
+        dewey = DeweyID(comps)
+        child = dewey.child(4)
+        assert child.parent == dewey

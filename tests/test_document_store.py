@@ -1,0 +1,104 @@
+"""Document store tests: record access, subtree ranges, materialization."""
+
+import pytest
+
+from repro.dewey import DeweyID
+from repro.errors import StorageError
+from repro.storage.document_store import DocumentStore, build_tree_from_records
+from repro.xmlmodel.node import Document
+from repro.xmlmodel.parser import parse_xml
+from repro.xmlmodel.serializer import serialize, serialized_length
+
+DOC = "<a><b>x</b><c><d>y</d><e/></c><f>z</f></a>"
+
+
+@pytest.fixture()
+def store():
+    document = Document("t.xml", parse_xml(DOC))
+    return DocumentStore.from_tree(document.root), document
+
+
+class TestRecords:
+    def test_record_count(self, store):
+        stored, document = store
+        assert len(stored) == document.size() == 6
+
+    def test_record_fields(self, store):
+        stored, document = store
+        record = stored.record(DeweyID.parse("1.2.1"))
+        assert record.tag == "d"
+        assert record.value == "y"
+        assert record.byte_length == serialized_length(
+            document.node_by_dewey(DeweyID.parse("1.2.1"))
+        )
+
+    def test_record_none_value(self, store):
+        stored, _ = store
+        assert stored.record(DeweyID.parse("1.2.2")).value is None
+
+    def test_missing_record_raises(self, store):
+        stored, _ = store
+        with pytest.raises(StorageError):
+            stored.record(DeweyID.parse("1.9"))
+
+    def test_access_count_increments(self, store):
+        stored, _ = store
+        assert stored.access_count == 0
+        stored.record(DeweyID.parse("1.1"))
+        stored.record(DeweyID.parse("1.1"))
+        assert stored.access_count == 2
+
+    def test_requires_dewey_labels(self):
+        with pytest.raises(StorageError):
+            DocumentStore.from_tree(parse_xml("<a/>"))
+
+
+class TestSubtrees:
+    def test_subtree_records_contiguous(self, store):
+        stored, _ = store
+        records = stored.subtree_records(DeweyID.parse("1.2"))
+        assert [record.tag for record in records] == ["c", "d", "e"]
+
+    def test_subtree_records_whole_document(self, store):
+        stored, _ = store
+        assert len(stored.subtree_records(DeweyID.root())) == 6
+
+    def test_subtree_records_leaf(self, store):
+        stored, _ = store
+        records = stored.subtree_records(DeweyID.parse("1.3"))
+        assert [record.tag for record in records] == ["f"]
+
+    def test_subtree_access_counts_range(self, store):
+        stored, _ = store
+        stored.subtree_records(DeweyID.parse("1.2"))
+        assert stored.access_count == 3
+
+    def test_iter_records_in_document_order(self, store):
+        stored, _ = store
+        deweys = [record.dewey for record in stored.iter_records()]
+        assert deweys == sorted(deweys)
+        assert len(deweys) == 6
+
+
+class TestMaterialization:
+    def test_materialize_subtree_matches_source(self, store):
+        stored, document = store
+        rebuilt = stored.materialize_subtree(DeweyID.parse("1.2"))
+        source = document.node_by_dewey(DeweyID.parse("1.2"))
+        assert serialize(rebuilt) == serialize(source)
+
+    def test_materialize_whole_document(self, store):
+        stored, document = store
+        rebuilt = stored.materialize_subtree(DeweyID.root())
+        assert serialize(rebuilt) == serialize(document.root)
+
+    def test_materialized_byte_length_matches_stored(self, store):
+        stored, _ = store
+        for dewey_text in ("1", "1.1", "1.2", "1.2.1"):
+            dewey = DeweyID.parse(dewey_text)
+            rebuilt = stored.materialize_subtree(dewey)
+            assert serialized_length(rebuilt) == stored.record(dewey).byte_length
+
+    def test_build_tree_rejects_empty(self):
+        with pytest.raises(StorageError):
+            build_tree_from_records([])

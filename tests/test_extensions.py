@@ -1,0 +1,172 @@
+"""Tests for the reproduction's extensions and ablation switches.
+
+Covers: the InPdt fast-path ablation (Section 4.2.2.1 optimization), the
+fixed-probe-count claim ("a fixed number of index lookups in proportion to
+the size of the query, not the size of the underlying data"), the
+PDT-optimized regular-query evaluation (the paper's closing future-work
+item), and the rewrite module.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.engine import KeywordSearchEngine
+from repro.core.pdt import generate_pdt
+from repro.core.prepare import prepare_lists, probe_plan
+from repro.core.qpt import generate_qpts
+from repro.core.rewrite import make_base_resolver, make_pdt_resolver
+from repro.errors import DocumentNotFoundError
+from repro.storage.database import XMLDatabase
+from repro.workloads.bookrev import BOOKREV_VIEW, generate_bookrev_database
+from repro.workloads.inex import INEXConfig, generate_inex_database
+from repro.workloads.views import authors_articles_view
+from repro.xmlmodel.serializer import serialize
+from repro.xquery.evaluator import EvalContext, Evaluator
+from repro.xquery.functions import inline_functions
+from repro.xquery.parser import parse_query
+
+from tests.test_pdt_properties import random_document, random_qpt
+
+
+def qpts_for(text):
+    return generate_qpts(inline_functions(parse_query(text)))
+
+
+class TestInPdtFastPathAblation:
+    """The optimization changes cost, never output."""
+
+    def test_same_output_on_running_example(self, bookrev_db):
+        for doc_name, qpt in qpts_for(BOOKREV_VIEW).items():
+            indexed = bookrev_db.get(doc_name)
+            fast = generate_pdt(
+                qpt, indexed.path_index, indexed.inverted_index, ("xml",)
+            )
+            slow = generate_pdt(
+                qpt,
+                indexed.path_index,
+                indexed.inverted_index,
+                ("xml",),
+                inpdt_fast_path=False,
+            )
+            assert serialize(fast.root) == serialize(slow.root)
+            assert fast.node_count == slow.node_count
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000_000))
+    def test_same_output_on_random_inputs(self, seed):
+        rng = random.Random(seed)
+        db = XMLDatabase()
+        indexed = db.load_document("d.xml", random_document(rng))
+        qpt = random_qpt(rng)
+        fast = generate_pdt(
+            qpt, indexed.path_index, indexed.inverted_index, ("xml",)
+        )
+        slow = generate_pdt(
+            qpt,
+            indexed.path_index,
+            indexed.inverted_index,
+            ("xml",),
+            inpdt_fast_path=False,
+        )
+        assert serialize(fast.root) == serialize(slow.root)
+
+
+class TestFixedProbeCount:
+    """Index probes depend on the query, not on the data size."""
+
+    def _probe_counts(self, scale: int) -> tuple[int, int]:
+        db = generate_inex_database(
+            INEXConfig(scale=scale, seed=21), include_side_documents=False
+        )
+        qpts = qpts_for(authors_articles_view(num_joins=1))
+        path_probes = inverted_probes = 0
+        for doc_name, qpt in qpts.items():
+            indexed = db.get(doc_name)
+            db.reset_access_counters()
+            prepare_lists(
+                qpt, indexed.path_index, indexed.inverted_index,
+                ("thomas", "control"),
+            )
+            path_probes += indexed.path_index.probe_count
+            inverted_probes += indexed.inverted_index.probe_count
+        return path_probes, inverted_probes
+
+    def test_probe_count_independent_of_data_size(self):
+        assert self._probe_counts(1) == self._probe_counts(3)
+
+    def test_probe_plan_lists_each_needed_node_once(self):
+        qpt = qpts_for(BOOKREV_VIEW)["books.xml"]
+        plan = probe_plan(qpt)
+        tags = [tag for tag, _, _ in plan]
+        assert sorted(tags) == ["isbn", "title", "year"]
+        with_values = {tag: v for tag, _, v in plan}
+        assert with_values["isbn"] is True  # v node
+        assert with_values["year"] is True  # predicate node
+        assert with_values["title"] is False  # c-only node
+
+    def test_inverted_probes_one_per_keyword(self, bookrev_db):
+        qpt = qpts_for(BOOKREV_VIEW)["books.xml"]
+        indexed = bookrev_db.get("books.xml")
+        bookrev_db.reset_access_counters()
+        prepare_lists(
+            qpt, indexed.path_index, indexed.inverted_index,
+            ("xml", "search", "theory"),
+        )
+        assert indexed.inverted_index.probe_count == 3
+
+
+class TestRegularQueryViaPDT:
+    """The future-work extension: evaluate non-keyword queries via PDTs."""
+
+    def test_matches_direct_evaluation(self, bookrev_db):
+        engine = KeywordSearchEngine(bookrev_db)
+        view = engine.define_view("v", BOOKREV_VIEW)
+        via_pdt = engine.evaluate_view(view)
+
+        evaluator = Evaluator(
+            EvalContext(resolver=make_base_resolver(bookrev_db))
+        )
+        direct = evaluator.evaluate(view.expr)
+        assert [serialize(node) for node in via_pdt] == [
+            serialize(node) for node in direct
+        ]
+
+    def test_unmaterialized_results_are_pruned(self, bookrev_db):
+        engine = KeywordSearchEngine(bookrev_db)
+        view = engine.define_view("v", BOOKREV_VIEW)
+        bookrev_db.reset_access_counters()
+        pruned = engine.evaluate_view(view, materialize=False)
+        assert pruned
+        # No document-store access happened for pruned evaluation.
+        for name in bookrev_db.document_names():
+            assert bookrev_db.get(name).store.access_count == 0
+
+    def test_matches_on_inex_workload(self):
+        db = generate_bookrev_database(book_count=30, seed=17)
+        engine = KeywordSearchEngine(db)
+        view = engine.define_view("v", BOOKREV_VIEW)
+        via_pdt = engine.evaluate_view(view)
+        evaluator = Evaluator(EvalContext(resolver=make_base_resolver(db)))
+        direct = evaluator.evaluate(view.expr)
+        assert [serialize(n) for n in via_pdt] == [serialize(n) for n in direct]
+
+
+class TestRewrite:
+    def test_pdt_resolver_serves_pdt_roots(self, bookrev_db):
+        qpt = qpts_for(BOOKREV_VIEW)["books.xml"]
+        indexed = bookrev_db.get("books.xml")
+        pdt = generate_pdt(qpt, indexed.path_index, indexed.inverted_index, ())
+        resolver = make_pdt_resolver({"books.xml": pdt})
+        assert resolver("books.xml") is pdt.root
+        with pytest.raises(DocumentNotFoundError):
+            resolver("missing.xml")
+
+    def test_base_resolver_serves_document_roots(self, bookrev_db):
+        resolver = make_base_resolver(bookrev_db)
+        assert resolver("books.xml") is bookrev_db.get("books.xml").root
+        with pytest.raises(DocumentNotFoundError):
+            resolver("missing.xml")

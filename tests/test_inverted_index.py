@@ -1,0 +1,118 @@
+"""Inverted index tests: postings, subtree aggregation, positions."""
+
+import pytest
+
+from repro.dewey import DeweyID
+from repro.storage.inverted_index import InvertedIndex
+from repro.xmlmodel.node import Document
+from repro.xmlmodel.parser import parse_xml
+from repro.xmlmodel.tokenizer import token_frequencies
+
+DOC = """<root>
+<sec><p>xml search xml</p><p>search engine</p></sec>
+<sec><p>plain text</p><note>about xml</note></sec>
+</root>"""
+
+
+@pytest.fixture()
+def indexed():
+    document = Document("d.xml", parse_xml(DOC))
+    return InvertedIndex.from_tree(document.root), document
+
+
+class TestPostings:
+    def test_direct_containment_only(self, indexed):
+        index, _ = indexed
+        postings = index.lookup("xml").postings
+        # xml appears directly in 1.1.1 (twice) and 1.2.2 (once).
+        assert [(p.dewey, p.tf) for p in postings] == [
+            ((1, 1, 1), 2),
+            ((1, 2, 2), 1),
+        ]
+
+    def test_postings_sorted_by_dewey(self, indexed):
+        index, _ = indexed
+        for keyword in ("xml", "search", "text"):
+            deweys = [p.dewey for p in index.lookup(keyword)]
+            assert deweys == sorted(deweys)
+
+    def test_missing_keyword_empty_list(self, indexed):
+        index, _ = indexed
+        assert len(index.lookup("missing")) == 0
+
+    def test_document_frequency(self, indexed):
+        index, _ = indexed
+        assert index.document_frequency("xml") == 2
+        assert index.document_frequency("search") == 2
+        assert index.document_frequency("absent") == 0
+
+    def test_vocabulary_and_contains(self, indexed):
+        index, _ = indexed
+        assert "xml" in index
+        assert "absent" not in index
+        assert index.vocabulary_size() >= 6
+
+    def test_probe_count(self, indexed):
+        index, _ = indexed
+        index.lookup("xml")
+        index.lookup("absent")
+        assert index.probe_count == 2
+
+
+class TestSubtreeAggregation:
+    def test_subtree_tf_root(self, indexed):
+        index, _ = indexed
+        assert index.lookup("xml").subtree_tf(DeweyID.root()) == 3
+
+    def test_subtree_tf_inner(self, indexed):
+        index, _ = indexed
+        assert index.lookup("xml").subtree_tf(DeweyID.parse("1.1")) == 2
+        assert index.lookup("xml").subtree_tf(DeweyID.parse("1.2")) == 1
+
+    def test_subtree_tf_leaf(self, indexed):
+        index, _ = indexed
+        assert index.lookup("search").subtree_tf(DeweyID.parse("1.1.2")) == 1
+
+    def test_subtree_tf_zero(self, indexed):
+        index, _ = indexed
+        assert index.lookup("engine").subtree_tf(DeweyID.parse("1.2")) == 0
+
+    def test_contains_subtree(self, indexed):
+        index, _ = indexed
+        assert index.lookup("xml").contains_subtree(DeweyID.parse("1.2"))
+        assert not index.lookup("engine").contains_subtree(DeweyID.parse("1.2"))
+
+    def test_direct_tf(self, indexed):
+        index, _ = indexed
+        assert index.lookup("xml").direct_tf(DeweyID.parse("1.1.1")) == 2
+        assert index.lookup("xml").direct_tf(DeweyID.parse("1.1")) == 0
+
+    def test_subtree_tf_matches_tokenization(self, indexed):
+        """The index aggregate equals brute-force tokenization (the bridge
+        Theorem 4.1 stands on)."""
+        index, document = indexed
+        for node in document.root.iter():
+            text_tf = sum(
+                token_frequencies(n.text or "").get("xml", 0) for n in node.iter()
+            )
+            assert index.lookup("xml").subtree_tf(node.dewey) == text_tf
+
+
+class TestOptions:
+    def test_positions_stored_when_enabled(self):
+        document = Document("d.xml", parse_xml("<a>x y x</a>"))
+        index = InvertedIndex.from_tree(document.root, store_positions=True)
+        posting = index.lookup("x").postings[0]
+        assert posting.positions == (0, 2)
+
+    def test_positions_empty_when_disabled(self):
+        document = Document("d.xml", parse_xml("<a>x y x</a>"))
+        index = InvertedIndex.from_tree(document.root)
+        assert index.lookup("x").postings[0].positions == ()
+
+    def test_tag_name_indexing(self):
+        document = Document("d.xml", parse_xml("<chapter>body</chapter>"))
+        default = InvertedIndex.from_tree(document.root)
+        with_tags = InvertedIndex.from_tree(document.root, index_tag_names=True)
+        assert "chapter" not in default
+        assert "chapter" in with_tags

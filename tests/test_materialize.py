@@ -1,0 +1,58 @@
+"""Materialization tests: pruned results expand to exact base content."""
+
+import pytest
+
+from repro.core.engine import KeywordSearchEngine
+from repro.core.materialize import materialize_result
+from repro.errors import StorageError
+from repro.workloads.bookrev import BOOKREV_VIEW
+from repro.xmlmodel.node import NodeAnnotations, XMLNode
+from repro.xmlmodel.serializer import serialize, serialized_length
+
+
+class TestMaterializeResult:
+    def test_expands_pruned_nodes(self, bookrev_db):
+        engine = KeywordSearchEngine(bookrev_db)
+        view = engine.define_view("v", BOOKREV_VIEW)
+        outcome = engine.search_detailed(view, ["xml", "search"], top_k=1)
+        pruned = outcome.results[0].pruned
+        materialized = materialize_result(pruned, bookrev_db)
+        titles = [n for n in materialized.iter() if n.tag == "title"]
+        assert titles[0].value == "XML Web Services"
+
+    def test_materialized_length_matches_annotation(self, bookrev_db):
+        engine = KeywordSearchEngine(bookrev_db)
+        view = engine.define_view("v", BOOKREV_VIEW)
+        outcome = engine.search_detailed(view, ["xml", "search"], top_k=3)
+        for result in outcome.results:
+            materialized = result.materialize()
+            assert serialized_length(materialized) == (
+                result.scored.statistics.byte_length
+            )
+
+    def test_copies_constructed_nodes(self, bookrev_db):
+        engine = KeywordSearchEngine(bookrev_db)
+        view = engine.define_view("v", BOOKREV_VIEW)
+        result = engine.search(view, ["xml"], top_k=1)[0]
+        materialized = result.materialize()
+        assert materialized is not result.pruned
+        assert materialized.tag == "bookrevs"
+
+    def test_materialize_is_cached(self, bookrev_db):
+        engine = KeywordSearchEngine(bookrev_db)
+        view = engine.define_view("v", BOOKREV_VIEW)
+        result = engine.search(view, ["xml"], top_k=1)[0]
+        assert result.materialize() is result.materialize()
+
+    def test_unannotated_pruned_node_rejected(self, bookrev_db):
+        node = XMLNode("x")
+        node.anno = NodeAnnotations(pruned=True)  # no doc/dewey
+        with pytest.raises(StorageError):
+            materialize_result(node, bookrev_db)
+
+    def test_plain_tree_deep_copied(self, bookrev_db):
+        node = XMLNode("a", "text")
+        node.make_child("b", "x")
+        copy = materialize_result(node, bookrev_db)
+        assert copy is not node
+        assert serialize(copy) == serialize(node)

@@ -1,0 +1,107 @@
+"""XMLNode / Document API tests."""
+
+import pytest
+
+from repro.dewey import DeweyID
+from repro.xmlmodel.node import Document, NodeAnnotations, XMLNode, assign_dewey_ids
+from repro.xmlmodel.parser import parse_xml
+from repro.xmlmodel.serializer import serialize
+
+
+@pytest.fixture()
+def tree():
+    return parse_xml("<a>top<b>x</b><c><d>y</d><e/></c></a>")
+
+
+class TestValues:
+    def test_value_strips_whitespace(self):
+        assert XMLNode("a", "  hi  ").value == "hi"
+
+    def test_value_none_for_empty(self):
+        assert XMLNode("a").value is None
+        assert XMLNode("a", "   ").value is None
+
+    def test_subtree_text_concatenates(self, tree):
+        assert tree.subtree_text() == "top x y"
+
+    def test_is_leaf(self, tree):
+        assert not tree.is_leaf
+        assert tree.children[0].is_leaf
+
+
+class TestNavigation:
+    def test_iter_preorder(self, tree):
+        assert [n.tag for n in tree.iter()] == ["a", "b", "c", "d", "e"]
+
+    def test_descendants_excludes_self(self, tree):
+        assert [n.tag for n in tree.descendants()] == ["b", "c", "d", "e"]
+
+    def test_children_by_tag(self, tree):
+        assert [n.tag for n in tree.children_by_tag("c")] == ["c"]
+        assert tree.children_by_tag("zz") == []
+
+    def test_descendants_by_tag(self, tree):
+        assert len(tree.descendants_by_tag("d")) == 1
+
+    def test_find(self, tree):
+        found = tree.find(lambda n: n.value == "y")
+        assert found is not None and found.tag == "d"
+        assert tree.find(lambda n: n.tag == "zz") is None
+
+    def test_ancestors_nearest_first(self, tree):
+        d = tree.children[1].children[0]
+        assert [n.tag for n in d.ancestors()] == ["c", "a"]
+
+    def test_path_from_root(self, tree):
+        d = tree.children[1].children[0]
+        assert d.path_from_root() == ["a", "c", "d"]
+
+    def test_size(self, tree):
+        assert tree.size() == 5
+
+
+class TestMutation:
+    def test_append_sets_parent(self):
+        parent = XMLNode("p")
+        child = XMLNode("c")
+        parent.append(child)
+        assert child.parent is parent
+
+    def test_make_child(self):
+        parent = XMLNode("p")
+        child = parent.make_child("c", "v")
+        assert child.value == "v" and child in parent.children
+
+    def test_detach_copy_is_deep(self, tree):
+        copy = tree.detach_copy()
+        assert copy is not tree
+        assert serialize(copy) == serialize(tree)
+        copy.children[0].text = "changed"
+        assert tree.children[0].text == "x"
+
+    def test_detach_copy_shares_annotations(self):
+        node = XMLNode("a")
+        node.anno = NodeAnnotations(byte_length=7)
+        assert node.detach_copy().anno is node.anno
+
+
+class TestDeweyAssignment:
+    def test_assign_from_custom_root(self, tree):
+        assign_dewey_ids(tree, DeweyID.parse("5"))
+        assert str(tree.dewey) == "5"
+        assert str(tree.children[0].dewey) == "5.1"
+
+    def test_document_defaults_to_root_one(self, tree):
+        doc = Document("d.xml", tree)
+        assert str(doc.root.dewey) == "1"
+
+    def test_document_without_assignment(self, tree):
+        Document("d.xml", tree)  # assigns
+        before = tree.children[0].dewey
+        Document("d2.xml", tree, assign_ids=False)
+        assert tree.children[0].dewey is before
+
+    def test_repr_helpers(self, tree):
+        doc = Document("d.xml", tree)
+        assert "d.xml" in repr(doc)
+        assert "a" in repr(tree)

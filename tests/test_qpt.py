@@ -1,0 +1,260 @@
+"""QPT generation tests (Appendix B) against the paper's Figure 6(a)."""
+
+import pytest
+
+from repro.errors import UnsupportedQueryError, ViewDefinitionError
+from repro.core.qpt import QPT, QPTNode, generate_qpts
+from repro.xquery.functions import inline_functions
+from repro.xquery.parser import parse_query
+
+
+def qpts_for(text):
+    return generate_qpts(inline_functions(parse_query(text)))
+
+
+def find(qpt: QPT, tag: str) -> list[QPTNode]:
+    return [node for node in qpt.nodes if node.tag == tag]
+
+
+def edge(node: QPTNode):
+    return (node.parent_edge.axis, node.parent_edge.annotation)
+
+
+class TestRunningExample:
+    """The Figure 2 view must produce the Figure 6(a) QPTs."""
+
+    @pytest.fixture()
+    def qpts(self, bookrev_view_text):
+        return qpts_for(bookrev_view_text)
+
+    def test_one_qpt_per_document(self, qpts):
+        assert set(qpts) == {"books.xml", "reviews.xml"}
+
+    def test_books_structure(self, qpts):
+        books = qpts["books.xml"]
+        tags = {node.tag for node in books.nodes}
+        assert tags == {"books", "book", "year", "title", "isbn"}
+
+    def test_books_axes(self, qpts):
+        books = qpts["books.xml"]
+        (books_node,) = find(books, "books")
+        (book,) = find(books, "book")
+        assert edge(books_node) == ("/", "m")
+        assert edge(book) == ("//", "m")
+
+    def test_book_isbn_optional_with_v(self, qpts):
+        """A book appears in the view even without an isbn (paper Sec. 3.3)."""
+        (isbn,) = find(qpts["books.xml"], "isbn")
+        assert edge(isbn) == ("/", "o")
+        assert isbn.v_ann and not isbn.c_ann
+
+    def test_book_title_optional_with_c(self, qpts):
+        (title,) = find(qpts["books.xml"], "title")
+        assert edge(title) == ("/", "o")
+        assert title.c_ann and not title.v_ann
+
+    def test_book_year_mandatory_with_predicate(self, qpts):
+        (year,) = find(qpts["books.xml"], "year")
+        assert edge(year) == ("/", "m")
+        assert len(year.predicates) == 1
+        assert year.predicates[0].op == ">"
+        assert year.predicates[0].literal == "1995"
+
+    def test_review_isbn_mandatory_with_v(self, qpts):
+        """A review without isbn can never join — mandatory (Sec. 3.3)."""
+        (isbn,) = find(qpts["reviews.xml"], "isbn")
+        assert edge(isbn) == ("/", "m")
+        assert isbn.v_ann
+
+    def test_review_content_c(self, qpts):
+        (content,) = find(qpts["reviews.xml"], "content")
+        assert content.c_ann
+
+    def test_probed_nodes_cover_leaves(self, qpts):
+        books = qpts["books.xml"]
+        probed = {node.tag for node in books.probed_nodes()}
+        assert {"year", "title", "isbn"} <= probed
+
+    def test_patterns(self, qpts):
+        books = qpts["books.xml"]
+        (year,) = find(books, "year")
+        assert books.pattern(year) == (
+            ("/", "books"),
+            ("//", "book"),
+            ("/", "year"),
+        )
+
+
+class TestEdgeRules:
+    def test_bare_flwor_return_keeps_mandatory(self):
+        """return $x/a without a constructor: an element whose 'a' is missing
+        contributes nothing, so the edge stays mandatory."""
+        qpts = qpts_for(
+            "for $x in fn:doc(d.xml)/r//x return $x/a"
+        )
+        (a,) = find(qpts["d.xml"], "a")
+        assert edge(a) == ("/", "m")
+
+    def test_constructor_return_optionalizes(self):
+        qpts = qpts_for(
+            "for $x in fn:doc(d.xml)/r//x return <out>{$x/a}</out>"
+        )
+        (a,) = find(qpts["d.xml"], "a")
+        assert edge(a) == ("/", "o")
+
+    def test_where_clause_stays_mandatory(self):
+        qpts = qpts_for(
+            "for $x in fn:doc(d.xml)/r//x where $x/a > 1 "
+            "return <out>{$x/b}</out>"
+        )
+        (a,) = find(qpts["d.xml"], "a")
+        (b,) = find(qpts["d.xml"], "b")
+        assert edge(a) == ("/", "m")
+        assert edge(b) == ("/", "o")
+
+    def test_where_nodes_not_content(self):
+        qpts = qpts_for(
+            "for $x in fn:doc(d.xml)/r//x where $x/a = 'k' return <o>{$x/b}</o>"
+        )
+        (a,) = find(qpts["d.xml"], "a")
+        assert not a.c_ann
+        assert a.v_ann  # predicate value re-checked over the PDT
+
+    def test_join_marks_both_sides_v(self):
+        qpts = qpts_for(
+            "for $x in fn:doc(a.xml)/r//x return <o>{"
+            "for $y in fn:doc(b.xml)/s//y where $y/k = $x/k return $y/v}</o>"
+        )
+        (xk,) = find(qpts["a.xml"], "k")
+        (yk,) = find(qpts["b.xml"], "k")
+        assert xk.v_ann and yk.v_ann
+        # The outer variable's join path is inside the return constructor:
+        # optional.  The inner variable's own where path: mandatory.
+        assert edge(xk) == ("/", "o")
+        assert edge(yk) == ("/", "m")
+
+    def test_return_whole_variable_marks_binding_c(self):
+        qpts = qpts_for("for $x in fn:doc(d.xml)/r//x where $x/a > 1 return $x")
+        (x,) = find(qpts["d.xml"], "x")
+        assert x.c_ann
+
+    def test_predicate_in_brackets_is_mandatory(self):
+        qpts = qpts_for(
+            "for $x in fn:doc(d.xml)/r//x[a > 5] return <o>{$x/b}</o>"
+        )
+        (a,) = find(qpts["d.xml"], "a")
+        assert edge(a) == ("/", "m")
+        assert a.predicates[0].literal == "5"
+
+    def test_same_doc_twice_merges_into_one_qpt(self):
+        qpts = qpts_for(
+            "for $x in fn:doc(d.xml)/r//x return <o>{"
+            "for $y in fn:doc(d.xml)/r//y where $y/k = $x/k return $y}</o>"
+        )
+        assert list(qpts) == ["d.xml"]
+        qpt = qpts["d.xml"]
+        roots = [node.tag for node in qpt.root.children]
+        assert roots.count("r") == 2
+
+    def test_functions_are_inlined_before_generation(self):
+        qpts = qpts_for(
+            "declare function local:t($b) { $b/title };\n"
+            "for $b in fn:doc(d.xml)/r//b return <o>{local:t($b)}</o>"
+        )
+        (title,) = find(qpts["d.xml"], "title")
+        assert title.c_ann
+
+    def test_if_condition_not_content(self):
+        qpts = qpts_for(
+            "for $x in fn:doc(d.xml)/r//x "
+            "return if ($x/flag = 1) then $x/a else $x/b"
+        )
+        (flag,) = find(qpts["d.xml"], "flag")
+        assert not flag.c_ann
+
+
+class TestErrors:
+    def test_free_variable_rejected(self):
+        with pytest.raises(ViewDefinitionError):
+            qpts_for("for $x in $unbound/a return $x")
+
+    def test_whole_document_view_rejected(self):
+        with pytest.raises(UnsupportedQueryError):
+            qpts_for("fn:doc(d.xml)")
+
+    def test_navigation_into_constructed_content_rejected(self):
+        with pytest.raises(UnsupportedQueryError):
+            qpts_for(
+                "let $v := (for $x in fn:doc(d.xml)/r//x return <o>{$x/a}</o>) "
+                "return for $y in $v return $y/o/a"
+            )
+
+
+class TestMatchTable:
+    def test_simple_match(self, bookrev_view_text):
+        qpt = qpts_for(bookrev_view_text)["books.xml"]
+        table = qpt.match_table(("books", "book", "year"))
+        assert [sorted(n.tag for n in row) for row in table] == [
+            ["books"], ["book"], ["year"],
+        ]
+
+    def test_descendant_axis_matches_deep(self, bookrev_view_text):
+        qpt = qpts_for(bookrev_view_text)["books.xml"]
+        table = qpt.match_table(("books", "shelf", "book", "year"))
+        assert [n.tag for n in table[1]] == []  # shelf matches nothing
+        assert [n.tag for n in table[2]] == ["book"]
+        assert [n.tag for n in table[3]] == ["year"]
+
+    def test_repeating_tags_multi_match(self):
+        qpts = qpts_for("for $a in fn:doc(d.xml)//a//a return <o>{$a/b}</o>")
+        qpt = qpts["d.xml"]
+        table = qpt.match_table(("a", "a", "a"))
+        # The deepest 'a' matches both QPT a-nodes.
+        assert len(table[2]) == 2
+
+    def test_match_table_cached(self, bookrev_view_text):
+        qpt = qpts_for(bookrev_view_text)["books.xml"]
+        first = qpt.match_table(("books", "book", "year"))
+        second = qpt.match_table(("books", "book", "year"))
+        assert first is second
+
+    def test_describe_renders(self, bookrev_view_text):
+        qpt = qpts_for(bookrev_view_text)["books.xml"]
+        text = qpt.describe()
+        assert "//book (m)" in text
+        assert "/year (m)" in text
+
+
+class TestDisjunction:
+    """Regression tests: 'or' disjuncts must not prune each other."""
+
+    def test_or_operands_become_optional(self):
+        qpts = qpts_for(
+            "for $d in fn:doc(d.xml)/r//d "
+            "where $d/a = '1' or $d/a = '2' "
+            "return <o>{$d/t}</o>"
+        )
+        a_nodes = find(qpts["d.xml"], "a")
+        assert len(a_nodes) == 2
+        assert all(edge(n) == ("/", "o") for n in a_nodes)
+        assert all(n.predicates for n in a_nodes)
+
+    def test_and_inside_or_optionalized(self):
+        qpts = qpts_for(
+            "for $d in fn:doc(d.xml)/r//d "
+            "where $d/a = 1 and $d/b = 2 or $d/c = 3 "
+            "return <o>{$d/t}</o>"
+        )
+        for tag in ("a", "b", "c"):
+            (node,) = find(qpts["d.xml"], tag)
+            assert edge(node) == ("/", "o"), tag
+
+    def test_plain_and_stays_mandatory(self):
+        qpts = qpts_for(
+            "for $d in fn:doc(d.xml)/r//d "
+            "where $d/a = 1 and $d/b = 2 "
+            "return <o>{$d/t}</o>"
+        )
+        for tag in ("a", "b"):
+            (node,) = find(qpts["d.xml"], tag)
+            assert edge(node) == ("/", "m"), tag

@@ -1,0 +1,136 @@
+"""Scoring tests: TF-IDF per Section 2.2, semantics, normalization, top-k."""
+
+import pytest
+
+from repro.core.scoring import (
+    aggregate_result,
+    score_results,
+    select_top_k,
+)
+from repro.xmlmodel.node import NodeAnnotations, XMLNode
+from repro.xmlmodel.parser import parse_xml
+from repro.xmlmodel.serializer import serialize
+
+
+def result_with_text(text: str) -> XMLNode:
+    return parse_xml(f"<res>{text}</res>")
+
+
+def pruned_node(tag: str, tfs: dict, length: int) -> XMLNode:
+    node = XMLNode(tag)
+    node.anno = NodeAnnotations(
+        byte_length=length, term_frequencies=tfs, pruned=True
+    )
+    return node
+
+
+class TestAggregation:
+    def test_tf_from_text(self):
+        stats = aggregate_result(result_with_text("xml and xml search"), ["xml"])
+        assert stats.term_frequencies == {"xml": 2}
+
+    def test_tf_descends_into_children(self):
+        result = parse_xml("<r><a>xml</a><b><c>xml search</c></b></r>")
+        stats = aggregate_result(result, ["xml", "search"])
+        assert stats.term_frequencies == {"xml": 2, "search": 1}
+
+    def test_byte_length_matches_serialization(self):
+        result = parse_xml("<r><a>hi &amp; bye</a><b/></r>")
+        stats = aggregate_result(result, [])
+        assert stats.byte_length == len(serialize(result))
+
+    def test_pruned_annotations_used_and_not_descended(self):
+        wrapper = XMLNode("res")
+        pruned = pruned_node("body", {"xml": 5}, 100)
+        pruned.make_child("inner", "xml xml xml")  # must NOT double count
+        wrapper.children.append(pruned)
+        stats = aggregate_result(wrapper, ["xml"])
+        assert stats.term_frequencies == {"xml": 5}
+        assert stats.byte_length == len("<res></res>") + 100
+
+    def test_mixed_constructed_and_pruned(self):
+        wrapper = XMLNode("res", "xml intro")
+        wrapper.children.append(pruned_node("c", {"xml": 2}, 7))
+        stats = aggregate_result(wrapper, ["xml"])
+        assert stats.term_frequencies == {"xml": 3}
+
+
+class TestScoring:
+    def _results(self):
+        return [
+            result_with_text("xml xml search"),  # tf: xml 2, search 1
+            result_with_text("xml alone here"),  # tf: xml 1
+            result_with_text("nothing relevant"),
+        ]
+
+    def test_idf_over_whole_view(self):
+        outcome = score_results(self._results(), ["xml", "search"], normalize=False)
+        # |V| = 3; xml in 2, search in 1.
+        assert outcome.view_size == 3
+        assert outcome.idf["xml"] == pytest.approx(1.5)
+        assert outcome.idf["search"] == pytest.approx(3.0)
+
+    def test_score_formula(self):
+        outcome = score_results(self._results(), ["xml", "search"], normalize=False)
+        first = outcome.all_results[0]
+        assert first.score == pytest.approx(2 * 1.5 + 1 * 3.0)
+
+    def test_missing_keyword_idf_zero(self):
+        outcome = score_results(self._results(), ["absent"], normalize=False)
+        assert outcome.idf["absent"] == 0.0
+        assert outcome.results == []
+
+    def test_conjunctive_filter(self):
+        outcome = score_results(self._results(), ["xml", "search"])
+        assert [r.index for r in outcome.results] == [0]
+
+    def test_disjunctive_filter(self):
+        outcome = score_results(
+            self._results(), ["xml", "search"], conjunctive=False
+        )
+        assert [r.index for r in outcome.results] == [0, 1]
+
+    def test_normalization_divides_by_length(self):
+        plain = score_results(self._results(), ["xml"], normalize=False)
+        normalized = score_results(self._results(), ["xml"], normalize=True)
+        for raw, norm in zip(plain.all_results, normalized.all_results):
+            if raw.score:
+                assert norm.score == pytest.approx(
+                    raw.score / raw.statistics.byte_length
+                )
+
+    def test_empty_view(self):
+        outcome = score_results([], ["xml"])
+        assert outcome.view_size == 0
+        assert outcome.results == []
+        assert outcome.idf["xml"] == 0.0
+
+
+class TestTopK:
+    def _outcome(self):
+        results = [
+            result_with_text("xml"),
+            result_with_text("xml xml xml"),
+            result_with_text("xml xml"),
+        ]
+        return score_results(results, ["xml"], normalize=False)
+
+    def test_ranked_by_score_desc(self):
+        ranked = select_top_k(self._outcome(), 3)
+        assert [r.index for r in ranked] == [1, 2, 0]
+
+    def test_k_limits(self):
+        assert len(select_top_k(self._outcome(), 2)) == 2
+        assert len(select_top_k(self._outcome(), 0)) == 0
+
+    def test_k_larger_than_results(self):
+        assert len(select_top_k(self._outcome(), 50)) == 3
+
+    def test_k_none_returns_all_ranked(self):
+        assert len(select_top_k(self._outcome(), None)) == 3
+
+    def test_ties_broken_by_document_order(self):
+        results = [result_with_text("xml"), result_with_text("xml")]
+        outcome = score_results(results, ["xml"], normalize=False)
+        ranked = select_top_k(outcome, 2)
+        assert [r.index for r in ranked] == [0, 1]

@@ -1,0 +1,81 @@
+"""Serializer tests: canonical form, escaping, lengths, pretty printing."""
+
+from hypothesis import given, strategies as st
+
+from repro.xmlmodel.node import XMLNode
+from repro.xmlmodel.parser import parse_xml
+from repro.xmlmodel.serializer import escape_text, serialize, serialized_length
+
+
+class TestCanonicalForm:
+    def test_empty_element(self):
+        assert serialize(XMLNode("a")) == "<a/>"
+
+    def test_text_element(self):
+        assert serialize(XMLNode("a", "hi")) == "<a>hi</a>"
+
+    def test_nested(self):
+        root = XMLNode("a")
+        root.make_child("b", "x")
+        root.make_child("c")
+        assert serialize(root) == "<a><b>x</b><c/></a>"
+
+    def test_text_precedes_children(self):
+        root = XMLNode("a", "t")
+        root.make_child("b")
+        assert serialize(root) == "<a>t<b/></a>"
+
+    def test_whitespace_only_text_treated_as_empty(self):
+        assert serialize(XMLNode("a", "   ")) == "<a/>"
+
+    def test_escaping(self):
+        assert serialize(XMLNode("a", "x < y & z > w")) == (
+            "<a>x &lt; y &amp; z &gt; w</a>"
+        )
+
+    def test_escape_text_no_op_for_plain(self):
+        assert escape_text("plain") == "plain"
+
+
+class TestPrettyPrinting:
+    def test_pretty_indents_children(self):
+        root = XMLNode("a")
+        root.make_child("b", "x")
+        pretty = serialize(root, indent=2)
+        assert "<a>" in pretty
+        assert "\n  <b>x</b>\n" in pretty
+
+    def test_pretty_empty_element(self):
+        assert serialize(XMLNode("a"), indent=2) == "<a/>\n"
+
+
+class TestLengths:
+    def test_length_matches_serialization_simple(self):
+        node = XMLNode("ab", "text")
+        assert serialized_length(node) == len(serialize(node))
+
+    def test_length_matches_with_escapes(self):
+        node = XMLNode("a", "x&y<z")
+        assert serialized_length(node) == len(serialize(node))
+
+    _tags = st.sampled_from(["a", "bb", "ccc"])
+    _texts = st.one_of(st.none(), st.text(alphabet="xy<&z ", max_size=8))
+
+    @st.composite
+    def _trees(draw, depth=0):
+        node = XMLNode(draw(TestLengths._tags), draw(TestLengths._texts))
+        if depth < 3:
+            for child in draw(
+                st.lists(TestLengths._trees(depth=depth + 1), max_size=3)
+            ):
+                node.append(child)
+        return node
+
+    @given(_trees())
+    def test_length_matches_serialization_property(self, tree):
+        assert serialized_length(tree) == len(serialize(tree))
+
+    @given(_trees())
+    def test_reparsed_tree_has_same_length(self, tree):
+        text = serialize(tree)
+        assert serialized_length(parse_xml(text)) == len(text)

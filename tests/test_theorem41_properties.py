@@ -1,0 +1,87 @@
+"""Randomized Theorem 4.1: Efficient == Baseline on generated workloads.
+
+Hypothesis drives the data generator's seed, the keyword choice, the
+result-limit and the semantics, comparing the two pipelines' complete
+outcomes each time.  Together with tests/test_pdt_properties.py (the
+PDT-definition oracle), this closes the loop: random data -> identical
+pruning -> identical scoring -> identical rankings.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines.naive import BaselineEngine
+from repro.core.engine import KeywordSearchEngine
+from repro.workloads.bookrev import BOOKREV_VIEW, generate_bookrev_database
+
+_KEYWORD_POOL = [
+    "xml", "search", "indexing", "ranking", "views", "dated", "fundamentals",
+    "artificial", "systems", "prentice",
+]
+
+_VIEW_VARIANTS = [
+    BOOKREV_VIEW,
+    # No join, selection only.
+    """
+    for $book in fn:doc(books.xml)/books//book
+    where $book/year > 1995
+    return <hit>{$book/title}, {$book/publisher}</hit>
+    """,
+    # Join with an additional selection on the review side.
+    """
+    for $book in fn:doc(books.xml)/books//book
+    where $book/year > 1990
+    return <hit>
+       {$book/title},
+       {for $rev in fn:doc(reviews.xml)/reviews//review
+        where $rev/isbn = $book/isbn and $rev/rate = 'excellent'
+        return $rev/content}
+    </hit>
+    """,
+    # Disjunctive selection.
+    """
+    for $book in fn:doc(books.xml)/books//book
+    where $book/year > 2002 or $book/year < 1992
+    return <hit>{$book/title}</hit>
+    """,
+]
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=100_000),
+    view_index=st.integers(min_value=0, max_value=len(_VIEW_VARIANTS) - 1),
+    keyword_indices=st.sets(
+        st.integers(min_value=0, max_value=len(_KEYWORD_POOL) - 1),
+        min_size=1,
+        max_size=3,
+    ),
+    top_k=st.sampled_from([1, 5, 50]),
+    conjunctive=st.booleans(),
+)
+def test_random_workloads_agree(seed, view_index, keyword_indices, top_k,
+                                conjunctive):
+    db = generate_bookrev_database(book_count=25, reviews_per_book=2, seed=seed)
+    view_text = _VIEW_VARIANTS[view_index]
+    keywords = [_KEYWORD_POOL[i] for i in sorted(keyword_indices)]
+
+    efficient = KeywordSearchEngine(db)
+    baseline = BaselineEngine(db)
+    eout = efficient.search_detailed(
+        efficient.define_view("v", view_text), keywords, top_k, conjunctive
+    )
+    bout = baseline.search_detailed(
+        baseline.define_view("v", view_text), keywords, top_k, conjunctive
+    )
+
+    assert eout.view_size == bout.view_size
+    assert eout.matching_count == bout.matching_count
+    for keyword in keywords:
+        assert eout.idf[keyword] == pytest.approx(bout.idf[keyword])
+    assert len(eout.results) == len(bout.results)
+    for eres, bres in zip(eout.results, bout.results):
+        assert eres.rank == bres.rank
+        assert eres.score == pytest.approx(bres.score)
+        assert eres.to_xml() == bres.to_xml()

@@ -1,0 +1,63 @@
+"""Tokenizer tests: normalization rules shared across the system."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.xmlmodel.tokenizer import normalize_keyword, token_frequencies, tokenize
+
+
+class TestTokenize:
+    def test_lowercases(self):
+        assert list(tokenize("XML Search")) == ["xml", "search"]
+
+    def test_splits_on_punctuation(self):
+        assert list(tokenize("easy-to-read, really!")) == [
+            "easy", "to", "read", "really",
+        ]
+
+    def test_keeps_numbers(self):
+        assert list(tokenize("isbn 111-11 in 2004")) == [
+            "isbn", "111", "11", "in", "2004",
+        ]
+
+    def test_alphanumeric_runs_stay_joined(self):
+        assert list(tokenize("x86 arch64")) == ["x86", "arch64"]
+
+    def test_empty_text(self):
+        assert list(tokenize("")) == []
+        assert list(tokenize("  ... !! ")) == []
+
+    def test_duplicates_preserved_in_order(self):
+        assert list(tokenize("a b a")) == ["a", "b", "a"]
+
+
+class TestTokenFrequencies:
+    def test_counts(self):
+        counts = token_frequencies("xml and search and XML")
+        assert counts["xml"] == 2
+        assert counts["and"] == 2
+        assert counts["search"] == 1
+
+    def test_missing_token_is_zero(self):
+        assert token_frequencies("abc").get("zzz", 0) == 0
+
+
+class TestNormalizeKeyword:
+    def test_simple(self):
+        assert normalize_keyword("XML") == "xml"
+
+    def test_strips_punctuation(self):
+        assert normalize_keyword(" 'Search' ") == "search"
+
+    def test_rejects_multi_token(self):
+        with pytest.raises(ValueError):
+            normalize_keyword("two words")
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            normalize_keyword("!!!")
+
+    @given(st.text(alphabet="abcXYZ09", min_size=1, max_size=12))
+    def test_normalized_keyword_matches_its_own_tokenization(self, word):
+        normalized = normalize_keyword(word)
+        assert token_frequencies(word)[normalized] >= 1

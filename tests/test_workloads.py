@@ -1,0 +1,201 @@
+"""Workload generator tests: determinism, calibration, view builders."""
+
+import pytest
+
+from repro.workloads.bookrev import generate_bookrev_database
+from repro.workloads.inex import INEXConfig, generate_inex_database
+from repro.workloads.params import (
+    ExperimentParams,
+    KEYWORDS_BY_SELECTIVITY,
+    PARAMETER_TABLE,
+)
+from repro.workloads.views import (
+    authors_articles_view,
+    nested_view,
+    selection_view,
+    view_for_params,
+)
+from repro.xquery.parser import parse_query
+
+
+class TestINEXGenerator:
+    def test_deterministic_given_seed(self):
+        a = generate_inex_database(INEXConfig(scale=1, seed=3))
+        b = generate_inex_database(INEXConfig(scale=1, seed=3))
+        assert a.get("articles.xml").serialized == b.get("articles.xml").serialized
+
+    def test_different_seeds_differ(self):
+        a = generate_inex_database(INEXConfig(scale=1, seed=3))
+        b = generate_inex_database(INEXConfig(scale=1, seed=4))
+        assert a.get("articles.xml").serialized != b.get("articles.xml").serialized
+
+    def test_scale_grows_data_linearly(self):
+        small = generate_inex_database(
+            INEXConfig(scale=1), include_side_documents=False
+        )
+        large = generate_inex_database(
+            INEXConfig(scale=3), include_side_documents=False
+        )
+        small_n = len(small.get("articles.xml").store)
+        large_n = len(large.get("articles.xml").store)
+        assert 2.5 <= large_n / small_n <= 3.5
+
+    def test_dtd_structure(self, inex_db):
+        root = inex_db.get("articles.xml").root
+        assert root.tag == "books"
+        journal = root.children_by_tag("journal")[0]
+        assert journal.children_by_tag("title")
+        article = journal.children_by_tag("article")[0]
+        tags = [child.tag for child in article.children]
+        assert "fno" in tags and "fm" in tags and "bdy" in tags
+        fm = article.children_by_tag("fm")[0]
+        fm_tags = {child.tag for child in fm.children}
+        assert {"au", "atl", "kwd", "yr"} <= fm_tags
+
+    def test_keyword_selectivity_ordering(self, inex_db):
+        """Low-selectivity terms must have much longer inverted lists."""
+        inverted = inex_db.get("articles.xml").inverted_index
+        low = inverted.document_frequency("ieee")
+        medium = inverted.document_frequency("thomas")
+        high = inverted.document_frequency("moore")
+        assert low > medium > high > 0
+
+    def test_join_selectivity_controls_matches(self):
+        full = generate_inex_database(
+            INEXConfig(scale=1, join_selectivity=1.0, seed=9),
+            include_side_documents=False,
+        )
+        tenth = generate_inex_database(
+            INEXConfig(scale=1, join_selectivity=0.1, seed=9),
+            include_side_documents=False,
+        )
+
+        def joined_fraction(db):
+            names = {
+                n.value
+                for n in db.get("authors.xml").root.iter()
+                if n.tag == "name"
+            }
+            aus = [
+                n.value
+                for n in db.get("articles.xml").root.iter()
+                if n.tag == "au" and n.path_from_root()[-2] == "fm"
+            ]
+            return sum(1 for au in aus if au in names) / len(aus)
+
+        assert joined_fraction(full) == 1.0
+        assert joined_fraction(tenth) < 0.35
+
+    def test_element_size_grows_articles(self):
+        one = generate_inex_database(
+            INEXConfig(scale=1, element_size=1), include_side_documents=False
+        )
+        three = generate_inex_database(
+            INEXConfig(scale=1, element_size=3), include_side_documents=False
+        )
+        assert len(three.get("articles.xml").store) > 1.5 * len(
+            one.get("articles.xml").store
+        )
+
+    def test_side_documents_share_fnos(self, inex_db):
+        fnos_articles = {
+            n.value
+            for n in inex_db.get("articles.xml").root.iter()
+            if n.tag == "fno"
+        }
+        fnos_reviews = {
+            n.value
+            for n in inex_db.get("reviews.xml").root.iter()
+            if n.tag == "fno"
+        }
+        assert fnos_articles == fnos_reviews
+
+    def test_authors_grouped(self, inex_db):
+        root = inex_db.get("authors.xml").root
+        groups = root.children_by_tag("group")
+        assert groups
+        assert all(g.children_by_tag("author") for g in groups)
+
+
+class TestBookrevGenerator:
+    def test_deterministic(self):
+        a = generate_bookrev_database(seed=2)
+        b = generate_bookrev_database(seed=2)
+        assert a.get("books.xml").serialized == b.get("books.xml").serialized
+
+    def test_reviews_join_books(self):
+        db = generate_bookrev_database(book_count=20, seed=2)
+        isbns = {
+            n.value for n in db.get("books.xml").root.iter() if n.tag == "isbn"
+        }
+        review_isbns = {
+            n.value for n in db.get("reviews.xml").root.iter() if n.tag == "isbn"
+        }
+        assert review_isbns <= isbns
+
+
+class TestViewBuilders:
+    def test_all_views_parse(self):
+        for num_joins in PARAMETER_TABLE["num_joins"]:
+            parse_query(authors_articles_view(num_joins=num_joins))
+        for nesting in PARAMETER_TABLE["nesting_level"]:
+            parse_query(nested_view(nesting_level=nesting))
+        parse_query(selection_view())
+
+    def test_selection_view_has_no_join(self):
+        text = selection_view()
+        assert "authors.xml" not in text
+
+    def test_join_chain_adds_documents(self):
+        assert "reviews.xml" in authors_articles_view(num_joins=2)
+        assert "citations.xml" in authors_articles_view(num_joins=3)
+        assert "venues.xml" in authors_articles_view(num_joins=4)
+        assert "reviews.xml" not in authors_articles_view(num_joins=1)
+
+    def test_nesting_wraps_progressively(self):
+        level3 = nested_view(nesting_level=3)
+        level4 = nested_view(nesting_level=4)
+        assert "grouppubs" in level3
+        assert "digest" in level4
+
+    def test_view_for_params_dispatch(self):
+        assert "authors.xml" in view_for_params(ExperimentParams())
+        assert "authors.xml" not in view_for_params(
+            ExperimentParams(nesting_level=1)
+        )
+
+
+class TestParams:
+    def test_defaults_match_table1(self):
+        params = ExperimentParams()
+        assert params.data_scale == 3
+        assert params.num_keywords == 2
+        assert params.keyword_selectivity == "medium"
+        assert params.num_joins == 1
+        assert params.join_selectivity == 1.0
+        assert params.nesting_level == 2
+        assert params.top_k == 10
+
+    def test_keywords_from_selectivity_class(self):
+        assert ExperimentParams().keywords() == ("thomas", "control")
+        assert ExperimentParams(keyword_selectivity="low").keywords() == (
+            "ieee", "computing",
+        )
+
+    def test_keywords_extend_beyond_pair(self):
+        keywords = ExperimentParams(num_keywords=5).keywords()
+        assert len(keywords) == 5
+        assert len(set(keywords)) == 5
+
+    def test_with_copies(self):
+        base = ExperimentParams()
+        varied = base.with_(top_k=40)
+        assert varied.top_k == 40
+        assert base.top_k == 10
+
+    def test_parameter_table_complete(self):
+        assert set(PARAMETER_TABLE) == {
+            "data_scale", "num_keywords", "keyword_selectivity", "num_joins",
+            "join_selectivity", "nesting_level", "top_k", "element_size",
+        }
+        assert set(KEYWORDS_BY_SELECTIVITY) == {"low", "medium", "high"}

@@ -1,0 +1,223 @@
+"""Evaluator tests: paths, predicates, FLWOR, constructors, functions."""
+
+import pytest
+
+from repro.errors import XQueryEvalError
+from repro.xmlmodel.parser import parse_xml
+from repro.xmlmodel.serializer import serialize
+from repro.xquery.evaluator import EvalContext, Evaluator, evaluate_program
+from repro.xquery.parser import parse_expression, parse_query
+
+DOC = """<books>
+<book><isbn>1</isbn><year>2000</year><title>XML basics</title></book>
+<book><isbn>2</isbn><year>1990</year><title>Old tome</title></book>
+<shelf><book><isbn>3</isbn><year>2004</year><title>Nested search</title></book></shelf>
+</books>"""
+
+
+@pytest.fixture()
+def evaluator():
+    root = parse_xml(DOC)
+    resolver = lambda name: root  # noqa: E731
+    return Evaluator(EvalContext(resolver=resolver))
+
+
+def run(evaluator, text, env=None):
+    return evaluator.evaluate(parse_expression(text), env)
+
+
+class TestPaths:
+    def test_child_axis(self, evaluator):
+        items = run(evaluator, "fn:doc(d)/books/book")
+        assert len(items) == 2
+
+    def test_descendant_axis(self, evaluator):
+        items = run(evaluator, "fn:doc(d)/books//book")
+        assert len(items) == 3
+
+    def test_descendant_from_document_node(self, evaluator):
+        items = run(evaluator, "fn:doc(d)//title")
+        assert len(items) == 3
+
+    def test_document_order_and_dedup(self, evaluator):
+        items = run(evaluator, "fn:doc(d)/books//book/isbn")
+        assert [node.value for node in items] == ["1", "2", "3"]
+
+    def test_path_over_atomic_raises(self, evaluator):
+        with pytest.raises(XQueryEvalError):
+            run(evaluator, "'text'/a")
+
+    def test_missing_path_empty(self, evaluator):
+        assert run(evaluator, "fn:doc(d)/books/nothing") == []
+
+
+class TestPredicates:
+    def test_value_predicate(self, evaluator):
+        items = run(evaluator, "fn:doc(d)/books//book[year > 1995]")
+        assert len(items) == 2
+
+    def test_existence_predicate(self, evaluator):
+        items = run(evaluator, "fn:doc(d)/books//book[isbn]")
+        assert len(items) == 3
+
+    def test_context_dot_predicate(self, evaluator):
+        items = run(evaluator, "fn:doc(d)/books//book/year[. > 1999]")
+        assert sorted(node.value for node in items) == ["2000", "2004"]
+
+    def test_string_equality(self, evaluator):
+        items = run(evaluator, "fn:doc(d)/books//book[title = 'Old tome']")
+        assert len(items) == 1
+
+    def test_numeric_comparison_of_numeric_strings(self, evaluator):
+        # '02' compares numerically equal to 2 under typed semantics.
+        root = parse_xml("<r><v>02</v></r>")
+        ev = Evaluator(EvalContext(resolver=lambda name: root))
+        assert ev.evaluate(parse_expression("fn:doc(d)/r/v = 2")) == [True]
+
+
+class TestComparisons:
+    def test_existential_semantics(self, evaluator):
+        # Some book year > 1995 — true even though one is 1990.
+        assert run(evaluator, "fn:doc(d)/books//book/year > 1995") == [True]
+
+    def test_empty_comparison_false(self, evaluator):
+        assert run(evaluator, "fn:doc(d)/books/missing = 1") == [False]
+
+    def test_boolean_and_or(self, evaluator):
+        assert run(
+            evaluator, "fn:doc(d)//year > 1995 and fn:doc(d)//year < 1995"
+        ) == [True]
+
+
+class TestFLWOR:
+    def test_for_iteration(self, evaluator):
+        items = run(evaluator, "for $b in fn:doc(d)/books//book return $b/title")
+        assert len(items) == 3
+
+    def test_where_filters(self, evaluator):
+        items = run(
+            evaluator,
+            "for $b in fn:doc(d)/books//book where $b/year > 1995 return $b/isbn",
+        )
+        assert [node.value for node in items] == ["1", "3"]
+
+    def test_let_binding(self, evaluator):
+        items = run(
+            evaluator,
+            "let $books := fn:doc(d)/books//book return $books/title",
+        )
+        assert len(items) == 3
+
+    def test_nested_flwor_join(self):
+        left = parse_xml("<l><i><k>1</k><v>a</v></i><i><k>2</k><v>b</v></i></l>")
+        right = parse_xml("<r><j><k>2</k><w>B</w></j></r>")
+        docs = {"l": left, "r": right}
+        ev = Evaluator(EvalContext(resolver=lambda name: docs[name]))
+        items = ev.evaluate(
+            parse_expression(
+                "for $i in fn:doc(l)/l/i "
+                "return for $j in fn:doc(r)/r/j "
+                "where $j/k = $i/k return $i/v"
+            )
+        )
+        assert [node.value for node in items] == ["b"]
+
+    def test_unbound_variable_raises(self, evaluator):
+        with pytest.raises(XQueryEvalError):
+            run(evaluator, "$nope/title")
+
+    def test_env_injection(self, evaluator):
+        items = run(evaluator, "$x", env={"x": ["hello"]})
+        assert items == ["hello"]
+
+
+class TestConstructors:
+    def test_simple_construction(self, evaluator):
+        items = run(evaluator, "<wrap>{fn:doc(d)/books/book/title}</wrap>")
+        assert len(items) == 1
+        assert serialize(items[0]) == (
+            "<wrap><title>XML basics</title><title>Old tome</title></wrap>"
+        )
+
+    def test_children_are_references_not_copies(self, evaluator):
+        items = run(evaluator, "<wrap>{fn:doc(d)/books/book}</wrap>")
+        book = items[0].children[0]
+        assert book.dewey is None  # base tree here is unlabelled
+        # The referenced node keeps its own children.
+        assert book.children[0].tag == "isbn"
+
+    def test_atomic_content_becomes_text(self, evaluator):
+        items = run(evaluator, "<t>{'hello'}</t>")
+        assert items[0].value == "hello"
+
+    def test_sequence_content(self, evaluator):
+        items = run(evaluator, "<t>{'a', 'b'}</t>")
+        assert items[0].value == "a b"
+
+    def test_construction_does_not_mutate_source_parents(self, evaluator):
+        root_before = run(evaluator, "fn:doc(d)/books/book")[0].parent
+        run(evaluator, "<wrap>{fn:doc(d)/books/book}</wrap>")
+        root_after = run(evaluator, "fn:doc(d)/books/book")[0].parent
+        assert root_before is root_after
+
+
+class TestControl:
+    def test_if_then_else(self, evaluator):
+        items = run(
+            evaluator,
+            "for $b in fn:doc(d)/books/book "
+            "return if ($b/year > 1995) then $b/title else ()",
+        )
+        assert [node.value for node in items] == ["XML basics"]
+
+    def test_empty_sequence(self, evaluator):
+        assert run(evaluator, "()") == []
+
+    def test_sequence_concatenation(self, evaluator):
+        items = run(evaluator, "('x', 'y', 'z')")
+        assert items == ["x", "y", "z"]
+
+
+class TestFTContains:
+    def test_conjunctive_true(self, evaluator):
+        assert run(
+            evaluator, "fn:doc(d)/books ftcontains('xml' & 'search')"
+        ) == [True]
+
+    def test_conjunctive_false(self, evaluator):
+        assert run(
+            evaluator, "fn:doc(d)/books ftcontains('xml' & 'zeppelin')"
+        ) == [False]
+
+    def test_disjunctive(self, evaluator):
+        assert run(
+            evaluator, "fn:doc(d)/books ftcontains('zeppelin' | 'search')"
+        ) == [True]
+
+    def test_case_insensitive(self, evaluator):
+        assert run(evaluator, "fn:doc(d)/books ftcontains('XML')") == [True]
+
+
+class TestFunctions:
+    def test_function_evaluation(self):
+        root = parse_xml(DOC)
+        program = parse_query(
+            "declare function local:titles($b) { $b/title };\n"
+            "for $b in fn:doc(d)/books//book return local:titles($b)"
+        )
+        items = evaluate_program(program, resolver=lambda name: root)
+        assert len(items) == 3
+
+    def test_undeclared_function_raises(self):
+        root = parse_xml(DOC)
+        program = parse_query("local:nope(fn:doc(d))")
+        with pytest.raises(XQueryEvalError):
+            evaluate_program(program, resolver=lambda name: root)
+
+    def test_wrong_arity_raises(self):
+        root = parse_xml(DOC)
+        program = parse_query(
+            "declare function local:f($x, $y) { $x };\nlocal:f(fn:doc(d))"
+        )
+        with pytest.raises(XQueryEvalError):
+            evaluate_program(program, resolver=lambda name: root)

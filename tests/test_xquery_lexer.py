@@ -1,0 +1,100 @@
+"""Lexer tests for the XQuery subset."""
+
+import pytest
+
+from repro.errors import XQuerySyntaxError
+from repro.xquery.lexer import (
+    EOF,
+    NAME,
+    NUMBER,
+    STRING,
+    SYMBOL,
+    VARIABLE,
+    tokenize_query,
+)
+
+
+def kinds(text):
+    return [(t.type, t.value) for t in tokenize_query(text) if t.type != EOF]
+
+
+class TestTokens:
+    def test_variables(self):
+        assert kinds("$book $rev2") == [(VARIABLE, "book"), (VARIABLE, "rev2")]
+
+    def test_doc_call_tokens(self):
+        assert kinds("fn:doc(books.xml)") == [
+            (NAME, "fn:doc"),
+            (SYMBOL, "("),
+            (NAME, "books.xml"),
+            (SYMBOL, ")"),
+        ]
+
+    def test_path_axes(self):
+        assert kinds("/books//book") == [
+            (SYMBOL, "/"),
+            (NAME, "books"),
+            (SYMBOL, "//"),
+            (NAME, "book"),
+        ]
+
+    def test_strings_both_quotes(self):
+        assert kinds("'abc' \"d e\"") == [(STRING, "abc"), (STRING, "d e")]
+
+    def test_numbers(self):
+        assert kinds("1995 3.14") == [(NUMBER, "1995"), (NUMBER, "3.14")]
+
+    def test_number_does_not_swallow_trailing_dot(self):
+        # '1.' must lex as NUMBER(1) SYMBOL(.)
+        assert kinds("1.") == [(NUMBER, "1"), (SYMBOL, ".")]
+
+    def test_comparison_operators(self):
+        assert [v for _, v in kinds("= != < <= > >=")] == [
+            "=", "!=", "<", "<=", ">", ">=",
+        ]
+
+    def test_assignment_and_braces(self):
+        assert [v for _, v in kinds(":= { } [ ]")] == [":=", "{", "}", "[", "]"]
+
+    def test_constructor_symbols(self):
+        assert [v for _, v in kinds("</ />")] == ["</", "/>"]
+
+    def test_keywords_are_names(self):
+        assert kinds("for where return") == [
+            (NAME, "for"),
+            (NAME, "where"),
+            (NAME, "return"),
+        ]
+
+    def test_comments_skipped(self):
+        assert kinds("for (: a comment :) $x") == [
+            (NAME, "for"),
+            (VARIABLE, "x"),
+        ]
+
+    def test_eof_token_present(self):
+        tokens = tokenize_query("$x")
+        assert tokens[-1].type == EOF
+
+
+class TestErrors:
+    def test_unterminated_string(self):
+        with pytest.raises(XQuerySyntaxError):
+            tokenize_query("'never closed")
+
+    def test_unterminated_comment(self):
+        with pytest.raises(XQuerySyntaxError):
+            tokenize_query("(: oops")
+
+    def test_bad_variable(self):
+        with pytest.raises(XQuerySyntaxError):
+            tokenize_query("$ 1")
+
+    def test_unknown_character(self):
+        with pytest.raises(XQuerySyntaxError):
+            tokenize_query("a ~ b")
+
+    def test_positions_recorded(self):
+        tokens = tokenize_query("ab cd")
+        assert tokens[0].position == 0
+        assert tokens[1].position == 3

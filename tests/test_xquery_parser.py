@@ -1,0 +1,244 @@
+"""Parser tests for the XQuery subset (Appendix A grammar)."""
+
+import pytest
+
+from repro.errors import UnsupportedQueryError, XQuerySyntaxError
+from repro.xquery.ast import (
+    BooleanExpr,
+    Comparison,
+    ContextItem,
+    DocCall,
+    ElementConstructor,
+    EmptySequence,
+    FLWOR,
+    ForClause,
+    FTContains,
+    FunctionCall,
+    IfExpr,
+    LetClause,
+    Literal,
+    PathExpr,
+    SequenceExpr,
+    VarRef,
+    free_variables,
+    referenced_documents,
+)
+from repro.xquery.parser import parse_expression, parse_query
+
+
+class TestPaths:
+    def test_doc_rooted_path(self):
+        expr = parse_expression("fn:doc(books.xml)/books//book")
+        assert isinstance(expr, PathExpr)
+        assert isinstance(expr.source, DocCall)
+        assert expr.source.name == "books.xml"
+        assert [(s.axis, s.tag) for s in expr.steps] == [
+            ("/", "books"),
+            ("//", "book"),
+        ]
+
+    def test_doc_name_as_string(self):
+        expr = parse_expression("fn:doc('books.xml')")
+        assert expr == DocCall("books.xml")
+
+    def test_plain_doc_alias(self):
+        assert parse_expression("doc(x.xml)") == DocCall("x.xml")
+
+    def test_variable_path(self):
+        expr = parse_expression("$book/title")
+        assert isinstance(expr.source, VarRef)
+        assert expr.steps[0].tag == "title"
+
+    def test_context_item_path(self):
+        expr = parse_expression("./year")
+        assert isinstance(expr.source, ContextItem)
+
+    def test_predicate_attaches_to_path(self):
+        expr = parse_expression("$b/year[. > 1995]")
+        assert len(expr.predicates) == 1
+        predicate = expr.predicates[0]
+        assert isinstance(predicate, Comparison)
+        assert predicate.op == ">"
+
+    def test_multiple_predicates(self):
+        expr = parse_expression("$b[year > 1990][title = 'x']")
+        assert len(expr.predicates) == 2
+
+    def test_bare_variable(self):
+        assert parse_expression("$x") == VarRef("x")
+
+
+class TestComparisons:
+    def test_literal_comparison(self):
+        expr = parse_expression("$b/year > 1995")
+        assert isinstance(expr, Comparison)
+        assert expr.right == Literal("1995", is_number=True)
+
+    def test_string_literal(self):
+        expr = parse_expression("$b/title = 'XML'")
+        assert expr.right == Literal("XML")
+
+    def test_path_to_path_join(self):
+        expr = parse_expression("$rev/isbn = $book/isbn")
+        assert isinstance(expr.left, PathExpr)
+        assert isinstance(expr.right, PathExpr)
+
+    def test_and_or(self):
+        expr = parse_expression("$a/x = 1 and $a/y = 2 or $a/z = 3")
+        assert isinstance(expr, BooleanExpr)
+        assert expr.op == "or"
+        assert isinstance(expr.operands[0], BooleanExpr)
+        assert expr.operands[0].op == "and"
+
+
+class TestFLWOR:
+    def test_for_where_return(self):
+        expr = parse_expression(
+            "for $b in fn:doc(b.xml)/books/book where $b/year > 1995 return $b"
+        )
+        assert isinstance(expr, FLWOR)
+        assert len(expr.clauses) == 1
+        assert isinstance(expr.clauses[0], ForClause)
+        assert expr.where is not None
+        assert expr.ret == VarRef("b")
+
+    def test_let_clause(self):
+        expr = parse_expression("let $v := fn:doc(d.xml)/a return $v")
+        assert isinstance(expr.clauses[0], LetClause)
+
+    def test_multiple_clauses(self):
+        expr = parse_expression(
+            "for $a in fn:doc(x.xml)/r let $b := $a/c for $d in $b/e return $d"
+        )
+        kinds = [type(c).__name__ for c in expr.clauses]
+        assert kinds == ["ForClause", "LetClause", "ForClause"]
+
+    def test_comma_separated_bindings(self):
+        expr = parse_expression(
+            "for $a in fn:doc(x.xml)/r, $b in fn:doc(y.xml)/s return $a"
+        )
+        assert [c.var for c in expr.clauses] == ["a", "b"]
+
+    def test_missing_return_rejected(self):
+        with pytest.raises(XQuerySyntaxError):
+            parse_expression("for $a in fn:doc(x.xml)/r")
+
+    def test_nested_flwor_in_return(self):
+        expr = parse_expression(
+            "for $a in fn:doc(x.xml)/r return for $b in $a/c return $b"
+        )
+        assert isinstance(expr.ret, FLWOR)
+
+
+class TestConstructors:
+    def test_empty_constructor(self):
+        assert parse_expression("<a/>") == ElementConstructor("a", ())
+
+    def test_enclosed_expression(self):
+        expr = parse_expression("<a>{$x/y}</a>")
+        assert isinstance(expr, ElementConstructor)
+        assert isinstance(expr.content[0], PathExpr)
+
+    def test_nested_constructor(self):
+        expr = parse_expression("<a><b>{$x}</b></a>")
+        assert isinstance(expr.content[0], ElementConstructor)
+
+    def test_commas_between_blocks_tolerated(self):
+        expr = parse_expression("<a><b>{$x}</b>, {$y}</a>")
+        assert len(expr.content) == 2
+
+    def test_mismatched_close_rejected(self):
+        with pytest.raises(XQuerySyntaxError):
+            parse_expression("<a>{$x}</b>")
+
+    def test_sequence_inside_braces(self):
+        expr = parse_expression("<a>{$x, $y}</a>")
+        assert isinstance(expr.content[0], SequenceExpr)
+
+
+class TestOtherForms:
+    def test_if_then_else(self):
+        expr = parse_expression("if ($x/a > 1) then $x/b else $x/c")
+        assert isinstance(expr, IfExpr)
+
+    def test_empty_sequence(self):
+        assert parse_expression("()") == EmptySequence()
+
+    def test_parenthesized_sequence(self):
+        expr = parse_expression("($a, $b)")
+        assert isinstance(expr, SequenceExpr)
+        assert len(expr.items) == 2
+
+    def test_ftcontains_conjunctive(self):
+        expr = parse_expression("$v ftcontains('XML' & 'Search')")
+        assert isinstance(expr, FTContains)
+        assert expr.keywords == ("XML", "Search")
+        assert expr.conjunctive
+
+    def test_ftcontains_disjunctive(self):
+        expr = parse_expression("$v ftcontains('a' | 'b' | 'c')")
+        assert not expr.conjunctive
+        assert expr.keywords == ("a", "b", "c")
+
+    def test_ftcontains_single_keyword(self):
+        expr = parse_expression("$v ftcontains('only')")
+        assert expr.keywords == ("only",)
+
+    def test_ftcontains_mixed_joins_rejected(self):
+        with pytest.raises(XQuerySyntaxError):
+            parse_expression("$v ftcontains('a' & 'b' | 'c')")
+
+    def test_function_call(self):
+        expr = parse_expression("my:reviews($book, $limit)")
+        assert isinstance(expr, FunctionCall)
+        assert expr.name == "my:reviews"
+        assert len(expr.args) == 2
+
+    def test_fn_collection_unsupported(self):
+        with pytest.raises(UnsupportedQueryError):
+            parse_expression("fn:collection(stuff)")
+
+
+class TestPrograms:
+    def test_function_declaration(self):
+        program = parse_query(
+            "declare function local:f($x) { $x/title };\n"
+            "for $b in fn:doc(b.xml)/books/book return local:f($b)"
+        )
+        assert len(program.functions) == 1
+        decl = program.functions[0]
+        assert decl.name == "local:f"
+        assert decl.params == ("x",)
+
+    def test_zero_arg_function(self):
+        program = parse_query(
+            "declare function local:g() { fn:doc(b.xml)/a };\nlocal:g()"
+        )
+        assert program.functions[0].params == ()
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(XQuerySyntaxError):
+            parse_query("$x $y")
+
+    def test_figure2_query_parses(self, bookrev_view_text):
+        program = parse_query(bookrev_view_text)
+        assert isinstance(program.body, FLWOR)
+
+
+class TestAnalyses:
+    def test_referenced_documents(self, bookrev_view_text):
+        program = parse_query(bookrev_view_text)
+        assert referenced_documents(program.body) == ["books.xml", "reviews.xml"]
+
+    def test_free_variables_closed_view(self, bookrev_view_text):
+        program = parse_query(bookrev_view_text)
+        assert free_variables(program.body) == set()
+
+    def test_free_variables_open_expression(self):
+        expr = parse_expression("for $a in $outer/x return $a/y")
+        assert free_variables(expr) == {"outer"}
+
+    def test_roundtrip_str_reparses(self, bookrev_view_text):
+        program = parse_query(bookrev_view_text)
+        again = parse_expression(str(program.body))
+        assert str(again) == str(program.body)
