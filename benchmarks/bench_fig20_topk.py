@@ -1,7 +1,11 @@
 """F20 (Figure 20): varying K in top-K (1..40).
 
 The paper's shape: flat — materializing a few more winners is nearly free
-because only the top-k results ever touch document storage.
+because only the top-k results ever touch document storage.  Since the
+streaming-top-k change, the default search is *fully* deferred: ranking
+alone performs zero document-store accesses regardless of K, which the
+benchmark asserts.  The eager variant (``materialize=True``) is the old
+behavior, kept as the contrast point.
 """
 
 import pytest
@@ -15,4 +19,25 @@ def test_top_k(benchmark, top_k):
     params = ExperimentParams(data_scale=1, top_k=top_k)
     engine, view = make_engine_and_view(params)
     keywords = params.keywords()
-    benchmark(lambda: engine.search(view, keywords, top_k=top_k))
+    engine.database.reset_access_counters()
+    results = benchmark(lambda: engine.search(view, keywords, top_k=top_k))
+    # Deferred materialization: ranking never touched the store.
+    for name in view.document_names:
+        assert engine.database.get(name).store.access_count == 0
+    assert all(not result.is_materialized for result in results)
+
+
+@pytest.mark.parametrize("top_k", [1, 40])
+def test_top_k_eager(benchmark, top_k):
+    params = ExperimentParams(data_scale=1, top_k=top_k)
+    engine, view = make_engine_and_view(params)
+    keywords = params.keywords()
+    engine.database.reset_access_counters()
+    results = benchmark(
+        lambda: engine.search(view, keywords, top_k=top_k, materialize=True)
+    )
+    assert all(result.is_materialized for result in results)
+    assert any(
+        engine.database.get(name).store.access_count > 0
+        for name in view.document_names
+    )

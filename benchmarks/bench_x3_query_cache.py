@@ -1,0 +1,74 @@
+"""X3 (extension): the two-tier query cache under repeated queries.
+
+Not a paper figure — this measures the serving-layer extension: once a
+query has warmed the cache, an identical query is answered without a
+single path-index or inverted-index probe (the PDT tier serves the pruned
+trees directly), and without touching document storage until a winner is
+materialized.  ``test_cold_pipeline`` is the uncached contrast point.
+"""
+
+from conftest import make_engine_and_view
+from repro.workloads.params import ExperimentParams
+
+PARAMS = ExperimentParams(data_scale=1)
+
+
+def assert_zero_index_probes(engine, view):
+    for name in view.document_names:
+        indexed = engine.database.get(name)
+        assert indexed.path_index.probe_count == 0
+        assert indexed.inverted_index.probe_count == 0
+
+
+def test_warm_repeat_query(benchmark):
+    engine, view = make_engine_and_view(PARAMS, enable_cache=True)
+    keywords = PARAMS.keywords()
+    first = engine.search_detailed(view, keywords, top_k=PARAMS.top_k)
+    assert set(first.cache_hits.values()) == {"miss"}
+
+    engine.database.reset_access_counters()
+    outcome = benchmark(
+        lambda: engine.search_detailed(view, keywords, top_k=PARAMS.top_k)
+    )
+    # Every repetition was served from the PDT tier: zero probes, zero
+    # store accesses, across however many iterations the harness ran.
+    assert set(outcome.cache_hits.values()) == {"pdt"}
+    assert_zero_index_probes(engine, view)
+    for name in view.document_names:
+        assert engine.database.get(name).store.access_count == 0
+    assert engine.cache.stats()["pdt"]["hits"] > 0
+
+
+def test_prepared_tier_repeat_query(benchmark):
+    from repro.core.cache import QueryCache
+    from repro.core.engine import KeywordSearchEngine
+    from repro.bench.experiments import build_database
+    from repro.workloads.views import view_for_params
+
+    database = build_database(PARAMS)
+    engine = KeywordSearchEngine(database, cache=QueryCache(pdt_capacity=0))
+    view = engine.define_view("bench", view_for_params(PARAMS))
+    keywords = PARAMS.keywords()
+    engine.search(view, keywords, top_k=PARAMS.top_k)
+
+    engine.database.reset_access_counters()
+    outcome = benchmark(
+        lambda: engine.search_detailed(view, keywords, top_k=PARAMS.top_k)
+    )
+    # PDT tier disabled: PDTs regenerate each time, but the prepared
+    # lists carry every probe result, so the indices still see nothing.
+    assert set(outcome.cache_hits.values()) == {"prepared"}
+    assert_zero_index_probes(engine, view)
+
+
+def test_cold_pipeline(benchmark):
+    engine, view = make_engine_and_view(PARAMS, enable_cache=False)
+    keywords = PARAMS.keywords()
+    engine.database.reset_access_counters()
+    benchmark(lambda: engine.search(view, keywords, top_k=PARAMS.top_k))
+    probes = sum(
+        engine.database.get(name).path_index.probe_count
+        + engine.database.get(name).inverted_index.probe_count
+        for name in view.document_names
+    )
+    assert probes > 0

@@ -26,12 +26,15 @@ from repro.core.engine import (
     SearchResult,
     View,
 )
+from repro.core.cache import QueryCache
 from repro.core.qpt import QPT, generate_qpts
 from repro.core.pdt import PDTResult, generate_pdt
+from repro.core.topk import TopKSelector
 from repro.dewey import DeweyID
 from repro.errors import (
     DocumentNotFoundError,
     ReproError,
+    StaleViewError,
     StorageError,
     UnsupportedQueryError,
     ViewDefinitionError,
@@ -56,6 +59,8 @@ __all__ = [
     "generate_qpts",
     "PDTResult",
     "generate_pdt",
+    "QueryCache",
+    "TopKSelector",
     "DeweyID",
     "XMLDatabase",
     "Document",
@@ -71,5 +76,6 @@ __all__ = [
     "StorageError",
     "DocumentNotFoundError",
     "ViewDefinitionError",
+    "StaleViewError",
     "__version__",
 ]

@@ -1,11 +1,19 @@
 """The paper's primary contribution: QPT generation, index-only PDT
-generation, scoring with deferred materialization, and the end-to-end
+generation, scoring with deferred materialization, streaming top-k
+selection, the two-tier query cache, and the end-to-end
 keyword-search-over-views engine."""
 
 from repro.core.qpt import QPT, QPTNode, QPTEdge, generate_qpts
 from repro.core.pdt import generate_pdt, PDTResult
 from repro.core.reference import reference_pdt
-from repro.core.scoring import ScoredResult, score_results, select_top_k
+from repro.core.scoring import (
+    ScoredResult,
+    compute_idf,
+    score_results,
+    select_top_k,
+)
+from repro.core.topk import TopKSelector, select_top_k_streaming
+from repro.core.cache import CacheStats, LRUCache, QueryCache
 from repro.core.materialize import materialize_result
 from repro.core.engine import KeywordSearchEngine, SearchResult, View
 
@@ -18,8 +26,14 @@ __all__ = [
     "PDTResult",
     "reference_pdt",
     "ScoredResult",
+    "compute_idf",
     "score_results",
     "select_top_k",
+    "TopKSelector",
+    "select_top_k_streaming",
+    "CacheStats",
+    "LRUCache",
+    "QueryCache",
     "materialize_result",
     "KeywordSearchEngine",
     "SearchResult",

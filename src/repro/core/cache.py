@@ -1,0 +1,168 @@
+"""A two-tier LRU cache for the query-serving pipeline.
+
+Repeated keyword queries are the common case a serving system sees, yet
+every search used to re-issue the full PrepareLists probe set and rebuild
+every PDT from scratch.  Both intermediates are pure functions of stable
+inputs, so they cache cleanly:
+
+* **Tier 1 — prepared lists**: keyed by ``(document, QPT, keywords)``.
+  A hit skips every path-index and inverted-index probe for that
+  document (``probe_count`` stays untouched).  QPTs participate by
+  identity — a view built by ``define_view`` keeps its QPT objects for
+  life, and the cache key holds a strong reference so ids cannot be
+  recycled.
+* **Tier 2 — PDTs**: keyed by ``(view, document, keywords)``.  A hit
+  skips PDT generation entirely and reuses the pruned tree.  This is
+  safe because nothing downstream mutates a PDT: the evaluator
+  references PDT nodes without touching their parent pointers, scoring
+  only reads annotations, and materialization copies.
+
+Both tiers are invalidated per document through the hooks
+:class:`repro.storage.database.XMLDatabase` fires on ``load_document`` /
+``drop_document``, and per view when a view name is redefined.  The idea
+— keep per-view intermediate structures alive across queries — follows
+the view-maintenance line of work (Chebotko & Fu's reconstruction-view
+selection; Böttcher et al.'s DAG-compressed search structures).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any, Callable, Hashable, Optional
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/eviction counters for one cache tier."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    invalidations: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "invalidations": self.invalidations,
+            "hit_rate": self.hit_rate,
+        }
+
+
+class LRUCache:
+    """A size-bounded mapping with least-recently-used eviction.
+
+    ``capacity <= 0`` disables the cache (every ``get`` misses, ``put`` is
+    a no-op), which lets callers turn a tier off without branching.
+    """
+
+    def __init__(self, capacity: int):
+        self.capacity = capacity
+        self._data: OrderedDict[Hashable, Any] = OrderedDict()
+        self.stats = CacheStats()
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._data
+
+    def get(self, key: Hashable) -> Optional[Any]:
+        """The cached value (refreshed as most recent), or ``None``."""
+        if key not in self._data:
+            self.stats.misses += 1
+            return None
+        self._data.move_to_end(key)
+        self.stats.hits += 1
+        return self._data[key]
+
+    def put(self, key: Hashable, value: Any) -> None:
+        if self.capacity <= 0:
+            return
+        if key in self._data:
+            self._data.move_to_end(key)
+        self._data[key] = value
+        while len(self._data) > self.capacity:
+            self._data.popitem(last=False)
+            self.stats.evictions += 1
+
+    def invalidate_where(self, predicate: Callable[[Hashable], bool]) -> int:
+        """Drop every entry whose key satisfies ``predicate``."""
+        doomed = [key for key in self._data if predicate(key)]
+        for key in doomed:
+            del self._data[key]
+        self.stats.invalidations += len(doomed)
+        return len(doomed)
+
+    def clear(self) -> int:
+        count = len(self._data)
+        self._data.clear()
+        self.stats.invalidations += count
+        return count
+
+
+@dataclass
+class QueryCache:
+    """The engine's two tiers: prepared lists and PDTs.
+
+    Key layouts (relied on by the invalidation helpers):
+
+    * prepared: ``(doc_name, qpt, keywords)``
+    * pdt:      ``(view_name, doc_name, keywords)``
+    """
+
+    prepared_capacity: int = 256
+    pdt_capacity: int = 128
+    prepared: LRUCache = field(init=False)
+    pdts: LRUCache = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.prepared = LRUCache(self.prepared_capacity)
+        self.pdts = LRUCache(self.pdt_capacity)
+
+    # -- keys ---------------------------------------------------------------
+
+    @staticmethod
+    def prepared_key(
+        doc_name: str, qpt: object, keywords: tuple[str, ...]
+    ) -> tuple:
+        return (doc_name, qpt, keywords)
+
+    @staticmethod
+    def pdt_key(
+        view_name: str, doc_name: str, keywords: tuple[str, ...]
+    ) -> tuple:
+        return (view_name, doc_name, keywords)
+
+    # -- invalidation --------------------------------------------------------
+
+    def invalidate_document(self, doc_name: str) -> int:
+        """Drop all entries derived from ``doc_name`` (both tiers)."""
+        dropped = self.prepared.invalidate_where(lambda k: k[0] == doc_name)
+        dropped += self.pdts.invalidate_where(lambda k: k[1] == doc_name)
+        return dropped
+
+    def invalidate_view(self, view_name: str) -> int:
+        """Drop the PDTs of a (re)defined view; prepared lists survive."""
+        return self.pdts.invalidate_where(lambda k: k[0] == view_name)
+
+    def clear(self) -> int:
+        return self.prepared.clear() + self.pdts.clear()
+
+    # -- diagnostics ---------------------------------------------------------
+
+    def stats(self) -> dict[str, dict[str, float]]:
+        return {
+            "prepared": self.prepared.stats.as_dict(),
+            "pdt": self.pdts.stats.as_dict(),
+        }

@@ -3,9 +3,13 @@
 ``KeywordSearchEngine`` wires the paper's architecture together
 (Figure 3): on a keyword query over a view it generates QPTs (phase 1),
 builds PDTs from indices alone (phase 2), evaluates the unmodified view
-query over the PDTs, scores every pruned result, and materializes only the
-top-k winners from document storage (phase 3).  Per-phase wall-clock
-timings are recorded in ``last_timings`` — Figure 14's module breakdown.
+query over the PDTs, scores every pruned result through a streaming
+bounded-heap top-k selector, and defers materialization so document
+storage is touched only when a winner's content is actually read
+(phase 3).  Prepared index lists and PDTs are served from a two-tier LRU
+query cache keyed per document/view/keywords, invalidated via database
+hooks on load/drop.  Per-phase wall-clock timings are recorded in
+``last_timings`` — Figure 14's module breakdown.
 """
 
 from __future__ import annotations
@@ -14,18 +18,24 @@ import time
 from dataclasses import dataclass, field
 from typing import Optional, Sequence, Union
 
+from repro.core.cache import QueryCache
 from repro.core.materialize import materialize_result
 from repro.core.pdt import PDTResult, generate_pdt
-from repro.core.prepare import prepare_lists
+from repro.core.prepare import PreparedLists, prepare_lists
 from repro.core.qpt import QPT, generate_qpts
 from repro.core.rewrite import make_pdt_resolver
 from repro.core.scoring import (
     ScoredResult,
     ScoringOutcome,
     score_results,
-    select_top_k,
 )
-from repro.errors import UnsupportedQueryError, ViewDefinitionError
+from repro.core.topk import select_top_k_streaming
+from repro.errors import (
+    StaleViewError,
+    StorageError,
+    UnsupportedQueryError,
+    ViewDefinitionError,
+)
 from repro.storage.database import XMLDatabase
 from repro.xmlmodel.node import XMLNode
 from repro.xmlmodel.serializer import serialize
@@ -87,19 +97,34 @@ class SearchResult:
     rank: int
     score: float
     scored: ScoredResult
-    _database: XMLDatabase = field(repr=False, default=None)
+    _database: Optional[XMLDatabase] = field(repr=False, default=None)
     _materialized: Optional[XMLNode] = field(repr=False, default=None)
 
     @property
     def pruned(self) -> XMLNode:
         return self.scored.node
 
+    @property
+    def is_materialized(self) -> bool:
+        """Whether full content has already been fetched from storage."""
+        return self._materialized is not None
+
     def tf(self, keyword: str) -> int:
         return self.scored.tf(keyword)
 
     def materialize(self) -> XMLNode:
-        """Fetch full content from document storage (cached)."""
+        """Fetch full content from document storage (cached).
+
+        This is the only point at which a result touches the document
+        store; everything before it ran off indices and the pruned tree.
+        """
         if self._materialized is None:
+            if self._database is None:
+                raise StorageError(
+                    "cannot materialize: this SearchResult is not attached "
+                    "to a database (construct it with _database=... or use "
+                    "the pruned tree)"
+                )
             self._materialized = materialize_result(self.scored.node, self._database)
         return self._materialized
 
@@ -117,16 +142,41 @@ class SearchOutcome:
     idf: dict[str, float]
     pdts: dict[str, PDTResult]
     timings: PhaseTimings
+    cache_hits: dict[str, str] = field(default_factory=dict)
+    """Per-document cache outcome: ``"pdt"``, ``"prepared"`` or ``"miss"``."""
 
 
 class KeywordSearchEngine:
-    """Keyword search over virtual XML views (the paper's Efficient system)."""
+    """Keyword search over virtual XML views (the paper's Efficient system).
 
-    def __init__(self, database: XMLDatabase, normalize_scores: bool = True):
+    By default the engine serves repeated queries through a two-tier
+    :class:`QueryCache` (prepared index lists and PDTs); the cache is
+    invalidated automatically when documents are loaded/dropped or a view
+    name is redefined.  Pass ``enable_cache=False`` for the original
+    probe-every-time behavior, or supply a pre-configured ``cache``.
+    """
+
+    def __init__(
+        self,
+        database: XMLDatabase,
+        normalize_scores: bool = True,
+        cache: Optional[QueryCache] = None,
+        enable_cache: bool = True,
+    ):
         self.database = database
         self.normalize_scores = normalize_scores
         self.last_timings: Optional[PhaseTimings] = None
         self._views: dict[str, View] = {}
+        if cache is None and enable_cache:
+            cache = QueryCache()
+        self.cache = cache
+        if cache is not None:
+            database.add_invalidation_hook(self._on_document_change)
+
+    def _on_document_change(self, doc_name: str) -> None:
+        """Database hook: a document was loaded or dropped."""
+        if self.cache is not None:
+            self.cache.invalidate_document(doc_name)
 
     # -- view management --------------------------------------------------------
 
@@ -142,6 +192,8 @@ class KeywordSearchEngine:
         for doc_name in qpts:
             self.database.get(doc_name)  # fail fast on unknown documents
         view = View(name=name, text=text, expr=expr, qpts=qpts)
+        if self.cache is not None and name in self._views:
+            self.cache.invalidate_view(name)
         self._views[name] = view
         return view
 
@@ -159,9 +211,17 @@ class KeywordSearchEngine:
         keywords: Sequence[str],
         top_k: Optional[int] = 10,
         conjunctive: bool = True,
+        materialize: bool = False,
     ) -> list[SearchResult]:
-        """Ranked keyword search over a virtual view (Problem Ranked-KS)."""
-        return self.search_detailed(view, keywords, top_k, conjunctive).results
+        """Ranked keyword search over a virtual view (Problem Ranked-KS).
+
+        Results are lazy: document storage is touched only when a caller
+        invokes ``materialize()``/``to_xml()`` on a result.  Pass
+        ``materialize=True`` to eagerly expand every winner up front.
+        """
+        return self.search_detailed(
+            view, keywords, top_k, conjunctive, materialize=materialize
+        ).results
 
     def search_detailed(
         self,
@@ -169,29 +229,20 @@ class KeywordSearchEngine:
         keywords: Sequence[str],
         top_k: Optional[int] = 10,
         conjunctive: bool = True,
+        materialize: bool = False,
     ) -> SearchOutcome:
         timings = PhaseTimings()
         start = time.perf_counter()
         if isinstance(view, str):
             view = self.get_view(view)
+        self._reject_stale(view)
         normalized = tuple(normalize_keyword(keyword) for keyword in keywords)
         timings.qpt = time.perf_counter() - start
 
-        # Phase 2: PDT generation — indices only.
+        # Phase 2: PDT generation — indices only, served from cache when a
+        # prior query already built the lists/PDTs for these inputs.
         start = time.perf_counter()
-        pdts: dict[str, PDTResult] = {}
-        for doc_name, qpt in view.qpts.items():
-            indexed = self.database.get(doc_name)
-            lists = prepare_lists(
-                qpt, indexed.path_index, indexed.inverted_index, normalized
-            )
-            pdts[doc_name] = generate_pdt(
-                qpt,
-                indexed.path_index,
-                indexed.inverted_index,
-                normalized,
-                lists=lists,
-            )
+        pdts, cache_hits = self._build_pdts(view, normalized)
         timings.pdt = time.perf_counter() - start
 
         # Phase 3a: evaluate the unmodified view query over the PDTs.
@@ -201,7 +252,9 @@ class KeywordSearchEngine:
         view_results = [item for item in items if isinstance(item, XMLNode)]
         timings.evaluator = time.perf_counter() - start
 
-        # Phase 3b: score, select top-k, materialize only the winners.
+        # Phase 3b: score and stream through the bounded top-k heap.  No
+        # result touches the document store here unless the caller opted
+        # into eager materialization.
         start = time.perf_counter()
         outcome = score_results(
             view_results,
@@ -209,7 +262,7 @@ class KeywordSearchEngine:
             conjunctive=conjunctive,
             normalize=self.normalize_scores,
         )
-        winners = select_top_k(outcome, top_k)
+        winners = select_top_k_streaming(outcome, top_k)
         results = [
             SearchResult(
                 rank=rank,
@@ -219,8 +272,9 @@ class KeywordSearchEngine:
             )
             for rank, scored in enumerate(winners, start=1)
         ]
-        for result in results:
-            result.materialize()
+        if materialize:
+            for result in results:
+                result.materialize()
         timings.post_processing = time.perf_counter() - start
 
         self.last_timings = timings
@@ -231,7 +285,63 @@ class KeywordSearchEngine:
             idf=outcome.idf,
             pdts=pdts,
             timings=timings,
+            cache_hits=cache_hits,
         )
+
+    def _reject_stale(self, view: View) -> None:
+        """Fail fast when a view references dropped documents."""
+        missing = [name for name in view.qpts if name not in self.database]
+        if missing:
+            raise StaleViewError(view.name, missing)
+
+    def _build_pdts(
+        self, view: View, normalized: tuple[str, ...]
+    ) -> tuple[dict[str, PDTResult], dict[str, str]]:
+        """Per-document PDTs for a query, through the two cache tiers.
+
+        Both tiers apply only to *registered* views (name still bound to
+        this exact ``View``): inline views from :meth:`execute` share the
+        ``<inline>`` name and build throwaway QPTs per call, so caching
+        them could alias (PDT tier) or only pollute the LRU with
+        identity-keyed entries that can never hit again (prepared tier).
+        """
+        cache = self.cache
+        cacheable = cache is not None and self._views.get(view.name) is view
+        pdts: dict[str, PDTResult] = {}
+        cache_hits: dict[str, str] = {}
+        for doc_name, qpt in view.qpts.items():
+            if cacheable:
+                pdt_key = cache.pdt_key(view.name, doc_name, normalized)
+                pdt = cache.pdts.get(pdt_key)
+                if pdt is not None:
+                    pdts[doc_name] = pdt
+                    cache_hits[doc_name] = "pdt"
+                    continue
+            indexed = self.database.get(doc_name)
+            lists: Optional[PreparedLists] = None
+            if cacheable:
+                lists_key = cache.prepared_key(doc_name, qpt, normalized)
+                lists = cache.prepared.get(lists_key)
+            if lists is None:
+                lists = prepare_lists(
+                    qpt, indexed.path_index, indexed.inverted_index, normalized
+                )
+                if cacheable:
+                    cache.prepared.put(lists_key, lists)
+                cache_hits[doc_name] = "miss"
+            else:
+                cache_hits[doc_name] = "prepared"
+            pdt = generate_pdt(
+                qpt,
+                indexed.path_index,
+                indexed.inverted_index,
+                normalized,
+                lists=lists,
+            )
+            if cacheable:
+                cache.pdts.put(pdt_key, pdt)
+            pdts[doc_name] = pdt
+        return pdts, cache_hits
 
     # -- diagnostics ------------------------------------------------------------
 
@@ -287,12 +397,8 @@ class KeywordSearchEngine:
         """
         if isinstance(view, str):
             view = self.get_view(view)
-        pdts: dict[str, PDTResult] = {}
-        for doc_name, qpt in view.qpts.items():
-            indexed = self.database.get(doc_name)
-            pdts[doc_name] = generate_pdt(
-                qpt, indexed.path_index, indexed.inverted_index, ()
-            )
+        self._reject_stale(view)
+        pdts, _ = self._build_pdts(view, ())
         evaluator = Evaluator(EvalContext(resolver=make_pdt_resolver(pdts)))
         results = [
             item

@@ -52,7 +52,14 @@ EMPTY_TAG = "#empty-document"
 
 @dataclass
 class PDTResult:
-    """A generated PDT plus the statistics the benchmarks report."""
+    """A generated PDT plus the statistics the benchmarks report.
+
+    A ``PDTResult`` is immutable in practice and safe to share across
+    queries — the engine's query cache relies on this.  The evaluator
+    references PDT nodes without touching their parent pointers, scoring
+    reads annotations only, and materialization copies; nothing downstream
+    writes into the pruned tree.
+    """
 
     doc_name: str
     root: XMLNode
@@ -63,6 +70,10 @@ class PDTResult:
     @property
     def is_empty(self) -> bool:
         return self.root.tag == EMPTY_TAG
+
+    def stats(self) -> dict[str, int]:
+        """Size statistics (used by benchmarks and cache diagnostics)."""
+        return {"nodes": self.node_count, "entries": self.entry_count}
 
 
 class _Item:

@@ -37,6 +37,15 @@ class PreparedLists:
     def total_postings(self) -> int:
         return sum(len(lst) for lst in self.inv_lists.values())
 
+    @property
+    def probe_count(self) -> int:
+        """Index probes issued to build these lists (query-size bound).
+
+        One path-index probe per probed QPT node plus one inverted-list
+        probe per keyword — the cost a query-cache hit avoids entirely.
+        """
+        return len(self.path_lists) + len(self.inv_lists)
+
 
 def prepare_lists(
     qpt: QPT,

@@ -111,10 +111,7 @@ def score_results(
         statistics = aggregate_result(node, keywords)
         scored.append(ScoredResult(index=index, node=node, statistics=statistics))
     view_size = len(scored)
-    idf: dict[str, float] = {}
-    for keyword in keywords:
-        containing = sum(1 for result in scored if result.contains(keyword))
-        idf[keyword] = view_size / containing if containing else 0.0
+    idf = compute_idf(scored, view_size, keywords)
     for result in scored:
         raw = sum(result.tf(keyword) * idf[keyword] for keyword in keywords)
         if normalize and result.statistics.byte_length > 0:
@@ -129,10 +126,25 @@ def score_results(
     )
 
 
+def compute_idf(
+    scored: Sequence[ScoredResult], view_size: int, keywords: Sequence[str]
+) -> dict[str, float]:
+    """``idf(k) = |V(D)| / |{e in V(D): contains(e, k)}|`` per keyword."""
+    idf: dict[str, float] = {}
+    for keyword in keywords:
+        containing = sum(1 for result in scored if result.contains(keyword))
+        idf[keyword] = view_size / containing if containing else 0.0
+    return idf
+
+
 def select_top_k(outcome: ScoringOutcome, k: Optional[int]) -> list[ScoredResult]:
     """The k highest-scoring results; ties broken by document order.
 
     ``k=None`` returns every keyword-satisfying result, ranked.
+
+    This full-sort form is the *reference* implementation the streaming
+    selector (:mod:`repro.core.topk`) is property-tested against; the
+    engine itself uses the O(n log k) bounded heap.
     """
     ranked = sorted(outcome.results, key=lambda r: (-r.score, r.index))
     if k is None:

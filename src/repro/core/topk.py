@@ -1,0 +1,87 @@
+"""Streaming top-k selection over scored results (paper Section 4.2.2.2).
+
+The paper's pipeline identifies the k highest-scoring results and fetches
+content for *only* those winners.  The original engine realized the
+selection as a full sort of every keyword-satisfying result
+(:func:`repro.core.scoring.select_top_k`), which is O(n log n) in the view
+size and forces the complete ranked list to exist even when the caller
+asked for ``top_k=10``.
+
+:class:`TopKSelector` replaces the sort with a bounded min-heap: each
+scored result is pushed once, the heap never holds more than k entries,
+and selection costs O(n log k).  The ranking contract is *identical* to
+``select_top_k`` — descending score, ties broken by document order
+(ascending ``ScoredResult.index``) — which the test suite asserts
+property-style against the reference sort.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Iterable, Optional
+
+from repro.core.scoring import ScoredResult, ScoringOutcome
+
+
+class TopKSelector:
+    """A bounded-heap accumulator for the k best :class:`ScoredResult`\\ s.
+
+    ``k=None`` keeps everything (the caller wants the full ranking);
+    ``k<=0`` keeps nothing.  Results are pushed one at a time —
+    the selector never retains more than ``max(k, 0)`` entries, so the
+    memory high-water mark is O(k), not O(n).
+
+    Heap entries are ``(score, -index)`` pairs: the heap root is the
+    current *worst* retained result (lowest score; among equal scores the
+    latest in document order), which is exactly the entry a better
+    incoming result must displace to preserve ``select_top_k``'s
+    tie-breaking.
+    """
+
+    def __init__(self, k: Optional[int]):
+        self.k = k
+        self._heap: list[tuple[float, int, ScoredResult]] = []
+        self._pushed = 0
+
+    @property
+    def pushed(self) -> int:
+        """How many results have been offered to the selector."""
+        return self._pushed
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def push(self, result: ScoredResult) -> None:
+        """Offer one scored result; retained only if it ranks in the top k."""
+        self._pushed += 1
+        if self.k is not None and self.k <= 0:
+            return
+        entry = (result.score, -result.index, result)
+        if self.k is None or len(self._heap) < self.k:
+            heapq.heappush(self._heap, entry)
+        elif entry[:2] > self._heap[0][:2]:
+            heapq.heapreplace(self._heap, entry)
+
+    def extend(self, results: Iterable[ScoredResult]) -> None:
+        for result in results:
+            self.push(result)
+
+    def results(self) -> list[ScoredResult]:
+        """The retained results, ranked: score descending, ties by index."""
+        return [
+            entry[2]
+            for entry in sorted(self._heap, key=lambda e: (-e[0], -e[1]))
+        ]
+
+
+def select_top_k_streaming(
+    outcome: ScoringOutcome, k: Optional[int]
+) -> list[ScoredResult]:
+    """Drop-in replacement for :func:`repro.core.scoring.select_top_k`.
+
+    Same ranks and tie-breaks, O(n log k) instead of O(n log n), and only
+    k results ever held outside the input list.
+    """
+    selector = TopKSelector(k)
+    selector.extend(outcome.results)
+    return selector.results()

@@ -66,3 +66,20 @@ class DocumentNotFoundError(StorageError):
 
 class ViewDefinitionError(ReproError):
     """Raised when a view definition cannot be analyzed into QPTs."""
+
+
+class StaleViewError(ViewDefinitionError):
+    """Raised when a search targets a view whose documents were dropped.
+
+    Rejecting stale views at search entry keeps the failure out of the
+    middle of the pipeline (where it used to surface as a
+    ``DocumentNotFoundError`` with partial timings already recorded).
+    """
+
+    def __init__(self, view_name: str, missing: list[str]):
+        super().__init__(
+            f"view {view_name!r} is stale: document(s) "
+            f"{', '.join(repr(m) for m in sorted(missing))} no longer loaded"
+        )
+        self.view_name = view_name
+        self.missing = sorted(missing)

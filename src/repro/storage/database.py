@@ -9,8 +9,9 @@ storage, different evaluation path.
 
 from __future__ import annotations
 
+import weakref
 from dataclasses import dataclass
-from typing import Iterable, Optional, Union
+from typing import Callable, Iterable, Optional, Union
 
 from repro.errors import DocumentNotFoundError, StorageError
 from repro.storage.document_store import DocumentStore
@@ -69,6 +70,51 @@ class XMLDatabase:
         self._documents: dict[str, IndexedDocument] = {}
         self.index_tag_names = index_tag_names
         self.store_positions = store_positions
+        # Each entry is a zero-arg resolver returning the live callable or
+        # ``None`` once its owner is gone.
+        self._invalidation_hooks: list[Callable[[], Optional[Callable[[str], None]]]] = []
+
+    # -- invalidation hooks --------------------------------------------------
+
+    def add_invalidation_hook(self, hook: Callable[[str], None]) -> None:
+        """Register a callback fired with the document name whenever a
+        document is loaded or dropped.  Consumers (the engine's query
+        cache, view registries) use this to discard derived state.
+
+        Bound methods are held *weakly*: a database outlives the engines
+        built on it (benchmark sweeps construct one engine per parameter
+        point on a shared database), and registration must not pin dead
+        engines and their caches.  Plain functions are held strongly.
+        """
+        if self._resolve_hooks(prune=False).count(hook):
+            return
+        try:
+            entry = weakref.WeakMethod(hook)
+        except TypeError:
+            # Plain function or builtin method: hold strongly.
+            entry = lambda hook=hook: hook  # noqa: E731
+        self._invalidation_hooks.append(entry)
+
+    def remove_invalidation_hook(self, hook: Callable[[str], None]) -> None:
+        self._invalidation_hooks = [
+            entry for entry in self._invalidation_hooks if entry() != hook
+        ]
+
+    def _resolve_hooks(self, prune: bool = True) -> list[Callable[[str], None]]:
+        live: list[Callable[[str], None]] = []
+        survivors = []
+        for entry in self._invalidation_hooks:
+            hook = entry()
+            if hook is not None:
+                live.append(hook)
+                survivors.append(entry)
+        if prune:
+            self._invalidation_hooks = survivors
+        return live
+
+    def _notify_invalidation(self, name: str) -> None:
+        for hook in self._resolve_hooks():
+            hook(name)
 
     # -- loading -----------------------------------------------------------
 
@@ -78,13 +124,16 @@ class XMLDatabase:
         """Parse (if needed), Dewey-label and index a document.
 
         ``source`` may be XML text, an unlabelled :class:`XMLNode` tree, or
-        a pre-built :class:`Document`.
+        a pre-built :class:`Document`.  A supplied ``Document`` is never
+        mutated: the database stores its own wrapper (sharing the labelled
+        tree), so the caller's object keeps its original name.
         """
         if name in self._documents:
             raise StorageError(f"document already loaded: {name!r}")
         if isinstance(source, Document):
-            document = source
-            document.name = name
+            document = Document(
+                name, source.root, assign_ids=source.root.dewey is None
+            )
         elif isinstance(source, XMLNode):
             document = Document(name, source)
         else:
@@ -100,12 +149,14 @@ class XMLDatabase:
             ),
         )
         self._documents[name] = indexed
+        self._notify_invalidation(name)
         return indexed
 
     def drop_document(self, name: str) -> None:
         if name not in self._documents:
             raise DocumentNotFoundError(name)
         del self._documents[name]
+        self._notify_invalidation(name)
 
     # -- access ------------------------------------------------------------
 

@@ -1,0 +1,206 @@
+"""The two-tier query cache: LRU mechanics and engine integration."""
+
+import pytest
+
+from repro.core.cache import LRUCache, QueryCache
+from repro.core.engine import KeywordSearchEngine
+
+
+class TestLRUCache:
+    def test_get_put_and_stats(self):
+        cache = LRUCache(2)
+        assert cache.get("a") is None
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+        assert cache.stats.hit_rate == 0.5
+
+    def test_lru_eviction_order(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")  # refresh a; b is now least recent
+        cache.put("c", 3)
+        assert "a" in cache and "c" in cache and "b" not in cache
+        assert cache.stats.evictions == 1
+
+    def test_put_existing_key_updates(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("a", 2)
+        assert cache.get("a") == 2
+        assert len(cache) == 1
+
+    def test_zero_capacity_disables(self):
+        cache = LRUCache(0)
+        cache.put("a", 1)
+        assert cache.get("a") is None
+        assert len(cache) == 0
+
+    def test_invalidate_where(self):
+        cache = LRUCache(8)
+        cache.put(("x", 1), "a")
+        cache.put(("y", 2), "b")
+        assert cache.invalidate_where(lambda k: k[0] == "x") == 1
+        assert ("x", 1) not in cache and ("y", 2) in cache
+
+    def test_clear(self):
+        cache = LRUCache(8)
+        cache.put("a", 1)
+        assert cache.clear() == 1
+        assert len(cache) == 0
+
+
+class TestQueryCache:
+    def test_invalidate_document_hits_both_tiers(self):
+        qc = QueryCache()
+        qc.prepared.put(qc.prepared_key("d.xml", object(), ("k",)), "lists")
+        qc.pdts.put(qc.pdt_key("v", "d.xml", ("k",)), "pdt")
+        qc.pdts.put(qc.pdt_key("v", "other.xml", ("k",)), "pdt2")
+        assert qc.invalidate_document("d.xml") == 2
+        assert len(qc.prepared) == 0
+        assert len(qc.pdts) == 1
+
+    def test_invalidate_view_leaves_prepared(self):
+        qc = QueryCache()
+        qc.prepared.put(qc.prepared_key("d.xml", object(), ("k",)), "lists")
+        qc.pdts.put(qc.pdt_key("v", "d.xml", ("k",)), "pdt")
+        assert qc.invalidate_view("v") == 1
+        assert len(qc.prepared) == 1
+
+    def test_stats_shape(self):
+        stats = QueryCache().stats()
+        assert set(stats) == {"prepared", "pdt"}
+        assert stats["pdt"]["hit_rate"] == 0.0
+
+
+@pytest.fixture()
+def engine(bookrev_db):
+    return KeywordSearchEngine(bookrev_db)
+
+
+@pytest.fixture()
+def view(engine, bookrev_view_text):
+    return engine.define_view("bookrevs", bookrev_view_text)
+
+
+def assert_zero_probes(db):
+    for name in db.document_names():
+        indexed = db.get(name)
+        assert indexed.path_index.probe_count == 0
+        assert indexed.inverted_index.probe_count == 0
+
+
+class TestEngineCaching:
+    def test_repeat_query_issues_zero_probes(self, engine, view):
+        first = engine.search_detailed(view, ["xml", "search"], top_k=10)
+        assert set(first.cache_hits.values()) == {"miss"}
+        engine.database.reset_access_counters()
+        second = engine.search_detailed(view, ["xml", "search"], top_k=10)
+        assert_zero_probes(engine.database)
+        assert set(second.cache_hits.values()) == {"pdt"}
+
+    def test_cached_results_identical(self, engine, view):
+        first = engine.search(view, ["xml", "search"], top_k=10)
+        second = engine.search(view, ["xml", "search"], top_k=10)
+        assert [(r.rank, r.score) for r in first] == [
+            (r.rank, r.score) for r in second
+        ]
+        assert [r.to_xml() for r in first] == [r.to_xml() for r in second]
+
+    def test_different_keywords_miss(self, engine, view):
+        engine.search(view, ["xml"], top_k=5)
+        outcome = engine.search_detailed(view, ["search"], top_k=5)
+        assert set(outcome.cache_hits.values()) == {"miss"}
+
+    def test_prepared_tier_alone_avoids_probes(self, bookrev_db, bookrev_view_text):
+        # PDT tier off: repeats hit the prepared-lists tier, which already
+        # carries every probe result — probe counters stay at zero.
+        engine = KeywordSearchEngine(
+            bookrev_db, cache=QueryCache(pdt_capacity=0)
+        )
+        view = engine.define_view("bookrevs", bookrev_view_text)
+        engine.search(view, ["xml", "search"])
+        bookrev_db.reset_access_counters()
+        outcome = engine.search_detailed(view, ["xml", "search"])
+        assert set(outcome.cache_hits.values()) == {"prepared"}
+        assert_zero_probes(bookrev_db)
+
+    def test_disabled_cache_probes_every_time(self, bookrev_db, bookrev_view_text):
+        engine = KeywordSearchEngine(bookrev_db, enable_cache=False)
+        assert engine.cache is None
+        view = engine.define_view("bookrevs", bookrev_view_text)
+        engine.search(view, ["xml"])
+        bookrev_db.reset_access_counters()
+        outcome = engine.search_detailed(view, ["xml"])
+        assert set(outcome.cache_hits.values()) == {"miss"}
+        probes = sum(
+            bookrev_db.get(name).path_index.probe_count
+            + bookrev_db.get(name).inverted_index.probe_count
+            for name in bookrev_db.document_names()
+        )
+        assert probes > 0
+
+    def test_reload_invalidates_document_entries(
+        self, engine, view, bookrev_db
+    ):
+        engine.search(view, ["xml", "search"])
+        reviews_text = bookrev_db.get("reviews.xml").serialized
+        bookrev_db.drop_document("reviews.xml")
+        bookrev_db.load_document("reviews.xml", reviews_text)
+        outcome = engine.search_detailed(view, ["xml", "search"])
+        # Rebuilt for the reloaded document, still cached for the other.
+        assert outcome.cache_hits["reviews.xml"] == "miss"
+        assert outcome.cache_hits["books.xml"] == "pdt"
+        assert len(outcome.results) == 2
+
+    def test_redefining_view_invalidates_its_pdts(
+        self, engine, view, bookrev_view_text
+    ):
+        engine.search(view, ["xml", "search"])
+        fresh = engine.define_view("bookrevs", bookrev_view_text)
+        outcome = engine.search_detailed(fresh, ["xml", "search"])
+        assert outcome.cache_hits["books.xml"] != "pdt"
+
+    def test_inline_views_do_not_alias_in_pdt_tier(self, engine, bookrev_db):
+        # Two different inline queries share the "<inline>" view name; the
+        # PDT tier must not serve one the other's trees.
+        q1 = (
+            "for $b in fn:doc(books.xml)/books//book "
+            "where $b/year > 1995 and $b ftcontains('xml') return $b"
+        )
+        q2 = (
+            "for $b in fn:doc(books.xml)/books//book "
+            "where $b ftcontains('xml') return $b"
+        )
+        assert len(engine.execute(q2, top_k=10)) > len(engine.execute(q1, top_k=10))
+        # Run q1 again after q2: results must match the first q1 run.
+        assert len(engine.execute(q1, top_k=10)) == 1
+
+    def test_execute_does_not_populate_cache(self, engine, bookrev_db):
+        # Inline views build throwaway QPTs; caching them would only fill
+        # the LRU with identity-keyed entries that can never hit.
+        engine.execute(
+            "for $b in fn:doc(books.xml)/books//book "
+            "where $b ftcontains('xml') return $b"
+        )
+        assert len(engine.cache.prepared) == 0
+        assert len(engine.cache.pdts) == 0
+
+    def test_discarded_engine_is_garbage_collected(self, bookrev_db):
+        import gc
+        import weakref
+
+        engine = KeywordSearchEngine(bookrev_db)
+        ref = weakref.ref(engine)
+        del engine
+        gc.collect()
+        assert ref() is None  # the database hook holds it only weakly
+
+    def test_cache_stats_accumulate(self, engine, view):
+        engine.search(view, ["xml"])
+        engine.search(view, ["xml"])
+        stats = engine.cache.stats()
+        assert stats["pdt"]["hits"] > 0
+        assert stats["pdt"]["misses"] > 0

@@ -30,6 +30,21 @@ class TestLoading:
         indexed = db.load_document("renamed.xml", doc)
         assert indexed.name == "renamed.xml"
 
+    def test_load_does_not_mutate_caller_document(self):
+        db = XMLDatabase()
+        doc = Document("orig", parse_xml("<a><b>x</b></a>"))
+        indexed = db.load_document("renamed.xml", doc)
+        assert doc.name == "orig"  # caller's object untouched
+        assert indexed.name == "renamed.xml"
+        assert indexed.root is doc.root  # tree shared, not copied
+
+    def test_load_document_without_ids_gets_labelled(self):
+        db = XMLDatabase()
+        doc = Document("orig", parse_xml("<a><b/></a>"), assign_ids=False)
+        assert doc.root.dewey is None
+        indexed = db.load_document("d.xml", doc)
+        assert indexed.root.dewey is not None
+
     def test_duplicate_name_rejected(self):
         db = XMLDatabase()
         db.load_document("a.xml", "<a/>")
@@ -43,6 +58,63 @@ class TestLoading:
         assert "a.xml" not in db
         with pytest.raises(DocumentNotFoundError):
             db.drop_document("a.xml")
+
+
+class TestInvalidationHooks:
+    def test_hooks_fire_on_load_and_drop(self):
+        db = XMLDatabase()
+        events: list[str] = []
+        db.add_invalidation_hook(events.append)
+        db.load_document("a.xml", "<a/>")
+        db.drop_document("a.xml")
+        assert events == ["a.xml", "a.xml"]
+
+    def test_duplicate_hook_registered_once(self):
+        db = XMLDatabase()
+        events: list[str] = []
+        db.add_invalidation_hook(events.append)
+        db.add_invalidation_hook(events.append)
+        db.load_document("a.xml", "<a/>")
+        assert events == ["a.xml"]
+
+    def test_remove_hook(self):
+        db = XMLDatabase()
+        events: list[str] = []
+        db.add_invalidation_hook(events.append)
+        db.remove_invalidation_hook(events.append)
+        db.load_document("a.xml", "<a/>")
+        assert events == []
+
+    def test_bound_method_hooks_do_not_pin_owner(self):
+        import gc
+        import weakref
+
+        class Owner:
+            def __init__(self):
+                self.seen: list[str] = []
+
+            def hook(self, name: str) -> None:
+                self.seen.append(name)
+
+        db = XMLDatabase()
+        owner = Owner()
+        db.add_invalidation_hook(owner.hook)
+        db.load_document("a.xml", "<a/>")
+        assert owner.seen == ["a.xml"]
+        ref = weakref.ref(owner)
+        del owner
+        gc.collect()
+        assert ref() is None  # registration did not pin the owner
+        db.drop_document("a.xml")  # dead hook pruned silently
+        assert db._invalidation_hooks == []
+
+    def test_failed_drop_fires_no_hook(self):
+        db = XMLDatabase()
+        events: list[str] = []
+        db.add_invalidation_hook(events.append)
+        with pytest.raises(DocumentNotFoundError):
+            db.drop_document("missing.xml")
+        assert events == []
 
 
 class TestAccess:

@@ -2,8 +2,15 @@
 
 import pytest
 
-from repro.core.engine import KeywordSearchEngine, extract_keyword_query
-from repro.errors import UnsupportedQueryError, ViewDefinitionError
+from repro.core.engine import KeywordSearchEngine, SearchResult, extract_keyword_query
+from repro.core.scoring import ResultStatistics, ScoredResult
+from repro.errors import (
+    StaleViewError,
+    StorageError,
+    UnsupportedQueryError,
+    ViewDefinitionError,
+)
+from repro.xmlmodel.node import XMLNode
 from repro.workloads.bookrev import BOOKREV_KEYWORD_QUERY
 from repro.xquery.parser import parse_query
 from repro.xquery.functions import inline_functions
@@ -92,6 +99,40 @@ class TestOutcome:
             assert db.get(name).store.access_count == 0
         assert outcome.results == []
 
+    def test_search_is_lazy_by_default(self, engine, view):
+        db = engine.database
+        db.reset_access_counters()
+        results = engine.search(view, ["xml", "search"], top_k=10)
+        assert results
+        # No document-store access until a caller reads content.
+        for name in db.document_names():
+            assert db.get(name).store.access_count == 0
+        assert not results[0].is_materialized
+        results[0].to_xml()
+        assert results[0].is_materialized
+        assert any(
+            db.get(name).store.access_count > 0 for name in db.document_names()
+        )
+
+    def test_eager_materialization_opt_in(self, engine, view):
+        db = engine.database
+        db.reset_access_counters()
+        results = engine.search(view, ["xml", "search"], top_k=10, materialize=True)
+        assert results and all(r.is_materialized for r in results)
+        assert any(
+            db.get(name).store.access_count > 0 for name in db.document_names()
+        )
+
+    def test_result_without_database_raises_clear_error(self):
+        scored = ScoredResult(
+            index=0,
+            node=XMLNode("r"),
+            statistics=ResultStatistics(term_frequencies={}, byte_length=1),
+        )
+        result = SearchResult(rank=1, score=0.0, scored=scored)
+        with pytest.raises(StorageError, match="not attached to a database"):
+            result.materialize()
+
     def test_empty_view_produces_empty_outcome(self, engine):
         view = engine.define_view(
             "none",
@@ -101,6 +142,39 @@ class TestOutcome:
         outcome = engine.search_detailed(view, ["xml"], top_k=5)
         assert outcome.view_size == 0
         assert outcome.results == []
+
+
+class TestStaleViews:
+    def test_search_on_stale_view_rejected(self, engine, view, bookrev_db):
+        bookrev_db.drop_document("reviews.xml")
+        with pytest.raises(StaleViewError) as excinfo:
+            engine.search(view, ["xml"], top_k=5)
+        assert excinfo.value.view_name == "bookrevs"
+        assert excinfo.value.missing == ["reviews.xml"]
+
+    def test_stale_rejection_leaves_no_partial_timings(
+        self, engine, view, bookrev_db
+    ):
+        engine.search(view, ["xml"], top_k=5)
+        before = engine.last_timings
+        bookrev_db.drop_document("books.xml")
+        with pytest.raises(StaleViewError):
+            engine.search(view, ["xml"], top_k=5)
+        assert engine.last_timings is before
+
+    def test_stale_view_name_error_is_view_definition_error(self):
+        assert issubclass(StaleViewError, ViewDefinitionError)
+
+    def test_evaluate_view_rejects_stale(self, engine, view, bookrev_db):
+        bookrev_db.drop_document("reviews.xml")
+        with pytest.raises(StaleViewError):
+            engine.evaluate_view(view)
+
+    def test_view_usable_again_after_reload(self, engine, view, bookrev_db):
+        reviews_text = bookrev_db.get("reviews.xml").serialized
+        bookrev_db.drop_document("reviews.xml")
+        bookrev_db.load_document("reviews.xml", reviews_text)
+        assert len(engine.search(view, ["xml", "search"], top_k=10)) == 2
 
 
 class TestDefineView:

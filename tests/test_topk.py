@@ -1,0 +1,88 @@
+"""Streaming top-k selector: equivalence with the reference full sort."""
+
+import random
+
+import pytest
+
+from repro.core.scoring import (
+    ResultStatistics,
+    ScoredResult,
+    ScoringOutcome,
+    select_top_k,
+)
+from repro.core.topk import TopKSelector, select_top_k_streaming
+from repro.xmlmodel.node import XMLNode
+
+
+def make_scored(scores):
+    """ScoredResults with document-order indexes and the given scores."""
+    results = []
+    for index, score in enumerate(scores):
+        results.append(
+            ScoredResult(
+                index=index,
+                node=XMLNode("r"),
+                statistics=ResultStatistics(term_frequencies={}, byte_length=1),
+                score=score,
+            )
+        )
+    return results
+
+
+def make_outcome(scores):
+    results = make_scored(scores)
+    return ScoringOutcome(results=results, view_size=len(results), idf={})
+
+
+def ranking(results):
+    return [(r.index, r.score) for r in results]
+
+
+class TestSelector:
+    def test_empty(self):
+        assert TopKSelector(5).results() == []
+
+    def test_keeps_best_k(self):
+        selector = TopKSelector(2)
+        selector.extend(make_scored([1.0, 3.0, 2.0, 5.0]))
+        assert [r.score for r in selector.results()] == [5.0, 3.0]
+
+    def test_k_none_keeps_all_ranked(self):
+        outcome = make_outcome([1.0, 3.0, 2.0])
+        assert ranking(select_top_k_streaming(outcome, None)) == ranking(
+            select_top_k(outcome, None)
+        )
+
+    def test_k_zero_and_negative_keep_nothing(self):
+        outcome = make_outcome([1.0, 2.0])
+        assert select_top_k_streaming(outcome, 0) == []
+        assert select_top_k_streaming(outcome, -3) == []
+
+    def test_k_larger_than_n(self):
+        outcome = make_outcome([2.0, 1.0])
+        assert [r.score for r in select_top_k_streaming(outcome, 10)] == [2.0, 1.0]
+
+    def test_ties_broken_by_document_order(self):
+        # Equal scores: earlier document order wins, exactly like the sort.
+        outcome = make_outcome([7.0, 7.0, 7.0, 9.0])
+        streamed = select_top_k_streaming(outcome, 2)
+        assert ranking(streamed) == [(3, 9.0), (0, 7.0)]
+        assert ranking(streamed) == ranking(select_top_k(outcome, 2))
+
+    def test_bounded_memory(self):
+        selector = TopKSelector(3)
+        selector.extend(make_scored([float(i) for i in range(100)]))
+        assert len(selector) == 3
+        assert selector.pushed == 100
+
+    @pytest.mark.parametrize("seed", range(8))
+    @pytest.mark.parametrize("k", [None, 0, 1, 3, 7, 50])
+    def test_equivalence_randomized(self, seed, k):
+        # Scores drawn from a tiny set so ties are everywhere — the
+        # tie-breaking path is the one a heap gets wrong most easily.
+        rng = random.Random(seed)
+        scores = [rng.choice([0.0, 1.0, 2.0, 3.0]) for _ in range(rng.randint(0, 40))]
+        outcome = make_outcome(scores)
+        assert ranking(select_top_k_streaming(outcome, k)) == ranking(
+            select_top_k(outcome, k)
+        )
