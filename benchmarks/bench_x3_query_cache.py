@@ -1,4 +1,4 @@
-"""X3 (extension): the two-tier query cache under repeated queries.
+"""X3 (extension): the query cache's exact-repeat tiers under repeated queries.
 
 Not a paper figure — this measures the serving-layer extension: once a
 query has warmed the cache, an identical query is answered without a
@@ -46,7 +46,11 @@ def test_prepared_tier_repeat_query(benchmark):
     from repro.workloads.views import view_for_params
 
     database = build_database(PARAMS)
-    engine = KeywordSearchEngine(database, cache=QueryCache(pdt_capacity=0))
+    # Skeleton tier off too: this point isolates the prepared-lists tier
+    # (bench_x4_skeleton_reuse covers the skeleton regimes).
+    engine = KeywordSearchEngine(
+        database, cache=QueryCache(pdt_capacity=0, skeleton_capacity=0)
+    )
     view = engine.define_view("bench", view_for_params(PARAMS))
     keywords = PARAMS.keywords()
     engine.search(view, keywords, top_k=PARAMS.top_k)

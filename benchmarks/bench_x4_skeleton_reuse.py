@@ -1,0 +1,106 @@
+"""X4 (extension): cross-query PDT skeleton reuse.
+
+Not a paper figure — this measures the skeleton tier added on top of
+the query cache.  Three serving regimes for the same view:
+
+* **cold**          — no cache: every query pays path-index probes, the
+  structural merge pass, inverted-list probes and annotation;
+* **skeleton-warm** — the ``(view, doc)`` skeleton is cached but every
+  query carries a *never-seen* keyword set: zero path-index probes and
+  no merge pass, only inverted-list probes + the annotation pass;
+* **fully-warm**    — the exact ``(view, doc, keywords)`` PDT is
+  cached: no index work at all.
+
+The assertions are the acceptance criterion: a skeleton-warm query on
+the same ``(view, doc)`` with a disjoint keyword set performs **zero**
+path-index probes, and the engine's phase timings attribute the time to
+the postings half, not the skeleton half.
+"""
+
+import itertools
+
+from conftest import make_engine_and_view
+from repro.core.cache import QueryCache
+from repro.core.engine import KeywordSearchEngine
+from repro.bench.experiments import build_database
+from repro.workloads.params import ExperimentParams
+from repro.workloads.views import view_for_params
+
+PARAMS = ExperimentParams(data_scale=1)
+
+# Disjoint keyword sets cycled by the skeleton-warm benchmark so no
+# iteration can be served by the (disabled anyway) PDT tier.
+KEYWORD_SETS = [
+    ("thomas",),
+    ("control",),
+    ("search",),
+    ("thomas", "control"),
+    ("analysis",),
+    ("control", "search"),
+]
+
+
+def path_probes(engine, view):
+    return sum(
+        engine.database.get(name).path_index.probe_count
+        for name in view.document_names
+    )
+
+
+def inv_probes(engine, view):
+    return sum(
+        engine.database.get(name).inverted_index.probe_count
+        for name in view.document_names
+    )
+
+
+def test_cold_pipeline(benchmark):
+    engine, view = make_engine_and_view(PARAMS, enable_cache=False)
+    keywords = PARAMS.keywords()
+    engine.database.reset_access_counters()
+    benchmark(lambda: engine.search(view, keywords, top_k=PARAMS.top_k))
+    assert path_probes(engine, view) > 0
+    assert inv_probes(engine, view) > 0
+
+
+def test_skeleton_warm_fresh_keywords(benchmark):
+    # PDT and prepared tiers off: every iteration must run the
+    # skeleton-annotation path end to end.
+    database = build_database(PARAMS)
+    engine = KeywordSearchEngine(
+        database, cache=QueryCache(pdt_capacity=0, prepared_capacity=0)
+    )
+    view = engine.define_view("bench", view_for_params(PARAMS))
+    engine.search(view, PARAMS.keywords(), top_k=PARAMS.top_k)  # warm skeletons
+    engine.database.reset_access_counters()
+    cycle = itertools.cycle(KEYWORD_SETS)
+
+    outcome = benchmark(
+        lambda: engine.search_detailed(
+            view, next(cycle), top_k=PARAMS.top_k
+        )
+    )
+    # The acceptance criterion: zero path-index probes across every
+    # skeleton-warm iteration; the inverted index was consulted.
+    assert set(outcome.cache_hits.values()) == {"skeleton"}
+    assert path_probes(engine, view) == 0
+    assert inv_probes(engine, view) > 0
+    assert engine.cache.stats()["skeleton"]["hits"] > 0
+    # Phase attribution: structural time collapsed, postings time paid.
+    assert outcome.timings.pdt_postings > 0
+    assert outcome.timings.pdt_skeleton < outcome.timings.pdt
+
+
+def test_fully_warm_repeat_query(benchmark):
+    engine, view = make_engine_and_view(PARAMS, enable_cache=True)
+    keywords = PARAMS.keywords()
+    first = engine.search_detailed(view, keywords, top_k=PARAMS.top_k)
+    assert set(first.cache_hits.values()) == {"miss"}
+
+    engine.database.reset_access_counters()
+    outcome = benchmark(
+        lambda: engine.search_detailed(view, keywords, top_k=PARAMS.top_k)
+    )
+    assert set(outcome.cache_hits.values()) == {"pdt"}
+    assert path_probes(engine, view) == 0
+    assert inv_probes(engine, view) == 0

@@ -28,7 +28,13 @@ from repro.core.engine import (
 )
 from repro.core.cache import QueryCache
 from repro.core.qpt import QPT, generate_qpts
-from repro.core.pdt import PDTResult, generate_pdt
+from repro.core.pdt import (
+    PDTResult,
+    PDTSkeleton,
+    annotate_skeleton,
+    build_skeleton,
+    generate_pdt,
+)
 from repro.core.topk import TopKSelector
 from repro.dewey import DeweyID
 from repro.errors import (
@@ -58,7 +64,10 @@ __all__ = [
     "QPT",
     "generate_qpts",
     "PDTResult",
+    "PDTSkeleton",
     "generate_pdt",
+    "build_skeleton",
+    "annotate_skeleton",
     "QueryCache",
     "TopKSelector",
     "DeweyID",

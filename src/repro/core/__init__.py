@@ -1,10 +1,17 @@
 """The paper's primary contribution: QPT generation, index-only PDT
-generation, scoring with deferred materialization, streaming top-k
-selection, the two-tier query cache, and the end-to-end
-keyword-search-over-views engine."""
+generation (split into a reusable keyword-independent skeleton plus a
+per-query annotation pass), scoring with deferred materialization,
+streaming top-k selection, the sharded three-tier query cache, and the
+end-to-end keyword-search-over-views engine."""
 
 from repro.core.qpt import QPT, QPTNode, QPTEdge, generate_qpts
-from repro.core.pdt import generate_pdt, PDTResult
+from repro.core.pdt import (
+    PDTResult,
+    PDTSkeleton,
+    annotate_skeleton,
+    build_skeleton,
+    generate_pdt,
+)
 from repro.core.reference import reference_pdt
 from repro.core.scoring import (
     ScoredResult,
@@ -13,7 +20,12 @@ from repro.core.scoring import (
     select_top_k,
 )
 from repro.core.topk import TopKSelector, select_top_k_streaming
-from repro.core.cache import CacheStats, LRUCache, QueryCache
+from repro.core.cache import (
+    CacheStats,
+    LRUCache,
+    QueryCache,
+    ShardedLRUCache,
+)
 from repro.core.materialize import materialize_result
 from repro.core.engine import KeywordSearchEngine, SearchResult, View
 
@@ -24,6 +36,9 @@ __all__ = [
     "generate_qpts",
     "generate_pdt",
     "PDTResult",
+    "PDTSkeleton",
+    "build_skeleton",
+    "annotate_skeleton",
     "reference_pdt",
     "ScoredResult",
     "compute_idf",
@@ -33,6 +48,7 @@ __all__ = [
     "select_top_k_streaming",
     "CacheStats",
     "LRUCache",
+    "ShardedLRUCache",
     "QueryCache",
     "materialize_result",
     "KeywordSearchEngine",

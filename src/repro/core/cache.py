@@ -1,9 +1,9 @@
-"""A two-tier LRU cache for the query-serving pipeline.
+"""A sharded, three-tier LRU cache for the query-serving pipeline.
 
 Repeated keyword queries are the common case a serving system sees, yet
 every search used to re-issue the full PrepareLists probe set and rebuild
-every PDT from scratch.  Both intermediates are pure functions of stable
-inputs, so they cache cleanly:
+every PDT from scratch.  The intermediates are pure functions of stable
+inputs, so they cache cleanly — and they split along the keyword axis:
 
 * **Tier 1 — prepared lists**: keyed by ``(document, QPT, keywords)``.
   A hit skips every path-index and inverted-index probe for that
@@ -11,22 +11,38 @@ inputs, so they cache cleanly:
   identity — a view built by ``define_view`` keeps its QPT objects for
   life, and the cache key holds a strong reference so ids cannot be
   recycled.
-* **Tier 2 — PDTs**: keyed by ``(view, document, keywords)``.  A hit
-  skips PDT generation entirely and reuses the pruned tree.  This is
-  safe because nothing downstream mutates a PDT: the evaluator
-  references PDT nodes without touching their parent pointers, scoring
-  only reads annotations, and materialization copies.
+* **Tier 2 — PDT skeletons**: keyed by ``(view, document)`` — no
+  keywords.  The skeleton is the keyword-*independent* structural part
+  of the PDT (view-relevant paths, Dewey ids, the resolved structural
+  joins); see :class:`repro.core.pdt.PDTSkeleton`.  A hit means a query
+  with a *never-seen* keyword set skips all path-index probes and the
+  whole merge pass; only per-keyword inverted-list probes and the cheap
+  annotation pass remain.
+* **Tier 3 — PDTs**: keyed by ``(view, document, keywords)``.  A hit
+  skips PDT work entirely and reuses the pruned tree.  This is safe
+  because nothing downstream mutates a PDT: the evaluator references
+  PDT nodes without touching their parent pointers, scoring only reads
+  annotations, and materialization copies.
 
-Both tiers are invalidated per document through the hooks
+Every tier is a :class:`ShardedLRUCache`: entries are hash-partitioned
+by their ``(doc, view)`` coordinates across independent shards, each
+with its own lock and LRU chain, so concurrent workers contend only
+when they touch the same shard and capacity scales with the shard
+count.  Statistics are kept per shard and aggregated on demand.
+
+All tiers are invalidated per document through the hooks
 :class:`repro.storage.database.XMLDatabase` fires on ``load_document`` /
-``drop_document``, and per view when a view name is redefined.  The idea
-— keep per-view intermediate structures alive across queries — follows
-the view-maintenance line of work (Chebotko & Fu's reconstruction-view
-selection; Böttcher et al.'s DAG-compressed search structures).
+``drop_document``, and per view (skeletons and PDTs) when a view name
+is redefined.  The idea — keep per-view intermediate structures alive
+across queries, sharing the structure/data split — follows the
+view-maintenance and DAG-compression line of work (Chebotko & Fu's
+reconstruction-view selection; Böttcher et al.'s DAG-compressed search
+structures).
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Any, Callable, Hashable, Optional
@@ -34,7 +50,7 @@ from typing import Any, Callable, Hashable, Optional
 
 @dataclass
 class CacheStats:
-    """Hit/miss/eviction counters for one cache tier."""
+    """Hit/miss/eviction counters for one cache tier (or one shard)."""
 
     hits: int = 0
     misses: int = 0
@@ -48,6 +64,12 @@ class CacheStats:
     @property
     def hit_rate(self) -> float:
         return self.hits / self.lookups if self.lookups else 0.0
+
+    def add(self, other: "CacheStats") -> None:
+        self.hits += other.hits
+        self.misses += other.misses
+        self.evictions += other.evictions
+        self.invalidations += other.invalidations
 
     def as_dict(self) -> dict[str, float]:
         return {
@@ -63,7 +85,9 @@ class LRUCache:
     """A size-bounded mapping with least-recently-used eviction.
 
     ``capacity <= 0`` disables the cache (every ``get`` misses, ``put`` is
-    a no-op), which lets callers turn a tier off without branching.
+    a no-op), which lets callers turn a tier off without branching.  Not
+    thread-safe on its own — :class:`ShardedLRUCache` serializes access
+    per shard.
     """
 
     def __init__(self, capacity: int):
@@ -111,58 +135,232 @@ class LRUCache:
         return count
 
 
+class ShardedLRUCache:
+    """Hash-partitioned LRU: independent shards, each with its own lock.
+
+    ``shard_key(key)`` extracts the partition coordinates (for the query
+    tiers: the ``(doc, view)`` part of the key, *not* the keywords, so
+    all entries of one view/document land in one shard and document
+    invalidation touches a predictable place).  ``capacity`` is the
+    total across shards; each shard gets an equal slice, so eviction
+    pressure is per-partition — one hot view cannot evict the world.
+
+    Thread-safe: every operation takes only its shard's lock; whole-
+    cache operations (``invalidate_where``, ``clear``, stats) visit the
+    shards one at a time and never hold two locks at once, so there is
+    no lock-ordering hazard.
+    """
+
+    def __init__(
+        self,
+        capacity: int,
+        shards: int = 8,
+        shard_key: Optional[Callable[[Hashable], Hashable]] = None,
+    ):
+        self.capacity = capacity
+        self.shard_count = max(1, shards)
+        per_shard = 0
+        if capacity > 0:
+            per_shard = -(-capacity // self.shard_count)  # ceil division
+        self._shards = [LRUCache(per_shard) for _ in range(self.shard_count)]
+        self._locks = [threading.Lock() for _ in range(self.shard_count)]
+        self._shard_key = shard_key or (lambda key: key)
+
+    # -- partitioning --------------------------------------------------------
+
+    def shard_index(self, key: Hashable) -> int:
+        return hash(self._shard_key(key)) % self.shard_count
+
+    # -- mapping operations --------------------------------------------------
+
+    def __len__(self) -> int:
+        total = 0
+        for shard, lock in zip(self._shards, self._locks):
+            with lock:
+                total += len(shard)
+        return total
+
+    def __contains__(self, key: Hashable) -> bool:
+        index = self.shard_index(key)
+        with self._locks[index]:
+            return key in self._shards[index]
+
+    def get(self, key: Hashable) -> Optional[Any]:
+        index = self.shard_index(key)
+        with self._locks[index]:
+            return self._shards[index].get(key)
+
+    def put(self, key: Hashable, value: Any) -> None:
+        index = self.shard_index(key)
+        with self._locks[index]:
+            self._shards[index].put(key, value)
+
+    def invalidate_where(self, predicate: Callable[[Hashable], bool]) -> int:
+        dropped = 0
+        for shard, lock in zip(self._shards, self._locks):
+            with lock:
+                dropped += shard.invalidate_where(predicate)
+        return dropped
+
+    def clear(self) -> int:
+        dropped = 0
+        for shard, lock in zip(self._shards, self._locks):
+            with lock:
+                dropped += shard.clear()
+        return dropped
+
+    # -- diagnostics ---------------------------------------------------------
+
+    @property
+    def stats(self) -> CacheStats:
+        """Aggregate counters across all shards (computed on demand)."""
+        total = CacheStats()
+        for snapshot in self.shard_stats():
+            total.add(snapshot)
+        return total
+
+    def shard_stats(self) -> list[CacheStats]:
+        """A per-shard snapshot of the counters, in shard order."""
+        snapshot = []
+        for shard, lock in zip(self._shards, self._locks):
+            with lock:
+                snapshot.append(
+                    CacheStats(
+                        hits=shard.stats.hits,
+                        misses=shard.stats.misses,
+                        evictions=shard.stats.evictions,
+                        invalidations=shard.stats.invalidations,
+                    )
+                )
+        return snapshot
+
+    def shard_sizes(self) -> list[int]:
+        sizes = []
+        for shard, lock in zip(self._shards, self._locks):
+            with lock:
+                sizes.append(len(shard))
+        return sizes
+
+    def stats_dict(self) -> dict[str, Any]:
+        """Aggregate counters plus the per-shard breakdown.
+
+        The aggregate is summed from the single per-shard snapshot, so
+        the returned dict is internally consistent (aggregate == sum of
+        shards) even while other threads keep counting.
+        """
+        shards = self.shard_stats()
+        total = CacheStats()
+        for snapshot in shards:
+            total.add(snapshot)
+        combined = total.as_dict()
+        combined["shards"] = [s.as_dict() for s in shards]
+        return combined
+
+
 @dataclass
 class QueryCache:
-    """The engine's two tiers: prepared lists and PDTs.
+    """The engine's three tiers: prepared lists, PDT skeletons, PDTs.
 
-    Key layouts (relied on by the invalidation helpers):
+    Key layouts (positions relied on by the invalidation helpers):
 
-    * prepared: ``(doc_name, qpt, keywords)``
-    * pdt:      ``(view_name, doc_name, keywords)``
+    * prepared:  ``(doc_name, generation, qpt, keywords)`` — sharded by
+      ``doc_name``
+    * skeleton:  ``(view_name, doc_name, generation, qpt)`` — sharded by
+      ``(view_name, doc_name)``
+    * pdt:       ``(view_name, doc_name, generation, qpt, keywords)`` —
+      sharded by ``(view_name, doc_name)``
+
+    Keywords never participate in shard selection: all keyword variants
+    of one ``(view, doc)`` pair share a shard, so skeleton reuse and
+    invalidation are single-shard operations.
+
+    Keys are *self-invalidating* under concurrency: the document
+    ``generation`` changes on every reload and the QPT objects change on
+    every view redefinition, so a cache write that raced with either
+    event is keyed by dead coordinates and can never be served.  The
+    ``invalidate_*`` helpers still drop such entries eagerly (memory,
+    not correctness).
     """
 
     prepared_capacity: int = 256
     pdt_capacity: int = 128
-    prepared: LRUCache = field(init=False)
-    pdts: LRUCache = field(init=False)
+    skeleton_capacity: int = 64
+    shard_count: int = 8
+    prepared: ShardedLRUCache = field(init=False)
+    pdts: ShardedLRUCache = field(init=False)
+    skeletons: ShardedLRUCache = field(init=False)
 
     def __post_init__(self) -> None:
-        self.prepared = LRUCache(self.prepared_capacity)
-        self.pdts = LRUCache(self.pdt_capacity)
+        self.prepared = ShardedLRUCache(
+            self.prepared_capacity, self.shard_count, shard_key=lambda k: k[0]
+        )
+        self.pdts = ShardedLRUCache(
+            self.pdt_capacity, self.shard_count, shard_key=lambda k: k[:2]
+        )
+        self.skeletons = ShardedLRUCache(
+            self.skeleton_capacity, self.shard_count, shard_key=lambda k: k[:2]
+        )
 
     # -- keys ---------------------------------------------------------------
 
     @staticmethod
     def prepared_key(
-        doc_name: str, qpt: object, keywords: tuple[str, ...]
+        doc_name: str,
+        generation: int,
+        qpt: object,
+        keywords: tuple[str, ...],
     ) -> tuple:
-        return (doc_name, qpt, keywords)
+        return (doc_name, generation, qpt, keywords)
+
+    @staticmethod
+    def skeleton_key(
+        view_name: str, doc_name: str, generation: int, qpt: object
+    ) -> tuple:
+        return (view_name, doc_name, generation, qpt)
 
     @staticmethod
     def pdt_key(
-        view_name: str, doc_name: str, keywords: tuple[str, ...]
+        view_name: str,
+        doc_name: str,
+        generation: int,
+        qpt: object,
+        keywords: tuple[str, ...],
     ) -> tuple:
-        return (view_name, doc_name, keywords)
+        return (view_name, doc_name, generation, qpt, keywords)
 
     # -- invalidation --------------------------------------------------------
 
     def invalidate_document(self, doc_name: str) -> int:
-        """Drop all entries derived from ``doc_name`` (both tiers)."""
+        """Drop all entries derived from ``doc_name`` (all three tiers)."""
         dropped = self.prepared.invalidate_where(lambda k: k[0] == doc_name)
+        dropped += self.skeletons.invalidate_where(lambda k: k[1] == doc_name)
         dropped += self.pdts.invalidate_where(lambda k: k[1] == doc_name)
         return dropped
 
     def invalidate_view(self, view_name: str) -> int:
-        """Drop the PDTs of a (re)defined view; prepared lists survive."""
-        return self.pdts.invalidate_where(lambda k: k[0] == view_name)
+        """Drop the skeletons and PDTs of a (re)defined view.
+
+        Prepared lists survive: they are keyed by QPT identity, and a
+        redefinition builds new QPT objects, so stale entries can never
+        hit again (they age out of the LRU).
+        """
+        dropped = self.skeletons.invalidate_where(lambda k: k[0] == view_name)
+        dropped += self.pdts.invalidate_where(lambda k: k[0] == view_name)
+        return dropped
 
     def clear(self) -> int:
-        return self.prepared.clear() + self.pdts.clear()
+        return (
+            self.prepared.clear()
+            + self.skeletons.clear()
+            + self.pdts.clear()
+        )
 
     # -- diagnostics ---------------------------------------------------------
 
-    def stats(self) -> dict[str, dict[str, float]]:
+    def stats(self) -> dict[str, dict[str, Any]]:
+        """Aggregate + per-shard counters for every tier."""
         return {
-            "prepared": self.prepared.stats.as_dict(),
-            "pdt": self.pdts.stats.as_dict(),
+            "prepared": self.prepared.stats_dict(),
+            "skeleton": self.skeletons.stats_dict(),
+            "pdt": self.pdts.stats_dict(),
         }

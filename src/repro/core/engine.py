@@ -6,10 +6,13 @@ builds PDTs from indices alone (phase 2), evaluates the unmodified view
 query over the PDTs, scores every pruned result through a streaming
 bounded-heap top-k selector, and defers materialization so document
 storage is touched only when a winner's content is actually read
-(phase 3).  Prepared index lists and PDTs are served from a two-tier LRU
-query cache keyed per document/view/keywords, invalidated via database
-hooks on load/drop.  Per-phase wall-clock timings are recorded in
-``last_timings`` — Figure 14's module breakdown.
+(phase 3).  Prepared index lists, keyword-independent PDT skeletons and
+finished PDTs are served from a sharded three-tier LRU query cache keyed
+per document/view/keywords, invalidated via database hooks on load/drop
+and self-invalidating across reloads/redefinitions through generation-
+and QPT-stamped keys.  Per-phase wall-clock timings are recorded in
+``last_timings`` — Figure 14's module breakdown, with the PDT phase
+further split into its skeleton and postings halves.
 """
 
 from __future__ import annotations
@@ -20,8 +23,18 @@ from typing import Optional, Sequence, Union
 
 from repro.core.cache import QueryCache
 from repro.core.materialize import materialize_result
-from repro.core.pdt import PDTResult, generate_pdt
-from repro.core.prepare import PreparedLists, prepare_lists
+from repro.core.pdt import (
+    PDTResult,
+    PDTSkeleton,
+    annotate_skeleton,
+    build_skeleton,
+    generate_pdt,
+)
+from repro.core.prepare import (
+    PreparedLists,
+    prepare_inv_lists,
+    prepare_path_lists,
+)
 from repro.core.qpt import QPT, generate_qpts
 from repro.core.rewrite import make_pdt_resolver
 from repro.core.scoring import (
@@ -69,12 +82,22 @@ class View:
 
 @dataclass
 class PhaseTimings:
-    """Wall-clock seconds per pipeline phase (Figure 14's modules)."""
+    """Wall-clock seconds per pipeline phase (Figure 14's modules).
+
+    ``pdt`` is further attributed to its two halves so benchmarks can
+    tell structure from data: ``pdt_skeleton`` is the keyword-independent
+    structural work (path-index probes + the merge pass — zero on a
+    skeleton-tier hit) and ``pdt_postings`` the per-query keyword work
+    (inverted-list probes + the tf annotation pass).  The halves sum to
+    at most ``pdt``; cache-tier lookups make up the (tiny) remainder.
+    """
 
     qpt: float = 0.0
     pdt: float = 0.0
     evaluator: float = 0.0
     post_processing: float = 0.0
+    pdt_skeleton: float = 0.0
+    pdt_postings: float = 0.0
 
     @property
     def total(self) -> float:
@@ -84,6 +107,8 @@ class PhaseTimings:
         return {
             "qpt": self.qpt,
             "pdt": self.pdt,
+            "pdt_skeleton": self.pdt_skeleton,
+            "pdt_postings": self.pdt_postings,
             "evaluator": self.evaluator,
             "post_processing": self.post_processing,
             "total": self.total,
@@ -143,17 +168,38 @@ class SearchOutcome:
     pdts: dict[str, PDTResult]
     timings: PhaseTimings
     cache_hits: dict[str, str] = field(default_factory=dict)
-    """Per-document cache outcome: ``"pdt"``, ``"prepared"`` or ``"miss"``."""
+    """Per-document cache outcome: ``"pdt"``, ``"skeleton"``,
+    ``"prepared"`` or ``"miss"`` (deepest tier that hit)."""
+
+    _cache: Optional[QueryCache] = field(default=None, repr=False)
+    _cache_stats: Optional[dict] = field(default=None, repr=False)
+
+    @property
+    def cache_stats(self) -> dict[str, dict]:
+        """Aggregate + per-shard cache counters (empty when the cache is
+        disabled).  Lets benchmarks and the differential harness assert
+        *where* time went — e.g. that a skeleton-warm query hit the
+        skeleton tier.  Snapshotted lazily on first access (visiting
+        every shard lock is too expensive for the per-query hot path)
+        and memoized so repeated reads stay consistent."""
+        if self._cache_stats is None:
+            self._cache_stats = (
+                self._cache.stats() if self._cache is not None else {}
+            )
+        return self._cache_stats
 
 
 class KeywordSearchEngine:
     """Keyword search over virtual XML views (the paper's Efficient system).
 
-    By default the engine serves repeated queries through a two-tier
-    :class:`QueryCache` (prepared index lists and PDTs); the cache is
-    invalidated automatically when documents are loaded/dropped or a view
-    name is redefined.  Pass ``enable_cache=False`` for the original
-    probe-every-time behavior, or supply a pre-configured ``cache``.
+    By default the engine serves repeated queries through a sharded
+    three-tier :class:`QueryCache` (prepared index lists, PDT skeletons,
+    PDTs); the cache is invalidated automatically when documents are
+    loaded/dropped or a view name is redefined.  A warm skeleton means a
+    query with a never-seen keyword set skips every path-index probe and
+    the structural merge pass.  Pass ``enable_cache=False`` for the
+    original probe-every-time behavior, or supply a pre-configured
+    ``cache``.
     """
 
     def __init__(
@@ -240,9 +286,10 @@ class KeywordSearchEngine:
         timings.qpt = time.perf_counter() - start
 
         # Phase 2: PDT generation — indices only, served from cache when a
-        # prior query already built the lists/PDTs for these inputs.
+        # prior query already built the lists/skeletons/PDTs for these
+        # inputs.
         start = time.perf_counter()
-        pdts, cache_hits = self._build_pdts(view, normalized)
+        pdts, cache_hits = self._build_pdts(view, normalized, timings)
         timings.pdt = time.perf_counter() - start
 
         # Phase 3a: evaluate the unmodified view query over the PDTs.
@@ -286,6 +333,7 @@ class KeywordSearchEngine:
             pdts=pdts,
             timings=timings,
             cache_hits=cache_hits,
+            _cache=self.cache,
         )
 
     def _reject_stale(self, view: View) -> None:
@@ -295,52 +343,109 @@ class KeywordSearchEngine:
             raise StaleViewError(view.name, missing)
 
     def _build_pdts(
-        self, view: View, normalized: tuple[str, ...]
+        self,
+        view: View,
+        normalized: tuple[str, ...],
+        timings: Optional[PhaseTimings] = None,
     ) -> tuple[dict[str, PDTResult], dict[str, str]]:
-        """Per-document PDTs for a query, through the two cache tiers.
+        """Per-document PDTs for a query, through the three cache tiers.
 
-        Both tiers apply only to *registered* views (name still bound to
+        Lookup order per document — deepest reuse first:
+
+        1. **PDT tier** ``(view, doc, keywords)``: the finished tree.
+        2. **Skeleton tier** ``(view, doc)``: the keyword-independent
+           structural pass.  A hit means zero path-index probes — only
+           the per-keyword inverted-list probes and the annotation pass
+           run, so a warm view answers *never-seen* keyword sets without
+           touching the path index.
+        3. **Prepared tier** ``(doc, qpt, keywords)``: the raw probe
+           results.  A hit skips all index probes but redoes the merge
+           pass (and refills the skeleton tier from it for free).
+
+        All tiers apply only to *registered* views (name still bound to
         this exact ``View``): inline views from :meth:`execute` share the
         ``<inline>`` name and build throwaway QPTs per call, so caching
-        them could alias (PDT tier) or only pollute the LRU with
-        identity-keyed entries that can never hit again (prepared tier).
+        them could alias (PDT/skeleton tiers) or only pollute the LRU
+        with identity-keyed entries that can never hit again (prepared
+        tier).
         """
         cache = self.cache
         cacheable = cache is not None and self._views.get(view.name) is view
         pdts: dict[str, PDTResult] = {}
         cache_hits: dict[str, str] = {}
         for doc_name, qpt in view.qpts.items():
+            indexed = self.database.get(doc_name)
             if cacheable:
-                pdt_key = cache.pdt_key(view.name, doc_name, normalized)
+                pdt_key = cache.pdt_key(
+                    view.name, doc_name, indexed.generation, qpt, normalized
+                )
                 pdt = cache.pdts.get(pdt_key)
                 if pdt is not None:
                     pdts[doc_name] = pdt
                     cache_hits[doc_name] = "pdt"
                     continue
-            indexed = self.database.get(doc_name)
+            skeleton: Optional[PDTSkeleton] = None
             lists: Optional[PreparedLists] = None
             if cacheable:
-                lists_key = cache.prepared_key(doc_name, qpt, normalized)
+                skeleton_key = cache.skeleton_key(
+                    view.name, doc_name, indexed.generation, qpt
+                )
+                skeleton = cache.skeletons.get(skeleton_key)
+                lists_key = cache.prepared_key(
+                    doc_name, indexed.generation, qpt, normalized
+                )
                 lists = cache.prepared.get(lists_key)
-            if lists is None:
-                lists = prepare_lists(
-                    qpt, indexed.path_index, indexed.inverted_index, normalized
+
+            # Structural half: reuse the skeleton, or build it (from
+            # cached probe results when the prepared tier has them).
+            start = time.perf_counter()
+            if skeleton is None:
+                if lists is None:
+                    hit = "miss"
+                    path_lists = prepare_path_lists(qpt, indexed.path_index)
+                    probed = frozenset(path_lists)
+                else:
+                    hit = "prepared"
+                    path_lists = lists.path_lists
+                    probed = lists.probed
+                skeleton = build_skeleton(
+                    qpt, indexed.path_index, path_lists=path_lists, probed=probed
                 )
                 if cacheable:
-                    cache.prepared.put(lists_key, lists)
-                cache_hits[doc_name] = "miss"
+                    cache.skeletons.put(skeleton_key, skeleton)
             else:
-                cache_hits[doc_name] = "prepared"
-            pdt = generate_pdt(
-                qpt,
-                indexed.path_index,
-                indexed.inverted_index,
-                normalized,
-                lists=lists,
-            )
+                hit = "skeleton"
+            if timings is not None:
+                timings.pdt_skeleton += time.perf_counter() - start
+
+            # Keyword half: posting lists (from the prepared tier when
+            # the exact keyword set was probed before) + annotation.
+            start = time.perf_counter()
+            if lists is None:
+                inv_lists = prepare_inv_lists(
+                    indexed.inverted_index, normalized
+                )
+                if cacheable and hit == "miss":
+                    # The skeleton-hit path never probes path lists, so
+                    # only the miss path can fill the prepared tier.
+                    cache.prepared.put(
+                        lists_key,
+                        PreparedLists(
+                            path_lists=path_lists,
+                            inv_lists=inv_lists,
+                            probed=probed,
+                        ),
+                    )
+            else:
+                inv_lists = lists.inv_lists
+            pdt = annotate_skeleton(skeleton, inv_lists, normalized)
+            if timings is not None:
+                timings.pdt_postings += time.perf_counter() - start
+
             if cacheable:
                 cache.pdts.put(pdt_key, pdt)
             pdts[doc_name] = pdt
+            cache_hits[doc_name] = hit
         return pdts, cache_hits
 
     # -- diagnostics ------------------------------------------------------------

@@ -39,7 +39,13 @@ import heapq
 from dataclasses import dataclass, field
 from typing import Optional
 
-from repro.core.prepare import PreparedLists, prepare_lists
+from repro.core.prepare import (
+    PreparedLists,
+    prepare_inv_lists,
+    prepare_lists,
+    prepare_path_lists,
+)
+from repro.storage.inverted_index import PostingList
 from repro.core.qpt import QPT, QPTNode
 from repro.dewey import DeweyID
 from repro.storage.inverted_index import InvertedIndex
@@ -311,6 +317,98 @@ class _PDTBuilder:
         return item.qnode.tag
 
 
+@dataclass
+class PDTSkeleton:
+    """The keyword-independent structural part of a PDT.
+
+    Everything the merge pass computes — which elements of a ``(view,
+    document)`` pair survive the structural ancestor/descendant/predicate
+    constraints, their Dewey ids, tags, values and byte lengths — depends
+    only on the view's QPT and the document, never on the query keywords
+    (keywords enter the pipeline solely as per-element term-frequency
+    annotations consumed by scoring).  A skeleton is therefore shared
+    across *every* keyword set queried against the same view and
+    document; :func:`annotate_skeleton` merges a query's posting lists
+    onto it in one cheap pass with zero path-index work.
+
+    Skeletons are immutable in practice: the records are finalized when
+    the merge pass ends and the annotation pass only reads them, so one
+    skeleton may be annotated concurrently from many threads.
+    """
+
+    doc_name: str
+    records: dict[tuple[int, ...], PDTRecord]
+    ordered: tuple[tuple[int, ...], ...]
+    entry_count: int
+
+    @property
+    def node_count(self) -> int:
+        return len(self.records)
+
+    def stats(self) -> dict[str, int]:
+        return {"nodes": self.node_count, "entries": self.entry_count}
+
+
+def build_skeleton(
+    qpt: QPT,
+    path_index: PathIndex,
+    path_lists: Optional[dict] = None,
+    probed: Optional[frozenset] = None,
+    inpdt_fast_path: bool = True,
+) -> PDTSkeleton:
+    """Run the structural merge pass for a ``(view, document)`` pair.
+
+    ``path_lists`` can be supplied to reuse already-issued path-index
+    probes (the engine's prepared tier); otherwise the keyword-free half
+    of PrepareLists is issued here.  No inverted-index probe is ever
+    made — the skeleton carries no keyword data.
+    """
+    if path_lists is None:
+        path_lists = prepare_path_lists(qpt, path_index)
+    if probed is None:
+        probed = frozenset(path_lists)
+    lists = PreparedLists(path_lists=path_lists, inv_lists={}, probed=probed)
+    records = _PDTBuilder(
+        qpt, lists, path_index, inpdt_fast_path=inpdt_fast_path
+    ).run()
+    return PDTSkeleton(
+        doc_name=qpt.doc_name,
+        records=records,
+        ordered=tuple(sorted(records)),
+        entry_count=sum(len(lst) for lst in path_lists.values()),
+    )
+
+
+def annotate_skeleton(
+    skeleton: PDTSkeleton,
+    inv_lists: dict[str, PostingList],
+    keywords: tuple[str, ...],
+) -> PDTResult:
+    """Merge a query's posting lists onto a cached skeleton.
+
+    This is the per-query half of PDT generation: subtree term
+    frequencies are range-summed out of ``inv_lists`` for every content
+    node and a fresh result tree is nested from the (shared, read-only)
+    skeleton records.  Cost is O(skeleton size · keywords) with no index
+    probe of any kind.
+    """
+
+    def tf_lookup(dewey_id: DeweyID) -> dict[str, int]:
+        return {
+            keyword: posting_list.subtree_tf(dewey_id)
+            for keyword, posting_list in inv_lists.items()
+        }
+
+    return _assemble_ordered(
+        doc_name=skeleton.doc_name,
+        records=skeleton.records,
+        ordered=skeleton.ordered,
+        keywords=keywords,
+        tf_lookup=tf_lookup,
+        entry_count=skeleton.entry_count,
+    )
+
+
 def generate_pdt(
     qpt: QPT,
     path_index: PathIndex,
@@ -318,40 +416,32 @@ def generate_pdt(
     keywords: tuple[str, ...],
     lists: Optional[PreparedLists] = None,
     inpdt_fast_path: bool = True,
+    skeleton: Optional[PDTSkeleton] = None,
 ) -> PDTResult:
     """Generate the PDT for ``qpt`` using only the given indices.
 
     ``keywords`` must already be normalized (see
     :func:`repro.xmlmodel.tokenizer.normalize_keyword`).  ``lists`` can be
-    supplied to reuse probes (the engine prepares them once per query).
+    supplied to reuse probes (the engine prepares them once per query) and
+    ``skeleton`` to reuse a cached structural pass (the engine's skeleton
+    tier); when a skeleton is given the path index is never touched.
     """
-    if lists is None:
+    if lists is not None:
+        inv_lists = lists.inv_lists
+    elif skeleton is not None:
+        inv_lists = prepare_inv_lists(inverted_index, keywords)
+    else:
         lists = prepare_lists(qpt, path_index, inverted_index, keywords)
-    records = _PDTBuilder(
-        qpt, lists, path_index, inpdt_fast_path=inpdt_fast_path
-    ).run()
-    return _build_tree(qpt, records, lists, keywords)
-
-
-def _build_tree(
-    qpt: QPT,
-    records: dict[tuple[int, ...], "PDTRecord"],
-    lists: PreparedLists,
-    keywords: tuple[str, ...],
-) -> PDTResult:
-    def tf_lookup(dewey_id: DeweyID) -> dict[str, int]:
-        return {
-            keyword: posting_list.subtree_tf(dewey_id)
-            for keyword, posting_list in lists.inv_lists.items()
-        }
-
-    return assemble_pdt(
-        doc_name=qpt.doc_name,
-        records=records,
-        keywords=keywords,
-        tf_lookup=tf_lookup,
-        entry_count=lists.total_path_entries(),
-    )
+        inv_lists = lists.inv_lists
+    if skeleton is None:
+        skeleton = build_skeleton(
+            qpt,
+            path_index,
+            path_lists=lists.path_lists,
+            probed=lists.probed,
+            inpdt_fast_path=inpdt_fast_path,
+        )
+    return annotate_skeleton(skeleton, inv_lists, keywords)
 
 
 def assemble_pdt(
@@ -368,6 +458,25 @@ def assemble_pdt(
     subtree term frequencies attached to content ('c') nodes.  Shared with
     the GTP baseline, which produces the same records via structural joins.
     """
+    return _assemble_ordered(
+        doc_name=doc_name,
+        records=records,
+        ordered=sorted(records),
+        keywords=keywords,
+        tf_lookup=tf_lookup,
+        entry_count=entry_count,
+    )
+
+
+def _assemble_ordered(
+    doc_name: str,
+    records: dict[tuple[int, ...], PDTRecord],
+    ordered,
+    keywords: tuple[str, ...],
+    tf_lookup,
+    entry_count: int,
+) -> PDTResult:
+    """assemble_pdt with the dewey sort hoisted out (skeletons pre-sort)."""
     if not records:
         return PDTResult(
             doc_name=doc_name,
@@ -376,7 +485,6 @@ def assemble_pdt(
             entry_count=entry_count,
             keywords=keywords,
         )
-    ordered = sorted(records)
     nodes: dict[tuple[int, ...], XMLNode] = {}
     top_level: list[XMLNode] = []
     stack: list[tuple[int, ...]] = []

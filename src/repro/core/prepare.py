@@ -47,13 +47,15 @@ class PreparedLists:
         return len(self.path_lists) + len(self.inv_lists)
 
 
-def prepare_lists(
-    qpt: QPT,
-    path_index: PathIndex,
-    inverted_index: InvertedIndex,
-    keywords: tuple[str, ...],
-) -> PreparedLists:
-    """Issue the index probes for ``qpt`` and the query keywords."""
+def prepare_path_lists(
+    qpt: QPT, path_index: PathIndex
+) -> dict[int, PathList]:
+    """The path-index half of PrepareLists: one probe per probed QPT node.
+
+    This half is *keyword-independent* — it depends only on the view's
+    QPT and the document — which is what makes the PDT skeleton reusable
+    across queries (see :mod:`repro.core.pdt`).
+    """
     path_lists: dict[int, PathList] = {}
     for node in qpt.probed_nodes():
         path_lists[node.index] = path_index.lookup_ids(
@@ -61,7 +63,25 @@ def prepare_lists(
             predicates=node.predicates,
             with_values=node.v_ann,
         )
-    inv_lists = {keyword: inverted_index.lookup(keyword) for keyword in keywords}
+    return path_lists
+
+
+def prepare_inv_lists(
+    inverted_index: InvertedIndex, keywords: tuple[str, ...]
+) -> dict[str, PostingList]:
+    """The inverted-list half of PrepareLists: one probe per keyword."""
+    return {keyword: inverted_index.lookup(keyword) for keyword in keywords}
+
+
+def prepare_lists(
+    qpt: QPT,
+    path_index: PathIndex,
+    inverted_index: InvertedIndex,
+    keywords: tuple[str, ...],
+) -> PreparedLists:
+    """Issue the index probes for ``qpt`` and the query keywords."""
+    path_lists = prepare_path_lists(qpt, path_index)
+    inv_lists = prepare_inv_lists(inverted_index, keywords)
     return PreparedLists(
         path_lists=path_lists,
         inv_lists=inv_lists,

@@ -9,6 +9,7 @@ storage, different evaluation path.
 
 from __future__ import annotations
 
+import itertools
 import weakref
 from dataclasses import dataclass
 from typing import Callable, Iterable, Optional, Union
@@ -24,12 +25,21 @@ from repro.xmlmodel.parser import parse_xml
 
 @dataclass
 class IndexedDocument:
-    """One loaded document with its storage and indices."""
+    """One loaded document with its storage and indices.
+
+    ``generation`` is a database-wide counter stamped at load time: two
+    loads of the same name never share it.  Cache keys embed it, which
+    makes entries *self-invalidating* across document reloads — a cache
+    write that raced with a reload is keyed by the dead generation and
+    can never be served again (the invalidation hooks then only reclaim
+    memory eagerly; correctness never depends on their timing).
+    """
 
     document: Document
     store: DocumentStore
     path_index: PathIndex
     inverted_index: InvertedIndex
+    generation: int = 0
     _tag_index: Optional[TagIndex] = None
     _serialized: Optional[str] = None
 
@@ -70,6 +80,9 @@ class XMLDatabase:
         self._documents: dict[str, IndexedDocument] = {}
         self.index_tag_names = index_tag_names
         self.store_positions = store_positions
+        # itertools.count: atomic under the GIL, so concurrent loads can
+        # never stamp two documents with the same generation.
+        self._generations = itertools.count(1)
         # Each entry is a zero-arg resolver returning the live callable or
         # ``None`` once its owner is gone.
         self._invalidation_hooks: list[Callable[[], Optional[Callable[[str], None]]]] = []
@@ -147,6 +160,7 @@ class XMLDatabase:
                 store_positions=self.store_positions,
                 index_tag_names=self.index_tag_names,
             ),
+            generation=next(self._generations),
         )
         self._documents[name] = indexed
         self._notify_invalidation(name)

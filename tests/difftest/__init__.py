@@ -1,0 +1,15 @@
+"""Differential & randomized testing subsystem.
+
+Seeded generators build random documents, views and keyword sets
+(:mod:`difftest.generators`); the harness (:mod:`difftest.harness`) runs
+the Efficient engine in every cache configuration — cache off, cache on
+(cold and fully warm), and skeleton-warm (structural skeleton cached,
+keywords never seen) — against the naive materialize-then-search
+baseline and asserts identical ranked output: ranks, scores, tie-break
+order, term frequencies, byte lengths and materialized XML.
+
+The completeness concern is the one raised for view-based XPath
+rewriting (Cautis et al.): an optimized rewrite must stay *verifiably*
+equivalent to the naive semantics.  Future PRs extend this package with
+new generators and configurations rather than new ad-hoc test files.
+"""

@@ -1,0 +1,152 @@
+"""Seeded random generation of documents, views and keyword sets.
+
+Everything is derived from one ``random.Random(seed)`` stream, so a
+failing case is reproduced by its seed alone.  Generated views stick to
+the XQuery subset the engine supports (the same shapes as the paper's
+running example and the experiment sweeps): selection by a numeric
+predicate, bookrev-style value joins across documents, and nested
+return constructors.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.storage.database import XMLDatabase
+from repro.xmlmodel.node import XMLNode
+
+# A small vocabulary keeps keyword selectivity interesting: most words
+# appear in several elements, some in none.
+WORDS = [
+    "xml", "search", "index", "query", "ranking", "views", "virtual",
+    "dewey", "pruning", "keyword", "storage", "engine", "join",
+    "stream", "cache", "shard",
+]
+RARE_WORDS = ["zeppelin", "quasar", "obsidian"]
+
+
+@dataclass
+class GeneratedCase:
+    """One randomized scenario: a database, a view, and keyword sets."""
+
+    seed: int
+    database: XMLDatabase
+    view_text: str
+    keyword_sets: list[tuple[str, ...]]
+    # A keyword set used only to warm caches; disjoint from keyword_sets
+    # so skeleton-warm runs exercise never-seen keywords.
+    priming_keywords: tuple[str, ...]
+    description: str = field(default="")
+
+
+def _sentence(rng: random.Random, length: int) -> str:
+    pool = WORDS + RARE_WORDS if rng.random() < 0.1 else WORDS
+    return " ".join(rng.choice(pool) for _ in range(length))
+
+
+def _generate_items_doc(rng: random.Random, item_count: int) -> XMLNode:
+    """items.xml: flat-ish items with id/year/name/body (+ optional meta)."""
+    root = XMLNode("items")
+    for number in range(1, item_count + 1):
+        item = root.make_child("item")
+        item.make_child("id", f"id-{number:03d}")
+        item.make_child("year", str(rng.randint(1985, 2010)))
+        item.make_child("name", _sentence(rng, rng.randint(2, 4)))
+        body = item.make_child("body")
+        for _ in range(rng.randint(1, 3)):
+            body.make_child("para", _sentence(rng, rng.randint(3, 8)))
+        if rng.random() < 0.4:
+            meta = item.make_child("meta")
+            meta.make_child("tag", rng.choice(WORDS))
+    return root
+
+
+def _generate_notes_doc(
+    rng: random.Random, item_count: int, note_count: int
+) -> XMLNode:
+    """notes.xml: notes referencing items by id (some refs dangle)."""
+    root = XMLNode("notes")
+    for _ in range(note_count):
+        note = root.make_child("note")
+        if rng.random() < 0.9:
+            ref = f"id-{rng.randint(1, item_count):03d}"
+        else:
+            ref = "id-none"  # dangling join key
+        note.make_child("ref", ref)
+        note.make_child("text", _sentence(rng, rng.randint(3, 7)))
+    return root
+
+
+_SELECTION_VIEW = """
+for $item in fn:doc(items.xml)/items//item
+where $item/year > {year}
+return <hit>
+   <label> {{$item/name}} </label>,
+   {{$item/body}}
+</hit>
+"""
+
+_FLAT_VIEW = """
+for $item in fn:doc(items.xml)/items//item
+return $item
+"""
+
+_JOIN_VIEW = """
+for $item in fn:doc(items.xml)/items//item
+where $item/year > {year}
+return <hit>
+   <label> {{$item/name}} </label>,
+   {{for $note in fn:doc(notes.xml)/notes//note
+    where $note/ref = $item/id
+    return $note/text}}
+</hit>
+"""
+
+_VIEW_TEMPLATES = [
+    ("selection", _SELECTION_VIEW, False),
+    ("flat", _FLAT_VIEW, False),
+    ("join", _JOIN_VIEW, True),
+]
+
+
+def _keyword_sets(rng: random.Random, count: int) -> list[tuple[str, ...]]:
+    sets: list[tuple[str, ...]] = []
+    while len(sets) < count:
+        size = rng.randint(1, 3)
+        chosen = tuple(sorted(rng.sample(WORDS, size)))
+        if rng.random() < 0.2:
+            chosen = chosen + (rng.choice(RARE_WORDS),)
+        if chosen not in sets:
+            sets.append(chosen)
+    return sets
+
+
+def generate_case(seed: int) -> GeneratedCase:
+    """Build the full scenario for one seed."""
+    rng = random.Random(seed)
+    item_count = rng.randint(15, 40)
+    database = XMLDatabase()
+    database.load_document("items.xml", _generate_items_doc(rng, item_count))
+    name, template, needs_notes = rng.choice(_VIEW_TEMPLATES)
+    if needs_notes:
+        database.load_document(
+            "notes.xml",
+            _generate_notes_doc(rng, item_count, rng.randint(10, 30)),
+        )
+    view_text = template.format(year=rng.randint(1988, 2005))
+    keyword_sets = _keyword_sets(rng, count=4)
+    # Priming keywords disjoint from every generated set: a rare word
+    # plus one common word not used by any keyword set.
+    used = {kw for kws in keyword_sets for kw in kws}
+    unused = [w for w in WORDS if w not in used] or [WORDS[0]]
+    unused_rare = [w for w in RARE_WORDS if w not in used] or unused
+    priming = (rng.choice(unused_rare), rng.choice(unused))
+    return GeneratedCase(
+        seed=seed,
+        database=database,
+        view_text=view_text,
+        keyword_sets=keyword_sets,
+        priming_keywords=priming,
+        description=f"seed={seed} view={name} items={item_count}",
+    )

@@ -1,8 +1,11 @@
-"""The two-tier query cache: LRU mechanics and engine integration."""
+"""The sharded three-tier query cache: LRU/shard mechanics, engine
+integration, the skeleton tier, and randomized invalidation properties."""
+
+import random
 
 import pytest
 
-from repro.core.cache import LRUCache, QueryCache
+from repro.core.cache import LRUCache, QueryCache, ShardedLRUCache
 from repro.core.engine import KeywordSearchEngine
 
 
@@ -52,27 +55,107 @@ class TestLRUCache:
         assert len(cache) == 0
 
 
+class TestShardedLRUCache:
+    def test_get_put_across_shards(self):
+        cache = ShardedLRUCache(64, shards=4)
+        for i in range(32):
+            cache.put(("doc", i), i)
+        assert len(cache) == 32
+        assert all(cache.get(("doc", i)) == i for i in range(32))
+        assert ("doc", 0) in cache and ("doc", 99) not in cache
+
+    def test_same_partition_key_same_shard(self):
+        # Keyword variants of one (view, doc) pair must share a shard.
+        cache = ShardedLRUCache(64, shards=8, shard_key=lambda k: k[:2])
+        indexes = {
+            cache.shard_index(("v", "d.xml", ("kw%d" % i,)))
+            for i in range(20)
+        }
+        assert len(indexes) == 1
+
+    def test_zero_capacity_disables(self):
+        cache = ShardedLRUCache(0, shards=4)
+        cache.put("a", 1)
+        assert cache.get("a") is None
+        assert len(cache) == 0
+
+    def test_aggregate_stats_equal_shard_sum(self):
+        cache = ShardedLRUCache(64, shards=4)
+        rng = random.Random(7)
+        for _ in range(500):
+            key = rng.randrange(100)
+            if rng.random() < 0.5:
+                cache.put(key, key)
+            else:
+                cache.get(key)
+        agg = cache.stats
+        shards = cache.shard_stats()
+        assert agg.hits == sum(s.hits for s in shards)
+        assert agg.misses == sum(s.misses for s in shards)
+        assert agg.evictions == sum(s.evictions for s in shards)
+        assert agg.lookups == agg.hits + agg.misses
+
+    def test_capacity_is_split_per_shard(self):
+        cache = ShardedLRUCache(8, shards=4)
+        for i in range(100):
+            cache.put(i, i)
+        # Each shard holds at most ceil(8/4) = 2 entries.
+        assert all(size <= 2 for size in cache.shard_sizes())
+        assert cache.stats.evictions > 0
+
+    def test_invalidate_where_visits_every_shard(self):
+        cache = ShardedLRUCache(64, shards=4)
+        for i in range(16):
+            cache.put(("a" if i % 2 else "b", i), i)
+        assert cache.invalidate_where(lambda k: k[0] == "a") == 8
+        assert len(cache) == 8
+
+    def test_stats_dict_has_shard_breakdown(self):
+        cache = ShardedLRUCache(16, shards=4)
+        cache.put("a", 1)
+        cache.get("a")
+        stats = cache.stats_dict()
+        assert stats["hits"] == 1
+        assert len(stats["shards"]) == 4
+        assert sum(s["hits"] for s in stats["shards"]) == 1
+
+
 class TestQueryCache:
-    def test_invalidate_document_hits_both_tiers(self):
+    def test_invalidate_document_hits_all_tiers(self):
         qc = QueryCache()
-        qc.prepared.put(qc.prepared_key("d.xml", object(), ("k",)), "lists")
-        qc.pdts.put(qc.pdt_key("v", "d.xml", ("k",)), "pdt")
-        qc.pdts.put(qc.pdt_key("v", "other.xml", ("k",)), "pdt2")
-        assert qc.invalidate_document("d.xml") == 2
+        qpt = object()
+        qc.prepared.put(qc.prepared_key("d.xml", 1, qpt, ("k",)), "lists")
+        qc.skeletons.put(qc.skeleton_key("v", "d.xml", 1, qpt), "skel")
+        qc.pdts.put(qc.pdt_key("v", "d.xml", 1, qpt, ("k",)), "pdt")
+        qc.pdts.put(qc.pdt_key("v", "other.xml", 2, qpt, ("k",)), "pdt2")
+        assert qc.invalidate_document("d.xml") == 3
         assert len(qc.prepared) == 0
+        assert len(qc.skeletons) == 0
         assert len(qc.pdts) == 1
 
-    def test_invalidate_view_leaves_prepared(self):
+    def test_invalidate_view_drops_skeletons_and_pdts(self):
         qc = QueryCache()
-        qc.prepared.put(qc.prepared_key("d.xml", object(), ("k",)), "lists")
-        qc.pdts.put(qc.pdt_key("v", "d.xml", ("k",)), "pdt")
-        assert qc.invalidate_view("v") == 1
+        qpt = object()
+        qc.prepared.put(qc.prepared_key("d.xml", 1, qpt, ("k",)), "lists")
+        qc.skeletons.put(qc.skeleton_key("v", "d.xml", 1, qpt), "skel")
+        qc.pdts.put(qc.pdt_key("v", "d.xml", 1, qpt, ("k",)), "pdt")
+        assert qc.invalidate_view("v") == 2
         assert len(qc.prepared) == 1
+        assert len(qc.skeletons) == 0
+
+    def test_reload_generation_makes_stale_writes_unreadable(self):
+        # A write that raced with a document reload is keyed by the dead
+        # generation: even if invalidation missed it, it can never hit.
+        qc = QueryCache()
+        qpt = object()
+        qc.skeletons.put(qc.skeleton_key("v", "d.xml", 1, qpt), "stale")
+        assert qc.skeletons.get(qc.skeleton_key("v", "d.xml", 2, qpt)) is None
 
     def test_stats_shape(self):
         stats = QueryCache().stats()
-        assert set(stats) == {"prepared", "pdt"}
+        assert set(stats) == {"prepared", "skeleton", "pdt"}
         assert stats["pdt"]["hit_rate"] == 0.0
+        assert len(stats["pdt"]["shards"]) == QueryCache().shard_count
 
 
 @pytest.fixture()
@@ -92,6 +175,19 @@ def assert_zero_probes(db):
         assert indexed.inverted_index.probe_count == 0
 
 
+def path_probes(db):
+    return sum(
+        db.get(name).path_index.probe_count for name in db.document_names()
+    )
+
+
+def inv_probes(db):
+    return sum(
+        db.get(name).inverted_index.probe_count
+        for name in db.document_names()
+    )
+
+
 class TestEngineCaching:
     def test_repeat_query_issues_zero_probes(self, engine, view):
         first = engine.search_detailed(view, ["xml", "search"], top_k=10)
@@ -109,14 +205,64 @@ class TestEngineCaching:
         ]
         assert [r.to_xml() for r in first] == [r.to_xml() for r in second]
 
-    def test_different_keywords_miss(self, engine, view):
+    def test_disjoint_keywords_hit_skeleton_tier(self, engine, view):
+        # The acceptance-criterion scenario: a second query on the same
+        # (view, doc) with a *disjoint* keyword set reuses the cached
+        # structural skeleton — zero path-index probes, only the
+        # per-keyword inverted-list probes.
+        engine.search(view, ["xml"], top_k=5)
+        engine.database.reset_access_counters()
+        outcome = engine.search_detailed(view, ["search"], top_k=5)
+        assert set(outcome.cache_hits.values()) == {"skeleton"}
+        assert path_probes(engine.database) == 0
+        assert inv_probes(engine.database) > 0
+        assert outcome.cache_stats["skeleton"]["hits"] == len(view.qpts)
+
+    def test_skeleton_reuse_results_identical_to_cold(
+        self, bookrev_db, bookrev_view_text
+    ):
+        cold = KeywordSearchEngine(bookrev_db, enable_cache=False)
+        warm = KeywordSearchEngine(bookrev_db)
+        cv = cold.define_view("bookrevs", bookrev_view_text)
+        wv = warm.define_view("bookrevs", bookrev_view_text)
+        warm.search(wv, ["intelligence"], top_k=10)  # warm the skeletons
+        for keywords in (["xml"], ["search"], ["xml", "search"]):
+            got = warm.search(wv, keywords, top_k=10)
+            want = cold.search(cv, keywords, top_k=10)
+            assert [(r.rank, r.score) for r in got] == [
+                (r.rank, r.score) for r in want
+            ]
+            assert [r.to_xml() for r in got] == [r.to_xml() for r in want]
+
+    def test_skeleton_tier_disabled_falls_back(self, bookrev_db, bookrev_view_text):
+        engine = KeywordSearchEngine(
+            bookrev_db, cache=QueryCache(skeleton_capacity=0)
+        )
+        view = engine.define_view("bookrevs", bookrev_view_text)
         engine.search(view, ["xml"], top_k=5)
         outcome = engine.search_detailed(view, ["search"], top_k=5)
+        # No skeleton tier: a disjoint keyword set is a full miss again.
         assert set(outcome.cache_hits.values()) == {"miss"}
 
     def test_prepared_tier_alone_avoids_probes(self, bookrev_db, bookrev_view_text):
-        # PDT tier off: repeats hit the prepared-lists tier, which already
-        # carries every probe result — probe counters stay at zero.
+        # PDT and skeleton tiers off: repeats hit the prepared-lists tier,
+        # which already carries every probe result — probe counters stay
+        # at zero, but the merge pass reruns.
+        engine = KeywordSearchEngine(
+            bookrev_db, cache=QueryCache(pdt_capacity=0, skeleton_capacity=0)
+        )
+        view = engine.define_view("bookrevs", bookrev_view_text)
+        engine.search(view, ["xml", "search"])
+        bookrev_db.reset_access_counters()
+        outcome = engine.search_detailed(view, ["xml", "search"])
+        assert set(outcome.cache_hits.values()) == {"prepared"}
+        assert_zero_probes(bookrev_db)
+
+    def test_skeleton_and_prepared_together_avoid_all_probes(
+        self, bookrev_db, bookrev_view_text
+    ):
+        # PDT tier off: a repeat query finds both the skeleton and the
+        # exact posting lists in cache — no probe of any kind.
         engine = KeywordSearchEngine(
             bookrev_db, cache=QueryCache(pdt_capacity=0)
         )
@@ -124,7 +270,7 @@ class TestEngineCaching:
         engine.search(view, ["xml", "search"])
         bookrev_db.reset_access_counters()
         outcome = engine.search_detailed(view, ["xml", "search"])
-        assert set(outcome.cache_hits.values()) == {"prepared"}
+        assert set(outcome.cache_hits.values()) == {"skeleton"}
         assert_zero_probes(bookrev_db)
 
     def test_disabled_cache_probes_every_time(self, bookrev_db, bookrev_view_text):
@@ -135,11 +281,8 @@ class TestEngineCaching:
         bookrev_db.reset_access_counters()
         outcome = engine.search_detailed(view, ["xml"])
         assert set(outcome.cache_hits.values()) == {"miss"}
-        probes = sum(
-            bookrev_db.get(name).path_index.probe_count
-            + bookrev_db.get(name).inverted_index.probe_count
-            for name in bookrev_db.document_names()
-        )
+        assert outcome.cache_stats == {}
+        probes = path_probes(bookrev_db) + inv_probes(bookrev_db)
         assert probes > 0
 
     def test_reload_invalidates_document_entries(
@@ -155,17 +298,19 @@ class TestEngineCaching:
         assert outcome.cache_hits["books.xml"] == "pdt"
         assert len(outcome.results) == 2
 
-    def test_redefining_view_invalidates_its_pdts(
+    def test_redefining_view_invalidates_pdts_and_skeletons(
         self, engine, view, bookrev_view_text
     ):
         engine.search(view, ["xml", "search"])
+        assert len(engine.cache.skeletons) > 0
         fresh = engine.define_view("bookrevs", bookrev_view_text)
+        assert len(engine.cache.skeletons) == 0
         outcome = engine.search_detailed(fresh, ["xml", "search"])
-        assert outcome.cache_hits["books.xml"] != "pdt"
+        assert outcome.cache_hits["books.xml"] not in ("pdt", "skeleton")
 
     def test_inline_views_do_not_alias_in_pdt_tier(self, engine, bookrev_db):
         # Two different inline queries share the "<inline>" view name; the
-        # PDT tier must not serve one the other's trees.
+        # PDT/skeleton tiers must not serve one the other's trees.
         q1 = (
             "for $b in fn:doc(books.xml)/books//book "
             "where $b/year > 1995 and $b ftcontains('xml') return $b"
@@ -186,6 +331,7 @@ class TestEngineCaching:
             "where $b ftcontains('xml') return $b"
         )
         assert len(engine.cache.prepared) == 0
+        assert len(engine.cache.skeletons) == 0
         assert len(engine.cache.pdts) == 0
 
     def test_discarded_engine_is_garbage_collected(self, bookrev_db):
@@ -204,3 +350,105 @@ class TestEngineCaching:
         stats = engine.cache.stats()
         assert stats["pdt"]["hits"] > 0
         assert stats["pdt"]["misses"] > 0
+        assert stats["skeleton"]["misses"] > 0
+
+
+class TestInvalidationProperties:
+    """Hypothesis-style interleavings of load/drop/redefine/search.
+
+    A seeded random walk drives the mutation surface of the system —
+    document reloads (with *changed* content), view redefinitions (with
+    *changed* predicates), and searches with varying keyword sets —
+    against a cached engine.  After every step the cached engine's
+    results must match a fresh cache-less engine on the same database:
+    any stale skeleton, prepared list, or PDT surfaces as a mismatch.
+    """
+
+    KEYWORD_SETS = [
+        ("xml",),
+        ("search",),
+        ("xml", "search"),
+        ("intelligence",),
+        ("engines", "read"),
+    ]
+
+    @staticmethod
+    def _books_xml(year_of_book3):
+        return f"""<books>
+<book isbn="111-11-1111"><title>XML Web Services</title>
+  <publisher>Prentice Hall</publisher><year>2004</year></book>
+<book isbn="222-22-2222"><title>Artificial Intelligence</title>
+  <publisher>Prentice Hall</publisher><year>2002</year></book>
+<book isbn="333-33-3333"><title>Old XML Book</title>
+  <year>{year_of_book3}</year></book>
+</books>"""
+
+    @staticmethod
+    def _view_text(year):
+        return f"""
+for $book in fn:doc(books.xml)/books//book
+where $book/year > {year}
+return <bookrevs>
+   <book> {{$book/title}} </book>,
+   {{for $rev in fn:doc(reviews.xml)/reviews//review
+    where $rev/isbn = $book/isbn
+    return $rev/content}}
+</bookrevs>
+"""
+
+    def _assert_fresh_equivalent(self, db, engine, view, keywords):
+        fresh = KeywordSearchEngine(db, enable_cache=False)
+        fresh_view = fresh.define_view("oracle", view.text)
+        got = engine.search(view, keywords, top_k=10)
+        want = fresh.search(fresh_view, keywords, top_k=10)
+        assert [(r.rank, r.score) for r in got] == [
+            (r.rank, r.score) for r in want
+        ]
+        assert [r.to_xml() for r in got] == [r.to_xml() for r in want]
+
+    @pytest.mark.parametrize("seed", [11, 23, 47])
+    def test_random_interleavings_never_serve_stale_state(
+        self, bookrev_db, seed
+    ):
+        rng = random.Random(seed)
+        db = bookrev_db
+        engine = KeywordSearchEngine(db)
+        year = 1995
+        view = engine.define_view("bookrevs", self._view_text(year))
+        book3_year = 1990
+        for _ in range(25):
+            op = rng.choice(
+                ["search", "search", "reload_books", "redefine", "reload_reviews"]
+            )
+            if op == "reload_books":
+                # Changed content: book 3's year flips across the view's
+                # predicate threshold, so a stale skeleton would change
+                # the result set, not just annotations.
+                book3_year = 2001 if book3_year == 1990 else 1990
+                db.drop_document("books.xml")
+                db.load_document("books.xml", self._books_xml(book3_year))
+            elif op == "reload_reviews":
+                text = db.get("reviews.xml").serialized
+                db.drop_document("reviews.xml")
+                db.load_document("reviews.xml", text)
+            elif op == "redefine":
+                year = rng.choice([1989, 1995, 2003])
+                view = engine.define_view("bookrevs", self._view_text(year))
+            keywords = rng.choice(self.KEYWORD_SETS)
+            self._assert_fresh_equivalent(db, engine, view, keywords)
+
+    @pytest.mark.parametrize("seed", [3, 9])
+    def test_drop_document_always_rejects_stale_views(self, bookrev_db, seed):
+        from repro.errors import StaleViewError
+
+        rng = random.Random(seed)
+        engine = KeywordSearchEngine(bookrev_db)
+        view = engine.define_view("bookrevs", self._view_text(1995))
+        engine.search(view, ["xml"])
+        dropped = rng.choice(["books.xml", "reviews.xml"])
+        text = bookrev_db.get(dropped).serialized
+        bookrev_db.drop_document(dropped)
+        with pytest.raises(StaleViewError):
+            engine.search(view, ["xml"])
+        bookrev_db.load_document(dropped, text)
+        self._assert_fresh_equivalent(bookrev_db, engine, view, ("xml",))

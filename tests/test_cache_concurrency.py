@@ -1,0 +1,194 @@
+"""Concurrency stress: the sharded cache under multi-threaded load.
+
+The sharded design's claims — no deadlocks, no cross-shard corruption,
+counters that add up — are exercised directly on ``ShardedLRUCache``
+and end-to-end through a shared ``KeywordSearchEngine`` hammered by
+threads issuing mixed hot/cold queries.  Every join uses a timeout so a
+deadlock fails the test instead of hanging the suite.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+
+import pytest
+
+from repro.core.cache import QueryCache, ShardedLRUCache
+from repro.core.engine import KeywordSearchEngine
+
+JOIN_TIMEOUT = 60.0
+
+
+def run_threads(workers):
+    threads = [threading.Thread(target=fn, daemon=True) for fn in workers]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(JOIN_TIMEOUT)
+    stuck = [t for t in threads if t.is_alive()]
+    assert not stuck, f"{len(stuck)} worker(s) deadlocked or overran"
+
+
+class TestShardedCacheStress:
+    def test_mixed_get_put_invalidate_from_many_threads(self):
+        cache = ShardedLRUCache(128, shards=8, shard_key=lambda k: k[0])
+        errors: list[BaseException] = []
+        OPS = 3000
+
+        def worker(worker_id: int):
+            rng = random.Random(worker_id)
+            try:
+                for i in range(OPS):
+                    doc = f"doc{rng.randrange(16)}"
+                    key = (doc, rng.randrange(64))
+                    roll = rng.random()
+                    if roll < 0.45:
+                        cache.put(key, (worker_id, i))
+                    elif roll < 0.9:
+                        value = cache.get(key)
+                        if value is not None:
+                            assert isinstance(value, tuple) and len(value) == 2
+                    elif roll < 0.97:
+                        _ = key in cache
+                    else:
+                        cache.invalidate_where(lambda k, d=doc: k[0] == d)
+            except BaseException as exc:  # surfaced after the join
+                errors.append(exc)
+
+        run_threads([lambda w=w: worker(w) for w in range(8)])
+        assert not errors, errors
+        # Counters add up: aggregate == per-shard sum, lookups == h+m.
+        agg = cache.stats
+        shards = cache.shard_stats()
+        assert agg.hits == sum(s.hits for s in shards)
+        assert agg.misses == sum(s.misses for s in shards)
+        assert agg.lookups == agg.hits + agg.misses
+        assert agg.lookups > 0
+        # No shard overran its capacity slice (128/8 = 16 each).
+        assert all(size <= 16 for size in cache.shard_sizes())
+
+    def test_concurrent_writers_one_hot_shard(self):
+        # All keys share one partition coordinate: every thread contends
+        # on a single shard's lock; the LRU chain must stay consistent.
+        cache = ShardedLRUCache(32, shards=8, shard_key=lambda k: k[0])
+
+        def worker(worker_id: int):
+            for i in range(2000):
+                cache.put(("hot", worker_id, i % 50), i)
+                cache.get(("hot", worker_id, (i * 7) % 50))
+
+        run_threads([lambda w=w: worker(w) for w in range(6)])
+        stats = cache.stats
+        assert stats.lookups == 6 * 2000
+
+
+KEYWORD_SETS = [
+    ("xml",),
+    ("search",),
+    ("xml", "search"),
+    ("intelligence",),
+    ("engines",),
+    ("read", "search"),
+]
+
+
+class TestEngineConcurrency:
+    @pytest.fixture()
+    def engine(self, bookrev_db):
+        return KeywordSearchEngine(bookrev_db)
+
+    def test_mixed_hot_cold_queries_are_consistent(
+        self, engine, bookrev_view_text, bookrev_db
+    ):
+        view = engine.define_view("bookrevs", bookrev_view_text)
+        # Ground truth per keyword set, computed single-threaded without
+        # a cache on the same database.
+        oracle = KeywordSearchEngine(bookrev_db, enable_cache=False)
+        oracle_view = oracle.define_view("oracle", bookrev_view_text)
+        expected = {
+            kws: [
+                (r.rank, r.score, r.to_xml())
+                for r in oracle.search(oracle_view, kws, top_k=10)
+            ]
+            for kws in KEYWORD_SETS
+        }
+
+        errors: list[BaseException] = []
+
+        def worker(worker_id: int):
+            rng = random.Random(worker_id)
+            try:
+                for _ in range(40):
+                    # Hot queries dominate; cold ones rotate through the
+                    # full set so every tier sees traffic.
+                    kws = (
+                        KEYWORD_SETS[0]
+                        if rng.random() < 0.4
+                        else rng.choice(KEYWORD_SETS)
+                    )
+                    results = engine.search(view, kws, top_k=10)
+                    got = [(r.rank, r.score, r.to_xml()) for r in results]
+                    assert got == expected[kws], f"divergence on {kws}"
+            except BaseException as exc:
+                errors.append(exc)
+
+        run_threads([lambda w=w: worker(w) for w in range(8)])
+        assert not errors, errors
+
+        # Hit-rate counters add up, per tier, aggregate == shard sum.
+        stats = engine.cache.stats()
+        for tier in ("prepared", "skeleton", "pdt"):
+            tier_stats = stats[tier]
+            assert (
+                tier_stats["hits"] + tier_stats["misses"]
+                == sum(
+                    s["hits"] + s["misses"] for s in tier_stats["shards"]
+                )
+            )
+        # 8 workers x 40 queries x 2 documents worth of PDT lookups.
+        assert stats["pdt"]["hits"] + stats["pdt"]["misses"] == 8 * 40 * 2
+        assert stats["pdt"]["hits"] > 0
+
+    def test_concurrent_redefinition_never_corrupts_results(
+        self, engine, bookrev_view_text, bookrev_db
+    ):
+        view_box = {"view": engine.define_view("bookrevs", bookrev_view_text)}
+        oracle = KeywordSearchEngine(bookrev_db, enable_cache=False)
+        oracle_view = oracle.define_view("oracle", bookrev_view_text)
+        expected = [
+            (r.rank, r.score, r.to_xml())
+            for r in oracle.search(oracle_view, ("xml", "search"), top_k=10)
+        ]
+        errors: list[BaseException] = []
+        stop = threading.Event()
+
+        def searcher(worker_id: int):
+            try:
+                while not stop.is_set():
+                    results = engine.search(
+                        view_box["view"], ("xml", "search"), top_k=10
+                    )
+                    got = [(r.rank, r.score, r.to_xml()) for r in results]
+                    assert got == expected
+            except BaseException as exc:
+                errors.append(exc)
+
+        def redefiner():
+            try:
+                for _ in range(25):
+                    # Same text: every redefinition is semantically a
+                    # no-op, but it swaps QPT identities and invalidates
+                    # the skeleton/PDT tiers mid-flight.
+                    view_box["view"] = engine.define_view(
+                        "bookrevs", bookrev_view_text
+                    )
+            except BaseException as exc:
+                errors.append(exc)
+            finally:
+                stop.set()
+
+        run_threads(
+            [lambda w=w: searcher(w) for w in range(4)] + [redefiner]
+        )
+        assert not errors, errors

@@ -85,9 +85,14 @@ class TestOutcome:
         outcome = engine.search_detailed(view, ["xml"], top_k=5)
         timings = outcome.timings.as_dict()
         assert set(timings) == {
-            "qpt", "pdt", "evaluator", "post_processing", "total",
+            "qpt", "pdt", "pdt_skeleton", "pdt_postings",
+            "evaluator", "post_processing", "total",
         }
         assert timings["total"] >= timings["pdt"]
+        # The skeleton/postings split attributes the PDT phase.
+        split = timings["pdt_skeleton"] + timings["pdt_postings"]
+        assert split > 0.0
+        assert timings["pdt"] + 1e-9 >= split
         assert engine.last_timings is outcome.timings
 
     def test_store_touched_only_for_materialization(self, engine, view):
