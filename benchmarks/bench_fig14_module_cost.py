@@ -94,7 +94,8 @@ def test_post_processing(benchmark, efficient):
     ]
 
     def post():
-        outcome = score_results(results, KEYWORDS)
+        # tf_source resolves the shared skeleton trees' content slots.
+        outcome = score_results(results, KEYWORDS, tf_source=pdts)
         return select_top_k(outcome, 10)
 
     benchmark(post)

@@ -1,0 +1,164 @@
+"""Machine-readable perf-trajectory report (``BENCH_pr3.json``).
+
+Times the three serving regimes of ``bench_x4_skeleton_reuse`` — cold /
+skeleton-warm / fully-warm — plus the annotation microbench pair of
+``bench_x5_annotation``, at one or more data scales, and writes the
+median latencies as JSON.  This is the artifact the CI perf-smoke job
+uploads per commit, so the ROADMAP's "fast as the hardware allows" goal
+has a recorded trajectory instead of docstring folklore.
+
+Run it directly (no pytest-benchmark needed)::
+
+    PYTHONPATH=src python benchmarks/bench_report.py \
+        --scales 0 1 --out BENCH_pr3.json
+
+Scale 0 is a degenerate near-empty database — it keeps the smoke run
+fast and exercises the empty-document and zero-result edge paths.
+"""
+
+from __future__ import annotations
+
+import argparse
+import itertools
+import json
+import platform
+import time
+from pathlib import Path
+
+from repro.bench.experiments import build_database
+from repro.core.cache import QueryCache
+from repro.core.engine import KeywordSearchEngine
+from repro.workloads.params import ExperimentParams
+from repro.workloads.views import view_for_params
+
+# Disjoint keyword sets cycled by the skeleton-warm regime so the PDT
+# tier (disabled anyway) could never serve an iteration.
+KEYWORD_SETS = [
+    ("thomas",),
+    ("control",),
+    ("search",),
+    ("thomas", "control"),
+    ("analysis",),
+    ("control", "search"),
+]
+
+
+def _median_ms(fn, rounds: int, warmup: int = 3) -> float:
+    for _ in range(warmup):
+        fn()
+    samples = []
+    for _ in range(rounds):
+        start = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - start)
+    samples.sort()
+    return samples[len(samples) // 2] * 1000.0
+
+
+def _cold_ms(params: ExperimentParams, rounds: int) -> float:
+    database = build_database(params)
+    engine = KeywordSearchEngine(database, enable_cache=False)
+    view = engine.define_view("bench", view_for_params(params))
+    keywords = params.keywords()
+    return _median_ms(
+        lambda: engine.search(view, keywords, top_k=params.top_k), rounds
+    )
+
+
+def _skeleton_warm_ms(params: ExperimentParams, rounds: int) -> float:
+    database = build_database(params)
+    engine = KeywordSearchEngine(
+        database, cache=QueryCache(pdt_capacity=0, prepared_capacity=0)
+    )
+    view = engine.define_view("bench", view_for_params(params))
+    engine.search(view, params.keywords(), top_k=params.top_k)  # prime
+    cycle = itertools.cycle(KEYWORD_SETS)
+    return _median_ms(
+        lambda: engine.search(view, next(cycle), top_k=params.top_k), rounds
+    )
+
+
+def _fully_warm_ms(params: ExperimentParams, rounds: int) -> float:
+    database = build_database(params)
+    engine = KeywordSearchEngine(database)
+    view = engine.define_view("bench", view_for_params(params))
+    keywords = params.keywords()
+    engine.search(view, keywords, top_k=params.top_k)  # prime
+    return _median_ms(
+        lambda: engine.search(view, keywords, top_k=params.top_k), rounds
+    )
+
+
+def _annotation_us(rounds: int) -> dict[str, float]:
+    """Median microseconds for the two annotation inner loops.
+
+    Always measured at bench_x5's own configuration (scale 1, its
+    keyword set) so the numbers are comparable across reports — the
+    ``scale`` field in the output records this.
+    """
+    import sys
+
+    sys.path.insert(0, str(Path(__file__).resolve().parent))
+    from bench_x5_annotation import (
+        PARAMS as X5_PARAMS,
+        _merge_join,
+        _per_node_bisect,
+        _skeletons_and_lists,
+    )
+
+    skeletons, inv_lists = _skeletons_and_lists()
+
+    def sweep():
+        for doc, skeleton in skeletons.items():
+            _merge_join(skeleton, inv_lists[doc])
+
+    def bisect():
+        for doc, skeleton in skeletons.items():
+            _per_node_bisect(skeleton, inv_lists[doc])
+
+    return {
+        "scale": X5_PARAMS.data_scale,
+        "merge_join_us": round(_median_ms(sweep, rounds) * 1000.0, 2),
+        "per_node_bisect_us": round(_median_ms(bisect, rounds) * 1000.0, 2),
+    }
+
+
+def build_report(scales: list[int], rounds: int) -> dict:
+    report: dict = {
+        "pr": 3,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "rounds": rounds,
+        "benchmarks": {},
+    }
+    for scale in scales:
+        params = ExperimentParams(data_scale=scale)
+        report["benchmarks"][f"scale_{scale}"] = {
+            "cold_ms": round(_cold_ms(params, rounds), 3),
+            "skeleton_warm_ms": round(_skeleton_warm_ms(params, rounds), 3),
+            "fully_warm_ms": round(_fully_warm_ms(params, rounds), 3),
+        }
+    # The annotation microbench only means something on real data; it
+    # runs at bench_x5's fixed configuration (see _annotation_us).
+    if any(scale >= 1 for scale in scales):
+        report["annotation"] = _annotation_us(rounds)
+    return report
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scales", type=int, nargs="+", default=[0, 1])
+    parser.add_argument("--rounds", type=int, default=30)
+    parser.add_argument("--out", type=Path, default=Path("BENCH_pr3.json"))
+    args = parser.parse_args()
+    report = build_report(args.scales, args.rounds)
+    args.out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {args.out}")
+    for name, numbers in report["benchmarks"].items():
+        print(f"  {name}: {numbers}")
+    if "annotation" in report:
+        print(f"  annotation: {report['annotation']}")
+
+
+if __name__ == "__main__":
+    main()

@@ -36,7 +36,7 @@ from repro.core.pdt import (
     generate_pdt,
 )
 from repro.core.topk import TopKSelector
-from repro.dewey import DeweyID
+from repro.dewey import DeweyID, pack, packed_child_bound, unpack
 from repro.errors import (
     DocumentNotFoundError,
     ReproError,
@@ -71,6 +71,9 @@ __all__ = [
     "QueryCache",
     "TopKSelector",
     "DeweyID",
+    "pack",
+    "unpack",
+    "packed_child_bound",
     "XMLDatabase",
     "Document",
     "XMLNode",

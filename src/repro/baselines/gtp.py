@@ -32,7 +32,7 @@ from repro.core.pdt import PDTRecord, PDTResult, assemble_pdt
 from repro.core.qpt import QPT, QPTNode, generate_qpts
 from repro.core.rewrite import make_pdt_resolver
 from repro.core.scoring import score_results, select_top_k
-from repro.dewey import DeweyID
+from repro.dewey import DeweyID, pack
 from repro.storage.database import XMLDatabase
 from repro.xmlmodel.node import XMLNode
 from repro.xmlmodel.tokenizer import normalize_keyword
@@ -166,22 +166,24 @@ class GTPEngine:
             stats.structural_joins += 1
             selected[qnode.index] = [d for d in pool if d in matched_desc]
 
-        # Assemble the records; join values and byte lengths come from the
-        # base data (the GTP cost the paper highlights).
-        records: dict[Dewey, PDTRecord] = {}
+        # Assemble the records (keyed by packed Dewey byte keys, the form
+        # assemble_pdt nests by); join values and byte lengths come from
+        # the base data (the GTP cost the paper highlights).
+        records: dict[bytes, PDTRecord] = {}
         for qnode in qpt.nodes:
             for dewey in selected[qnode.index]:
-                record = records.get(dewey)
+                key = pack(dewey)
+                record = records.get(key)
                 if record is None:
                     base = store.record(DeweyID(dewey))
                     stats.base_value_accesses += 1
                     record = PDTRecord(
-                        dewey=dewey,
+                        key=key,
                         tag=qnode.tag,
                         value=base.value,
                         byte_length=base.byte_length,
                     )
-                    records[dewey] = record
+                    records[key] = record
                 if qnode.v_ann or qnode.predicates:
                     record.wants_value = True
                 if qnode.c_ann:
@@ -192,22 +194,25 @@ class GTPEngine:
         # keyword's full posting list (TermJoin has no subtree prefix-sum
         # index; the Efficient pipeline's range-sum lookup is exactly the
         # optimization the paper credits to its inverted-list usage).
+        # Both sides run on packed byte keys — no per-posting decode.
         content_nodes = sorted(
-            dewey for dewey, record in records.items() if record.wants_content
+            key for key, record in records.items() if record.wants_content
         )
-        tf_by_node: dict[Dewey, dict[str, int]] = {
-            dewey: {} for dewey in content_nodes
+        tf_by_node: dict[bytes, dict[str, int]] = {
+            key: {} for key in content_nodes
         }
         for keyword in keywords:
-            postings = inverted.lookup(keyword).postings
-            stats.tag_stream_entries += len(postings)
-            totals = _termjoin_subtree_tf(content_nodes, postings)
+            posting_list = inverted.lookup(keyword)
+            stats.tag_stream_entries += len(posting_list)
+            totals = _termjoin_subtree_tf(
+                content_nodes, posting_list.items_packed()
+            )
             stats.structural_joins += 1
-            for dewey, total in totals.items():
-                tf_by_node[dewey][keyword] = total
+            for key, total in totals.items():
+                tf_by_node[key][keyword] = total
 
         def tf_lookup(dewey_id: DeweyID) -> dict[str, int]:
-            totals = tf_by_node.get(dewey_id.components, {})
+            totals = tf_by_node.get(dewey_id.packed, {})
             return {keyword: totals.get(keyword, 0) for keyword in keywords}
 
         return assemble_pdt(
@@ -283,22 +288,23 @@ class GTPEngine:
         )
 
 def _termjoin_subtree_tf(
-    content_nodes: Sequence[Dewey], postings
-) -> dict[Dewey, int]:
-    """Merge-join content nodes with a posting list, summing contained tf."""
-    totals: dict[Dewey, int] = {}
-    stack: list[Dewey] = []
+    content_nodes: Sequence[bytes], postings
+) -> dict[bytes, int]:
+    """Merge-join content nodes with (packed key, tf) pairs, summing
+    contained tf.  Packed-key byte prefixing is ancestry, so the stack
+    discipline is identical to the tuple form."""
+    totals: dict[bytes, int] = {}
+    stack: list[bytes] = []
     ni = 0
-    for posting in postings:
-        dewey = posting.dewey
-        while ni < len(content_nodes) and content_nodes[ni] <= dewey:
+    for key, tf in postings:
+        while ni < len(content_nodes) and content_nodes[ni] <= key:
             candidate = content_nodes[ni]
-            while stack and candidate[: len(stack[-1])] != stack[-1]:
+            while stack and not candidate.startswith(stack[-1]):
                 stack.pop()
             stack.append(candidate)
             ni += 1
-        while stack and dewey[: len(stack[-1])] != stack[-1]:
+        while stack and not key.startswith(stack[-1]):
             stack.pop()
         for ancestor in stack:
-            totals[ancestor] = totals.get(ancestor, 0) + posting.tf
+            totals[ancestor] = totals.get(ancestor, 0) + tf
     return totals

@@ -23,6 +23,16 @@ inputs, so they cache cleanly — and they split along the keyword axis:
   because nothing downstream mutates a PDT: the evaluator references
   PDT nodes without touching their parent pointers, scoring only reads
   annotations, and materialization copies.
+* **Tier 4 — evaluated views**: keyed by ``(view, per-document
+  generations)`` — no keywords.  PDT trees are keyword-independent
+  (per-query tfs live in flat arrays *outside* the tree, resolved by
+  scoring through content-node slots), so the evaluator's output over
+  them — the view's result node list — is keyword-independent too.  A
+  hit means a query with a never-seen keyword set skips the whole
+  XQuery evaluation: all that runs is the per-keyword posting sweep,
+  scoring over the cached result nodes, and top-k.  Safe for the same
+  reason as tier 3: evaluation attaches result nodes by reference and
+  nothing downstream writes into them.
 
 Every tier is a :class:`ShardedLRUCache`: entries are hash-partitioned
 by their ``(doc, view)`` coordinates across independent shards, each
@@ -269,6 +279,9 @@ class QueryCache:
       ``(view_name, doc_name)``
     * pdt:       ``(view_name, doc_name, generation, qpt, keywords)`` —
       sharded by ``(view_name, doc_name)``
+    * evaluated: ``(view_name, ((doc_name, generation, qpt), ...))`` —
+      sharded by ``view_name`` (one entry spans every document the view
+      reads, so it cannot partition finer)
 
     Keywords never participate in shard selection: all keyword variants
     of one ``(view, doc)`` pair share a shard, so skeleton reuse and
@@ -285,10 +298,12 @@ class QueryCache:
     prepared_capacity: int = 256
     pdt_capacity: int = 128
     skeleton_capacity: int = 64
+    evaluated_capacity: int = 64
     shard_count: int = 8
     prepared: ShardedLRUCache = field(init=False)
     pdts: ShardedLRUCache = field(init=False)
     skeletons: ShardedLRUCache = field(init=False)
+    evaluated: ShardedLRUCache = field(init=False)
 
     def __post_init__(self) -> None:
         self.prepared = ShardedLRUCache(
@@ -299,6 +314,9 @@ class QueryCache:
         )
         self.skeletons = ShardedLRUCache(
             self.skeleton_capacity, self.shard_count, shard_key=lambda k: k[:2]
+        )
+        self.evaluated = ShardedLRUCache(
+            self.evaluated_capacity, self.shard_count, shard_key=lambda k: k[0]
         )
 
     # -- keys ---------------------------------------------------------------
@@ -328,17 +346,34 @@ class QueryCache:
     ) -> tuple:
         return (view_name, doc_name, generation, qpt, keywords)
 
+    @staticmethod
+    def evaluated_key(
+        view_name: str,
+        doc_coordinates: tuple[tuple[str, int, object], ...],
+    ) -> tuple:
+        """``doc_coordinates``: sorted ``(doc_name, generation, qpt)``.
+
+        The generations and QPT identities make the key self-invalidating
+        across reloads and view redefinitions, exactly like the other
+        tiers.
+        """
+        return (view_name, doc_coordinates)
+
     # -- invalidation --------------------------------------------------------
 
     def invalidate_document(self, doc_name: str) -> int:
-        """Drop all entries derived from ``doc_name`` (all three tiers)."""
+        """Drop all entries derived from ``doc_name`` (every tier)."""
         dropped = self.prepared.invalidate_where(lambda k: k[0] == doc_name)
         dropped += self.skeletons.invalidate_where(lambda k: k[1] == doc_name)
         dropped += self.pdts.invalidate_where(lambda k: k[1] == doc_name)
+        dropped += self.evaluated.invalidate_where(
+            lambda k: any(coord[0] == doc_name for coord in k[1])
+        )
         return dropped
 
     def invalidate_view(self, view_name: str) -> int:
-        """Drop the skeletons and PDTs of a (re)defined view.
+        """Drop the skeletons, PDTs and evaluated results of a (re)defined
+        view.
 
         Prepared lists survive: they are keyed by QPT identity, and a
         redefinition builds new QPT objects, so stale entries can never
@@ -346,6 +381,7 @@ class QueryCache:
         """
         dropped = self.skeletons.invalidate_where(lambda k: k[0] == view_name)
         dropped += self.pdts.invalidate_where(lambda k: k[0] == view_name)
+        dropped += self.evaluated.invalidate_where(lambda k: k[0] == view_name)
         return dropped
 
     def clear(self) -> int:
@@ -353,6 +389,7 @@ class QueryCache:
             self.prepared.clear()
             + self.skeletons.clear()
             + self.pdts.clear()
+            + self.evaluated.clear()
         )
 
     # -- diagnostics ---------------------------------------------------------
@@ -363,4 +400,5 @@ class QueryCache:
             "prepared": self.prepared.stats_dict(),
             "skeleton": self.skeletons.stats_dict(),
             "pdt": self.pdts.stats_dict(),
+            "evaluated": self.evaluated.stats_dict(),
         }

@@ -6,13 +6,19 @@ builds PDTs from indices alone (phase 2), evaluates the unmodified view
 query over the PDTs, scores every pruned result through a streaming
 bounded-heap top-k selector, and defers materialization so document
 storage is touched only when a winner's content is actually read
-(phase 3).  Prepared index lists, keyword-independent PDT skeletons and
-finished PDTs are served from a sharded three-tier LRU query cache keyed
-per document/view/keywords, invalidated via database hooks on load/drop
-and self-invalidating across reloads/redefinitions through generation-
-and QPT-stamped keys.  Per-phase wall-clock timings are recorded in
-``last_timings`` — Figure 14's module breakdown, with the PDT phase
-further split into its skeleton and postings halves.
+(phase 3).  Prepared index lists, keyword-independent PDT skeletons,
+finished PDTs and evaluated view results are served from a sharded
+four-tier LRU query cache keyed per document/view/keywords, invalidated
+via database hooks on load/drop and self-invalidating across
+reloads/redefinitions through generation- and QPT-stamped keys.
+
+PDT trees are shared skeleton trees (keyword-independent: per-query tfs
+live in flat arrays resolved through content-node slots), which is what
+makes the evaluated tier sound — and makes the fully warm query path an
+array sweep: one posting-list merge-join per keyword, a scoring pass
+over cached result nodes, and the top-k heap.  Per-phase wall-clock
+timings are recorded in ``last_timings`` — Figure 14's module breakdown,
+with the PDT phase further split into its skeleton and postings halves.
 """
 
 from __future__ import annotations
@@ -171,6 +177,10 @@ class SearchOutcome:
     """Per-document cache outcome: ``"pdt"``, ``"skeleton"``,
     ``"prepared"`` or ``"miss"`` (deepest tier that hit)."""
 
+    evaluated_hit: bool = False
+    """Whether the view's result nodes came from the evaluated tier
+    (keyword-independent evaluation skipped entirely)."""
+
     _cache: Optional[QueryCache] = field(default=None, repr=False)
     _cache_stats: Optional[dict] = field(default=None, repr=False)
 
@@ -289,14 +299,19 @@ class KeywordSearchEngine:
         # prior query already built the lists/skeletons/PDTs for these
         # inputs.
         start = time.perf_counter()
-        pdts, cache_hits = self._build_pdts(view, normalized, timings)
+        pdts, cache_hits, doc_coordinates = self._build_pdts(
+            view, normalized, timings
+        )
         timings.pdt = time.perf_counter() - start
 
         # Phase 3a: evaluate the unmodified view query over the PDTs.
+        # PDT trees are keyword-independent, so the result node list is
+        # served from the evaluated tier whenever any keyword set was
+        # queried against these exact (view, generations) before.
         start = time.perf_counter()
-        evaluator = Evaluator(EvalContext(resolver=make_pdt_resolver(pdts)))
-        items = evaluator.evaluate(view.expr)
-        view_results = [item for item in items if isinstance(item, XMLNode)]
+        view_results, evaluated_hit = self._evaluate_view_results(
+            view, pdts, doc_coordinates
+        )
         timings.evaluator = time.perf_counter() - start
 
         # Phase 3b: score and stream through the bounded top-k heap.  No
@@ -308,6 +323,7 @@ class KeywordSearchEngine:
             normalized,
             conjunctive=conjunctive,
             normalize=self.normalize_scores,
+            tf_source=pdts,
         )
         winners = select_top_k_streaming(outcome, top_k)
         results = [
@@ -333,6 +349,7 @@ class KeywordSearchEngine:
             pdts=pdts,
             timings=timings,
             cache_hits=cache_hits,
+            evaluated_hit=evaluated_hit,
             _cache=self.cache,
         )
 
@@ -347,7 +364,11 @@ class KeywordSearchEngine:
         view: View,
         normalized: tuple[str, ...],
         timings: Optional[PhaseTimings] = None,
-    ) -> tuple[dict[str, PDTResult], dict[str, str]]:
+    ) -> tuple[
+        dict[str, PDTResult],
+        dict[str, str],
+        tuple[tuple[str, int, QPT], ...],
+    ]:
         """Per-document PDTs for a query, through the three cache tiers.
 
         Lookup order per document — deepest reuse first:
@@ -373,8 +394,15 @@ class KeywordSearchEngine:
         cacheable = cache is not None and self._views.get(view.name) is view
         pdts: dict[str, PDTResult] = {}
         cache_hits: dict[str, str] = {}
-        for doc_name, qpt in view.qpts.items():
+        doc_coordinates: list[tuple[str, int, QPT]] = []
+        for doc_name in sorted(view.qpts):
+            qpt = view.qpts[doc_name]
             indexed = self.database.get(doc_name)
+            # The generation captured here keys every tier this query
+            # touches — including the evaluated tier — so one query's
+            # cache traffic is generation-coherent per document even if a
+            # reload lands mid-flight.
+            doc_coordinates.append((doc_name, indexed.generation, qpt))
             if cacheable:
                 pdt_key = cache.pdt_key(
                     view.name, doc_name, indexed.generation, qpt, normalized
@@ -446,7 +474,43 @@ class KeywordSearchEngine:
                 cache.pdts.put(pdt_key, pdt)
             pdts[doc_name] = pdt
             cache_hits[doc_name] = hit
-        return pdts, cache_hits
+        return pdts, cache_hits, tuple(doc_coordinates)
+
+    def _evaluate_view_results(
+        self,
+        view: View,
+        pdts: dict[str, PDTResult],
+        doc_coordinates: tuple[tuple[str, int, QPT], ...],
+    ) -> tuple[tuple[XMLNode, ...], bool]:
+        """The view's result nodes, through the evaluated cache tier.
+
+        The PDT trees handed to the evaluator are keyword-independent
+        shared skeleton trees, so the evaluation result is a pure
+        function of ``(view, per-document generations)`` — never of the
+        query keywords.  A hit returns the exact node list a previous
+        query's evaluation produced (shared read-only, like every other
+        cached tree); scoring stays correct because per-query tfs are
+        resolved through content-node slots against *this* query's
+        ``pdts``, not through anything stored in the nodes.
+        """
+        cache = self.cache
+        cacheable = cache is not None and self._views.get(view.name) is view
+        key = None
+        if cacheable:
+            key = cache.evaluated_key(view.name, doc_coordinates)
+            cached = cache.evaluated.get(key)
+            if cached is not None:
+                return cached, True
+        evaluator = Evaluator(EvalContext(resolver=make_pdt_resolver(pdts)))
+        items = evaluator.evaluate(view.expr)
+        # A tuple, not a list: the same object is cached and handed to
+        # callers, so the sequence itself must be immutable.
+        view_results = tuple(
+            item for item in items if isinstance(item, XMLNode)
+        )
+        if cacheable:
+            cache.evaluated.put(key, view_results)
+        return view_results, False
 
     # -- diagnostics ------------------------------------------------------------
 
@@ -503,15 +567,13 @@ class KeywordSearchEngine:
         if isinstance(view, str):
             view = self.get_view(view)
         self._reject_stale(view)
-        pdts, _ = self._build_pdts(view, ())
-        evaluator = Evaluator(EvalContext(resolver=make_pdt_resolver(pdts)))
-        results = [
-            item
-            for item in evaluator.evaluate(view.expr)
-            if isinstance(item, XMLNode)
-        ]
+        pdts, _, doc_coordinates = self._build_pdts(view, ())
+        results, _ = self._evaluate_view_results(view, pdts, doc_coordinates)
         if not materialize:
-            return results
+            # A fresh list of shared, read-only pruned nodes (possibly
+            # served from the evaluated tier) — callers must not mutate
+            # the nodes themselves.
+            return list(results)
         return [materialize_result(node, self.database) for node in results]
 
     # -- full keyword-query form (Figure 2) ----------------------------------------

@@ -29,6 +29,23 @@ equivalent *stack* discipline over the k-way merge of the id lists:
   registrations are dropped, exactly like pdt-cache entries whose parent
   lists empty out (CreatePDTNodes line 26).
 
+Ids flow through the merge in their *packed* byte form (see
+:mod:`repro.dewey`): bytes comparison is document order, a byte prefix is
+an ancestor, and a subtree is the contiguous range
+``[key, packed_child_bound(key))`` — so the merge's heap comparisons, the
+stack discipline and the skeleton's tf range bounds all operate on flat
+bytes with no per-element tuple allocation.
+
+The keyword-independent half of the work is captured by
+:class:`PDTSkeleton` (cached per ``(view, document)`` by the engine): the
+surviving records, their nesting (precomputed parent indices), the shared
+assembled tree, and — for every content node — its subtree boundary keys
+resolved to indices into one sorted bounds array.  The per-query half,
+:func:`annotate_skeleton`, is then a single merge-join sweep per keyword
+over ``(bounds, posting list)`` producing a flat tf array:
+O(skeleton + postings) instead of the O(skeleton · log postings) per-node
+binary searches it replaces.
+
 Equivalence with Definitions 1-3 is enforced by property tests against
 ``repro.core.reference``.
 """
@@ -36,7 +53,7 @@ Equivalence with Definitions 1-3 is enforced by property tests against
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from repro.core.prepare import (
@@ -47,7 +64,7 @@ from repro.core.prepare import (
 )
 from repro.storage.inverted_index import PostingList
 from repro.core.qpt import QPT, QPTNode
-from repro.dewey import DeweyID
+from repro.dewey import DeweyID, packed_child_bound, packed_prefix_ends, unpack
 from repro.storage.inverted_index import InvertedIndex
 from repro.storage.path_index import PathIndex
 from repro.xmlmodel.node import NodeAnnotations, XMLNode
@@ -65,6 +82,16 @@ class PDTResult:
     references PDT nodes without touching their parent pointers, scoring
     reads annotations only, and materialization copies; nothing downstream
     writes into the pruned tree.
+
+    When produced by :func:`annotate_skeleton`, ``root`` is the skeleton's
+    *shared* keyword-independent tree and the per-query keyword data lives
+    in ``tf_arrays``: one flat array per keyword, indexed by the content
+    node's ``anno.slot``.  Scoring resolves tfs through :meth:`tf_at`; a
+    keyword with no postings maps to ``None`` (an implicit all-zero
+    array), so every queried keyword is always present — shape-stable
+    regardless of which keywords matched.  Trees built by
+    :func:`assemble_pdt` (the GTP baseline) instead carry per-node
+    ``term_frequencies`` annotations and leave ``tf_arrays`` as ``None``.
     """
 
     doc_name: str
@@ -72,6 +99,7 @@ class PDTResult:
     node_count: int
     entry_count: int
     keywords: tuple[str, ...]
+    tf_arrays: Optional[dict[str, Optional[list[int]]]] = None
 
     @property
     def is_empty(self) -> bool:
@@ -80,6 +108,36 @@ class PDTResult:
     def stats(self) -> dict[str, int]:
         """Size statistics (used by benchmarks and cache diagnostics)."""
         return {"nodes": self.node_count, "entries": self.entry_count}
+
+    # -- per-query keyword data ---------------------------------------------
+
+    def tf_at(self, slot: int, keyword: str) -> int:
+        """Subtree tf of ``keyword`` at the content node with ``slot``."""
+        arrays = self.tf_arrays
+        if arrays is None:
+            return 0
+        array = arrays.get(keyword)
+        return array[slot] if array is not None else 0
+
+    def tf_map(self, node: XMLNode) -> dict[str, int]:
+        """The per-keyword subtree tfs of one (content) PDT node.
+
+        Resolves through ``tf_arrays`` for slot-annotated nodes and falls
+        back to the node's own ``term_frequencies`` annotation (the
+        assemble_pdt/GTP form).  Non-content nodes yield all zeros.
+        """
+        anno = node.anno
+        if anno is None:
+            return {keyword: 0 for keyword in self.keywords}
+        if anno.slot is not None and self.tf_arrays is not None:
+            return {
+                keyword: self.tf_at(anno.slot, keyword)
+                for keyword in self.keywords
+            }
+        return {
+            keyword: anno.term_frequencies.get(keyword, 0)
+            for keyword in self.keywords
+        }
 
 
 class _Item:
@@ -105,11 +163,11 @@ class _Item:
 class _OpenElement:
     """An open Dewey prefix on the stack (a live CT node)."""
 
-    __slots__ = ("dewey", "depth", "items", "value", "byte_length")
+    __slots__ = ("key", "depth", "items", "value", "byte_length")
 
-    def __init__(self, dewey: tuple[int, ...]):
-        self.dewey = dewey
-        self.depth = len(dewey)
+    def __init__(self, key: bytes, depth: int):
+        self.key = key
+        self.depth = depth
         self.items: list[_Item] = []
         self.value: Optional[str] = None
         self.byte_length: Optional[int] = None
@@ -119,16 +177,22 @@ class _OpenElement:
 class PDTRecord:
     """An emitted PDT element (pre-tree-construction).
 
-    Shared with the GTP baseline, which computes the same records through
-    structural joins instead of the single-pass merge.
+    ``key`` is the element's packed Dewey byte key.  Shared with the GTP
+    baseline, which computes the same records through structural joins
+    instead of the single-pass merge.
     """
 
-    dewey: tuple[int, ...]
+    key: bytes
     tag: str
     value: Optional[str]
     byte_length: int
     wants_value: bool = False
     wants_content: bool = False
+
+    @property
+    def dewey(self) -> tuple[int, ...]:
+        """Decoded component tuple (diagnostics/tests; not hot-path)."""
+        return unpack(self.key)
 
 
 class _PDTBuilder:
@@ -154,56 +218,61 @@ class _PDTBuilder:
         self._path_index = path_index
         self._inpdt_fast_path = inpdt_fast_path
         self._stack: list[_OpenElement] = []
-        self._records: dict[tuple[int, ...], PDTRecord] = {}
+        self._records: dict[bytes, PDTRecord] = {}
 
     # -- main loop -----------------------------------------------------------
 
-    def run(self) -> dict[tuple[int, ...], PDTRecord]:
+    def run(self) -> dict[bytes, PDTRecord]:
         def stream(node_index, path_list):
             for entry in path_list:
-                yield (entry.dewey, node_index, entry)
+                yield (entry.key, node_index, entry)
 
+        # The stream tuples are naturally ordered: the packed key compares
+        # first (bytes comparison == document order) and the int node
+        # index breaks ties between lists, so ``heapq.merge`` needs no key
+        # function — every heap comparison is a direct tuple compare.
         merged = heapq.merge(
             *(
                 stream(node_index, path_list)
                 for node_index, path_list in self._lists.path_lists.items()
-            ),
-            key=lambda triple: triple[0],
+            )
         )
-        group_dewey: Optional[tuple[int, ...]] = None
+        group_key: Optional[bytes] = None
         group: list[tuple[int, object]] = []
-        for dewey, node_index, entry in merged:
-            if dewey != group_dewey:
-                if group_dewey is not None:
-                    self._process_group(group_dewey, group)
-                group_dewey = dewey
+        for key, node_index, entry in merged:
+            if key != group_key:
+                if group_key is not None:
+                    self._process_group(group_key, group)
+                group_key = key
                 group = []
             group.append((node_index, entry))
-        if group_dewey is not None:
-            self._process_group(group_dewey, group)
+        if group_key is not None:
+            self._process_group(group_key, group)
         while self._stack:
             self._close(self._stack.pop())
         return self._records
 
-    def _process_group(self, dewey: tuple[int, ...], group: list) -> None:
+    def _process_group(self, key: bytes, group: list) -> None:
         # Close open elements that are not ancestors of the incoming id:
         # Dewey order guarantees they can receive no further descendants.
-        while self._stack and dewey[: self._stack[-1].depth] != self._stack[-1].dewey:
+        # Byte-prefix containment == ancestry for packed keys.
+        while self._stack and not key.startswith(self._stack[-1].key):
             self._close(self._stack.pop())
         direct: dict[int, object] = {node_index: entry for node_index, entry in group}
         # The concrete data path of the incoming element names every
         # ancestor tag, so each prefix can be matched against the QPT.
         any_entry = group[0][1]
         data_path = self._path_index.path_by_id(any_entry.path_id)
+        prefix_ends = packed_prefix_ends(key)
+        total_depth = len(prefix_ends)
         open_depth = self._stack[-1].depth if self._stack else 0
-        for depth in range(open_depth + 1, len(dewey) + 1):
+        for depth in range(open_depth + 1, total_depth + 1):
             prefix_tags = data_path[:depth]
             matches = self._qpt.match_table(prefix_tags)[depth - 1]
             if not matches:
                 continue
-            prefix = dewey[:depth]
-            element = _OpenElement(prefix)
-            is_self = depth == len(dewey)
+            element = _OpenElement(key[: prefix_ends[depth - 1]], depth)
+            is_self = depth == total_depth
             for qnode in matches:
                 if qnode.index in self._lists.probed and (
                     not is_self or qnode.index not in direct
@@ -298,16 +367,16 @@ class _PDTBuilder:
 
     def _emit(self, item: _Item) -> None:
         element = item.owner
-        record = self._records.get(element.dewey)
+        record = self._records.get(element.key)
         if record is None:
             tag = self._tag_of(item)
             record = PDTRecord(
-                dewey=element.dewey,
+                key=element.key,
                 tag=tag,
                 value=element.value,
                 byte_length=element.byte_length or 0,
             )
-            self._records[element.dewey] = record
+            self._records[element.key] = record
         if item.qnode.v_ann or item.qnode.predicates:
             record.wants_value = True
         if item.qnode.c_ann:
@@ -329,17 +398,40 @@ class PDTSkeleton:
     annotations consumed by scoring).  A skeleton is therefore shared
     across *every* keyword set queried against the same view and
     document; :func:`annotate_skeleton` merges a query's posting lists
-    onto it in one cheap pass with zero path-index work.
+    onto it in one sweep per keyword with zero path-index work.
 
-    Skeletons are immutable in practice: the records are finalized when
-    the merge pass ends and the annotation pass only reads them, so one
-    skeleton may be annotated concurrently from many threads.
+    Beyond the records, a skeleton precomputes — once, at build time —
+    every structure the annotation pass would otherwise redo per query:
+
+    * ``tree``: the assembled PDT tree itself.  Values, byte lengths and
+      nesting are all keyword-independent, so one shared tree serves
+      every keyword set; content nodes carry their ``slot`` index and the
+      per-query tfs live in :attr:`PDTResult.tf_arrays`.
+    * ``bounds`` / ``slot_bounds``: the sorted, de-duplicated subtree
+      boundary keys of all content nodes, and per content slot the
+      ``(low, high)`` indices into ``bounds``.  One
+      ``PostingList.cumulative_below(bounds)`` sweep per keyword then
+      yields every content node's subtree tf by two array reads.
+    * ``dewey_ids`` / ``parents``: decoded ids (shared by all annotation
+      annotations) and parent positions, kept for diagnostics and for
+      rebuilding trees in tests.
+
+    Skeletons are immutable in practice: everything is finalized when the
+    build ends and annotation passes only read, so one skeleton may be
+    annotated concurrently from many threads.
     """
 
     doc_name: str
-    records: dict[tuple[int, ...], PDTRecord]
-    ordered: tuple[tuple[int, ...], ...]
+    records: dict[bytes, PDTRecord]
+    ordered: tuple[bytes, ...]
     entry_count: int
+    dewey_ids: tuple[DeweyID, ...]
+    parents: tuple[int, ...]
+    slots: tuple[Optional[int], ...]
+    content_count: int
+    bounds: tuple[bytes, ...]
+    slot_bounds: tuple[tuple[int, int], ...]
+    tree: XMLNode
 
     @property
     def node_count(self) -> int:
@@ -347,6 +439,100 @@ class PDTSkeleton:
 
     def stats(self) -> dict[str, int]:
         return {"nodes": self.node_count, "entries": self.entry_count}
+
+    @classmethod
+    def from_records(
+        cls,
+        doc_name: str,
+        records: dict[bytes, PDTRecord],
+        entry_count: int,
+    ) -> "PDTSkeleton":
+        """Finalize merge-pass records into an annotated-query-ready form."""
+        ordered = tuple(sorted(records))
+        dewey_ids: list[DeweyID] = []
+        parents: list[int] = []
+        slots: list[Optional[int]] = []
+        bound_keys: set[bytes] = set()
+        content_ranges: list[tuple[bytes, bytes]] = []
+        stack: list[int] = []
+        for position, key in enumerate(ordered):
+            dewey_ids.append(DeweyID.from_packed(key))
+            while stack and not key.startswith(ordered[stack[-1]]):
+                stack.pop()
+            parents.append(stack[-1] if stack else -1)
+            stack.append(position)
+            if records[key].wants_content:
+                slots.append(len(content_ranges))
+                upper = packed_child_bound(key)
+                content_ranges.append((key, upper))
+                bound_keys.add(key)
+                bound_keys.add(upper)
+            else:
+                slots.append(None)
+        bounds = tuple(sorted(bound_keys))
+        bound_index = {bound: i for i, bound in enumerate(bounds)}
+        slot_bounds = tuple(
+            (bound_index[low], bound_index[high])
+            for low, high in content_ranges
+        )
+        tree = _build_tree(doc_name, records, ordered, dewey_ids, parents, slots)
+        return cls(
+            doc_name=doc_name,
+            records=records,
+            ordered=ordered,
+            entry_count=entry_count,
+            dewey_ids=tuple(dewey_ids),
+            parents=tuple(parents),
+            slots=tuple(slots),
+            content_count=len(content_ranges),
+            bounds=bounds,
+            slot_bounds=slot_bounds,
+            tree=tree,
+        )
+
+
+def _build_tree(
+    doc_name: str,
+    records: dict[bytes, PDTRecord],
+    ordered: tuple[bytes, ...],
+    dewey_ids: list[DeweyID],
+    parents: list[int],
+    slots: list[Optional[int]],
+) -> XMLNode:
+    """Nest records into the shared keyword-independent PDT tree.
+
+    Definition 3's edge set: parent = nearest emitted ancestor, realized
+    here by the precomputed parent positions.
+    """
+    if not records:
+        return XMLNode(EMPTY_TAG)
+    nodes: list[XMLNode] = []
+    top_level: list[XMLNode] = []
+    for position, key in enumerate(ordered):
+        record = records[key]
+        node = XMLNode(record.tag)
+        if record.wants_value and record.value is not None:
+            node.text = record.value
+        anno = NodeAnnotations(
+            dewey=dewey_ids[position], byte_length=record.byte_length
+        )
+        anno.pruned = record.wants_content
+        anno.doc = doc_name
+        anno.slot = slots[position]
+        node.anno = anno
+        nodes.append(node)
+        parent = parents[position]
+        if parent >= 0:
+            nodes[parent].append(node)
+        else:
+            top_level.append(node)
+    if len(top_level) == 1 and dewey_ids[0].depth == 1:
+        # The document root element itself is in the PDT: it is the tree.
+        return top_level[0]
+    root = XMLNode(FRAGMENT_TAG)
+    for node in top_level:
+        root.append(node)
+    return root
 
 
 def build_skeleton(
@@ -371,10 +557,9 @@ def build_skeleton(
     records = _PDTBuilder(
         qpt, lists, path_index, inpdt_fast_path=inpdt_fast_path
     ).run()
-    return PDTSkeleton(
+    return PDTSkeleton.from_records(
         doc_name=qpt.doc_name,
         records=records,
-        ordered=tuple(sorted(records)),
         entry_count=sum(len(lst) for lst in path_lists.values()),
     )
 
@@ -386,26 +571,38 @@ def annotate_skeleton(
 ) -> PDTResult:
     """Merge a query's posting lists onto a cached skeleton.
 
-    This is the per-query half of PDT generation: subtree term
-    frequencies are range-summed out of ``inv_lists`` for every content
-    node and a fresh result tree is nested from the (shared, read-only)
-    skeleton records.  Cost is O(skeleton size · keywords) with no index
-    probe of any kind.
+    This is the per-query half of PDT generation: one
+    ``cumulative_below`` merge-join sweep per keyword over the skeleton's
+    precomputed subtree bounds produces a flat per-content-node tf array —
+    O(skeleton + postings) per keyword, no binary searches, no index probe
+    of any kind, and no tree construction (the skeleton's shared tree is
+    reused as-is).
+
+    The tf arrays are keyed by the ``keywords`` argument, *not* by which
+    inverted lists happen to be non-empty: a queried keyword with zero
+    postings (or one missing from ``inv_lists`` entirely) is materialized
+    as an explicit all-zero entry, so the result shape is identical
+    whether or not the keyword occurs in the document.
     """
-
-    def tf_lookup(dewey_id: DeweyID) -> dict[str, int]:
-        return {
-            keyword: posting_list.subtree_tf(dewey_id)
-            for keyword, posting_list in inv_lists.items()
-        }
-
-    return _assemble_ordered(
+    tf_arrays: dict[str, Optional[list[int]]] = {}
+    bounds = skeleton.bounds
+    slot_bounds = skeleton.slot_bounds
+    for keyword in dict.fromkeys(keywords):
+        posting_list = inv_lists.get(keyword)
+        if posting_list is None or len(posting_list) == 0:
+            tf_arrays[keyword] = None  # zero postings -> implicit zeros
+            continue
+        counts = posting_list.cumulative_below(bounds)
+        tf_arrays[keyword] = [
+            counts[high] - counts[low] for low, high in slot_bounds
+        ]
+    return PDTResult(
         doc_name=skeleton.doc_name,
-        records=skeleton.records,
-        ordered=skeleton.ordered,
-        keywords=keywords,
-        tf_lookup=tf_lookup,
+        root=skeleton.tree,
+        node_count=skeleton.node_count,
         entry_count=skeleton.entry_count,
+        keywords=tuple(keywords),
+        tf_arrays=tf_arrays,
     )
 
 
@@ -446,7 +643,7 @@ def generate_pdt(
 
 def assemble_pdt(
     doc_name: str,
-    records: dict[tuple[int, ...], PDTRecord],
+    records: dict[bytes, PDTRecord],
     keywords: tuple[str, ...],
     tf_lookup,
     entry_count: int,
@@ -455,28 +652,11 @@ def assemble_pdt(
     parent = nearest emitted ancestor).
 
     ``tf_lookup(dewey_id) -> {keyword: tf}`` supplies the per-keyword
-    subtree term frequencies attached to content ('c') nodes.  Shared with
-    the GTP baseline, which produces the same records via structural joins.
+    subtree term frequencies attached to content ('c') nodes as per-node
+    ``term_frequencies`` annotations.  Used by the GTP baseline, which
+    produces the same records via structural joins and builds a private
+    (non-shared) tree per query.
     """
-    return _assemble_ordered(
-        doc_name=doc_name,
-        records=records,
-        ordered=sorted(records),
-        keywords=keywords,
-        tf_lookup=tf_lookup,
-        entry_count=entry_count,
-    )
-
-
-def _assemble_ordered(
-    doc_name: str,
-    records: dict[tuple[int, ...], PDTRecord],
-    ordered,
-    keywords: tuple[str, ...],
-    tf_lookup,
-    entry_count: int,
-) -> PDTResult:
-    """assemble_pdt with the dewey sort hoisted out (skeletons pre-sort)."""
     if not records:
         return PDTResult(
             doc_name=doc_name,
@@ -485,29 +665,32 @@ def _assemble_ordered(
             entry_count=entry_count,
             keywords=keywords,
         )
-    nodes: dict[tuple[int, ...], XMLNode] = {}
+    ordered = sorted(records)
+    nodes: dict[bytes, XMLNode] = {}
     top_level: list[XMLNode] = []
-    stack: list[tuple[int, ...]] = []
-    for dewey in ordered:
-        record = records[dewey]
+    stack: list[bytes] = []
+    for key in ordered:
+        record = records[key]
         node = XMLNode(record.tag)
         if record.wants_value and record.value is not None:
             node.text = record.value
-        anno = NodeAnnotations(dewey=DeweyID(dewey), byte_length=record.byte_length)
+        anno = NodeAnnotations(
+            dewey=DeweyID.from_packed(key), byte_length=record.byte_length
+        )
         anno.pruned = record.wants_content
         anno.doc = doc_name
         if record.wants_content:
             anno.term_frequencies = tf_lookup(anno.dewey)
         node.anno = anno
-        nodes[dewey] = node
-        while stack and dewey[: len(stack[-1])] != stack[-1]:
+        nodes[key] = node
+        while stack and not key.startswith(stack[-1]):
             stack.pop()
         if stack:
             nodes[stack[-1]].append(node)
         else:
             top_level.append(node)
-        stack.append(dewey)
-    if len(top_level) == 1 and len(ordered[0]) == 1:
+        stack.append(key)
+    if len(top_level) == 1 and nodes[ordered[0]].anno.dewey.depth == 1:
         # The document root element itself is in the PDT: it is the tree.
         root = top_level[0]
     else:

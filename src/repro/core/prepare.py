@@ -69,7 +69,13 @@ def prepare_path_lists(
 def prepare_inv_lists(
     inverted_index: InvertedIndex, keywords: tuple[str, ...]
 ) -> dict[str, PostingList]:
-    """The inverted-list half of PrepareLists: one probe per keyword."""
+    """The inverted-list half of PrepareLists: one probe per keyword.
+
+    Every queried keyword gets an entry — an empty posting list when the
+    keyword occurs nowhere — matching the annotation pass's contract
+    that tf data is keyed by the *query's* keywords, not by whichever
+    lists happen to be non-empty.
+    """
     return {keyword: inverted_index.lookup(keyword) for keyword in keywords}
 
 

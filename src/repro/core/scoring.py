@@ -9,7 +9,13 @@ equality is realized structurally:
 * Efficient results reference pruned PDT elements whose annotations carry
   the identical quantities (subtree tf from the inverted index, subtree
   byte length from the path index), so the walk stops at pruned nodes and
-  reads the annotations.
+  reads the annotations.  Shared skeleton trees keep the per-query tfs
+  *outside* the tree — each content node carries a ``slot`` index into the
+  flat tf arrays of its document's :class:`repro.core.pdt.PDTResult` — so
+  the walk resolves tfs through the ``tf_source`` mapping (document name
+  -> PDTResult) supplied by the engine; nodes annotated the classic way
+  (per-node ``term_frequencies``, e.g. by the GTP baseline) keep working
+  without one.
 
 Definitions (paper Section 2.2): ``tf(e, k)`` is the number of occurrences
 of k in e and its descendants; ``idf(k) = |V(D)| / |{e in V(D):
@@ -20,7 +26,7 @@ normalized by the element's byte length (Section 4.2.2.2).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Optional, Sequence
+from typing import Iterable, Mapping, Optional, Sequence
 
 from repro.xmlmodel.node import XMLNode
 from repro.xmlmodel.serializer import escape_text
@@ -35,21 +41,51 @@ class ResultStatistics:
     byte_length: int
 
 
-def aggregate_result(node: XMLNode, keywords: Sequence[str]) -> ResultStatistics:
+def aggregate_result(
+    node: XMLNode,
+    keywords: Sequence[str],
+    tf_source: Optional[Mapping[str, object]] = None,
+) -> ResultStatistics:
     """Aggregate tf per keyword and the byte length of one view result.
 
     Walks the result tree; a node with a *pruned* annotation contributes
     its annotated statistics and is not descended into (its PDT-resident
-    children are part of the annotated subtree already).
+    children are part of the annotated subtree already).  ``tf_source``
+    maps document names to objects with ``tf_at(slot, keyword)`` (the
+    engine passes its per-document PDT results); it resolves the tfs of
+    slot-annotated shared-skeleton nodes, while classically annotated
+    nodes read their own ``term_frequencies``.
     """
     tfs = {keyword: 0 for keyword in keywords}
-    length = _aggregate(node, tfs)
+    length = _aggregate(node, tfs, tf_source)
     return ResultStatistics(term_frequencies=tfs, byte_length=length)
 
 
-def _aggregate(node: XMLNode, tfs: dict[str, int]) -> int:
+def _aggregate(
+    node: XMLNode,
+    tfs: dict[str, int],
+    tf_source: Optional[Mapping[str, object]],
+) -> int:
     anno = node.anno
     if anno is not None and anno.pruned:
+        slot = anno.slot
+        if slot is not None:
+            # A slot-annotated node belongs to a shared skeleton tree
+            # whose per-query tfs live *outside* the tree; scoring it
+            # without a resolving tf_source would silently yield zeros,
+            # so fail loudly instead.
+            pdt = tf_source.get(anno.doc) if tf_source is not None else None
+            if pdt is None and tfs:
+                raise ValueError(
+                    "cannot score a shared-skeleton PDT node: no tf_source "
+                    f"entry for document {anno.doc!r} (per-query term "
+                    "frequencies are resolved through content-node slots, "
+                    "not stored on the tree)"
+                )
+            if pdt is not None:
+                for keyword in tfs:
+                    tfs[keyword] += pdt.tf_at(slot, keyword)
+            return anno.byte_length
         for keyword in tfs:
             tfs[keyword] += anno.term_frequencies.get(keyword, 0)
         return anno.byte_length
@@ -64,7 +100,7 @@ def _aggregate(node: XMLNode, tfs: dict[str, int]) -> int:
     if value is not None:
         length += len(escape_text(value))
     for child in node.children:
-        length += _aggregate(child, tfs)
+        length += _aggregate(child, tfs, tf_source)
     return length
 
 
@@ -99,16 +135,18 @@ def score_results(
     keywords: Sequence[str],
     conjunctive: bool = True,
     normalize: bool = True,
+    tf_source: Optional[Mapping[str, object]] = None,
 ) -> ScoringOutcome:
     """Score every view result and apply the keyword semantics.
 
     ``idf`` is computed over the *entire* view result sequence — not just
     the keyword-satisfying results — exactly as in Section 2.2 where
-    ``V(D)`` is the full view.
+    ``V(D)`` is the full view.  ``tf_source`` resolves the tfs of
+    shared-skeleton PDT nodes (see :func:`aggregate_result`).
     """
     scored: list[ScoredResult] = []
     for index, node in enumerate(view_results):
-        statistics = aggregate_result(node, keywords)
+        statistics = aggregate_result(node, keywords, tf_source)
         scored.append(ScoredResult(index=index, node=node, statistics=statistics))
     view_size = len(scored)
     idf = compute_idf(scored, view_size, keywords)

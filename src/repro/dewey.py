@@ -12,12 +12,113 @@ lexicographically in Python, which for Dewey IDs coincides with document
 order restricted to ancestor-free comparisons; for full document order
 (where an ancestor precedes its descendants) tuple comparison is *also*
 correct because a strict prefix sorts before its extensions.
+
+Packed form
+-----------
+
+The indices and the PDT machinery store Dewey IDs in a *packed*,
+order-preserving byte encoding instead of int tuples: each component is
+emitted as a one-byte length followed by the component's big-endian bytes
+(no leading zeros), and the per-component encodings are concatenated.
+Three properties make ``bytes`` the ideal storage key:
+
+* **comparison is document order** — a larger component needs more bytes,
+  so the length byte orders across magnitudes and the big-endian payload
+  orders within one; concatenation then compares component-by-component
+  exactly like the tuple;
+* **byte prefix == ancestry** — the encoding is prefix-free per
+  component, so ``b.startswith(a)`` holds iff the ID of ``a`` is an
+  ancestor-or-self of the ID of ``b``; and
+* **subtrees are contiguous ranges** — every descendant key lies in
+  ``[key, packed_child_bound(key))``, so posting lists and stored records
+  can be range-scanned with plain ``bisect`` over a flat bytes array.
+
+All encode/decode helpers live here; the rest of the system treats packed
+keys as opaque ordered bytes.
 """
 
 from __future__ import annotations
 
 from functools import total_ordering
 from typing import Iterator, Sequence
+
+
+# -- packed encoding ---------------------------------------------------------
+
+
+def pack_component(component: int) -> bytes:
+    """Encode one positive component as length byte + big-endian payload."""
+    if component <= 0:
+        raise ValueError(f"Dewey components must be positive: {component}")
+    length = (component.bit_length() + 7) // 8
+    if length > 0xFF:
+        raise ValueError(f"Dewey component too large to pack: {component}")
+    return bytes((length,)) + component.to_bytes(length, "big")
+
+
+def pack(components: Sequence[int]) -> bytes:
+    """Pack a component sequence into its order-preserving byte key."""
+    return b"".join(pack_component(int(c)) for c in components)
+
+
+def unpack(key: bytes) -> tuple[int, ...]:
+    """Decode a packed key back into its component tuple."""
+    components: list[int] = []
+    i, n = 0, len(key)
+    while i < n:
+        length = key[i]
+        end = i + 1 + length
+        if length == 0 or end > n:
+            raise ValueError(f"malformed packed Dewey key: {key!r}")
+        components.append(int.from_bytes(key[i + 1 : end], "big"))
+        i = end
+    return tuple(components)
+
+
+def packed_depth(key: bytes) -> int:
+    """Number of components in a packed key (document root has depth 1)."""
+    return len(packed_prefix_ends(key))
+
+
+def packed_prefix_ends(key: bytes) -> list[int]:
+    """Byte offset at which each depth's prefix ends.
+
+    ``key[: packed_prefix_ends(key)[d - 1]]`` is the packed key of the
+    depth-``d`` ancestor-or-self — the operation the PDT merge pass uses
+    to open one stack element per Dewey prefix.
+    """
+    ends: list[int] = []
+    i, n = 0, len(key)
+    while i < n:
+        if key[i] == 0:
+            raise ValueError(f"malformed packed Dewey key: {key!r}")
+        i += 1 + key[i]
+        ends.append(i)
+    if i != n:
+        raise ValueError(f"malformed packed Dewey key: {key!r}")
+    return ends
+
+
+def packed_child_bound(key: bytes) -> bytes:
+    """Exclusive upper bound of the element's subtree in packed order.
+
+    Every descendant key ``d`` satisfies ``key <= d < packed_child_bound(key)``
+    under bytes comparison, mirroring :meth:`DeweyID.child_bound` for the
+    tuple form: the last component is re-encoded incremented by one.
+    """
+    if not key:
+        raise ValueError("cannot bound an empty packed key")
+    last_start = 0
+    i, n = 0, len(key)
+    while i < n:
+        if key[i] == 0:
+            raise ValueError(f"malformed packed Dewey key: {key!r}")
+        last_start = i
+        i += 1 + key[i]
+    if i != n:
+        raise ValueError(f"malformed packed Dewey key: {key!r}")
+    last = int.from_bytes(key[last_start + 1 :], "big")
+    return key[:last_start] + pack_component(last + 1)
 
 
 @total_ordering
@@ -29,7 +130,7 @@ class DeweyID:
     ``prefix``, ``child_bound``).
     """
 
-    __slots__ = ("components",)
+    __slots__ = ("components", "_packed")
 
     def __init__(self, components: Sequence[int]):
         comps = tuple(int(c) for c in components)
@@ -38,6 +139,7 @@ class DeweyID:
         if any(c <= 0 for c in comps):
             raise ValueError(f"Dewey components must be positive: {comps}")
         self.components = comps
+        self._packed: bytes | None = None
 
     # -- constructors ------------------------------------------------------
 
@@ -48,6 +150,13 @@ class DeweyID:
             return cls(tuple(int(part) for part in text.split(".")))
         except ValueError as exc:
             raise ValueError(f"invalid Dewey ID text: {text!r}") from exc
+
+    @classmethod
+    def from_packed(cls, key: bytes) -> "DeweyID":
+        """Decode a packed byte key (see module docstring) into an ID."""
+        dewey = cls(unpack(key))
+        dewey._packed = key
+        return dewey
 
     @classmethod
     def root(cls) -> "DeweyID":
@@ -129,6 +238,21 @@ class DeweyID:
         "within subtree" aggregation (used for tf roll-ups).
         """
         return self.components[:-1] + (self.components[-1] + 1,)
+
+    # -- packed form -------------------------------------------------------
+
+    @property
+    def packed(self) -> bytes:
+        """The order-preserving packed byte key (cached after first use)."""
+        key = self._packed
+        if key is None:
+            key = pack(self.components)
+            self._packed = key
+        return key
+
+    def packed_child_bound(self) -> bytes:
+        """Packed form of :meth:`child_bound` (exclusive subtree bound)."""
+        return packed_child_bound(self.packed)
 
     # -- dunder ------------------------------------------------------------
 

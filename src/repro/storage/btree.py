@@ -267,7 +267,11 @@ class SortedIDList:
     Used as the per-keyword "B+-tree built on top of each inverted list"
     (Section 3.2, Figure 4b): checking whether a given element contains a
     keyword, and aggregating postings within an element's subtree, are a
-    binary search and a range slice respectively.
+    binary search and a range slice respectively.  Keys may be int tuples
+    or the packed Dewey byte keys of :mod:`repro.dewey` — both orderings
+    coincide with document order, and the indices store the packed form
+    (flat bytes bisect faster than tuples of boxed ints and a subtree is
+    the range ``[key, packed_child_bound(key))``).
     """
 
     __slots__ = ("_keys",)

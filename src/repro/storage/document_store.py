@@ -5,9 +5,11 @@ The document store is the "Document Storage" box of the paper's architecture
 and 2 (QPT/PDT generation) never touch it; it is consulted only when the
 top-k results are materialized — tests assert this via ``access_count``.
 
-Elements are stored as *packed* records sorted by Dewey ID, so a subtree is
-a contiguous range (``[id, id.child_bound())``) and materialization is a
-binary search plus a sequential scan.  Records are deserialized on access:
+Elements are stored as *packed* records sorted by their packed Dewey byte
+keys (see :mod:`repro.dewey`), so a subtree is a contiguous range
+(``[key, packed_child_bound(key))``) and materialization is a binary
+search over flat bytes plus a sequential scan.  Records are deserialized
+on access:
 the paper's document storage is disk-resident, and charging a decode per
 touched record is what keeps the base-data-access cost asymmetry between
 the strategies honest (the GTP baseline fetches values per candidate; the
@@ -20,7 +22,7 @@ from bisect import bisect_left
 from dataclasses import dataclass
 from typing import Iterator, Optional
 
-from repro.dewey import DeweyID
+from repro.dewey import DeweyID, pack, unpack
 from repro.errors import StorageError
 from repro.xmlmodel.node import XMLNode
 from repro.xmlmodel.serializer import serialized_length
@@ -49,10 +51,10 @@ def _pack(tag: str, value: Optional[str], byte_length: int) -> str:
     )
 
 
-def _unpack(dewey: tuple[int, ...], packed: str) -> ElementRecord:
+def _unpack(key: bytes, packed: str) -> ElementRecord:
     tag, value, byte_length = packed.split(_FIELD_SEP)
     return ElementRecord(
-        dewey=dewey,
+        dewey=unpack(key),
         tag=tag,
         value=None if value == _NONE_MARK else value,
         byte_length=int(byte_length),
@@ -60,9 +62,13 @@ def _unpack(dewey: tuple[int, ...], packed: str) -> ElementRecord:
 
 
 class DocumentStore:
-    """Stores one document's elements in document (Dewey) order."""
+    """Stores one document's elements in document (Dewey) order.
 
-    def __init__(self, keys: list[tuple[int, ...]], packed: list[str]):
+    ``keys`` are packed Dewey byte keys; their sort order is document
+    order, so every lookup is a ``bisect`` over a flat bytes array.
+    """
+
+    def __init__(self, keys: list[bytes], packed: list[str]):
         if len(keys) != len(packed):
             raise StorageError("keys and records must align")
         self._keys = keys
@@ -73,16 +79,17 @@ class DocumentStore:
     def from_tree(cls, root: XMLNode) -> "DocumentStore":
         """Build the store from a Dewey-labelled tree.
 
-        Pre-order traversal yields records already in Dewey order; the
-        subtree byte length stored per element is the canonical serialized
-        length used for score normalization.
+        Pre-order traversal yields records already in Dewey order (tuple
+        and packed order coincide); the subtree byte length stored per
+        element is the canonical serialized length used for score
+        normalization.
         """
-        keys: list[tuple[int, ...]] = []
+        keys: list[bytes] = []
         packed: list[str] = []
         for node in root.iter():
             if node.dewey is None:
                 raise StorageError("document store requires Dewey-labelled trees")
-            keys.append(node.dewey.components)
+            keys.append(pack(node.dewey.components))
             packed.append(_pack(node.tag, node.value, serialized_length(node)))
         return cls(keys, packed)
 
@@ -92,8 +99,9 @@ class DocumentStore:
     # -- lookups -------------------------------------------------------------
 
     def _locate(self, dewey: DeweyID) -> int:
-        index = bisect_left(self._keys, dewey.components)
-        if index >= len(self._keys) or self._keys[index] != dewey.components:
+        key = dewey.packed
+        index = bisect_left(self._keys, key)
+        if index >= len(self._keys) or self._keys[index] != key:
             raise StorageError(f"no element with id {dewey}")
         return index
 
@@ -106,7 +114,7 @@ class DocumentStore:
     def subtree_records(self, dewey: DeweyID) -> list[ElementRecord]:
         """All records in the subtree rooted at ``dewey`` (document order)."""
         low = self._locate(dewey)
-        high = bisect_left(self._keys, dewey.child_bound())
+        high = bisect_left(self._keys, dewey.packed_child_bound())
         self.access_count += high - low
         return [
             _unpack(self._keys[i], self._packed[i]) for i in range(low, high)

@@ -7,22 +7,36 @@ ID range, the tf of a keyword within an arbitrary element's subtree — the
 quantity the PDT attaches to 'c' nodes — is a range sum over the posting
 list, answered in O(log n) with prefix sums (this plays the role of the
 "B+-tree built on top of each inverted list").
+
+Storage layout: each posting list keeps exactly three parallel arrays —
+packed Dewey byte keys (see :mod:`repro.dewey`), per-element tfs and the
+tf prefix sums — plus an optional positions array when the index stores
+positions.  :class:`Posting` objects are synthesized views, decoded on
+demand; nothing stores the int-tuple form.  Besides the memory win, the
+packed keys make ``cumulative_below`` a single co-sorted sweep: given the
+sorted subtree boundary keys of a PDT skeleton, every content node's
+subtree tf falls out of one merge-join pass over the list (the array-sweep
+annotation path of :func:`repro.core.pdt.annotate_skeleton`).
 """
 
 from __future__ import annotations
 
 from bisect import bisect_left
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Iterable, Iterator, Optional, Sequence
 
-from repro.dewey import DeweyID
+from repro.dewey import DeweyID, pack, unpack
 from repro.xmlmodel.node import XMLNode
 from repro.xmlmodel.tokenizer import tokenize
 
 
 @dataclass(frozen=True)
 class Posting:
-    """One inverted-list entry: element id, tf, optional positions."""
+    """One inverted-list entry: element id, tf, optional positions.
+
+    A *view* object: posting lists store packed arrays internally and
+    synthesize ``Posting`` instances on demand.
+    """
 
     dewey: tuple[int, ...]
     tf: int
@@ -30,48 +44,119 @@ class Posting:
 
 
 class PostingList:
-    """Dewey-ordered postings for one keyword with subtree aggregation."""
+    """Dewey-ordered postings for one keyword with subtree aggregation.
 
-    __slots__ = ("keyword", "_deweys", "_tfs", "_cumulative", "_postings")
+    Storage is three parallel arrays — packed keys, tfs and tf prefix
+    sums; ``postings`` decodes them into :class:`Posting` views.
+    ``_positions`` is ``None`` unless at least one posting carries
+    positions, so the common positions-off configuration pays nothing
+    for the feature.
+    """
 
-    def __init__(self, keyword: str, postings: list[Posting]):
+    __slots__ = ("keyword", "_keys", "_tfs", "_cumulative", "_positions")
+
+    def __init__(self, keyword: str, postings: Iterable[Posting]):
+        keys: list[bytes] = []
+        tfs: list[int] = []
+        positions: Optional[list[tuple[int, ...]]] = None
+        for posting in postings:
+            keys.append(pack(posting.dewey))
+            tfs.append(posting.tf)
+            if posting.positions:
+                if positions is None:
+                    positions = [()] * (len(keys) - 1)
+                positions.append(tuple(posting.positions))
+            elif positions is not None:
+                positions.append(())
         self.keyword = keyword
-        self._postings = postings
-        self._deweys = [p.dewey for p in postings]
-        self._tfs = [p.tf for p in postings]
+        self._keys = keys
+        self._tfs = tfs
+        self._positions = positions
         cumulative = [0]
-        for tf in self._tfs:
-            cumulative.append(cumulative[-1] + tf)
+        total = 0
+        for tf in tfs:
+            total += tf
+            cumulative.append(total)
         self._cumulative = cumulative
 
     def __len__(self) -> int:
-        return len(self._postings)
+        return len(self._keys)
 
-    def __iter__(self):
-        return iter(self._postings)
+    def __iter__(self) -> Iterator[Posting]:
+        return iter(self.postings)
+
+    def _posting_at(self, index: int) -> Posting:
+        return Posting(
+            dewey=unpack(self._keys[index]),
+            tf=self._tfs[index],
+            positions=self._positions[index] if self._positions else (),
+        )
 
     @property
     def postings(self) -> list[Posting]:
-        return self._postings
+        """Decoded posting views (synthesized; not the storage form)."""
+        return [self._posting_at(i) for i in range(len(self._keys))]
+
+    @property
+    def keys(self) -> tuple[bytes, ...]:
+        """The packed Dewey keys, sorted in document order (a copy —
+        the internal storage array is never exposed mutably)."""
+        return tuple(self._keys)
+
+    def items_packed(self) -> Iterator[tuple[bytes, int]]:
+        """(packed key, tf) pairs straight off the storage arrays.
+
+        The zero-copy form consumed by merge joins (byte comparison is
+        document order, ``startswith`` is ancestry) — no per-posting
+        decode or ``Posting`` allocation.
+        """
+        return zip(self._keys, self._tfs)
 
     def direct_tf(self, dewey: DeweyID) -> int:
         """tf of the keyword directly inside the element ``dewey``."""
-        index = bisect_left(self._deweys, dewey.components)
-        if index < len(self._deweys) and self._deweys[index] == dewey.components:
+        packed = dewey.packed
+        index = bisect_left(self._keys, packed)
+        if index < len(self._keys) and self._keys[index] == packed:
             return self._tfs[index]
         return 0
 
     def subtree_tf(self, dewey: DeweyID) -> int:
         """Total tf within the subtree rooted at ``dewey`` (range sum)."""
-        low = bisect_left(self._deweys, dewey.components)
-        high = bisect_left(self._deweys, dewey.child_bound())
+        low = bisect_left(self._keys, dewey.packed)
+        high = bisect_left(self._keys, dewey.packed_child_bound())
         return self._cumulative[high] - self._cumulative[low]
 
     def contains_subtree(self, dewey: DeweyID) -> bool:
         """Does the subtree rooted at ``dewey`` contain the keyword?"""
-        low = bisect_left(self._deweys, dewey.components)
-        high = bisect_left(self._deweys, dewey.child_bound())
+        low = bisect_left(self._keys, dewey.packed)
+        high = bisect_left(self._keys, dewey.packed_child_bound())
         return high > low
+
+    def cumulative_below(self, bounds: Sequence[bytes]) -> list[int]:
+        """Total tf of postings with key < bound, for each sorted bound.
+
+        ``bounds`` must be ascending packed keys.  One merge-join sweep:
+        O(len(self) + len(bounds)) — this is the primitive that turns the
+        per-content-node binary searches of skeleton annotation into a
+        single co-sorted pass per keyword.
+        """
+        keys = self._keys
+        cumulative = self._cumulative
+        out: list[int] = []
+        i, n = 0, len(keys)
+        for bound in bounds:
+            while i < n and keys[i] < bound:
+                i += 1
+            out.append(cumulative[i])
+        return out
+
+    def storage_nbytes(self) -> int:
+        """Approximate payload bytes held by the packed key array.
+
+        Diagnostic used by memory-accounting tests; counts the key bytes
+        only (tf/prefix arrays are identical across layouts).
+        """
+        return sum(len(key) for key in self._keys)
 
 
 class InvertedIndex:
@@ -94,6 +179,10 @@ class InvertedIndex:
         ``index_tag_names`` additionally indexes each element's tag name as
         a token (the paper notes a keyword "can appear in the tag name");
         it defaults off and must match the scorer's configuration.
+
+        ``root.iter()`` is pre-order, i.e. document order, so per-token
+        postings accumulate already sorted — both in tuple and in packed
+        order (the encoding is order-preserving).
         """
         accumulator: dict[str, list[Posting]] = {}
         for node in root.iter():
@@ -119,7 +208,7 @@ class InvertedIndex:
                     )
                 )
         lists = {
-            token: PostingList(token, sorted(postings, key=lambda p: p.dewey))
+            token: PostingList(token, postings)
             for token, postings in accumulator.items()
         }
         return cls(lists, store_positions)

@@ -22,7 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable, Optional, Sequence
 
-from repro.dewey import DeweyID
+from repro.dewey import DeweyID, pack, unpack
 from repro.storage.btree import BPlusTree
 from repro.values import Predicate, atom_key
 from repro.xmlmodel.node import XMLNode
@@ -36,19 +36,27 @@ PathPattern = tuple[tuple[str, str], ...]
 class PathListEntry:
     """One element surfaced by a path-index probe.
 
-    ``value`` is populated only by value-retrieving probes ('v' nodes);
-    ``path_id`` identifies the concrete data path of the element, which the
-    PDT generator uses to match Dewey prefixes to QPT nodes.
+    ``key`` is the element's *packed* Dewey byte key (see
+    :mod:`repro.dewey`): bytes comparison is document order, so path lists
+    sort and k-way-merge on the key directly.  ``value`` is populated only
+    by value-retrieving probes ('v' nodes); ``path_id`` identifies the
+    concrete data path of the element, which the PDT generator uses to
+    match Dewey prefixes to QPT nodes.
     """
 
-    dewey: tuple[int, ...]
+    key: bytes
     path_id: int
     value: Optional[str]
     byte_length: int
 
     @property
+    def dewey(self) -> tuple[int, ...]:
+        """The decoded component tuple (diagnostics/tests; not hot-path)."""
+        return unpack(self.key)
+
+    @property
     def dewey_id(self) -> DeweyID:
-        return DeweyID(self.dewey)
+        return DeweyID.from_packed(self.key)
 
 
 class PathList:
@@ -80,18 +88,19 @@ class PathIndex:
     @classmethod
     def from_tree(cls, root: XMLNode) -> "PathIndex":
         index = cls()
-        rows: dict[tuple[int, tuple], list[tuple[tuple[int, ...], int]]] = {}
+        rows: dict[tuple[int, tuple], list[tuple[bytes, int]]] = {}
         stack: list[tuple[XMLNode, tuple[str, ...]]] = [(root, (root.tag,))]
         while stack:
             node, path = stack.pop()
             path_id = index._intern_path(path)
             key = (path_id, atom_key(node.value))
             rows.setdefault(key, []).append(
-                (node.dewey.components, serialized_length(node))
+                (pack(node.dewey.components), serialized_length(node))
             )
             for child in node.children:
                 stack.append((child, path + (child.tag,)))
-        # Row payload: Dewey-sorted [(dewey, byte_length), ...].
+        # Row payload: [(packed dewey, byte_length), ...] — sorting the
+        # packed keys sorts in document order.
         items = [(key, sorted(rows[key])) for key in sorted(rows)]
         index._table = BPlusTree.from_sorted_items(items)
         return index
@@ -147,7 +156,7 @@ class PathIndex:
         merged: list[PathListEntry] = []
         for path_id in self.expand_pattern(pattern):
             merged.extend(self._probe_path(path_id, predicates, with_values))
-        merged.sort(key=lambda entry: entry.dewey)
+        merged.sort(key=lambda entry: entry.key)
         return PathList(merged)
 
     def _probe_path(
@@ -170,8 +179,8 @@ class PathIndex:
             if not all(p.matches(value) for p in predicates):
                 return []
             return [
-                PathListEntry(dewey, path_id, value if with_values else None, length)
-                for dewey, length in row
+                PathListEntry(packed, path_id, value if with_values else None, length)
+                for packed, length in row
             ]
         entries: list[PathListEntry] = []
         for key, row in self._table.prefix_range((path_id,)):
@@ -181,18 +190,18 @@ class PathIndex:
                 continue
             keep_value = value if with_values else None
             entries.extend(
-                PathListEntry(dewey, path_id, keep_value, length)
-                for dewey, length in row
+                PathListEntry(packed, path_id, keep_value, length)
+                for packed, length in row
             )
         return entries
 
     def ids_on_path(self, path_id: int) -> list[tuple[int, ...]]:
         """All element ids on one concrete path (used by the tag index)."""
-        ids: list[tuple[int, ...]] = []
+        keys: list[bytes] = []
         for _, row in self._table.prefix_range((path_id,)):
-            ids.extend(dewey for dewey, _ in row)
-        ids.sort()
-        return ids
+            keys.extend(packed for packed, _ in row)
+        keys.sort()
+        return [unpack(key) for key in keys]
 
 
 def pattern_matches_path(pattern: PathPattern, path: tuple[str, ...]) -> bool:

@@ -33,6 +33,12 @@ class NodeAnnotations:
     ``term_frequencies`` maps query keyword -> tf aggregated over the base
     element's subtree.  ``pruned`` marks nodes whose content was *not*
     materialized ('c' nodes before top-k expansion).
+
+    Nodes of a shared PDT skeleton tree carry a ``slot`` instead of
+    ``term_frequencies``: the content node's index into the per-query tf
+    arrays of :class:`repro.core.pdt.PDTResult`.  The tree itself is
+    keyword-independent and reused across queries, so per-query data can
+    never live on the node.
     """
 
     dewey: Optional[DeweyID] = None
@@ -40,6 +46,7 @@ class NodeAnnotations:
     term_frequencies: dict[str, int] = field(default_factory=dict)
     pruned: bool = False
     doc: Optional[str] = None
+    slot: Optional[int] = None
 
 
 class XMLNode:

@@ -24,6 +24,11 @@ WORDS = [
     "stream", "cache", "shard",
 ]
 RARE_WORDS = ["zeppelin", "quasar", "obsidian"]
+# Words that are *never* written into any generated document: queries
+# containing them exercise the zero-posting annotation path (explicit
+# tf=0 arrays) in every cache configuration, conjunctive and
+# disjunctive.
+NEVER_WORDS = ["unobtainium", "snark"]
 
 
 @dataclass
@@ -78,6 +83,34 @@ def _generate_notes_doc(
     return root
 
 
+def _generate_deep_doc(
+    rng: random.Random, section_count: int, max_depth: int
+) -> XMLNode:
+    """deep.xml: recursively nested sections (depth up to ``max_depth``).
+
+    Deep nesting stresses the packed-key machinery where shallow
+    documents cannot: long Dewey prefixes, multi-level stack discipline
+    in the merge pass, and subtree tf roll-ups across many levels
+    (every section is a content node of the deep view).
+    """
+    root = XMLNode("doc")
+
+    def grow(node: XMLNode, depth: int) -> None:
+        section = node.make_child("section")
+        section.make_child("level", str(depth))
+        section.make_child("heading", _sentence(rng, rng.randint(2, 4)))
+        for _ in range(rng.randint(1, 2)):
+            section.make_child("para", _sentence(rng, rng.randint(3, 8)))
+        if depth < max_depth and rng.random() < 0.85:
+            grow(section, depth + 1)
+        if depth < 3 and rng.random() < 0.4:
+            grow(section, depth + 1)  # occasional sibling branch
+
+    for _ in range(section_count):
+        grow(root, 1)
+    return root
+
+
 _SELECTION_VIEW = """
 for $item in fn:doc(items.xml)/items//item
 where $item/year > {year}
@@ -103,10 +136,20 @@ return <hit>
 </hit>
 """
 
+_DEEP_VIEW = """
+for $s in fn:doc(deep.xml)/doc//section
+where $s/level > {level}
+return <hit>
+   <label> {{$s/heading}} </label>,
+   {{$s}}
+</hit>
+"""
+
 _VIEW_TEMPLATES = [
-    ("selection", _SELECTION_VIEW, False),
-    ("flat", _FLAT_VIEW, False),
-    ("join", _JOIN_VIEW, True),
+    ("selection", _SELECTION_VIEW, "items"),
+    ("flat", _FLAT_VIEW, "items"),
+    ("join", _JOIN_VIEW, "join"),
+    ("deep", _DEEP_VIEW, "deep"),
 ]
 
 
@@ -119,6 +162,11 @@ def _keyword_sets(rng: random.Random, count: int) -> list[tuple[str, ...]]:
             chosen = chosen + (rng.choice(RARE_WORDS),)
         if chosen not in sets:
             sets.append(chosen)
+    # Every case exercises the zero-posting path deterministically: one
+    # mixed set (conjunctive -> empty, disjunctive -> ranked by the real
+    # keyword) and one all-never set (empty both ways).
+    sets.append((rng.choice(WORDS), rng.choice(NEVER_WORDS)))
+    sets.append((rng.choice(NEVER_WORDS),))
     return sets
 
 
@@ -127,14 +175,25 @@ def generate_case(seed: int) -> GeneratedCase:
     rng = random.Random(seed)
     item_count = rng.randint(15, 40)
     database = XMLDatabase()
-    database.load_document("items.xml", _generate_items_doc(rng, item_count))
-    name, template, needs_notes = rng.choice(_VIEW_TEMPLATES)
-    if needs_notes:
+    name, template, shape = rng.choice(_VIEW_TEMPLATES)
+    if shape == "deep":
         database.load_document(
-            "notes.xml",
-            _generate_notes_doc(rng, item_count, rng.randint(10, 30)),
+            "deep.xml",
+            _generate_deep_doc(
+                rng, section_count=rng.randint(3, 6), max_depth=rng.randint(6, 10)
+            ),
         )
-    view_text = template.format(year=rng.randint(1988, 2005))
+        view_text = template.format(level=rng.randint(1, 3))
+    else:
+        database.load_document(
+            "items.xml", _generate_items_doc(rng, item_count)
+        )
+        if shape == "join":
+            database.load_document(
+                "notes.xml",
+                _generate_notes_doc(rng, item_count, rng.randint(10, 30)),
+            )
+        view_text = template.format(year=rng.randint(1988, 2005))
     keyword_sets = _keyword_sets(rng, count=4)
     # Priming keywords disjoint from every generated set: a rare word
     # plus one common word not used by any keyword set.

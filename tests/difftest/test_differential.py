@@ -17,7 +17,9 @@ import pytest
 
 from difftest.harness import run_differential_case
 
-DEFAULT_SEEDS = (101, 202, 303)
+# 404 pins a deep-nesting view whose keyword sets include never-occurring
+# terms (the zero-posting + packed-encoding regression seed).
+DEFAULT_SEEDS = (101, 202, 303, 404)
 
 
 def _seed_matrix() -> tuple[int, ...]:

@@ -153,7 +153,7 @@ class TestQueryCache:
 
     def test_stats_shape(self):
         stats = QueryCache().stats()
-        assert set(stats) == {"prepared", "skeleton", "pdt"}
+        assert set(stats) == {"prepared", "skeleton", "pdt", "evaluated"}
         assert stats["pdt"]["hit_rate"] == 0.0
         assert len(stats["pdt"]["shards"]) == QueryCache().shard_count
 
@@ -452,3 +452,75 @@ return <bookrevs>
             engine.search(view, ["xml"])
         bookrev_db.load_document(dropped, text)
         self._assert_fresh_equivalent(bookrev_db, engine, view, ("xml",))
+
+
+class TestEvaluatedTier:
+    """The fourth tier: keyword-independent evaluated view results."""
+
+    def test_second_keyword_set_hits_evaluated_tier(self, engine, view):
+        first = engine.search_detailed(view, ["xml"], top_k=5)
+        assert first.evaluated_hit is False
+        second = engine.search_detailed(view, ["search"], top_k=5)
+        assert second.evaluated_hit is True
+        assert second.cache_stats["evaluated"]["hits"] == 1
+
+    def test_evaluated_results_identical_to_cold(
+        self, bookrev_db, bookrev_view_text
+    ):
+        cold = KeywordSearchEngine(bookrev_db, enable_cache=False)
+        warm = KeywordSearchEngine(bookrev_db)
+        cv = cold.define_view("bookrevs", bookrev_view_text)
+        wv = warm.define_view("bookrevs", bookrev_view_text)
+        warm.search(wv, ["intelligence"], top_k=10)  # fill the tier
+        for keywords in (["xml"], ["search"], ["xml", "search"]):
+            got = warm.search_detailed(wv, keywords, top_k=10)
+            want = cold.search_detailed(cv, keywords, top_k=10)
+            assert got.evaluated_hit is True
+            assert got.view_size == want.view_size
+            assert [(r.rank, r.score) for r in got.results] == [
+                (r.rank, r.score) for r in want.results
+            ]
+            assert [r.to_xml() for r in got.results] == [
+                r.to_xml() for r in want.results
+            ]
+
+    def test_reload_invalidates_evaluated_entries(
+        self, engine, view, bookrev_db
+    ):
+        engine.search(view, ["xml"], top_k=5)
+        reviews_text = bookrev_db.get("reviews.xml").serialized
+        bookrev_db.drop_document("reviews.xml")
+        bookrev_db.load_document("reviews.xml", reviews_text)
+        outcome = engine.search_detailed(view, ["search"], top_k=5)
+        assert outcome.evaluated_hit is False
+
+    def test_redefining_view_invalidates_evaluated_entries(
+        self, engine, view, bookrev_view_text
+    ):
+        engine.search(view, ["xml"], top_k=5)
+        new_view = engine.define_view("bookrevs", bookrev_view_text)
+        outcome = engine.search_detailed(new_view, ["search"], top_k=5)
+        assert outcome.evaluated_hit is False
+
+    def test_evaluated_tier_disabled_falls_back(
+        self, bookrev_db, bookrev_view_text
+    ):
+        engine = KeywordSearchEngine(
+            bookrev_db, cache=QueryCache(evaluated_capacity=0)
+        )
+        view = engine.define_view("bookrevs", bookrev_view_text)
+        engine.search(view, ["xml"], top_k=5)
+        outcome = engine.search_detailed(view, ["search"], top_k=5)
+        assert outcome.evaluated_hit is False
+        # Results are still correct without the tier.
+        assert outcome.results
+
+    def test_inline_views_never_cached(self, engine, bookrev_db):
+        text = (
+            "for $book in fn:doc(books.xml)/books//book\n"
+            "where $book ftcontains('xml')\n"
+            "return $book"
+        )
+        engine.execute(text, top_k=5)
+        engine.execute(text, top_k=5)
+        assert len(engine.cache.evaluated) == 0

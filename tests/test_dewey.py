@@ -3,9 +3,23 @@
 import pytest
 from hypothesis import given, strategies as st
 
-from repro.dewey import DeweyID
+from repro.dewey import (
+    DeweyID,
+    pack,
+    pack_component,
+    packed_child_bound,
+    packed_depth,
+    packed_prefix_ends,
+    unpack,
+)
 
 components = st.lists(st.integers(min_value=1, max_value=9), min_size=1, max_size=6)
+
+# Wide components exercise multi-byte big-endian payloads (length bytes
+# 1..3), where cross-length ordering bugs would hide.
+wide_components = st.lists(
+    st.integers(min_value=1, max_value=1 << 20), min_size=1, max_size=6
+)
 
 
 class TestConstruction:
@@ -169,3 +183,68 @@ class TestProperties:
         dewey = DeweyID(comps)
         child = dewey.child(4)
         assert child.parent == dewey
+
+
+class TestPackedEncoding:
+    """The packed byte form: bytes comparison == document order."""
+
+    def test_single_byte_components(self):
+        assert pack((1, 2, 3)) == b"\x01\x01\x01\x02\x01\x03"
+
+    def test_multi_byte_component(self):
+        assert pack((1, 300)) == b"\x01\x01\x02\x01\x2c"
+
+    def test_pack_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            pack((1, 0))
+        with pytest.raises(ValueError):
+            pack_component(-3)
+
+    def test_unpack_rejects_truncated_key(self):
+        with pytest.raises(ValueError):
+            unpack(b"\x02\x01")
+        with pytest.raises(ValueError):
+            unpack(b"\x00")
+
+    def test_depth_and_prefix_ends(self):
+        key = pack((1, 300, 2))
+        assert packed_depth(key) == 3
+        ends = packed_prefix_ends(key)
+        assert [unpack(key[:end]) for end in ends] == [
+            (1,),
+            (1, 300),
+            (1, 300, 2),
+        ]
+
+    def test_child_bound_crosses_byte_length(self):
+        # 255 -> 256 grows the payload from one byte to two.
+        assert unpack(packed_child_bound(pack((1, 255)))) == (1, 256)
+
+    def test_dewey_id_packed_is_cached_and_consistent(self):
+        dewey = DeweyID.parse("1.2.300")
+        assert dewey.packed == pack((1, 2, 300))
+        assert dewey.packed is dewey.packed  # cached
+        assert DeweyID.from_packed(dewey.packed) == dewey
+
+    def test_dewey_id_packed_child_bound(self):
+        dewey = DeweyID.parse("1.2")
+        assert dewey.packed_child_bound() == pack((1, 3))
+
+    @given(wide_components, wide_components)
+    def test_roundtrip_and_order_preservation(self, a, b):
+        ka, kb = pack(a), pack(b)
+        assert unpack(ka) == tuple(a)
+        assert (ka < kb) == (tuple(a) < tuple(b))
+        assert (ka == kb) == (tuple(a) == tuple(b))
+
+    @given(wide_components, wide_components)
+    def test_byte_prefix_iff_ancestor_or_self(self, a, b):
+        assert pack(b).startswith(pack(a)) == (
+            len(a) <= len(b) and tuple(b[: len(a)]) == tuple(a)
+        )
+
+    @given(wide_components, wide_components)
+    def test_packed_subtree_range_matches_ancestry(self, a, b):
+        ka, kb = pack(a), pack(b)
+        inside = ka <= kb < packed_child_bound(ka)
+        assert inside == DeweyID(a).is_ancestor_or_self_of(DeweyID(b))

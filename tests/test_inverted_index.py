@@ -116,3 +116,54 @@ class TestOptions:
         with_tags = InvertedIndex.from_tree(document.root, index_tag_names=True)
         assert "chapter" not in default
         assert "chapter" in with_tags
+
+
+class TestPackedStorageFootprint:
+    """Satellite regression: posting lists keep only the packed arrays.
+
+    The old layout stored every posting three times over — a ``Posting``
+    dataclass *plus* parallel ``_deweys``/``_tfs`` copies.  The packed
+    layout must (a) not retain synthesized ``Posting`` objects and (b)
+    undercut a tuple-of-ints key array on payload bytes.
+    """
+
+    def _deep_list(self, depth=8, fanout=40):
+        import random
+
+        from repro.storage.inverted_index import Posting, PostingList
+
+        rng = random.Random(11)
+        deweys = sorted(
+            tuple(rng.randint(1, 60) for _ in range(rng.randint(2, depth)))
+            for _ in range(fanout)
+        )
+        postings = [Posting(dewey=d, tf=1 + i % 5) for i, d in enumerate(deweys)]
+        return PostingList("kw", postings), postings
+
+    def test_posting_views_are_synthesized_not_stored(self):
+        plist, postings = self._deep_list()
+        assert plist.postings == postings  # same logical content
+        assert plist.postings[0] is not plist.postings[0]  # fresh views
+        slots = {slot: getattr(plist, slot, None) for slot in PostingListSlots()}
+        assert "_postings" not in slots
+
+    def test_packed_keys_smaller_than_tuple_keys(self):
+        import sys
+
+        plist, postings = self._deep_list()
+        packed_bytes = sum(sys.getsizeof(key) for key in plist.keys)
+        tuple_bytes = sum(sys.getsizeof(p.dewey) for p in postings) + sum(
+            sys.getsizeof(c) for p in postings for c in p.dewey
+        )
+        assert plist.storage_nbytes() == sum(len(k) for k in plist.keys)
+        assert packed_bytes < tuple_bytes
+
+    def test_positions_array_absent_when_unused(self):
+        plist, _ = self._deep_list()
+        assert plist._positions is None
+
+
+def PostingListSlots():
+    from repro.storage.inverted_index import PostingList
+
+    return PostingList.__slots__

@@ -58,7 +58,10 @@ class TestRunningExample:
             node for node in result.root.iter() if node.tag == "content"
         ]
         assert contents, "content nodes missing from reviews PDT"
-        tf_maps = [node.anno.term_frequencies for node in contents]
+        # Shared skeleton trees keep per-query tfs in the result's flat
+        # arrays, resolved through each content node's slot.
+        assert all(node.anno.slot is not None for node in contents)
+        tf_maps = [result.tf_map(node) for node in contents]
         assert {"xml", "search"} <= set(tf_maps[0])
         assert any(tf_map["search"] > 0 for tf_map in tf_maps)
 
@@ -238,3 +241,153 @@ class TestConstraints:
         assert text.startswith("<books><book>")
         assert "<year>2004</year>" in text
         assert "<title/>" in text  # pruned content
+
+
+class TestAnnotationShapeStability:
+    """Satellite regression: tf annotations are keyed by the *queried*
+    keywords, never by which inverted lists happen to be non-empty."""
+
+    def _skeleton_and_index(self, bookrev_db, bookrev_view_text, doc):
+        qpt = qpts_for(bookrev_view_text)[doc]
+        indexed = bookrev_db.get(doc)
+        from repro.core.pdt import build_skeleton
+
+        return build_skeleton(qpt, indexed.path_index), indexed.inverted_index
+
+    def test_zero_posting_keyword_gets_explicit_zero(
+        self, bookrev_db, bookrev_view_text
+    ):
+        from repro.core.pdt import annotate_skeleton
+        from repro.core.prepare import prepare_inv_lists
+
+        skeleton, inverted = self._skeleton_and_index(
+            bookrev_db, bookrev_view_text, "reviews.xml"
+        )
+        keywords = ("xml", "zzznever")
+        result = annotate_skeleton(
+            skeleton, prepare_inv_lists(inverted, keywords), keywords
+        )
+        assert set(result.tf_arrays) == {"xml", "zzznever"}
+        contents = [
+            node
+            for node in result.root.iter()
+            if node.anno is not None and node.anno.pruned
+        ]
+        assert contents
+        for node in contents:
+            tf_map = result.tf_map(node)
+            assert tf_map["zzznever"] == 0
+            assert set(tf_map) == {"xml", "zzznever"}
+
+    def test_keyword_missing_from_inv_lists_still_present(
+        self, bookrev_db, bookrev_view_text
+    ):
+        # Even an inv_lists dict that omits the keyword entirely (no probe
+        # was made) yields a shape-stable all-zero entry.
+        from repro.core.pdt import annotate_skeleton
+
+        skeleton, _ = self._skeleton_and_index(
+            bookrev_db, bookrev_view_text, "reviews.xml"
+        )
+        result = annotate_skeleton(skeleton, {}, ("ghost",))
+        assert result.tf_arrays == {"ghost": None}
+        for node in result.root.iter():
+            if node.anno is not None and node.anno.pruned:
+                assert result.tf_map(node) == {"ghost": 0}
+
+    def test_engine_search_with_never_occurring_keyword(
+        self, bookrev_db, bookrev_view_text
+    ):
+        from repro.core.engine import KeywordSearchEngine
+
+        engine = KeywordSearchEngine(bookrev_db)
+        view = engine.define_view("v", bookrev_view_text)
+        # Conjunctive: impossible keyword filters everything out.
+        assert engine.search(view, ["xml", "zzznever"], top_k=10) == []
+        # Disjunctive: results still rank by the real keyword.
+        hits = engine.search(
+            view, ["xml", "zzznever"], top_k=10, conjunctive=False
+        )
+        assert hits
+        assert all(hit.tf("zzznever") == 0 for hit in hits)
+
+
+class TestMergeJoinAnnotation:
+    """The one-sweep annotation equals the per-node range-sum baseline."""
+
+    def test_sweep_matches_per_node_subtree_tf(
+        self, bookrev_db, bookrev_view_text
+    ):
+        from repro.core.pdt import annotate_skeleton, build_skeleton
+        from repro.core.prepare import prepare_inv_lists
+
+        keywords = ("xml", "search", "structure")
+        for doc in ("books.xml", "reviews.xml"):
+            qpt = qpts_for(bookrev_view_text)[doc]
+            indexed = bookrev_db.get(doc)
+            skeleton = build_skeleton(qpt, indexed.path_index)
+            inv_lists = prepare_inv_lists(indexed.inverted_index, keywords)
+            result = annotate_skeleton(skeleton, inv_lists, keywords)
+            for position, key in enumerate(skeleton.ordered):
+                slot = skeleton.slots[position]
+                if slot is None:
+                    continue
+                dewey_id = skeleton.dewey_ids[position]
+                for keyword in keywords:
+                    assert result.tf_at(slot, keyword) == inv_lists[
+                        keyword
+                    ].subtree_tf(dewey_id), (doc, key, keyword)
+
+
+class TestSkeletonPrecompute:
+    """The skeleton caches everything keyword-independent, once."""
+
+    def test_tree_is_shared_across_annotations(
+        self, bookrev_db, bookrev_view_text
+    ):
+        from repro.core.pdt import annotate_skeleton, build_skeleton
+        from repro.core.prepare import prepare_inv_lists
+
+        qpt = qpts_for(bookrev_view_text)["books.xml"]
+        indexed = bookrev_db.get("books.xml")
+        skeleton = build_skeleton(qpt, indexed.path_index)
+        first = annotate_skeleton(
+            skeleton, prepare_inv_lists(indexed.inverted_index, ("xml",)), ("xml",)
+        )
+        second = annotate_skeleton(
+            skeleton,
+            prepare_inv_lists(indexed.inverted_index, ("search",)),
+            ("search",),
+        )
+        assert first.root is skeleton.tree
+        assert second.root is skeleton.tree  # zero tree construction per query
+
+    def test_bounds_are_sorted_and_slots_resolve(self, bookrev_db, bookrev_view_text):
+        from repro.core.pdt import build_skeleton
+        from repro.dewey import packed_child_bound
+
+        qpt = qpts_for(bookrev_view_text)["reviews.xml"]
+        skeleton = build_skeleton(qpt, bookrev_db.get("reviews.xml").path_index)
+        assert list(skeleton.bounds) == sorted(set(skeleton.bounds))
+        assert len(skeleton.slot_bounds) == skeleton.content_count
+        for position, key in enumerate(skeleton.ordered):
+            slot = skeleton.slots[position]
+            if slot is None:
+                continue
+            low, high = skeleton.slot_bounds[slot]
+            assert skeleton.bounds[low] == key
+            assert skeleton.bounds[high] == packed_child_bound(key)
+
+    def test_parent_positions_match_byte_prefixes(
+        self, bookrev_db, bookrev_view_text
+    ):
+        from repro.core.pdt import build_skeleton
+
+        qpt = qpts_for(bookrev_view_text)["books.xml"]
+        skeleton = build_skeleton(qpt, bookrev_db.get("books.xml").path_index)
+        for position, key in enumerate(skeleton.ordered):
+            parent = skeleton.parents[position]
+            if parent < 0:
+                continue
+            assert key.startswith(skeleton.ordered[parent])
+            assert key != skeleton.ordered[parent]

@@ -106,7 +106,9 @@ def test_streaming_equals_reference(seed):
             assert anno.byte_length == expected["byte_length"], (
                 f"byte length mismatch at {dewey}"
             )
-            assert anno.term_frequencies == expected["term_frequencies"], (
+            # Per-query tfs live in the result's flat arrays, resolved
+            # through each content node's slot.
+            assert result.tf_map(node) == expected["term_frequencies"], (
                 f"tf mismatch at {dewey}"
             )
 
