@@ -1,0 +1,224 @@
+"""X6 (extension): serving throughput/latency under concurrent mixed traffic.
+
+Not a paper figure — this measures the asyncio serving layer
+(:mod:`repro.serving`) in the regime it exists for: many clients, one
+engine, admission control and shard-affine lanes in between.  Three
+measurements at scale 1:
+
+* **solo engine**       — direct ``search_detailed`` calls on the warm
+  skeleton path (bench_x4's regime), for context;
+* **solo served**       — one client through the full server stack
+  (queue, lanes, thread pool): the single-caller skeleton-warm median
+  the acceptance criterion compares against;
+* **8-client mixed**    — eight concurrent clients, 70% against the
+  pre-warmed hot view / 30% against a second view, open-loop pacing
+  (a few ms of think time per client, as real traffic has): the
+  pre-warmed hot view's p50 end-to-end latency must stay within
+  **2x** the solo served median.
+
+The hot engine runs with the PDT and prepared tiers disabled (exactly
+bench_x4's skeleton-warm configuration), so *every* hot query exercises
+the per-keyword posting sweep + scoring + top-k — no iteration degrades
+into an exact-repeat PDT hit and the comparison measures serving
+overhead, not cache luck.  A closed-loop (no think time) section
+reports saturation throughput for the record, without a latency
+assertion: eight CPU-bound clients on one GIL are *expected* to queue.
+
+Run directly (``python benchmarks/bench_x6_serving.py``) for a JSON
+report, or through pytest for the self-enforcing acceptance check.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import json
+import random
+import statistics
+import time
+
+from repro.bench.experiments import build_database
+from repro.core.cache import QueryCache
+from repro.core.engine import KeywordSearchEngine
+from repro.serving import LatencyRecorder, Overloaded, SearchServer, ServerConfig
+from repro.workloads.params import ExperimentParams
+from repro.workloads.views import view_for_params
+
+PARAMS = ExperimentParams(data_scale=1)
+
+# Cycled by every traffic generator; with the PDT/prepared tiers off,
+# repeats still run the full skeleton-annotation path.
+KEYWORD_SETS = [
+    ("thomas",),
+    ("control",),
+    ("search",),
+    ("thomas", "control"),
+    ("analysis",),
+    ("control", "search"),
+]
+
+CLIENTS = 8
+REQUESTS_PER_CLIENT = 50
+# Per-request client think time in the open-loop phase.  Engine work is
+# pure Python, so all executor threads share one GIL — one effective
+# processor.  At ~0.26 ms service time, 6 ms of think time keeps the
+# offered load near rho ~= 0.35, the regime the latency acceptance
+# criterion describes; the closed-loop phase below reports what
+# saturation (rho -> 1) does instead.
+THINK_TIME = 0.006
+LATENCY_BUDGET = 2.0  # hot-view p50 may be at most this x the solo median
+
+
+def make_engine():
+    """The bench_x4 skeleton-warm configuration: hot + side views."""
+    database = build_database(PARAMS)
+    engine = KeywordSearchEngine(
+        database, cache=QueryCache(pdt_capacity=0, prepared_capacity=0)
+    )
+    engine.define_view("hot", view_for_params(PARAMS))
+    engine.define_view("side", view_for_params(PARAMS))
+    return engine
+
+
+def solo_engine_median(engine, iterations: int = 100) -> float:
+    """Direct warm-path engine latency, no serving stack (context)."""
+    cycle = itertools.cycle(KEYWORD_SETS)
+    engine.warm_view("hot")
+    samples = []
+    for _ in range(iterations):
+        keywords = next(cycle)
+        start = time.perf_counter()
+        outcome = engine.search_detailed("hot", keywords, top_k=PARAMS.top_k)
+        samples.append(time.perf_counter() - start)
+        assert set(outcome.cache_hits.values()) == {"skeleton"}
+    return statistics.median(samples)
+
+
+async def run_traffic(
+    server,
+    clients: int,
+    requests_per_client: int,
+    think_time: float,
+    hot_fraction: float = 0.7,
+) -> dict[str, list[float]]:
+    """Drive mixed traffic; returns per-view end-to-end latency samples."""
+    latencies: dict[str, list[float]] = {"hot": [], "side": []}
+
+    async def client(client_id: int) -> None:
+        cycle = itertools.cycle(
+            KEYWORD_SETS[client_id % len(KEYWORD_SETS):]
+            + KEYWORD_SETS[: client_id % len(KEYWORD_SETS)]
+        )
+        rng = random.Random(client_id)
+        if think_time:
+            # Stagger starts and jitter think times: synchronized
+            # clients would re-convoy every cycle and measure the
+            # resulting self-inflicted queueing, not the server.
+            await asyncio.sleep(rng.uniform(0.0, think_time * clients / 2))
+        for index in range(requests_per_client):
+            view = (
+                "hot"
+                if (client_id + index) % 10 < hot_fraction * 10
+                else "side"
+            )
+            response = await server.search(view, next(cycle), top_k=PARAMS.top_k)
+            assert not isinstance(response, Overloaded), response.describe()
+            latencies[view].append(response.latency)
+            if think_time:
+                await asyncio.sleep(rng.uniform(0.5, 1.5) * think_time)
+
+    await asyncio.gather(*[client(c) for c in range(clients)])
+    return latencies
+
+
+def percentile(samples: list[float], fraction: float) -> float:
+    """The serving layer's own quantile definition, so the numbers the
+    bench asserts on cross-check against ``server.snapshot()``."""
+    recorder = LatencyRecorder(window=max(1, len(samples)))
+    for sample in samples:
+        recorder.record(sample)
+    return recorder.percentile(fraction)
+
+
+async def serve_benchmark() -> dict:
+    engine = make_engine()
+    report: dict = {"scale": PARAMS.data_scale, "clients": CLIENTS}
+    report["solo_engine_median"] = solo_engine_median(engine)
+
+    config = ServerConfig(
+        max_queue_depth=256,
+        max_inflight_per_view=256,
+        workers=CLIENTS,
+        shard_lane_width=2,
+        warm_views=("hot", "side"),
+    )
+    async with SearchServer(engine, config) as server:
+        assert server.startup_warmup is not None
+        # Single caller through the full stack, paced like the mixed
+        # phase (an un-paced tight loop keeps the executor threads and
+        # event loop artificially hot and under-counts the per-request
+        # wakeup cost both regimes actually pay): the acceptance
+        # baseline.
+        solo = await run_traffic(
+            server, clients=1, requests_per_client=60,
+            think_time=THINK_TIME, hot_fraction=1.0,
+        )
+        report["solo_served_median"] = statistics.median(solo["hot"])
+
+        # Open-loop mixed traffic: the acceptance measurement.
+        start = time.perf_counter()
+        mixed = await run_traffic(
+            server, CLIENTS, REQUESTS_PER_CLIENT, THINK_TIME
+        )
+        elapsed = time.perf_counter() - start
+        served = len(mixed["hot"]) + len(mixed["side"])
+        report["mixed_open_loop"] = {
+            "served": served,
+            "throughput_qps": served / elapsed,
+            "hot_p50": percentile(mixed["hot"], 0.50),
+            "hot_p95": percentile(mixed["hot"], 0.95),
+            "side_p50": percentile(mixed["side"], 0.50),
+        }
+
+        # Closed-loop saturation throughput (reported, not asserted).
+        start = time.perf_counter()
+        saturated = await run_traffic(
+            server, CLIENTS, REQUESTS_PER_CLIENT, think_time=0.0
+        )
+        elapsed = time.perf_counter() - start
+        served = len(saturated["hot"]) + len(saturated["side"])
+        report["mixed_closed_loop"] = {
+            "served": served,
+            "throughput_qps": served / elapsed,
+            "hot_p50": percentile(saturated["hot"], 0.50),
+            "hot_p95": percentile(saturated["hot"], 0.95),
+        }
+        snapshot = server.snapshot()
+    report["requests"] = {
+        key: snapshot["requests"][key]
+        for key in ("submitted", "completed", "failed", "rejected_total")
+    }
+    return report
+
+
+def test_hot_view_p50_within_budget_under_mixed_traffic():
+    """The acceptance criterion: with 8 concurrent clients at scale 1,
+    the pre-warmed hot view's p50 latency stays within 2x the
+    single-caller skeleton-warm median, and nothing is dropped or
+    errored at these limits."""
+    report = asyncio.run(asyncio.wait_for(serve_benchmark(), 300))
+    solo = report["solo_served_median"]
+    hot_p50 = report["mixed_open_loop"]["hot_p50"]
+    assert report["requests"]["failed"] == 0
+    assert report["requests"]["rejected_total"] == 0
+    assert report["requests"]["completed"] == report["requests"]["submitted"]
+    assert hot_p50 <= LATENCY_BUDGET * solo, (
+        f"hot-view p50 {hot_p50 * 1e3:.3f} ms exceeds "
+        f"{LATENCY_BUDGET}x solo served median {solo * 1e3:.3f} ms\n"
+        f"{json.dumps(report, indent=2)}"
+    )
+    print(json.dumps(report, indent=2))
+
+
+if __name__ == "__main__":
+    print(json.dumps(asyncio.run(serve_benchmark()), indent=2))

@@ -54,8 +54,9 @@ from __future__ import annotations
 
 import threading
 from collections import OrderedDict
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Any, Callable, Hashable, Optional
+from typing import Any, Callable, Hashable, Iterator, Optional
 
 
 @dataclass
@@ -155,10 +156,16 @@ class ShardedLRUCache:
     total across shards; each shard gets an equal slice, so eviction
     pressure is per-partition — one hot view cannot evict the world.
 
-    Thread-safe: every operation takes only its shard's lock; whole-
-    cache operations (``invalidate_where``, ``clear``, stats) visit the
-    shards one at a time and never hold two locks at once, so there is
-    no lock-ordering hazard.
+    Thread-safe: every mapping operation takes only its shard's lock;
+    ``invalidate_where`` and ``clear`` visit the shards one at a time
+    and never hold two locks at once.  Statistics and size snapshots
+    (``shard_stats``, ``stats``, ``stats_dict``, ``shard_sizes``,
+    ``__len__``) instead hold *every* shard lock for the duration of the
+    copy, so the aggregate they report corresponds to one instant of the
+    cache's history — counters from different shards are never mixed
+    across concurrent updates.  There is still no lock-ordering hazard:
+    snapshots are the only path that holds more than one lock, and they
+    always acquire in fixed shard order.
     """
 
     def __init__(
@@ -181,14 +188,29 @@ class ShardedLRUCache:
     def shard_index(self, key: Hashable) -> int:
         return hash(self._shard_key(key)) % self.shard_count
 
+    @contextmanager
+    def _hold_all_locks(self) -> Iterator[None]:
+        """Acquire every shard lock, in fixed shard order.
+
+        Deadlock-free: all other code paths hold at most one shard lock
+        at a time, and every multi-lock path comes through here with the
+        same acquisition order.
+        """
+        acquired: list[threading.Lock] = []
+        try:
+            for lock in self._locks:
+                lock.acquire()
+                acquired.append(lock)
+            yield
+        finally:
+            for lock in reversed(acquired):
+                lock.release()
+
     # -- mapping operations --------------------------------------------------
 
     def __len__(self) -> int:
-        total = 0
-        for shard, lock in zip(self._shards, self._locks):
-            with lock:
-                total += len(shard)
-        return total
+        with self._hold_all_locks():
+            return sum(len(shard) for shard in self._shards)
 
     def __contains__(self, key: Hashable) -> bool:
         index = self.shard_index(key)
@@ -223,40 +245,44 @@ class ShardedLRUCache:
 
     @property
     def stats(self) -> CacheStats:
-        """Aggregate counters across all shards (computed on demand)."""
+        """Aggregate counters across all shards (a consistent snapshot)."""
         total = CacheStats()
         for snapshot in self.shard_stats():
             total.add(snapshot)
         return total
 
     def shard_stats(self) -> list[CacheStats]:
-        """A per-shard snapshot of the counters, in shard order."""
-        snapshot = []
-        for shard, lock in zip(self._shards, self._locks):
-            with lock:
-                snapshot.append(
-                    CacheStats(
-                        hits=shard.stats.hits,
-                        misses=shard.stats.misses,
-                        evictions=shard.stats.evictions,
-                        invalidations=shard.stats.invalidations,
-                    )
+        """A per-shard snapshot of the counters, in shard order.
+
+        All shard locks are held while copying, so the snapshot is
+        *consistent*: it reflects one instant of the cache's history.
+        Visiting shards one at a time instead would let a counter bump
+        land between the copies and produce an aggregate state the cache
+        was never actually in (e.g. an operation sequenced strictly
+        before another shard's already-snapshotted traffic going
+        missing from the totals).
+        """
+        with self._hold_all_locks():
+            return [
+                CacheStats(
+                    hits=shard.stats.hits,
+                    misses=shard.stats.misses,
+                    evictions=shard.stats.evictions,
+                    invalidations=shard.stats.invalidations,
                 )
-        return snapshot
+                for shard in self._shards
+            ]
 
     def shard_sizes(self) -> list[int]:
-        sizes = []
-        for shard, lock in zip(self._shards, self._locks):
-            with lock:
-                sizes.append(len(shard))
-        return sizes
+        with self._hold_all_locks():
+            return [len(shard) for shard in self._shards]
 
     def stats_dict(self) -> dict[str, Any]:
         """Aggregate counters plus the per-shard breakdown.
 
-        The aggregate is summed from the single per-shard snapshot, so
-        the returned dict is internally consistent (aggregate == sum of
-        shards) even while other threads keep counting.
+        Built from one consistent ``shard_stats`` snapshot, so the
+        aggregate equals the shard sum *and* both describe the same
+        instant even while other threads keep counting.
         """
         shards = self.shard_stats()
         total = CacheStats()
@@ -358,6 +384,21 @@ class QueryCache:
         tiers.
         """
         return (view_name, doc_coordinates)
+
+    # -- shard routing -------------------------------------------------------
+
+    def shard_for(self, view_name: str, doc_name: str) -> int:
+        """The shard index the ``(view, doc)``-keyed tiers route to.
+
+        The skeleton and PDT tiers share a shard count and both
+        partition by the ``(view_name, doc_name)`` prefix of their keys,
+        so they agree on this index.  The serving layer uses it to align
+        per-``(view, doc)`` concurrency lanes with the cache's
+        partitioning: requests that would contend on a shard's lock are
+        serialized in front of the cache instead of inside it, and a hot
+        view's traffic lands on a predictable lane.
+        """
+        return self.skeletons.shard_index((view_name, doc_name))
 
     # -- invalidation --------------------------------------------------------
 

@@ -23,9 +23,10 @@ with the PDT phase further split into its skeleton and postings halves.
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, field
-from typing import Optional, Sequence, Union
+from typing import Callable, Optional, Sequence, Union
 
 from repro.core.cache import QueryCache
 from repro.core.materialize import materialize_result
@@ -203,13 +204,20 @@ class KeywordSearchEngine:
     """Keyword search over virtual XML views (the paper's Efficient system).
 
     By default the engine serves repeated queries through a sharded
-    three-tier :class:`QueryCache` (prepared index lists, PDT skeletons,
-    PDTs); the cache is invalidated automatically when documents are
-    loaded/dropped or a view name is redefined.  A warm skeleton means a
-    query with a never-seen keyword set skips every path-index probe and
-    the structural merge pass.  Pass ``enable_cache=False`` for the
-    original probe-every-time behavior, or supply a pre-configured
-    ``cache``.
+    four-tier :class:`QueryCache` (prepared index lists, PDT skeletons,
+    PDTs, evaluated view results); the cache is invalidated
+    automatically when documents are loaded/dropped or a view name is
+    redefined.  A warm skeleton means a query with a never-seen keyword
+    set skips every path-index probe and the structural merge pass.
+    Pass ``enable_cache=False`` for the original probe-every-time
+    behavior, or supply a pre-configured ``cache``.
+
+    The search entry points are safe to call from a thread pool (the
+    serving layer does): all shared state is either immutable once
+    published (views, QPTs, skeleton trees) or lock-protected (the
+    cache), and the ``last_timings`` diagnostic is **thread-local** — a
+    caller always reads the timings of its *own* most recent search,
+    never a racing thread's.
     """
 
     def __init__(
@@ -221,13 +229,49 @@ class KeywordSearchEngine:
     ):
         self.database = database
         self.normalize_scores = normalize_scores
-        self.last_timings: Optional[PhaseTimings] = None
+        self._thread_state = threading.local()
+        self._hooks_lock = threading.Lock()
+        self._timing_hooks: list[Callable[[str, "SearchOutcome"], None]] = []
         self._views: dict[str, View] = {}
         if cache is None and enable_cache:
             cache = QueryCache()
         self.cache = cache
         if cache is not None:
             database.add_invalidation_hook(self._on_document_change)
+
+    @property
+    def last_timings(self) -> Optional[PhaseTimings]:
+        """Per-phase timings of the *calling thread's* last search."""
+        return getattr(self._thread_state, "timings", None)
+
+    @last_timings.setter
+    def last_timings(self, timings: Optional[PhaseTimings]) -> None:
+        self._thread_state.timings = timings
+
+    # -- timing hooks -----------------------------------------------------------
+
+    def add_timing_hook(
+        self, hook: Callable[[str, "SearchOutcome"], None]
+    ) -> None:
+        """Register ``hook(view_name, outcome)`` to fire after every
+        ``search_detailed`` completes (successful searches only).
+
+        Hooks run on the searching thread, after the outcome is fully
+        built; the serving layer and benchmarks use them to observe
+        per-request phase timings and cache hits without wrapping every
+        call site.  Hooks must be thread-safe and must not raise — an
+        exception would surface as a search failure to that caller.
+        Registration itself is thread-safe too (searches iterate over an
+        immutable snapshot, so they never observe a half-applied edit).
+        """
+        with self._hooks_lock:
+            self._timing_hooks = self._timing_hooks + [hook]
+
+    def remove_timing_hook(
+        self, hook: Callable[[str, "SearchOutcome"], None]
+    ) -> None:
+        with self._hooks_lock:
+            self._timing_hooks = [h for h in self._timing_hooks if h != hook]
 
     def _on_document_change(self, doc_name: str) -> None:
         """Database hook: a document was loaded or dropped."""
@@ -258,6 +302,42 @@ class KeywordSearchEngine:
             return self._views[name]
         except KeyError:
             raise ViewDefinitionError(f"no view named {name!r}") from None
+
+    def warm_view(self, view: Union[View, str]) -> dict[str, str]:
+        """Pre-build the view's keyword-independent cached state.
+
+        Runs one ``build_skeleton`` per ``(view, document)`` pair plus
+        the (keyword-independent) view evaluation, filling the skeleton
+        and evaluated cache tiers, so the *first* keyword query against
+        the view — with any keyword set, including never-seen ones —
+        performs zero path-index probes and skips the XQuery evaluator.
+        The serving layer calls this at startup for configured hot
+        views; it is also safe mid-flight (idempotent, and cheap when
+        the tiers are already warm).
+
+        Returns the per-document cache outcome the warming pass itself
+        saw (``"miss"`` = skeleton built now, ``"skeleton"``/``"pdt"`` =
+        already warm), keyed by document name.
+        """
+        if self.cache is None:
+            raise ValueError(
+                "warm_view requires the query cache (the engine was "
+                "constructed with enable_cache=False)"
+            )
+        if isinstance(view, str):
+            view = self.get_view(view)
+        elif self._views.get(view.name) is not view:
+            # An unregistered (or since-redefined) View would run the
+            # whole build with cacheable=False: all cost, zero warmth.
+            raise ViewDefinitionError(
+                f"cannot warm view {view.name!r}: the object is not the "
+                "currently registered definition (re-fetch it with "
+                "get_view, or warm by name)"
+            )
+        self._reject_stale(view)
+        pdts, cache_hits, doc_coordinates = self._build_pdts(view, ())
+        self._evaluate_view_results(view, pdts, doc_coordinates)
+        return cache_hits
 
     # -- search -------------------------------------------------------------------
 
@@ -341,7 +421,7 @@ class KeywordSearchEngine:
         timings.post_processing = time.perf_counter() - start
 
         self.last_timings = timings
-        return SearchOutcome(
+        search_outcome = SearchOutcome(
             results=results,
             view_size=outcome.view_size,
             matching_count=len(outcome.results),
@@ -352,6 +432,9 @@ class KeywordSearchEngine:
             evaluated_hit=evaluated_hit,
             _cache=self.cache,
         )
+        for hook in tuple(self._timing_hooks):
+            hook(view.name, search_outcome)
+        return search_outcome
 
     def _reject_stale(self, view: View) -> None:
         """Fail fast when a view references dropped documents."""

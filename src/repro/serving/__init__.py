@@ -1,0 +1,49 @@
+"""Async serving layer: admission control, shard-affine execution,
+hot-view pre-warming and request-level stats over the search engine.
+
+Public surface::
+
+    from repro.serving import (
+        SearchServer, ServerConfig, ServeResult,     # the front end
+        Overloaded, AdmissionController, AdmissionLimits,  # admission
+        WarmupReport, WarmupTarget, plan_warmup, execute_warmup,
+        ServingStats, LatencyRecorder,
+    )
+"""
+
+from repro.serving.admission import (
+    REASON_COLD_VIEW_SHED,
+    REASON_QUEUE_FULL,
+    REASON_SERVER_STOPPED,
+    REASON_VIEW_SATURATED,
+    AdmissionController,
+    AdmissionLimits,
+    Overloaded,
+)
+from repro.serving.server import SearchServer, ServeResult, ServerConfig
+from repro.serving.stats import LatencyRecorder, ServingStats
+from repro.serving.warmup import (
+    WarmupReport,
+    WarmupTarget,
+    execute_warmup,
+    plan_warmup,
+)
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionLimits",
+    "LatencyRecorder",
+    "Overloaded",
+    "REASON_COLD_VIEW_SHED",
+    "REASON_QUEUE_FULL",
+    "REASON_SERVER_STOPPED",
+    "REASON_VIEW_SATURATED",
+    "SearchServer",
+    "ServeResult",
+    "ServerConfig",
+    "ServingStats",
+    "WarmupReport",
+    "WarmupTarget",
+    "execute_warmup",
+    "plan_warmup",
+]

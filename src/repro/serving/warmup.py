@@ -1,0 +1,109 @@
+"""Warm-up planning: pre-build hot views' cached state at startup.
+
+A freshly started server answers its first queries cold — every one
+pays path-index probes, the structural merge and a full view
+evaluation.  For views known to be hot, that cost is better paid before
+the server starts accepting traffic: one ``build_skeleton`` per
+``(view, document)`` pair (plus the keyword-independent evaluation)
+means every first-contact keyword query runs the warm array-sweep path.
+
+``plan_warmup`` turns view names into explicit per-``(view, doc)``
+targets — annotated with the cache shard each lands on, so operators
+can see how warm state distributes over the cache partitioning — and
+``execute_warmup`` runs the plan through the engine and reports what
+was actually built versus already warm.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.core.engine import KeywordSearchEngine
+
+
+@dataclass(frozen=True)
+class WarmupTarget:
+    """One ``(view, document)`` pair to pre-warm, with its cache shard."""
+
+    view: str
+    doc: str
+    shard: Optional[int]
+
+
+@dataclass
+class WarmupReport:
+    """What a warm-up pass did, per target."""
+
+    targets: list[WarmupTarget] = field(default_factory=list)
+    #: ``(view, doc) -> "built"`` (skeleton constructed by this pass) or
+    #: ``"warm"`` (a prior query or warm-up already built it).
+    results: dict[tuple[str, str], str] = field(default_factory=dict)
+    duration: float = 0.0
+
+    @property
+    def built_count(self) -> int:
+        return sum(1 for state in self.results.values() if state == "built")
+
+    @property
+    def warm_count(self) -> int:
+        return sum(1 for state in self.results.values() if state == "warm")
+
+    def as_dict(self) -> dict:
+        return {
+            "targets": [
+                {"view": t.view, "doc": t.doc, "shard": t.shard}
+                for t in self.targets
+            ],
+            "built": self.built_count,
+            "already_warm": self.warm_count,
+            "duration": self.duration,
+        }
+
+
+def plan_warmup(
+    engine: "KeywordSearchEngine", view_names: Sequence[str]
+) -> list[WarmupTarget]:
+    """Expand view names into deduplicated ``(view, doc)`` targets.
+
+    Unknown view names raise ``ViewDefinitionError`` immediately —
+    a warm-up plan that silently skips a typo'd hot view would defeat
+    its purpose.  Targets keep the caller's view order (then document
+    order within a view), matching the order ``execute_warmup`` warms.
+    """
+    targets: list[WarmupTarget] = []
+    seen: set[str] = set()
+    for name in view_names:
+        if name in seen:
+            continue
+        seen.add(name)
+        view = engine.get_view(name)
+        for doc_name in view.document_names:
+            shard = (
+                engine.cache.shard_for(name, doc_name)
+                if engine.cache is not None
+                else None
+            )
+            targets.append(WarmupTarget(view=name, doc=doc_name, shard=shard))
+    return targets
+
+
+def execute_warmup(
+    engine: "KeywordSearchEngine", targets: Sequence[WarmupTarget]
+) -> WarmupReport:
+    """Warm every target through ``engine.warm_view``; report per pair.
+
+    Synchronous and engine-bound — the server runs it in its thread
+    pool so startup warming does not block the event loop.
+    """
+    report = WarmupReport(targets=list(targets))
+    start = time.perf_counter()
+    for view_name in dict.fromkeys(target.view for target in targets):
+        cache_hits = engine.warm_view(view_name)
+        for doc_name, hit in cache_hits.items():
+            state = "built" if hit == "miss" else "warm"
+            report.results[(view_name, doc_name)] = state
+    report.duration = time.perf_counter() - start
+    return report

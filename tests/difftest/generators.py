@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
+from typing import Optional
 
 from repro.storage.database import XMLDatabase
 from repro.xmlmodel.node import XMLNode
@@ -29,6 +30,11 @@ RARE_WORDS = ["zeppelin", "quasar", "obsidian"]
 # tf=0 arrays) in every cache configuration, conjunctive and
 # disjunctive.
 NEVER_WORDS = ["unobtainium", "snark"]
+# Fallback priming words when a case's keyword sets exhaust the pools:
+# never written into documents and never drawn into keyword sets, so
+# priming stays disjoint from every compared query (skeleton warming is
+# keyword-independent — the priming words need not occur anywhere).
+PRIMING_FALLBACK = ("warmup", "prefetch")
 
 
 @dataclass
@@ -70,16 +76,45 @@ def _generate_items_doc(rng: random.Random, item_count: int) -> XMLNode:
 def _generate_notes_doc(
     rng: random.Random, item_count: int, note_count: int
 ) -> XMLNode:
-    """notes.xml: notes referencing items by id (some refs dangle)."""
+    """notes.xml: notes referencing items by id (some refs dangle).
+
+    Each note also carries its own ``nid`` so chain-join views can hang
+    a third document off it.
+    """
     root = XMLNode("notes")
-    for _ in range(note_count):
+    for number in range(1, note_count + 1):
         note = root.make_child("note")
+        note.make_child("nid", f"n-{number:03d}")
         if rng.random() < 0.9:
             ref = f"id-{rng.randint(1, item_count):03d}"
         else:
             ref = "id-none"  # dangling join key
         note.make_child("ref", ref)
         note.make_child("text", _sentence(rng, rng.randint(3, 7)))
+    return root
+
+
+def _generate_extras_doc(
+    rng: random.Random, item_count: int, note_count: int, extra_count: int
+) -> XMLNode:
+    """extras.xml: the third document of the multi-join shapes.
+
+    Refs point at item ids (matched by the star join), note ids (matched
+    by the chain join) or nothing at all, so whichever multi-join
+    template runs sees matching, non-matching and dangling keys.
+    """
+    root = XMLNode("extras")
+    for _ in range(extra_count):
+        extra = root.make_child("extra")
+        roll = rng.random()
+        if roll < 0.45:
+            ref = f"id-{rng.randint(1, item_count):03d}"
+        elif roll < 0.9:
+            ref = f"n-{rng.randint(1, note_count):03d}"
+        else:
+            ref = "x-none"  # dangles for both join keys
+        extra.make_child("ref", ref)
+        extra.make_child("tag", _sentence(rng, rng.randint(1, 3)))
     return root
 
 
@@ -145,12 +180,49 @@ return <hit>
 </hit>
 """
 
+# Multi-join shapes: three documents, two value joins.  The star join
+# hangs both secondary documents off the item; the chain join threads
+# item -> note -> extra, nesting a join inside a joined subquery.
+_STARJOIN_VIEW = """
+for $item in fn:doc(items.xml)/items//item
+where $item/year > {year}
+return <hit>
+   <label> {{$item/name}} </label>,
+   {{for $note in fn:doc(notes.xml)/notes//note
+    where $note/ref = $item/id
+    return $note/text}},
+   {{for $extra in fn:doc(extras.xml)/extras//extra
+    where $extra/ref = $item/id
+    return $extra/tag}}
+</hit>
+"""
+
+_CHAINJOIN_VIEW = """
+for $item in fn:doc(items.xml)/items//item
+where $item/year > {year}
+return <hit>
+   <label> {{$item/name}} </label>,
+   {{for $note in fn:doc(notes.xml)/notes//note
+    where $note/ref = $item/id
+    return <sub> {{$note/text}},
+      {{for $extra in fn:doc(extras.xml)/extras//extra
+       where $extra/ref = $note/nid
+       return $extra/tag}}
+    </sub>}}
+</hit>
+"""
+
 _VIEW_TEMPLATES = [
     ("selection", _SELECTION_VIEW, "items"),
     ("flat", _FLAT_VIEW, "items"),
     ("join", _JOIN_VIEW, "join"),
     ("deep", _DEEP_VIEW, "deep"),
+    ("starjoin", _STARJOIN_VIEW, "multijoin"),
+    ("chainjoin", _CHAINJOIN_VIEW, "multijoin"),
 ]
+
+#: Every template name, for shape-sweep parametrization.
+VIEW_SHAPES = tuple(name for name, _, _ in _VIEW_TEMPLATES)
 
 
 def _keyword_sets(rng: random.Random, count: int) -> list[tuple[str, ...]]:
@@ -162,6 +234,17 @@ def _keyword_sets(rng: random.Random, count: int) -> list[tuple[str, ...]]:
             chosen = chosen + (rng.choice(RARE_WORDS),)
         if chosen not in sets:
             sets.append(chosen)
+    # Disjunctive-heavy mixes: wide sets whose members rarely co-occur
+    # in one element, so conjunctive mode prunes to (near) empty while
+    # disjunctive mode ranks many partial matches — the regime where
+    # per-keyword idf weighting and tie-breaking carry the ranking.
+    wide = rng.sample(WORDS, 4) + [rng.choice(RARE_WORDS)]
+    if rng.random() < 0.5:
+        wide.append(rng.choice(NEVER_WORDS))
+    sets.append(tuple(sorted(wide)))
+    sets.append(
+        tuple(sorted((rng.choice(WORDS),) + tuple(RARE_WORDS)))
+    )
     # Every case exercises the zero-posting path deterministically: one
     # mixed set (conjunctive -> empty, disjunctive -> ranked by the real
     # keyword) and one all-never set (empty both ways).
@@ -170,13 +253,29 @@ def _keyword_sets(rng: random.Random, count: int) -> list[tuple[str, ...]]:
     return sets
 
 
-def generate_case(seed: int) -> GeneratedCase:
-    """Build the full scenario for one seed."""
+def generate_case(seed: int, shape: Optional[str] = None) -> GeneratedCase:
+    """Build the full scenario for one seed.
+
+    ``shape`` pins a view template by name (see ``VIEW_SHAPES``) so a
+    test can sweep every shape deterministically; by default the seed's
+    random stream picks one.  Either way the case is a pure function of
+    its arguments.
+    """
     rng = random.Random(seed)
     item_count = rng.randint(15, 40)
     database = XMLDatabase()
-    name, template, shape = rng.choice(_VIEW_TEMPLATES)
-    if shape == "deep":
+    if shape is None:
+        name, template, kind = rng.choice(_VIEW_TEMPLATES)
+    else:
+        try:
+            name, template, kind = next(
+                entry for entry in _VIEW_TEMPLATES if entry[0] == shape
+            )
+        except StopIteration:
+            raise ValueError(
+                f"unknown view shape {shape!r}; known: {VIEW_SHAPES}"
+            ) from None
+    if kind == "deep":
         database.load_document(
             "deep.xml",
             _generate_deep_doc(
@@ -188,18 +287,29 @@ def generate_case(seed: int) -> GeneratedCase:
         database.load_document(
             "items.xml", _generate_items_doc(rng, item_count)
         )
-        if shape == "join":
+        if kind in ("join", "multijoin"):
+            note_count = rng.randint(10, 30)
             database.load_document(
                 "notes.xml",
-                _generate_notes_doc(rng, item_count, rng.randint(10, 30)),
+                _generate_notes_doc(rng, item_count, note_count),
             )
+            if kind == "multijoin":
+                database.load_document(
+                    "extras.xml",
+                    _generate_extras_doc(
+                        rng, item_count, note_count, rng.randint(10, 25)
+                    ),
+                )
         view_text = template.format(year=rng.randint(1988, 2005))
     keyword_sets = _keyword_sets(rng, count=4)
     # Priming keywords disjoint from every generated set: a rare word
-    # plus one common word not used by any keyword set.
+    # plus one common word not used by any keyword set (the dedicated
+    # fallback words cover the case where the sets exhaust a pool).
     used = {kw for kws in keyword_sets for kw in kws}
-    unused = [w for w in WORDS if w not in used] or [WORDS[0]]
-    unused_rare = [w for w in RARE_WORDS if w not in used] or unused
+    unused = [w for w in WORDS if w not in used] or [PRIMING_FALLBACK[1]]
+    unused_rare = [w for w in RARE_WORDS if w not in used] or [
+        PRIMING_FALLBACK[0]
+    ]
     priming = (rng.choice(unused_rare), rng.choice(unused))
     return GeneratedCase(
         seed=seed,

@@ -124,10 +124,17 @@ def _inv_probes(db) -> int:
 
 
 def run_differential_case(
-    seed: int, top_k: int = 10, conjunctive_modes=(True, False)
+    seed: int,
+    top_k: int = 10,
+    conjunctive_modes=(True, False),
+    shape=None,
 ) -> CaseReport:
-    """Run one seed through every configuration; raise on any divergence."""
-    case: GeneratedCase = generate_case(seed)
+    """Run one seed through every configuration; raise on any divergence.
+
+    ``shape`` pins the generated view template (see
+    ``generators.VIEW_SHAPES``) for deterministic per-shape sweeps.
+    """
+    case: GeneratedCase = generate_case(seed, shape=shape)
     db = case.database
     report = CaseReport(seed=seed, description=case.description)
 
@@ -145,7 +152,7 @@ def run_differential_case(
     # keywords disjoint from every compared set.  It runs on its own
     # (deterministically identical) database so its probe counters are
     # not polluted by the cold configurations above.
-    skeleton_db = generate_case(seed).database
+    skeleton_db = generate_case(seed, shape=shape).database
     skeleton = KeywordSearchEngine(
         skeleton_db, cache=QueryCache(pdt_capacity=0)
     )

@@ -15,11 +15,14 @@ from pathlib import Path
 
 import pytest
 
+from difftest.generators import VIEW_SHAPES
 from difftest.harness import run_differential_case
 
-# 404 pins a deep-nesting view whose keyword sets include never-occurring
-# terms (the zero-posting + packed-encoding regression seed).
-DEFAULT_SEEDS = (101, 202, 303, 404)
+# The historical four seeds plus 505/606, added when the generator grew
+# multi-join view shapes and disjunctive-heavy keyword mixes so the
+# matrix sweeps more of the enlarged space.  (Shape coverage does not
+# depend on seed luck: the sweep below runs every template explicitly.)
+DEFAULT_SEEDS = (101, 202, 303, 404, 505, 606)
 
 
 def _seed_matrix() -> tuple[int, ...]:
@@ -51,6 +54,17 @@ def test_differential_ranked_output_matches_naive_baseline(seed):
     skeleton_stats = report.cache_stats["skeleton_warm"]["skeleton"]
     assert skeleton_stats["hits"] > 0
     _maybe_dump(report)
+
+
+@pytest.mark.parametrize("shape", VIEW_SHAPES)
+def test_differential_every_view_shape(shape):
+    """Deterministic per-shape sweep: every template — including the
+    three-document star/chain joins — matches the naive baseline in
+    every cache configuration, independent of which shapes the seed
+    matrix happens to draw."""
+    report = run_differential_case(11, shape=shape)
+    assert report.comparisons > 0
+    assert report.skeleton_path_probes == 0
 
 
 def test_generated_cases_are_deterministic():

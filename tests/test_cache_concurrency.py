@@ -10,6 +10,7 @@ deadlock fails the test instead of hanging the suite.
 from __future__ import annotations
 
 import random
+import sys
 import threading
 
 import pytest
@@ -67,6 +68,57 @@ class TestShardedCacheStress:
         assert agg.lookups > 0
         # No shard overran its capacity slice (128/8 = 16 each).
         assert all(size <= 16 for size in cache.shard_sizes())
+
+    def test_stats_snapshot_is_consistent_across_shards(self):
+        # Regression: shard_stats/stats_dict used to copy shard counters
+        # one lock at a time, so the "aggregate" could pair shard 0's
+        # counters from one instant with shard 63's from a later one — a
+        # state the cache was never in.  The snapshot now holds every
+        # shard lock.  The interleaving here detects the old behavior
+        # almost immediately: the mutator bumps shard 0 strictly before
+        # shard 63 on every round, so any consistent snapshot satisfies
+        # 0 <= lookups(0) - lookups(63) <= 1 — while a shard-at-a-time
+        # snapshot walks 62 other locks between the two copies, giving
+        # the mutator ample time to push shard 63 past the stale shard-0
+        # copy.
+        cache = ShardedLRUCache(128, shards=64, shard_key=lambda k: k[0])
+        stop = threading.Event()
+        errors: list[BaseException] = []
+        # The default 5 ms GIL switch interval dwarfs a ~50 µs snapshot,
+        # hiding the interleaving; shrink it so threads actually overlap
+        # inside the snapshot loop.
+        interval = sys.getswitchinterval()
+        sys.setswitchinterval(1e-6)
+
+        def mutator():
+            # hash(0) % 64 == 0 and hash(63) % 64 == 63: the keys pin
+            # the first and last shard deterministically.
+            while not stop.is_set():
+                cache.get((0,))
+                cache.get((63,))
+
+        def snapshotter():
+            try:
+                for _ in range(1500):
+                    shards = cache.shard_stats()
+                    diff = shards[0].lookups - shards[63].lookups
+                    assert 0 <= diff <= 1, (
+                        f"inconsistent snapshot: lookups diverge by {diff}"
+                    )
+                    agg = cache.stats_dict()
+                    assert agg["hits"] + agg["misses"] == sum(
+                        s["hits"] + s["misses"] for s in agg["shards"]
+                    )
+            except BaseException as exc:
+                errors.append(exc)
+            finally:
+                stop.set()
+
+        try:
+            run_threads([mutator, snapshotter])
+        finally:
+            sys.setswitchinterval(interval)
+        assert not errors, errors
 
     def test_concurrent_writers_one_hot_shard(self):
         # All keys share one partition coordinate: every thread contends

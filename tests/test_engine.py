@@ -263,3 +263,81 @@ class TestExplain:
 
     def test_explain_by_name(self, engine, view):
         assert "QPT" in engine.explain("bookrevs")
+
+
+class TestWarmView:
+    def test_warm_view_makes_first_contact_queries_skeleton_warm(
+        self, engine, view, bookrev_db
+    ):
+        hits = engine.warm_view("bookrevs")
+        assert hits == {"books.xml": "miss", "reviews.xml": "miss"}
+        bookrev_db.reset_access_counters()
+        outcome = engine.search_detailed(view, ("intelligence",), top_k=5)
+        assert set(outcome.cache_hits.values()) == {"skeleton"}
+        assert outcome.evaluated_hit
+        assert all(
+            bookrev_db.get(n).path_index.probe_count == 0
+            for n in bookrev_db.document_names()
+        )
+
+    def test_warm_view_is_idempotent_and_reports_warm_state(self, engine, view):
+        engine.warm_view(view)
+        again = engine.warm_view(view)
+        assert set(again.values()) <= {"skeleton", "pdt"}
+
+    def test_warm_view_requires_cache(self, bookrev_db, bookrev_view_text):
+        from repro.core.engine import KeywordSearchEngine
+
+        cacheless = KeywordSearchEngine(bookrev_db, enable_cache=False)
+        cacheless.define_view("v", bookrev_view_text)
+        with pytest.raises(ValueError):
+            cacheless.warm_view("v")
+
+    def test_warm_view_rejects_stale(self, engine, view, bookrev_db):
+        bookrev_db.drop_document("reviews.xml")
+        with pytest.raises(StaleViewError):
+            engine.warm_view("bookrevs")
+
+
+class TestThreadSafetyHooks:
+    def test_last_timings_is_thread_local(self, engine, view):
+        import threading
+
+        engine.search(view, ("xml",), top_k=3)
+        main_timings = engine.last_timings
+        assert main_timings is not None
+        seen = {}
+
+        def worker():
+            seen["before"] = engine.last_timings  # fresh thread: nothing yet
+            engine.search(view, ("search",), top_k=3)
+            seen["after"] = engine.last_timings
+
+        thread = threading.Thread(target=worker)
+        thread.start()
+        thread.join(30)
+        assert not thread.is_alive()
+        assert seen["before"] is None
+        assert seen["after"] is not None
+        assert seen["after"] is not main_timings
+        # The main thread still sees its own timings, untouched.
+        assert engine.last_timings is main_timings
+
+    def test_timing_hooks_fire_per_search(self, engine, view):
+        calls = []
+        hook = lambda name, outcome: calls.append((name, outcome))  # noqa: E731
+        engine.add_timing_hook(hook)
+        outcome = engine.search_detailed(view, ("xml",), top_k=3)
+        assert calls == [("bookrevs", outcome)]
+        engine.remove_timing_hook(hook)
+        engine.search_detailed(view, ("xml",), top_k=3)
+        assert len(calls) == 1
+
+    def test_warm_view_rejects_stale_view_object(self, engine, view):
+        engine.define_view("bookrevs", view.text)  # redefinition
+        with pytest.raises(ViewDefinitionError):
+            engine.warm_view(view)  # the old object would warm nothing
+        # By name (or with the re-fetched object) warming works.
+        assert set(engine.warm_view("bookrevs").values()) <= {
+            "miss", "skeleton", "pdt"
+        }

@@ -1,0 +1,605 @@
+"""The serving layer: admission, lanes, pre-warm, drain, stats.
+
+Async tests run through ``asyncio.run`` with a hard ``wait_for``
+timeout, so a stuck queue or a lost future fails the test instead of
+hanging the suite.  Deterministic overload scenarios gate the engine
+behind a ``threading.Event`` — the executor thread blocks exactly where
+a slow query would, and the test controls when it finishes.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.engine import KeywordSearchEngine
+from repro.serving import (
+    AdmissionController,
+    AdmissionLimits,
+    LatencyRecorder,
+    Overloaded,
+    REASON_COLD_VIEW_SHED,
+    REASON_QUEUE_FULL,
+    REASON_SERVER_STOPPED,
+    REASON_VIEW_SATURATED,
+    SearchServer,
+    ServerConfig,
+    ServeResult,
+    ServingStats,
+    plan_warmup,
+)
+from repro.errors import ViewDefinitionError
+from repro.workloads.bookrev import BOOKREV_VIEW, generate_bookrev_database
+
+KEYWORD_SETS = [
+    ("xml",),
+    ("search",),
+    ("xml", "search"),
+    ("engines",),
+    ("intelligence",),
+    ("read", "search"),
+]
+
+
+def run_async(coro, timeout: float = 60.0):
+    return asyncio.run(asyncio.wait_for(coro, timeout))
+
+
+def path_probes(db) -> int:
+    return sum(db.get(n).path_index.probe_count for n in db.document_names())
+
+
+def oracle_expectations(db, view_text, keyword_sets, top_k=10):
+    """Ranked output per keyword set from a cache-less single caller."""
+    oracle = KeywordSearchEngine(db, enable_cache=False)
+    oracle_view = oracle.define_view("oracle", view_text)
+    return {
+        kws: [
+            (r.rank, r.score, r.to_xml())
+            for r in oracle.search(oracle_view, kws, top_k=top_k)
+        ]
+        for kws in keyword_sets
+    }
+
+
+def gate_engine(monkeypatch, engine):
+    """Make every engine search block until the returned gate opens."""
+    started = threading.Event()
+    gate = threading.Event()
+    real = engine.search_detailed
+
+    def gated(*args, **kwargs):
+        started.set()
+        assert gate.wait(30), "test gate never opened"
+        return real(*args, **kwargs)
+
+    monkeypatch.setattr(engine, "search_detailed", gated)
+    return started, gate
+
+
+async def wait_for_event(event: threading.Event, timeout: float = 10.0):
+    ok = await asyncio.get_running_loop().run_in_executor(
+        None, event.wait, timeout
+    )
+    assert ok, "engine never started executing"
+
+
+class TestServeCorrectness:
+    def test_concurrent_serving_matches_direct_engine(
+        self, bookrev_db, bookrev_view_text
+    ):
+        expected = oracle_expectations(
+            bookrev_db, bookrev_view_text, KEYWORD_SETS
+        )
+        engine = KeywordSearchEngine(bookrev_db)
+        engine.define_view("v", bookrev_view_text)
+
+        async def scenario():
+            config = ServerConfig(
+                warm_views=("v",),
+                workers=4,
+                max_queue_depth=64,
+                max_inflight_per_view=64,
+            )
+            async with SearchServer(engine, config) as server:
+                responses = await asyncio.gather(
+                    *[
+                        server.search("v", kws)
+                        for kws in KEYWORD_SETS * 4
+                    ]
+                )
+                for kws, response in zip(KEYWORD_SETS * 4, responses):
+                    assert isinstance(response, ServeResult)
+                    got = [
+                        (r.rank, r.score, r.to_xml())
+                        for r in response.results
+                    ]
+                    assert got == expected[kws]
+                    assert response.latency >= response.queue_wait
+                    assert response.lanes == server.route("v")
+                snap = server.snapshot()
+                assert snap["requests"]["completed"] == len(KEYWORD_SETS) * 4
+                assert snap["requests"]["failed"] == 0
+
+        run_async(scenario())
+
+    def test_unknown_view_raises_not_sheds(self, bookrev_db, bookrev_view_text):
+        engine = KeywordSearchEngine(bookrev_db)
+        engine.define_view("v", bookrev_view_text)
+
+        async def scenario():
+            async with SearchServer(engine) as server:
+                with pytest.raises(ViewDefinitionError):
+                    await server.search("nope", ("xml",))
+                assert server.stats.snapshot()["submitted"] == 0
+
+        run_async(scenario())
+
+    def test_materialize_in_pool(self, bookrev_db, bookrev_view_text):
+        engine = KeywordSearchEngine(bookrev_db)
+        engine.define_view("v", bookrev_view_text)
+
+        async def scenario():
+            async with SearchServer(engine) as server:
+                response = await server.search(
+                    "v", ("xml",), materialize=True
+                )
+                assert all(r.is_materialized for r in response.results)
+
+        run_async(scenario())
+
+
+class TestOverload:
+    def test_queue_full_sheds_typed(
+        self, monkeypatch, bookrev_db, bookrev_view_text
+    ):
+        engine = KeywordSearchEngine(bookrev_db)
+        engine.define_view("v", bookrev_view_text)
+        started, gate = gate_engine(monkeypatch, engine)
+
+        async def scenario():
+            config = ServerConfig(
+                max_queue_depth=1,
+                workers=1,
+                shard_lane_width=1,
+                max_inflight_per_view=10,
+            )
+            async with SearchServer(engine, config) as server:
+                first = asyncio.ensure_future(server.search("v", ("xml",)))
+                await wait_for_event(started)  # executing, queue empty
+                second = asyncio.ensure_future(server.search("v", ("search",)))
+                await asyncio.sleep(0.01)  # let it enqueue (queue now full)
+                shed = await server.search("v", ("engines",))
+                assert isinstance(shed, Overloaded)
+                assert shed.reason == REASON_QUEUE_FULL
+                assert shed.view == "v"
+                assert shed.queue_depth == 1
+                gate.set()
+                done = await asyncio.gather(first, second)
+                assert all(isinstance(r, ServeResult) for r in done)
+                snap = server.stats.snapshot()
+                assert snap["submitted"] == 3
+                assert snap["completed"] == 2
+                assert snap["rejected"] == {REASON_QUEUE_FULL: 1}
+
+        run_async(scenario())
+
+    def test_per_view_inflight_sheds_but_other_views_serve(
+        self, monkeypatch, bookrev_db, bookrev_view_text
+    ):
+        engine = KeywordSearchEngine(bookrev_db)
+        engine.define_view("hot", bookrev_view_text)
+        engine.define_view("other", bookrev_view_text)
+        started, gate = gate_engine(monkeypatch, engine)
+
+        async def scenario():
+            config = ServerConfig(
+                max_queue_depth=32,
+                workers=4,
+                max_inflight_per_view=1,
+            )
+            async with SearchServer(engine, config) as server:
+                first = asyncio.ensure_future(server.search("hot", ("xml",)))
+                await wait_for_event(started)
+                shed = await server.search("hot", ("search",))
+                assert isinstance(shed, Overloaded)
+                assert shed.reason == REASON_VIEW_SATURATED
+                assert shed.inflight == 1
+                assert shed.limit == 1
+                # The saturated view sheds; an unrelated view still serves.
+                other = asyncio.ensure_future(
+                    server.search("other", ("search",))
+                )
+                await asyncio.sleep(0.01)
+                gate.set()
+                done = await asyncio.gather(first, other)
+                assert all(isinstance(r, ServeResult) for r in done)
+                # Inflight bookkeeping drained back to zero.
+                assert server.admission.inflight("hot") == 0
+                assert server.admission.inflight("other") == 0
+
+        run_async(scenario())
+
+    def test_stop_without_drain_sheds_inflight_with_typed_response(
+        self, monkeypatch, bookrev_db, bookrev_view_text
+    ):
+        engine = KeywordSearchEngine(bookrev_db)
+        engine.define_view("v", bookrev_view_text)
+        started, gate = gate_engine(monkeypatch, engine)
+
+        async def scenario():
+            config = ServerConfig(workers=1, shard_lane_width=1)
+            server = SearchServer(engine, config)
+            await server.start()
+            pending = [
+                asyncio.ensure_future(server.search("v", kws))
+                for kws in KEYWORD_SETS[:3]
+            ]
+            await wait_for_event(started)  # first request is mid-executor
+            stopper = asyncio.ensure_future(server.stop(drain=False))
+            await asyncio.sleep(0.01)
+            gate.set()  # lets the executor thread (and shutdown) finish
+            await stopper
+            # Both the mid-flight and the still-queued requests resolve
+            # to the typed stopped response — never a CancelledError the
+            # caller cannot tell from its own cancellation.
+            responses = await asyncio.gather(*pending)
+            assert all(isinstance(r, Overloaded) for r in responses)
+            assert {r.reason for r in responses} == {REASON_SERVER_STOPPED}
+
+        run_async(scenario())
+
+    def test_stop_rejects_new_and_drains_queued(
+        self, monkeypatch, bookrev_db, bookrev_view_text
+    ):
+        engine = KeywordSearchEngine(bookrev_db)
+        engine.define_view("v", bookrev_view_text)
+        started, gate = gate_engine(monkeypatch, engine)
+
+        async def scenario():
+            config = ServerConfig(workers=1, shard_lane_width=1)
+            server = SearchServer(engine, config)
+            await server.start()
+            pending = [
+                asyncio.ensure_future(server.search("v", kws))
+                for kws in KEYWORD_SETS[:5]
+            ]
+            await wait_for_event(started)
+            stopper = asyncio.ensure_future(server.stop(drain=True))
+            await asyncio.sleep(0.01)
+            gate.set()
+            await stopper
+            # Every admitted request completed before stop returned...
+            responses = await asyncio.gather(*pending)
+            assert all(isinstance(r, ServeResult) for r in responses)
+            # ...and new traffic is shed with the typed stopped response.
+            late = await server.search("v", ("xml",))
+            assert isinstance(late, Overloaded)
+            assert late.reason == REASON_SERVER_STOPPED
+
+        run_async(scenario())
+
+
+class TestAdmissionController:
+    def test_queue_bound_precedes_view_bound(self):
+        controller = AdmissionController(
+            AdmissionLimits(max_queue_depth=4, max_inflight_per_view=2)
+        )
+        assert controller.try_admit("v", queue_depth=4).reason == (
+            REASON_QUEUE_FULL
+        )
+        assert controller.try_admit("v", queue_depth=0) is None
+        assert controller.try_admit("v", queue_depth=0) is None
+        shed = controller.try_admit("v", queue_depth=0)
+        assert shed.reason == REASON_VIEW_SATURATED
+        controller.release("v")
+        assert controller.try_admit("v", queue_depth=0) is None
+        controller.release("v")
+        controller.release("v")
+        assert controller.inflight("v") == 0
+
+    def test_cold_view_shedding_uses_cache_hit_feedback(self):
+        limits = AdmissionLimits(
+            max_queue_depth=10,
+            max_inflight_per_view=10,
+            shed_cold_views=True,
+            shed_queue_fraction=0.5,
+            shed_miss_threshold=0.6,
+        )
+        controller = AdmissionController(limits)
+        for _ in range(8):
+            controller.observe("cold", {"a.xml": "miss", "b.xml": "miss"})
+            controller.observe("warm", {"a.xml": "skeleton", "b.xml": "pdt"})
+        assert controller.miss_rate("cold") == pytest.approx(1.0)
+        assert controller.miss_rate("warm") == pytest.approx(0.0)
+        # Below the pressure threshold both admit; under pressure only
+        # the cold view sheds.
+        assert controller.try_admit("cold", queue_depth=2) is None
+        shed = controller.try_admit("cold", queue_depth=5)
+        assert shed is not None and shed.reason == REASON_COLD_VIEW_SHED
+        assert controller.try_admit("warm", queue_depth=5) is None
+
+    def test_sustained_shedding_decays_toward_readmission(self):
+        limits = AdmissionLimits(
+            max_queue_depth=10,
+            max_inflight_per_view=10,
+            shed_cold_views=True,
+            shed_queue_fraction=0.5,
+            shed_miss_threshold=0.6,
+            shed_probe_decay=0.05,
+        )
+        controller = AdmissionController(limits)
+        controller.observe("cold", {"a.xml": "miss"})
+        sheds = 0
+        # The EWMA only updates from served traffic, so without decay a
+        # shed view could never recover; with decay a probe request gets
+        # through after a bounded number of sheds.
+        while sheds < 100:
+            decision = controller.try_admit("cold", queue_depth=8)
+            if decision is None:
+                break
+            assert decision.reason == REASON_COLD_VIEW_SHED
+            sheds += 1
+        assert 0 < sheds < 100
+        assert controller.miss_rate("cold") <= 0.6
+
+    def test_note_warmed_clears_coldness(self):
+        limits = AdmissionLimits(
+            max_queue_depth=10,
+            shed_cold_views=True,
+            shed_queue_fraction=0.5,
+            shed_miss_threshold=0.6,
+        )
+        controller = AdmissionController(limits)
+        controller.observe("cold", {"a.xml": "miss"})
+        assert controller.try_admit("cold", queue_depth=8) is not None
+        controller.note_warmed("cold")
+        assert controller.try_admit("cold", queue_depth=8) is None
+
+    def test_shedding_off_by_default(self):
+        controller = AdmissionController(AdmissionLimits(max_queue_depth=10))
+        controller.observe("cold", {"a.xml": "miss"})
+        assert controller.try_admit("cold", queue_depth=9) is None
+
+
+class TestWarmup:
+    def test_plan_targets_and_shard_affinity(
+        self, bookrev_db, bookrev_view_text
+    ):
+        engine = KeywordSearchEngine(bookrev_db)
+        engine.define_view("v", bookrev_view_text)
+        targets = plan_warmup(engine, ["v", "v"])  # deduplicated
+        assert [(t.view, t.doc) for t in targets] == [
+            ("v", "books.xml"),
+            ("v", "reviews.xml"),
+        ]
+        for target in targets:
+            assert target.shard == engine.cache.shard_for(
+                target.view, target.doc
+            )
+        with pytest.raises(ViewDefinitionError):
+            plan_warmup(engine, ["v", "typo"])
+
+    def test_failed_startup_warmup_cleans_up_and_allows_retry(
+        self, bookrev_db, bookrev_view_text
+    ):
+        engine = KeywordSearchEngine(bookrev_db)
+        engine.define_view("v", bookrev_view_text)
+
+        async def scenario():
+            server = SearchServer(
+                engine, ServerConfig(warm_views=("typo",))
+            )
+            with pytest.raises(ViewDefinitionError):
+                await server.start()
+            # No executor threads leaked, and the server is retryable.
+            assert server._executor is None
+            assert not any(
+                t.name.startswith("repro-serving")
+                for t in threading.enumerate()
+            )
+            server.config = ServerConfig(warm_views=("v",))
+            await server.start()
+            try:
+                response = await server.search("v", ("xml",))
+                assert isinstance(response, ServeResult)
+            finally:
+                await server.stop()
+
+        run_async(scenario())
+
+    def test_warm_up_reports_built_then_warm(
+        self, bookrev_db, bookrev_view_text
+    ):
+        engine = KeywordSearchEngine(bookrev_db)
+        engine.define_view("v", bookrev_view_text)
+
+        async def scenario():
+            async with SearchServer(engine) as server:
+                first = await server.warm_up("v")
+                assert first.built_count == 2
+                assert first.warm_count == 0
+                again = await server.warm_up("v")
+                assert again.built_count == 0
+                assert again.warm_count == 2
+                assert server.stats.snapshot()["warmed_targets"] == 4
+
+        run_async(scenario())
+
+    def test_route_matches_cache_shards(self, bookrev_db, bookrev_view_text):
+        engine = KeywordSearchEngine(bookrev_db)
+        view = engine.define_view("v", bookrev_view_text)
+
+        async def scenario():
+            async with SearchServer(engine) as server:
+                lanes = server.route(view)
+                assert lanes == tuple(
+                    sorted(
+                        {
+                            engine.cache.shard_for("v", doc)
+                            for doc in view.document_names
+                        }
+                    )
+                )
+                assert all(0 <= lane < server.lane_count for lane in lanes)
+
+        run_async(scenario())
+
+
+# Words the pre-warm property draws never-before-queried keyword sets
+# from; a mix of terms that do and do not occur in the bookrev corpus.
+PROPERTY_WORDS = [
+    "xml", "search", "intelligence", "indexing", "ranking",
+    "views", "virtual", "dense", "excellent", "zebra", "unheard",
+]
+
+
+class TestPreWarmProperty:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        keywords=st.lists(
+            st.sampled_from(PROPERTY_WORDS), min_size=1, max_size=3, unique=True
+        ),
+        conjunctive=st.booleans(),
+    )
+    def test_first_contact_query_after_warm_up_skips_path_probes(
+        self, keywords, conjunctive
+    ):
+        """After ``warm_up(view)``, the *first* query for a never-seen
+        keyword set reports ``cache_hits == "skeleton"`` (or better) and
+        performs zero path-index probes."""
+        db = generate_bookrev_database(
+            book_count=10, reviews_per_book=2, seed=3
+        )
+        engine = KeywordSearchEngine(db)
+        engine.define_view("v", BOOKREV_VIEW)
+
+        async def scenario():
+            config = ServerConfig(warm_views=("v",), workers=2)
+            async with SearchServer(engine, config) as server:
+                assert server.startup_warmup.built_count == 2
+                db.reset_access_counters()
+                response = await server.search(
+                    "v", tuple(keywords), conjunctive=conjunctive
+                )
+                assert isinstance(response, ServeResult)
+                # Skeleton tier or better, for every document.
+                assert set(response.cache_hits.values()) <= {
+                    "skeleton",
+                    "pdt",
+                }
+                assert path_probes(db) == 0
+                # The keyword-independent evaluation was warm too.
+                assert response.outcome.evaluated_hit
+                # cache_stats is surfaced per request (the shedding
+                # signal): the skeleton tier did serve this query.
+                assert response.cache_stats["skeleton"]["hits"] >= 2
+
+        run_async(scenario())
+
+
+class TestStatsPrimitives:
+    def test_latency_recorder_percentiles_and_window(self):
+        recorder = LatencyRecorder(window=100)
+        assert recorder.percentile(0.5) is None
+        for value in range(1, 11):
+            recorder.record(value / 1000.0)
+        assert recorder.percentile(0.5) == pytest.approx(0.005)
+        assert recorder.percentile(1.0) == pytest.approx(0.010)
+        assert recorder.count == 10
+        # The window is bounded; lifetime counters keep counting.
+        for _ in range(500):
+            recorder.record(0.001)
+        assert recorder.count == 510
+        assert len(recorder._samples) == 100
+        assert recorder.percentile(0.99) == pytest.approx(0.001)
+        # The summary max is window-scoped — the early 10 ms sample has
+        # aged out — while the lifetime max survives under its own name.
+        summary = recorder.summary()
+        assert summary["max"] == pytest.approx(0.001)
+        assert summary["lifetime_max"] == pytest.approx(0.010)
+
+    def test_serving_stats_snapshot_consistency(self):
+        stats = ServingStats()
+        stats.record_submitted()
+        stats.record_submitted()
+        stats.record_completed(0.001, 0.002, 0.003, {"a.xml": "skeleton"})
+        stats.record_rejected(REASON_QUEUE_FULL)
+        snap = stats.snapshot()
+        assert snap["submitted"] == 2
+        assert snap["completed"] == 1
+        assert snap["rejected_total"] == 1
+        assert snap["cache_hit_counts"] == {"skeleton": 1}
+        assert snap["latency"]["count"] == 1
+
+
+@pytest.mark.asyncio_stress
+class TestServingStress:
+    def test_mixed_traffic_counters_add_up_and_results_stay_correct(self):
+        """8 async clients, two views, tight limits: every response is
+        either correct ranked output or a typed ``Overloaded``, and the
+        request accounting balances after drain."""
+        db = generate_bookrev_database(book_count=30, reviews_per_book=2, seed=9)
+        view_text = BOOKREV_VIEW
+        expected = oracle_expectations(db, view_text, KEYWORD_SETS)
+        engine = KeywordSearchEngine(db)
+        engine.define_view("hot", view_text)
+        engine.define_view("cold", view_text)
+
+        async def client(server, client_id, counts):
+            import random
+
+            rng = random.Random(client_id)
+            for _ in range(25):
+                view = "hot" if rng.random() < 0.7 else "cold"
+                kws = rng.choice(KEYWORD_SETS)
+                response = await server.search(view, kws)
+                if isinstance(response, Overloaded):
+                    counts["shed"] += 1
+                    assert response.reason in (
+                        REASON_QUEUE_FULL,
+                        REASON_VIEW_SATURATED,
+                    )
+                    await asyncio.sleep(0.001)  # back off as a client would
+                else:
+                    counts["served"] += 1
+                    got = [
+                        (r.rank, r.score, r.to_xml())
+                        for r in response.results
+                    ]
+                    assert got == expected[kws], f"divergence on {kws}"
+
+        async def scenario():
+            config = ServerConfig(
+                max_queue_depth=8,
+                max_inflight_per_view=6,
+                workers=4,
+                shard_lane_width=1,
+                warm_views=("hot",),
+            )
+            counts = {"served": 0, "shed": 0}
+            async with SearchServer(engine, config) as server:
+                await asyncio.gather(
+                    *[client(server, c, counts) for c in range(8)]
+                )
+                snap = server.snapshot()
+            requests = snap["requests"]
+            assert counts["served"] == requests["completed"]
+            assert counts["shed"] == requests["rejected_total"]
+            assert requests["submitted"] == (
+                requests["completed"]
+                + requests["failed"]
+                + requests["rejected_total"]
+            )
+            assert requests["failed"] == 0
+            assert requests["latency"]["count"] == min(
+                counts["served"], 2048
+            )
+            assert counts["served"] > 0
+            # Admission drained cleanly.
+            assert snap["admission"]["inflight"] == {}
+
+        run_async(scenario(), timeout=120.0)
