@@ -1,16 +1,18 @@
-"""Machine-readable perf-trajectory report (``BENCH_pr3.json``).
+"""Machine-readable perf-trajectory report (``BENCH_pr<N>.json``).
 
 Times the three serving regimes of ``bench_x4_skeleton_reuse`` — cold /
 skeleton-warm / fully-warm — plus the annotation microbench pair of
-``bench_x5_annotation``, at one or more data scales, and writes the
-median latencies as JSON.  This is the artifact the CI perf-smoke job
-uploads per commit, so the ROADMAP's "fast as the hardware allows" goal
-has a recorded trajectory instead of docstring folklore.
+``bench_x5_annotation`` and the cold-path trio of
+``bench_x7_cold_path`` (legacy per-pattern build / batched array-swept
+build / snapshot restore), at one or more data scales, and writes the
+latencies as JSON.  This is the artifact the CI perf-smoke job uploads
+per commit, so the ROADMAP's "fast as the hardware allows" goal has a
+recorded trajectory instead of docstring folklore.
 
 Run it directly (no pytest-benchmark needed)::
 
     PYTHONPATH=src python benchmarks/bench_report.py \
-        --scales 0 1 --out BENCH_pr3.json
+        --scales 0 1 --pr 5 --out BENCH_pr5.json
 
 Scale 0 is a degenerate near-empty database — it keeps the smoke run
 fast and exercises the empty-document and zero-result edge paths.
@@ -123,13 +125,32 @@ def _annotation_us(rounds: int) -> dict[str, float]:
     }
 
 
-def build_report(scales: list[int], rounds: int) -> dict:
+def _cold_path_ms(params: ExperimentParams, rounds: int) -> dict[str, float]:
+    """The bench_x7 trio at one scale: legacy / batched / snapshot restore.
+
+    Delegates to :func:`repro.bench.experiments.measure_cold_path` —
+    one measurement protocol shared with the X7 experiment table and the
+    self-enforcing acceptance bench.
+    """
+    from repro.bench.experiments import measure_cold_path
+
+    numbers = measure_cold_path(params, rounds)
+    return {
+        "legacy_cold_ms": round(numbers["legacy_ms"], 3),
+        "batched_cold_ms": round(numbers["batched_ms"], 3),
+        "speedup": round(numbers["speedup"], 2),
+        "snapshot_restore_ms": round(numbers["snapshot_restore_ms"], 3),
+    }
+
+
+def build_report(scales: list[int], rounds: int, pr: int) -> dict:
     report: dict = {
-        "pr": 3,
+        "pr": pr,
         "python": platform.python_version(),
         "machine": platform.machine(),
         "rounds": rounds,
         "benchmarks": {},
+        "cold_path": {},
     }
     for scale in scales:
         params = ExperimentParams(data_scale=scale)
@@ -138,6 +159,7 @@ def build_report(scales: list[int], rounds: int) -> dict:
             "skeleton_warm_ms": round(_skeleton_warm_ms(params, rounds), 3),
             "fully_warm_ms": round(_fully_warm_ms(params, rounds), 3),
         }
+        report["cold_path"][f"scale_{scale}"] = _cold_path_ms(params, rounds)
     # The annotation microbench only means something on real data; it
     # runs at bench_x5's fixed configuration (see _annotation_us).
     if any(scale >= 1 for scale in scales):
@@ -149,13 +171,16 @@ def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--scales", type=int, nargs="+", default=[0, 1])
     parser.add_argument("--rounds", type=int, default=30)
-    parser.add_argument("--out", type=Path, default=Path("BENCH_pr3.json"))
+    parser.add_argument("--pr", type=int, default=5)
+    parser.add_argument("--out", type=Path, default=Path("BENCH_pr5.json"))
     args = parser.parse_args()
-    report = build_report(args.scales, args.rounds)
+    report = build_report(args.scales, args.rounds, args.pr)
     args.out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
     print(f"wrote {args.out}")
     for name, numbers in report["benchmarks"].items():
         print(f"  {name}: {numbers}")
+    for name, numbers in report["cold_path"].items():
+        print(f"  cold_path {name}: {numbers}")
     if "annotation" in report:
         print(f"  annotation: {report['annotation']}")
 

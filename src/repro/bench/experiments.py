@@ -428,6 +428,116 @@ def run_x2_pdt_size(
     return table
 
 
+def measure_cold_path(
+    params: ExperimentParams, rounds: int = 40
+) -> dict[str, float]:
+    """The cold-path trio at one parameter point, in milliseconds.
+
+    ``legacy_ms`` / ``batched_ms``: one full cold ``build_skeleton``
+    pass over the bench view's documents for the frozen pre-overhaul
+    per-pattern path (:mod:`repro.core.pdt_legacy`) and the shipped
+    batched/array-swept path — interleaved so CPU-frequency drift hits
+    both sides equally, garbage collector paused, reported as the
+    minimum (the :func:`repro.bench.harness.timed` statistic).
+    ``snapshot_restore_ms``: restoring the same skeletons from a
+    :class:`repro.core.snapshot.SkeletonStore` snapshot.  The single
+    measurement protocol behind ``run_x7_cold_path``, the
+    ``bench_report.py`` artifact and ``bench_x7_cold_path.py``'s
+    acceptance check.
+    """
+    import gc
+    import tempfile
+    import time as _time
+
+    from repro.core.pdt import build_skeleton
+    from repro.core.pdt_legacy import legacy_build_skeleton
+    from repro.core.snapshot import SkeletonStore
+
+    database = build_database(params)
+    engine = KeywordSearchEngine(database, enable_cache=False)
+    view = engine.define_view("bench", view_for_params(params))
+
+    def cold(build):
+        for doc_name in view.document_names:
+            build(view.qpts[doc_name], database.get(doc_name).path_index)
+
+    for _ in range(3):
+        cold(build_skeleton)
+        cold(legacy_build_skeleton)
+    batched_samples: list[float] = []
+    legacy_samples: list[float] = []
+    restore_samples: list[float] = []
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        for _ in range(rounds):
+            start = _time.perf_counter()
+            cold(build_skeleton)
+            batched_samples.append(_time.perf_counter() - start)
+            start = _time.perf_counter()
+            cold(legacy_build_skeleton)
+            legacy_samples.append(_time.perf_counter() - start)
+        with tempfile.TemporaryDirectory() as tmp:
+            store = SkeletonStore(tmp)
+            pairs = []
+            for doc_name in view.document_names:
+                indexed = database.get(doc_name)
+                qpt = view.qpts[doc_name]
+                store.save(
+                    indexed.fingerprint,
+                    qpt.content_hash,
+                    build_skeleton(qpt, indexed.path_index),
+                )
+                pairs.append((indexed.fingerprint, qpt.content_hash))
+            for _ in range(rounds):
+                start = _time.perf_counter()
+                for fingerprint, qpt_hash in pairs:
+                    store.load(fingerprint, qpt_hash)
+                restore_samples.append(_time.perf_counter() - start)
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+            gc.collect()
+    legacy_ms = min(legacy_samples) * 1000.0
+    batched_ms = min(batched_samples) * 1000.0
+    return {
+        "legacy_ms": legacy_ms,
+        "batched_ms": batched_ms,
+        "speedup": legacy_ms / batched_ms if batched_ms else float("inf"),
+        "snapshot_restore_ms": min(restore_samples) * 1000.0,
+    }
+
+
+def run_x7_cold_path(
+    scales: Optional[Sequence[int]] = None, repeats: int = 1
+) -> ExperimentTable:
+    """X7: the cold-path overhaul — legacy vs batched builds, snapshot
+    restore (see :func:`measure_cold_path` for the protocol).
+
+    The self-enforcing ≥3x acceptance check at scale 1 lives in
+    ``benchmarks/bench_x7_cold_path.py``; this table records the
+    trajectory across scales.
+    """
+    scales = list(scales or [1, 2])
+    rounds = max(20, 20 * repeats)
+    table = ExperimentTable(
+        experiment_id="X7",
+        title="Cold-path overhaul (milliseconds per cold skeleton set)",
+        parameter="scale",
+        columns=["legacy_ms", "batched_ms", "speedup", "snapshot_restore_ms"],
+    )
+    for scale in scales:
+        numbers = measure_cold_path(
+            ExperimentParams(data_scale=scale), rounds
+        )
+        table.add_row(scale, **numbers)
+    table.note(
+        "acceptance floor: batched >= 3x legacy at scale 1 "
+        "(self-enforced by benchmarks/bench_x7_cold_path.py)"
+    )
+    return table
+
+
 ALL_EXPERIMENTS = {
     "T1": run_params_table,
     "F13": run_fig13_data_size,
@@ -441,4 +551,5 @@ ALL_EXPERIMENTS = {
     "F20": run_fig20_topk,
     "X1": run_x1_element_size,
     "X2": run_x2_pdt_size,
+    "X7": run_x7_cold_path,
 }

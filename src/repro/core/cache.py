@@ -5,12 +5,13 @@ every search used to re-issue the full PrepareLists probe set and rebuild
 every PDT from scratch.  The intermediates are pure functions of stable
 inputs, so they cache cleanly — and they split along the keyword axis:
 
-* **Tier 1 — prepared lists**: keyed by ``(document, QPT, keywords)``.
-  A hit skips every path-index and inverted-index probe for that
-  document (``probe_count`` stays untouched).  QPTs participate by
-  identity — a view built by ``define_view`` keeps its QPT objects for
-  life, and the cache key holds a strong reference so ids cannot be
-  recycled.
+* **Tier 1 — prepared lists**: keyed by ``(document, QPT content hash,
+  keywords)``.  A hit skips every path-index and inverted-index probe
+  for that document (``probe_count`` stays untouched).  QPTs
+  participate by *content hash* (:attr:`repro.core.qpt.QPT.content_hash`
+  — structure + axes + annotations), never by object identity: the keys
+  are stable across processes and across redefinitions that leave the
+  structure unchanged.
 * **Tier 2 — PDT skeletons**: keyed by ``(view, document)`` — no
   keywords.  The skeleton is the keyword-*independent* structural part
   of the PDT (view-relevant paths, Dewey ids, the resolved structural
@@ -23,8 +24,9 @@ inputs, so they cache cleanly — and they split along the keyword axis:
   because nothing downstream mutates a PDT: the evaluator references
   PDT nodes without touching their parent pointers, scoring only reads
   annotations, and materialization copies.
-* **Tier 4 — evaluated views**: keyed by ``(view, per-document
-  generations)`` — no keywords.  PDT trees are keyword-independent
+* **Tier 4 — evaluated views**: keyed by ``(view, view expression,
+  per-document generations)`` — no keywords.  PDT trees are
+  keyword-independent
   (per-query tfs live in flat arrays *outside* the tree, resolved by
   scoring through content-node slots), so the evaluator's output over
   them — the view's result node list — is keyword-independent too.  A
@@ -299,26 +301,39 @@ class QueryCache:
 
     Key layouts (positions relied on by the invalidation helpers):
 
-    * prepared:  ``(doc_name, generation, qpt, keywords)`` — sharded by
-      ``doc_name``
-    * skeleton:  ``(view_name, doc_name, generation, qpt)`` — sharded by
-      ``(view_name, doc_name)``
-    * pdt:       ``(view_name, doc_name, generation, qpt, keywords)`` —
+    * prepared:  ``(doc_name, generation, qpt_hash, keywords)`` — sharded
+      by ``doc_name``
+    * skeleton:  ``(view_name, doc_name, generation, qpt_hash)`` —
       sharded by ``(view_name, doc_name)``
-    * evaluated: ``(view_name, ((doc_name, generation, qpt), ...))`` —
-      sharded by ``view_name`` (one entry spans every document the view
-      reads, so it cannot partition finer)
+    * pdt:       ``(view_name, doc_name, generation, qpt_hash,
+      keywords)`` — sharded by ``(view_name, doc_name)``
+    * evaluated: ``(view_name, view_expr, ((doc_name, generation,
+      qpt_hash), ...))`` — sharded by ``view_name`` (one entry spans
+      every document the view reads, so it cannot partition finer);
+      ``view_expr`` participates by *identity*: the cached result nodes
+      depend on the whole expression (not just the QPT) and are
+      process-local anyway, and the identity keeps a put racing a view
+      redefinition unreachable forever
 
     Keywords never participate in shard selection: all keyword variants
     of one ``(view, doc)`` pair share a shard, so skeleton reuse and
     invalidation are single-shard operations.
 
+    ``qpt_hash`` is the QPT's *content hash*
+    (:attr:`repro.core.qpt.QPT.content_hash`), never its object
+    identity: a structurally identical QPT built in a fresh process —
+    or by re-registering the same view text — produces the same keys,
+    which is what lets the persistent skeleton store and any future
+    shared tier serve entries across process boundaries.
+
     Keys are *self-invalidating* under concurrency: the document
-    ``generation`` changes on every reload and the QPT objects change on
-    every view redefinition, so a cache write that raced with either
-    event is keyed by dead coordinates and can never be served.  The
-    ``invalidate_*`` helpers still drop such entries eagerly (memory,
-    not correctness).
+    ``generation`` changes on every reload and the content hash changes
+    with any structural redefinition, so a cache write that raced with
+    either event is keyed by dead coordinates and can never be served
+    (a redefinition that leaves the structure identical keeps the old
+    entries valid by construction — same hash, same skeletons).  The
+    ``invalidate_*`` helpers still drop entries eagerly (memory, not
+    correctness).
     """
 
     prepared_capacity: int = 256
@@ -351,39 +366,47 @@ class QueryCache:
     def prepared_key(
         doc_name: str,
         generation: int,
-        qpt: object,
+        qpt_hash: object,
         keywords: tuple[str, ...],
     ) -> tuple:
-        return (doc_name, generation, qpt, keywords)
+        return (doc_name, generation, qpt_hash, keywords)
 
     @staticmethod
     def skeleton_key(
-        view_name: str, doc_name: str, generation: int, qpt: object
+        view_name: str, doc_name: str, generation: int, qpt_hash: object
     ) -> tuple:
-        return (view_name, doc_name, generation, qpt)
+        return (view_name, doc_name, generation, qpt_hash)
 
     @staticmethod
     def pdt_key(
         view_name: str,
         doc_name: str,
         generation: int,
-        qpt: object,
+        qpt_hash: object,
         keywords: tuple[str, ...],
     ) -> tuple:
-        return (view_name, doc_name, generation, qpt, keywords)
+        return (view_name, doc_name, generation, qpt_hash, keywords)
 
     @staticmethod
     def evaluated_key(
         view_name: str,
+        view_expr: object,
         doc_coordinates: tuple[tuple[str, int, object], ...],
     ) -> tuple:
-        """``doc_coordinates``: sorted ``(doc_name, generation, qpt)``.
+        """``doc_coordinates``: sorted ``(doc_name, generation, qpt_hash)``.
 
-        The generations and QPT identities make the key self-invalidating
-        across reloads and view redefinitions, exactly like the other
-        tiers.
+        Unlike the other tiers, the cached value (the view's result
+        nodes) depends on the *whole view expression* — return clauses
+        and cross-document predicates included — not just the QPT, and
+        it never crosses a process boundary (result nodes are live
+        objects).  The key therefore keeps the expression's object
+        *identity*: two definitions with identical QPTs but different
+        return clauses can never alias, and a put racing a view
+        redefinition lands under the dead expression's key, where it can
+        never be served — the self-invalidation guarantee the other
+        tiers get from generations + content hashes.
         """
-        return (view_name, doc_coordinates)
+        return (view_name, view_expr, doc_coordinates)
 
     # -- shard routing -------------------------------------------------------
 
@@ -408,7 +431,7 @@ class QueryCache:
         dropped += self.skeletons.invalidate_where(lambda k: k[1] == doc_name)
         dropped += self.pdts.invalidate_where(lambda k: k[1] == doc_name)
         dropped += self.evaluated.invalidate_where(
-            lambda k: any(coord[0] == doc_name for coord in k[1])
+            lambda k: any(coord[0] == doc_name for coord in k[2])
         )
         return dropped
 
@@ -416,9 +439,10 @@ class QueryCache:
         """Drop the skeletons, PDTs and evaluated results of a (re)defined
         view.
 
-        Prepared lists survive: they are keyed by QPT identity, and a
-        redefinition builds new QPT objects, so stale entries can never
-        hit again (they age out of the LRU).
+        Prepared lists survive: they are keyed by QPT content hash, so a
+        structural redefinition keys new entries under a new hash (stale
+        ones age out of the LRU) and an identical redefinition keeps
+        hitting the still-valid old entries.
         """
         dropped = self.skeletons.invalidate_where(lambda k: k[0] == view_name)
         dropped += self.pdts.invalidate_where(lambda k: k[0] == view_name)

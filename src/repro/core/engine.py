@@ -44,6 +44,7 @@ from repro.core.prepare import (
 )
 from repro.core.qpt import QPT, generate_qpts
 from repro.core.rewrite import make_pdt_resolver
+from repro.core.snapshot import SkeletonStore
 from repro.core.scoring import (
     ScoredResult,
     ScoringOutcome,
@@ -176,7 +177,9 @@ class SearchOutcome:
     timings: PhaseTimings
     cache_hits: dict[str, str] = field(default_factory=dict)
     """Per-document cache outcome: ``"pdt"``, ``"skeleton"``,
-    ``"prepared"`` or ``"miss"`` (deepest tier that hit)."""
+    ``"snapshot"`` (skeleton restored from the persistent store — same
+    zero-probe depth as a skeleton hit), ``"prepared"`` or ``"miss"``
+    (deepest tier that hit)."""
 
     evaluated_hit: bool = False
     """Whether the view's result nodes came from the evaluated tier
@@ -226,6 +229,7 @@ class KeywordSearchEngine:
         normalize_scores: bool = True,
         cache: Optional[QueryCache] = None,
         enable_cache: bool = True,
+        snapshot_store: Optional["SkeletonStore"] = None,
     ):
         self.database = database
         self.normalize_scores = normalize_scores
@@ -236,6 +240,18 @@ class KeywordSearchEngine:
         if cache is None and enable_cache:
             cache = QueryCache()
         self.cache = cache
+        if snapshot_store is not None and cache is None:
+            raise ValueError(
+                "a snapshot store requires the query cache (the persistent "
+                "tier backs the in-process skeleton tier); construct the "
+                "engine with enable_cache=True"
+            )
+        #: Optional persistent skeleton tier (see
+        #: :class:`repro.core.snapshot.SkeletonStore`): consulted on
+        #: skeleton-tier misses and filled on every fresh build, so
+        #: engine restarts and sibling processes sharing the directory
+        #: load structural work instead of rebuilding it.
+        self.snapshot_store = snapshot_store
         if cache is not None:
             database.add_invalidation_hook(self._on_document_change)
 
@@ -311,13 +327,17 @@ class KeywordSearchEngine:
         and evaluated cache tiers, so the *first* keyword query against
         the view — with any keyword set, including never-seen ones —
         performs zero path-index probes and skips the XQuery evaluator.
-        The serving layer calls this at startup for configured hot
-        views; it is also safe mid-flight (idempotent, and cheap when
-        the tiers are already warm).
+        With a snapshot store configured, warming prefers *restoring*
+        each skeleton from disk over rebuilding it (warm-from-snapshot),
+        and every skeleton it does build is persisted for the next
+        process.  The serving layer calls this at startup for configured
+        hot views; it is also safe mid-flight (idempotent, and cheap
+        when the tiers are already warm).
 
         Returns the per-document cache outcome the warming pass itself
-        saw (``"miss"`` = skeleton built now, ``"skeleton"``/``"pdt"`` =
-        already warm), keyed by document name.
+        saw (``"miss"`` = skeleton built now, ``"snapshot"`` = restored
+        from the persistent store, ``"skeleton"``/``"pdt"`` = already
+        warm), keyed by document name.
         """
         if self.cache is None:
             raise ValueError(
@@ -450,9 +470,9 @@ class KeywordSearchEngine:
     ) -> tuple[
         dict[str, PDTResult],
         dict[str, str],
-        tuple[tuple[str, int, QPT], ...],
+        tuple[tuple[str, int, str], ...],
     ]:
-        """Per-document PDTs for a query, through the three cache tiers.
+        """Per-document PDTs for a query, through the cache tiers.
 
         Lookup order per document — deepest reuse first:
 
@@ -462,33 +482,45 @@ class KeywordSearchEngine:
            the per-keyword inverted-list probes and the annotation pass
            run, so a warm view answers *never-seen* keyword sets without
            touching the path index.
-        3. **Prepared tier** ``(doc, qpt, keywords)``: the raw probe
-           results.  A hit skips all index probes but redoes the merge
-           pass (and refills the skeleton tier from it for free).
+        3. **Snapshot store** ``(doc fingerprint, qpt hash)``: the
+           persistent tier, when configured.  A hit deserializes a
+           skeleton some process built earlier — zero path probes, like
+           a skeleton hit — refills the in-memory skeleton tier, and is
+           reported as ``"snapshot"``.
+        4. **Prepared tier** ``(doc, qpt hash, keywords)``: the raw
+           probe results.  A hit skips all index probes but redoes the
+           merge pass (and refills the skeleton tier from it for free).
 
-        All tiers apply only to *registered* views (name still bound to
-        this exact ``View``): inline views from :meth:`execute` share the
-        ``<inline>`` name and build throwaway QPTs per call, so caching
-        them could alias (PDT/skeleton tiers) or only pollute the LRU
-        with identity-keyed entries that can never hit again (prepared
-        tier).
+        Every key embeds the QPT's *content hash*, never its object
+        identity, so a structurally identical QPT built in a fresh
+        process addresses the same entries.  Tiers apply only to
+        *registered* views (name still bound to this exact ``View``):
+        inline views from :meth:`execute` share the ``<inline>`` name
+        and build throwaway QPTs per call, so caching them could alias
+        across definitions.
         """
         cache = self.cache
         cacheable = cache is not None and self._views.get(view.name) is view
+        store = self.snapshot_store
         pdts: dict[str, PDTResult] = {}
         cache_hits: dict[str, str] = {}
-        doc_coordinates: list[tuple[str, int, QPT]] = []
+        doc_coordinates: list[tuple[str, int, str]] = []
         for doc_name in sorted(view.qpts):
             qpt = view.qpts[doc_name]
+            qpt_hash = qpt.content_hash
             indexed = self.database.get(doc_name)
             # The generation captured here keys every tier this query
             # touches — including the evaluated tier — so one query's
             # cache traffic is generation-coherent per document even if a
             # reload lands mid-flight.
-            doc_coordinates.append((doc_name, indexed.generation, qpt))
+            doc_coordinates.append((doc_name, indexed.generation, qpt_hash))
             if cacheable:
                 pdt_key = cache.pdt_key(
-                    view.name, doc_name, indexed.generation, qpt, normalized
+                    view.name,
+                    doc_name,
+                    indexed.generation,
+                    qpt_hash,
+                    normalized,
                 )
                 pdt = cache.pdts.get(pdt_key)
                 if pdt is not None:
@@ -499,33 +531,56 @@ class KeywordSearchEngine:
             lists: Optional[PreparedLists] = None
             if cacheable:
                 skeleton_key = cache.skeleton_key(
-                    view.name, doc_name, indexed.generation, qpt
+                    view.name, doc_name, indexed.generation, qpt_hash
                 )
                 skeleton = cache.skeletons.get(skeleton_key)
                 lists_key = cache.prepared_key(
-                    doc_name, indexed.generation, qpt, normalized
+                    doc_name, indexed.generation, qpt_hash, normalized
                 )
                 lists = cache.prepared.get(lists_key)
 
-            # Structural half: reuse the skeleton, or build it (from
-            # cached probe results when the prepared tier has them).
+            # Structural half: reuse the skeleton, restore it from the
+            # persistent store, or build it (from cached probe results
+            # when the prepared tier has them).
             start = time.perf_counter()
-            if skeleton is None:
-                if lists is None:
-                    hit = "miss"
-                    path_lists = prepare_path_lists(qpt, indexed.path_index)
-                    probed = frozenset(path_lists)
-                else:
-                    hit = "prepared"
-                    path_lists = lists.path_lists
-                    probed = lists.probed
-                skeleton = build_skeleton(
-                    qpt, indexed.path_index, path_lists=path_lists, probed=probed
-                )
-                if cacheable:
-                    cache.skeletons.put(skeleton_key, skeleton)
-            else:
+            if skeleton is not None:
                 hit = "skeleton"
+            else:
+                if cacheable and store is not None and lists is None:
+                    # Only genuine first contact goes to disk: with the
+                    # prepared tier warm, rebuilding from the cached
+                    # lists (no probes) is strictly cheaper than a file
+                    # read + deserialize + finalization round trip.
+                    restored = store.load(indexed.fingerprint, qpt_hash)
+                    if restored is not None and restored.doc_name == doc_name:
+                        # (A mismatched doc_name would mean a digest
+                        # collision or a store shared across
+                        # differently-named loads of the same content —
+                        # never served blind.)
+                        skeleton = restored
+                        hit = "snapshot"
+                        cache.skeletons.put(skeleton_key, skeleton)
+                if skeleton is None:
+                    if lists is None:
+                        hit = "miss"
+                        path_lists = prepare_path_lists(
+                            qpt, indexed.path_index
+                        )
+                        probed = frozenset(path_lists)
+                    else:
+                        hit = "prepared"
+                        path_lists = lists.path_lists
+                        probed = lists.probed
+                    skeleton = build_skeleton(
+                        qpt,
+                        indexed.path_index,
+                        path_lists=path_lists,
+                        probed=probed,
+                    )
+                    if cacheable:
+                        cache.skeletons.put(skeleton_key, skeleton)
+                        if store is not None:
+                            store.save(indexed.fingerprint, qpt_hash, skeleton)
             if timings is not None:
                 timings.pdt_skeleton += time.perf_counter() - start
 
@@ -563,7 +618,7 @@ class KeywordSearchEngine:
         self,
         view: View,
         pdts: dict[str, PDTResult],
-        doc_coordinates: tuple[tuple[str, int, QPT], ...],
+        doc_coordinates: tuple[tuple[str, int, str], ...],
     ) -> tuple[tuple[XMLNode, ...], bool]:
         """The view's result nodes, through the evaluated cache tier.
 
@@ -580,7 +635,7 @@ class KeywordSearchEngine:
         cacheable = cache is not None and self._views.get(view.name) is view
         key = None
         if cacheable:
-            key = cache.evaluated_key(view.name, doc_coordinates)
+            key = cache.evaluated_key(view.name, view.expr, doc_coordinates)
             cached = cache.evaluated.get(key)
             if cached is not None:
                 return cached, True

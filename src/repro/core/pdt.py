@@ -52,7 +52,7 @@ Equivalence with Definitions 1-3 is enforced by property tests against
 
 from __future__ import annotations
 
-import heapq
+from bisect import bisect_left, bisect_right
 from dataclasses import dataclass
 from typing import Optional
 
@@ -64,7 +64,12 @@ from repro.core.prepare import (
 )
 from repro.storage.inverted_index import PostingList
 from repro.core.qpt import QPT, QPTNode
-from repro.dewey import DeweyID, packed_child_bound, packed_prefix_ends, unpack
+from repro.dewey import (
+    DeweyID,
+    pack_component,
+    packed_prefix_ends,
+    unpack,
+)
 from repro.storage.inverted_index import InvertedIndex
 from repro.storage.path_index import PathIndex
 from repro.xmlmodel.node import NodeAnnotations, XMLNode
@@ -140,20 +145,26 @@ class PDTResult:
         }
 
 
+#: Shared DescendantMap for items with no mandatory child edges (the
+#: majority: every leaf).  Safe to share because the only mutation path
+#: (``_mark_candidate``'s discard) is guarded by a membership test that an
+#: empty set can never pass.
+_EMPTY_DM: set = set()
+
+
 class _Item:
     """One (element, QPT node) pair under consideration (a CTQNodeSet entry)."""
 
     __slots__ = ("qnode", "owner", "dm_missing", "parents", "pending",
                  "candidate", "in_pdt")
 
-    def __init__(self, qnode: QPTNode, owner: "_OpenElement"):
+    def __init__(self, qnode: QPTNode, owner: "_OpenElement", dm_template):
         self.qnode = qnode
         self.owner = owner
-        # DescendantMap, tracked as the count of mandatory child edges not
-        # yet satisfied (all-ones DM == dm_missing == 0).
-        self.dm_missing = {
-            edge.child.index for edge in qnode.mandatory_child_edges()
-        }
+        # DescendantMap, tracked as the set of mandatory child edges not
+        # yet satisfied (all-ones DM == dm_missing empty).  The template
+        # is precomputed once per merge pass, not rebuilt per element.
+        self.dm_missing = set(dm_template) if dm_template else _EMPTY_DM
         self.parents: list[_Item] = []  # ParentList
         self.pending: list[_Item] = []  # PdtCache registrations
         self.candidate = False
@@ -173,13 +184,15 @@ class _OpenElement:
         self.byte_length: Optional[int] = None
 
 
-@dataclass
+@dataclass(slots=True)
 class PDTRecord:
     """An emitted PDT element (pre-tree-construction).
 
     ``key`` is the element's packed Dewey byte key.  Shared with the GTP
     baseline, which computes the same records through structural joins
-    instead of the single-pass merge.
+    instead of the single-pass merge.  ``slots=True``: the cold path
+    allocates one record per surviving element, and slot storage both
+    shrinks and speeds that loop.
     """
 
     key: bytes
@@ -195,15 +208,348 @@ class PDTRecord:
         return unpack(self.key)
 
 
+def _collect_records_swept(
+    qpt: QPT,
+    lists: PreparedLists,
+    path_index: PathIndex,
+) -> dict[bytes, PDTRecord]:
+    """The default structural pass: a CE/PE fixpoint swept over the
+    packed-key arrays the storage layer already keeps.
+
+    Instead of driving a per-element stack automaton (one open-element
+    and one item object per (element, QPT node) pair — see
+    :class:`_PDTBuilder`), this computes Definitions 1-2 directly on
+    sorted byte-key arrays:
+
+    * **elements** per QPT node: a probed node's elements are exactly its
+      path list (predicates are pre-filtered by the probe, so a pattern
+      match alone never qualifies); an unprobed node's elements are the
+      Dewey prefixes of list entries at the depths its pattern matches —
+      derived once, deduplicated by key;
+    * **CE (bottom-up)**: a mandatory ``//`` edge is an emptiness test of
+      the child's candidate array within ``(key, packed_child_bound(key))``
+      — two bisects; a mandatory ``/`` edge bisects the child's
+      candidates bucketed by depth, so "has a direct child" is one probe
+      of the ``depth+1`` bucket inside the subtree range;
+    * **PE (top-down)**: one merged sweep per edge over the parent's
+      sorted PE keys and the node's sorted candidates — the active
+      ancestor chain is a small prefix stack, ``/`` additionally checks
+      the chain's deepest entry sits one level up.
+
+    All hot loops are bisects and merges over flat ``bytes`` arrays;
+    nothing allocates per (element, node) state.  Equivalence
+    with the automaton (and with ``repro.core.reference``) is enforced by
+    the property suite and the legacy-equivalence tests.
+    """
+    path_lists = lists.path_lists
+    probed = lists.probed
+    qpt_root = qpt.root
+    nodes = qpt.nodes
+
+    # -- per-path precomputation ---------------------------------------------
+    tables: dict[int, list[list[QPTNode]]] = {}
+    # Depths (1-based) at which each *unprobed* node matches, per path id.
+    prefix_plans: dict[int, list[tuple[int, list[int]]]] = {}
+
+    def plan_for(path_id: int) -> list[tuple[int, list[int]]]:
+        plan = prefix_plans.get(path_id)
+        if plan is None:
+            table = qpt.match_table(path_index.path_by_id(path_id))
+            tables[path_id] = table
+            plan = []
+            for depth, matches in enumerate(table, start=1):
+                unprobed = [
+                    qnode.index
+                    for qnode in matches
+                    if qnode.index not in probed
+                ]
+                if unprobed:
+                    plan.append((depth, unprobed))
+            prefix_plans[path_id] = plan
+        return plan
+
+    depth_by_path: dict[int, int] = {}
+
+    # -- element collection ---------------------------------------------------
+    # Per QPT node: a *sorted key array* plus its depth information — a
+    # scalar when every element sits at one depth (single-path lists,
+    # single-source derivations: the arrays are shared with the index,
+    # zero copies), a {key: depth} dict otherwise.  Probed nodes take
+    # their lists verbatim; unprobed nodes take the index's precomputed
+    # ancestor-prefix arrays: the depth-d ancestors of *every* element
+    # on the path.  Deriving from the unfiltered path rather than the
+    # predicate-filtered lists is a safe superset: every unprobed node
+    # has a mandatory child edge, and the CE pass grounds those chains
+    # in the filtered lists, so an ancestor with no surviving probed
+    # descendant can never become a candidate.
+    element_keys: dict[int, list[bytes]] = {node.index: [] for node in nodes}
+    element_depths: dict[int, object] = {node.index: 0 for node in nodes}
+    derived_sources: dict[int, list[tuple[int, list[bytes]]]] = {}
+    direct_value: dict[bytes, str] = {}
+    direct_length: dict[bytes, int] = {}
+    plans = prefix_plans
+    derived_paths: set[int] = set()
+    for node_index, path_list in path_lists.items():
+        keys = path_list.keys
+        path_ids = path_list.path_ids
+        single = path_list.single_path
+        unique_paths = (single,) if single is not None else set(path_ids)
+        for path_id in unique_paths:
+            if path_id not in depth_by_path:
+                depth_by_path[path_id] = len(path_index.path_by_id(path_id))
+            if path_id not in plans:
+                plan_for(path_id)
+            if path_id not in derived_paths:
+                derived_paths.add(path_id)
+                for prefix_depth, unprobed in plans[path_id]:
+                    ancestor_keys = path_index.ancestors_on_path(
+                        path_id, prefix_depth
+                    )
+                    if not ancestor_keys:
+                        continue
+                    for target in unprobed:
+                        derived_sources.setdefault(target, []).append(
+                            (prefix_depth, ancestor_keys)
+                        )
+        if len(unique_paths) == 1:
+            only = next(iter(unique_paths))
+            # Shared with the path list — read-only by convention.
+            element_keys[node_index] = keys
+            element_depths[node_index] = depth_by_path[only]
+        else:
+            element_keys[node_index] = keys
+            element_depths[node_index] = dict(
+                zip(keys, map(depth_by_path.__getitem__, path_ids))
+            )
+        direct_length.update(zip(keys, path_list.byte_lengths))
+        if path_list.has_values:
+            direct_value.update(
+                pair for pair in zip(keys, path_list.values)
+                if pair[1] is not None
+            )
+    for target, sources in derived_sources.items():
+        if len(sources) == 1:
+            depth, ancestor_keys = sources[0]
+            # Shared with the index's ancestor array — read-only.
+            element_keys[target] = ancestor_keys
+            element_depths[target] = depth
+        else:
+            merged: dict[bytes, int] = {}
+            for depth, ancestor_keys in sources:
+                merged.update(dict.fromkeys(ancestor_keys, depth))
+            element_keys[target] = sorted(merged)
+            element_depths[target] = merged
+
+    # -- CE: candidate elements, bottom-up (Definition 1) ---------------------
+    cand: dict[int, list[bytes]] = {}
+    cand_by_depth: dict[int, dict[int, list[bytes]]] = {}
+    for qnode in reversed(nodes):
+        n = qnode.index
+        ordered_elems = element_keys[n]
+        depths = element_depths[n]
+        scalar_depth = isinstance(depths, int)
+        mandatory = qnode.mandatory_child_edges()
+        if not mandatory:
+            kept = ordered_elems  # shared read-only; never mutated below
+        elif len(mandatory) == 1:
+            # Single mandatory edge — the common shape, unrolled.  In
+            # packed order a subtree is contiguous right after its root,
+            # so "has a (direct) descendant candidate" is one bisect plus
+            # a prefix check of the very next candidate — no subtree
+            # bound is ever materialized.
+            kept = []
+            edge = mandatory[0]
+            child = edge.child.index
+            if edge.axis == "/":
+                buckets = cand_by_depth[child]
+                if scalar_depth:
+                    bucket = buckets.get(depths + 1)
+                    if bucket is not None:
+                        bucket_count = len(bucket)
+                        for key in ordered_elems:
+                            i = bisect_left(bucket, key)
+                            if i < bucket_count and bucket[i].startswith(key):
+                                kept.append(key)
+                else:
+                    for key in ordered_elems:
+                        bucket = buckets.get(depths[key] + 1)
+                        if bucket is None:
+                            continue
+                        i = bisect_left(bucket, key)
+                        if i < len(bucket) and bucket[i].startswith(key):
+                            kept.append(key)
+            else:
+                pool = cand[child]
+                pool_count = len(pool)
+                for key in ordered_elems:
+                    i = bisect_right(pool, key)
+                    if i < pool_count and pool[i].startswith(key):
+                        kept.append(key)
+        else:
+            kept = []
+            checks = [
+                (edge.axis == "/", edge.child.index) for edge in mandatory
+            ]
+            for key in ordered_elems:
+                ok = True
+                for is_child_axis, child in checks:
+                    if is_child_axis:
+                        depth = depths if scalar_depth else depths[key]
+                        bucket = cand_by_depth[child].get(depth + 1)
+                        if bucket is None:
+                            ok = False
+                            break
+                        i = bisect_left(bucket, key)
+                        if i >= len(bucket) or not bucket[i].startswith(key):
+                            ok = False
+                            break
+                    else:
+                        pool = cand[child]
+                        i = bisect_right(pool, key)
+                        if i >= len(pool) or not pool[i].startswith(key):
+                            ok = False
+                            break
+                if ok:
+                    kept.append(key)
+        cand[n] = kept
+        edge = qnode.parent_edge
+        if edge is not None and edge.mandatory and edge.axis == "/":
+            # The parent's CE pass probes this node's candidates per depth.
+            if scalar_depth:
+                cand_by_depth[n] = {depths: kept}
+            else:
+                buckets = {}
+                for key in kept:
+                    buckets.setdefault(depths[key], []).append(key)
+                cand_by_depth[n] = buckets
+
+    # -- PE: PDT elements, top-down (Definition 2) ----------------------------
+    # ``in_pdt`` keeps *sorted lists* (cand order is preserved), so each
+    # child pass is one merged stack sweep over (parents, candidates):
+    # ancestors of the current candidate are exactly the stacked parent
+    # keys, maintained with startswith pops — no per-key prefix decoding.
+    in_pdt: dict[int, list[bytes]] = {}
+    for qnode in nodes:
+        n = qnode.index
+        edge = qnode.parent_edge
+        assert edge is not None
+        if edge.parent is qpt_root:
+            if edge.axis == "//":
+                kept = cand[n]  # shared read-only; never mutated below
+            else:
+                depths = element_depths[n]
+                if isinstance(depths, int):
+                    kept = cand[n] if depths == 1 else []
+                else:
+                    kept = [key for key in cand[n] if depths[key] == 1]
+        else:
+            parents = in_pdt[edge.parent.index]
+            kept = []
+            if parents:
+                direct_only = edge.axis == "/"
+                if direct_only:
+                    child_depths = element_depths[n]
+                    parent_depths = element_depths[edge.parent.index]
+                    child_scalar = isinstance(child_depths, int)
+                    parent_scalar = isinstance(parent_depths, int)
+                    if child_scalar and parent_scalar:
+                        if parent_depths != child_depths - 1:
+                            in_pdt[n] = kept
+                            continue
+                        # Constant depths one level apart: any deepest
+                        # proper ancestor in the parent set *is* the
+                        # direct parent — no per-key depth checks below.
+                        direct_only = False
+                stack: list[bytes] = []
+                position = 0
+                parent_count = len(parents)
+                for key in cand[n]:
+                    while stack and not key.startswith(stack[-1]):
+                        stack.pop()
+                    while position < parent_count:
+                        parent_key = parents[position]
+                        if parent_key > key:
+                            break
+                        position += 1
+                        if key.startswith(parent_key):
+                            stack.append(parent_key)
+                        # else: parent_key precedes key without being an
+                        # ancestor — its subtree is fully behind us, and
+                        # no later (larger) candidate can descend from it.
+                    if not stack:
+                        continue
+                    top = stack[-1]
+                    if top == key:
+                        # The element itself is in the parent's PE set —
+                        # only a *proper* ancestor satisfies the edge.
+                        if len(stack) < 2:
+                            continue
+                        top = stack[-2]
+                    if direct_only:
+                        parent_depth = (
+                            parent_depths
+                            if parent_scalar
+                            else parent_depths[top]
+                        )
+                        child_depth = (
+                            child_depths
+                            if child_scalar
+                            else child_depths[key]
+                        )
+                        if parent_depth == child_depth - 1:
+                            kept.append(key)
+                    else:
+                        kept.append(key)
+        in_pdt[n] = kept
+
+    # -- emission (Definition 3's node set) -----------------------------------
+    records: dict[bytes, PDTRecord] = {}
+    records_get = records.get
+    value_get = direct_value.get
+    length_get = direct_length.get
+    new_record = PDTRecord.__new__
+    for qnode in nodes:
+        emitted = in_pdt[qnode.index]
+        if not emitted:
+            continue
+        wants_value = bool(qnode.v_ann or qnode.predicates)
+        wants_content = qnode.c_ann
+        tag = qnode.tag
+        for key in emitted:
+            record = records_get(key)
+            if record is None:
+                # PDTRecord(...), unrolled: this is one of the two per-
+                # record allocation loops of the cold path.
+                record = new_record(PDTRecord)
+                record.key = key
+                record.tag = tag
+                record.value = value_get(key)
+                record.byte_length = length_get(key, 0)
+                record.wants_value = wants_value
+                record.wants_content = wants_content
+                records[key] = record
+                continue
+            if wants_value:
+                record.wants_value = True
+            if wants_content:
+                record.wants_content = True
+    return records
+
+
 class _PDTBuilder:
     """Runs the single merge pass and accumulates emitted records.
 
+    This is the paper-shaped stack automaton (CTQNodeSets, DescendantMaps,
+    ParentLists, the PdtCache) — kept as the ``inpdt_fast_path`` ablation
+    vehicle and as a second, independently-structured implementation the
+    equivalence tests can cross-check against the default
+    :func:`_collect_records_swept` array sweep.
+
     ``inpdt_fast_path`` toggles the Section 4.2.2.1 optimization: with it
-    on (the default), an item whose ancestor constraint is already
-    established is emitted the moment it becomes a candidate; with it off,
-    every candidate goes through the pdt-cache (pending) machinery and is
-    resolved when ancestors close — same output, more cache traffic.  Kept
-    switchable for the ablation benchmark.
+    on, an item whose ancestor constraint is already established is
+    emitted the moment it becomes a candidate; with it off, every
+    candidate goes through the pdt-cache (pending) machinery and is
+    resolved when ancestors close — same output, more cache traffic.
     """
 
     def __init__(
@@ -219,81 +565,139 @@ class _PDTBuilder:
         self._inpdt_fast_path = inpdt_fast_path
         self._stack: list[_OpenElement] = []
         self._records: dict[bytes, PDTRecord] = {}
+        # Per-pass precomputation: the DescendantMap template of every QPT
+        # node (indexed by node.index) and, lazily, the *full-path* match
+        # table per concrete path id.  ``match_table(path)[d-1]`` equals
+        # ``match_table(path[:d])[d-1]`` — matching at depth d never looks
+        # deeper — so one table per data path serves every prefix depth
+        # with no per-group tuple slicing.
+        self._dm_templates: list[tuple[int, ...]] = [
+            tuple(edge.child.index for edge in node.mandatory_child_edges())
+            for node in qpt.nodes
+        ]
+        self._tables: dict[int, list[list[QPTNode]]] = {}
+        # Registry of the open items per QPT node index: ParentList
+        # construction reads the parent node's open items directly
+        # instead of rescanning every stack level's item list.  Stack
+        # discipline keeps each per-node list LIFO, so closing an element
+        # pops its items off the tails.
+        self._open_by_qnode: dict[int, list[_Item]] = {
+            node.index: [] for node in qpt.nodes
+        }
 
     # -- main loop -----------------------------------------------------------
 
     def run(self) -> dict[bytes, PDTRecord]:
-        def stream(node_index, path_list):
-            for entry in path_list:
-                yield (entry.key, node_index, entry)
-
-        # The stream tuples are naturally ordered: the packed key compares
-        # first (bytes comparison == document order) and the int node
-        # index breaks ties between lists, so ``heapq.merge`` needs no key
-        # function — every heap comparison is a direct tuple compare.
-        merged = heapq.merge(
-            *(
-                stream(node_index, path_list)
-                for node_index, path_list in self._lists.path_lists.items()
+        # Flatten the per-node path lists into five parallel arrays and
+        # argsort once by packed key: each list is already a sorted run,
+        # so timsort's run detection does the k-way merge at C speed with
+        # zero per-entry tuple or generator allocation (the packed-key
+        # arrays the storage layer keeps are swept as-is).
+        all_keys: list[bytes] = []
+        all_nodes: list[int] = []
+        all_paths: list[int] = []
+        all_values: list[Optional[str]] = []
+        all_lengths: list[int] = []
+        for node_index, path_list in self._lists.path_lists.items():
+            count = len(path_list)
+            if not count:
+                continue
+            all_keys += path_list.keys
+            all_nodes += [node_index] * count
+            all_paths += path_list.path_ids
+            all_values += path_list.values
+            all_lengths += path_list.byte_lengths
+        total = len(all_keys)
+        order = sorted(range(total), key=all_keys.__getitem__)
+        position = 0
+        while position < total:
+            key = all_keys[order[position]]
+            stop = position + 1
+            while stop < total and all_keys[order[stop]] == key:
+                stop += 1
+            self._process_group(
+                key, order, position, stop,
+                all_nodes, all_paths, all_values, all_lengths,
             )
-        )
-        group_key: Optional[bytes] = None
-        group: list[tuple[int, object]] = []
-        for key, node_index, entry in merged:
-            if key != group_key:
-                if group_key is not None:
-                    self._process_group(group_key, group)
-                group_key = key
-                group = []
-            group.append((node_index, entry))
-        if group_key is not None:
-            self._process_group(group_key, group)
+            position = stop
         while self._stack:
             self._close(self._stack.pop())
         return self._records
 
-    def _process_group(self, key: bytes, group: list) -> None:
+    def _table_for(self, path_id: int) -> list[list[QPTNode]]:
+        table = self._tables.get(path_id)
+        if table is None:
+            table = self._qpt.match_table(self._path_index.path_by_id(path_id))
+            self._tables[path_id] = table
+        return table
+
+    def _process_group(
+        self,
+        key: bytes,
+        order: list[int],
+        start: int,
+        stop: int,
+        all_nodes: list[int],
+        all_paths: list[int],
+        all_values: list[Optional[str]],
+        all_lengths: list[int],
+    ) -> None:
         # Close open elements that are not ancestors of the incoming id:
         # Dewey order guarantees they can receive no further descendants.
         # Byte-prefix containment == ancestry for packed keys.
-        while self._stack and not key.startswith(self._stack[-1].key):
-            self._close(self._stack.pop())
-        direct: dict[int, object] = {node_index: entry for node_index, entry in group}
+        stack = self._stack
+        while stack and not key.startswith(stack[-1].key):
+            self._close(stack.pop())
         # The concrete data path of the incoming element names every
         # ancestor tag, so each prefix can be matched against the QPT.
-        any_entry = group[0][1]
-        data_path = self._path_index.path_by_id(any_entry.path_id)
-        prefix_ends = packed_prefix_ends(key)
-        total_depth = len(prefix_ends)
-        open_depth = self._stack[-1].depth if self._stack else 0
+        # Its length *is* the element's depth — the packed prefix ends
+        # are only decoded when an ancestor prefix must actually open.
+        table = self._table_for(all_paths[order[start]])
+        total_depth = len(table)
+        open_depth = stack[-1].depth if stack else 0
+        probed = self._lists.probed
+        dm_templates = self._dm_templates
+        open_by_qnode = self._open_by_qnode
+        prefix_ends: Optional[list[int]] = None
+        direct: Optional[set[int]] = None
         for depth in range(open_depth + 1, total_depth + 1):
-            prefix_tags = data_path[:depth]
-            matches = self._qpt.match_table(prefix_tags)[depth - 1]
+            matches = table[depth - 1]
             if not matches:
                 continue
-            element = _OpenElement(key[: prefix_ends[depth - 1]], depth)
             is_self = depth == total_depth
+            if is_self:
+                element = _OpenElement(key, depth)
+                if direct is None:
+                    direct = {all_nodes[order[p]] for p in range(start, stop)}
+            else:
+                if prefix_ends is None:
+                    prefix_ends = packed_prefix_ends(key)
+                element = _OpenElement(key[: prefix_ends[depth - 1]], depth)
             for qnode in matches:
-                if qnode.index in self._lists.probed and (
-                    not is_self or qnode.index not in direct
+                node_index = qnode.index
+                if node_index in probed and (
+                    not is_self or node_index not in direct
                 ):
                     # A probed node's elements must be confirmed by a direct
                     # list entry (the list is complete and pre-filtered by
                     # the node's predicates); a pattern match alone means
                     # the predicate rejected this element.
                     continue
-                item = _Item(qnode, element)
+                item = _Item(qnode, element, dm_templates[node_index])
                 if not self._attach_parents(item, element):
                     continue  # ancestor constraint is unsatisfiable
                 element.items.append(item)
             if is_self:
-                for node_index, entry in group:
-                    if entry.value is not None:
-                        element.value = entry.value
-                    element.byte_length = entry.byte_length
+                for p in range(start, stop):
+                    index = order[p]
+                    value = all_values[index]
+                    if value is not None:
+                        element.value = value
+                    element.byte_length = all_lengths[index]
             if element.items:
-                self._stack.append(element)
+                stack.append(element)
                 for item in element.items:
+                    open_by_qnode[item.qnode.index].append(item)
                     if not item.dm_missing:
                         self._mark_candidate(item)
 
@@ -305,13 +709,18 @@ class _PDTBuilder:
             # Anchored at the document node: '/' requires the document root
             # element, '//' any depth.  Ancestor constraint auto-satisfied.
             return edge.axis == "//" or element.depth == 1
-        want_exact = element.depth - 1 if edge.axis == "/" else None
-        for ancestor in self._stack:
-            if want_exact is not None and ancestor.depth != want_exact:
-                continue
-            for candidate in ancestor.items:
-                if candidate.qnode is edge.parent:
-                    item.parents.append(candidate)
+        candidates = self._open_by_qnode[edge.parent.index]
+        if not candidates:
+            return False
+        if edge.axis == "/":
+            want_exact = element.depth - 1
+            item.parents = [
+                candidate
+                for candidate in candidates
+                if candidate.owner.depth == want_exact
+            ]
+        else:
+            item.parents = candidates[:]
         return bool(item.parents)
 
     # -- constraint propagation -------------------------------------------------
@@ -330,11 +739,14 @@ class _PDTBuilder:
                 if not missing:
                     self._mark_candidate(parent)
         # InPdt fast path: ancestor constraint already established.
-        if self._inpdt_fast_path and (
-            item.qnode.parent_edge.parent is self._qpt.root
-            or any(parent.in_pdt for parent in item.parents)
-        ):
-            self._set_in_pdt(item)
+        if self._inpdt_fast_path:
+            if item.qnode.parent_edge.parent is self._qpt.root:
+                self._set_in_pdt(item)
+                return
+            for parent in item.parents:
+                if parent.in_pdt:
+                    self._set_in_pdt(item)
+                    return
 
     def _set_in_pdt(self, item: _Item) -> None:
         if item.in_pdt:
@@ -349,12 +761,24 @@ class _PDTBuilder:
 
     def _close(self, element: _OpenElement) -> None:
         """All descendants of ``element`` have been processed."""
+        root = self._qpt.root
+        open_by_qnode = self._open_by_qnode
         for item in element.items:
+            # Stack discipline makes this item the tail of its node's
+            # open-item registry: everything registered after it closed
+            # first.
+            open_by_qnode[item.qnode.index].pop()
             if not item.candidate or item.in_pdt:
                 continue
-            if item.qnode.parent_edge.parent is self._qpt.root or any(
-                parent.in_pdt for parent in item.parents
-            ):
+            if item.qnode.parent_edge.parent is root:
+                self._set_in_pdt(item)
+                continue
+            satisfied = False
+            for parent in item.parents:
+                if parent.in_pdt:
+                    satisfied = True
+                    break
+            if satisfied:
                 self._set_in_pdt(item)
                 continue
             # Defer the ancestor check: register with every still-open
@@ -440,6 +864,18 @@ class PDTSkeleton:
     def stats(self) -> dict[str, int]:
         return {"nodes": self.node_count, "entries": self.entry_count}
 
+    # -- serialization -------------------------------------------------------
+
+    def to_bytes(self) -> bytes:
+        """Self-contained byte form (see :func:`serialize_skeleton`)."""
+        return serialize_skeleton(self)
+
+    @classmethod
+    def from_bytes(cls, payload: bytes) -> "PDTSkeleton":
+        """Inverse of :meth:`to_bytes`; raises ``ValueError`` on corrupt
+        payloads (see :func:`deserialize_skeleton`)."""
+        return deserialize_skeleton(payload)
+
     @classmethod
     def from_records(
         cls,
@@ -447,35 +883,130 @@ class PDTSkeleton:
         records: dict[bytes, PDTRecord],
         entry_count: int,
     ) -> "PDTSkeleton":
-        """Finalize merge-pass records into an annotated-query-ready form."""
-        ordered = tuple(sorted(records))
+        """Finalize merge-pass records into an annotated-query-ready form.
+
+        One fused pass over the sorted records builds the parent
+        positions, the decoded ids, the content-slot bounds *and* the
+        shared tree (Definition 3's edge set: parent = nearest emitted
+        ancestor).  Ids are decoded incrementally — a record's components
+        extend its parent's already-decoded tuple by the unpacked key
+        suffix — so the pass never re-decodes an ancestor prefix.
+        """
+        if not records:
+            return cls(
+                doc_name=doc_name,
+                records=records,
+                ordered=(),
+                entry_count=entry_count,
+                dewey_ids=(),
+                parents=(),
+                slots=(),
+                content_count=0,
+                bounds=(),
+                slot_bounds=(),
+                tree=XMLNode(EMPTY_TAG),
+            )
+        ordered_items = sorted(records.items())
+        ordered = tuple(key for key, _ in ordered_items)
         dewey_ids: list[DeweyID] = []
         parents: list[int] = []
         slots: list[Optional[int]] = []
         bound_keys: set[bytes] = set()
         content_ranges: list[tuple[bytes, bytes]] = []
         stack: list[int] = []
-        for position, key in enumerate(ordered):
-            dewey_ids.append(DeweyID.from_packed(key))
+        nodes: list[XMLNode] = []
+        top_level: list[XMLNode] = []
+        append_dewey = dewey_ids.append
+        append_parent = parents.append
+        append_slot = slots.append
+        append_node = nodes.append
+        add_bound = bound_keys.add
+        new_dewey = DeweyID.__new__
+        new_node = XMLNode.__new__
+        new_anno = NodeAnnotations.__new__
+        for position, (key, record) in enumerate(ordered_items):
             while stack and not key.startswith(ordered[stack[-1]]):
                 stack.pop()
-            parents.append(stack[-1] if stack else -1)
-            stack.append(position)
-            if records[key].wants_content:
-                slots.append(len(content_ranges))
-                upper = packed_child_bound(key)
-                content_ranges.append((key, upper))
-                bound_keys.add(key)
-                bound_keys.add(upper)
+            if stack:
+                parent = stack[-1]
+                parent_id = dewey_ids[parent]
+                offset = len(parent_id._packed)
+                if offset + 1 + key[offset] == len(key):
+                    # Single-component suffix (the common case: the
+                    # record is a child of the previous record's element).
+                    components = parent_id.components + (
+                        int.from_bytes(key[offset + 1:], "big"),
+                    )
+                else:
+                    components = parent_id.components + unpack(key[offset:])
             else:
-                slots.append(None)
+                parent = -1
+                components = unpack(key)
+            # dewey_from_parts, inlined for the hot loop.
+            dewey = new_dewey(DeweyID)
+            dewey.components = components
+            dewey._packed = key
+            append_dewey(dewey)
+            append_parent(parent)
+            stack.append(position)
+            wants_content = record.wants_content
+            if wants_content:
+                slot: Optional[int] = len(content_ranges)
+                # packed_child_bound, inlined: the last component's start
+                # falls out of the just-decoded components, so no rescan.
+                last = components[-1]
+                last_length = (last.bit_length() + 7) // 8
+                upper = (
+                    key[: len(key) - 1 - last_length]
+                    + pack_component(last + 1)
+                )
+                content_ranges.append((key, upper))
+                add_bound(key)
+                add_bound(upper)
+            else:
+                slot = None
+            append_slot(slot)
+            # XMLNode/NodeAnnotations construction and child attachment,
+            # unrolled: this loop builds the whole shared tree and is the
+            # other per-record allocation loop of the cold path.
+            node = new_node(XMLNode)
+            node.tag = record.tag
+            node.text = (
+                record.value
+                if record.wants_value and record.value is not None
+                else None
+            )
+            node.children = []
+            node.dewey = None
+            anno = new_anno(NodeAnnotations)
+            anno.dewey = dewey
+            anno.byte_length = record.byte_length
+            anno.term_frequencies = {}
+            anno.pruned = wants_content
+            anno.doc = doc_name
+            anno.slot = slot
+            node.anno = anno
+            append_node(node)
+            if parent >= 0:
+                parent_node = nodes[parent]
+                node.parent = parent_node
+                parent_node.children.append(node)
+            else:
+                node.parent = None
+                top_level.append(node)
         bounds = tuple(sorted(bound_keys))
         bound_index = {bound: i for i, bound in enumerate(bounds)}
         slot_bounds = tuple(
             (bound_index[low], bound_index[high])
             for low, high in content_ranges
         )
-        tree = _build_tree(doc_name, records, ordered, dewey_ids, parents, slots)
+        if len(top_level) == 1 and len(dewey_ids[0].components) == 1:
+            # The document root element itself is in the PDT: it is the tree.
+            tree = top_level[0]
+        else:
+            tree = XMLNode(FRAGMENT_TAG)
+            for node in top_level:
+                tree.append(node)
         return cls(
             doc_name=doc_name,
             records=records,
@@ -491,48 +1022,145 @@ class PDTSkeleton:
         )
 
 
-def _build_tree(
-    doc_name: str,
-    records: dict[bytes, PDTRecord],
-    ordered: tuple[bytes, ...],
-    dewey_ids: list[DeweyID],
-    parents: list[int],
-    slots: list[Optional[int]],
-) -> XMLNode:
-    """Nest records into the shared keyword-independent PDT tree.
+_SKELETON_MAGIC = b"PDTS"
+_SKELETON_VERSION = 1
 
-    Definition 3's edge set: parent = nearest emitted ancestor, realized
-    here by the precomputed parent positions.
+
+def _pack_str(value: str) -> bytes:
+    raw = value.encode("utf-8")
+    return len(raw).to_bytes(4, "big") + raw
+
+
+class _SkeletonReader:
+    """Cursor over a serialized skeleton payload with bounds checking."""
+
+    __slots__ = ("data", "offset")
+
+    def __init__(self, data: bytes):
+        self.data = data
+        self.offset = 0
+
+    def take(self, count: int) -> bytes:
+        end = self.offset + count
+        if end > len(self.data):
+            raise ValueError("truncated PDT skeleton payload")
+        chunk = self.data[self.offset:end]
+        self.offset = end
+        return chunk
+
+    def take_int(self, width: int) -> int:
+        return int.from_bytes(self.take(width), "big")
+
+    def take_str(self) -> str:
+        return self.take(self.take_int(4)).decode("utf-8")
+
+
+def serialize_skeleton(skeleton: PDTSkeleton) -> bytes:
+    """Encode a skeleton as self-contained bytes (see ``deserialize``).
+
+    Only the *records* travel: everything else a skeleton carries
+    (parent positions, decoded ids, subtree bounds, the shared tree) is
+    a pure function of the records and is rebuilt by
+    :meth:`PDTSkeleton.from_records` on the way in — so the wire format
+    cannot drift from the in-memory derivations, and a payload is
+    host-independent (no pickled code, no interpreter state).
+
+    Layout (big-endian): magic ``PDTS``, u16 version, doc name (u32
+    length + UTF-8), u64 entry_count, u32 record count, then per record
+    in key order: u16 key length + packed key, u32 tag length + tag,
+    flags u8 (bit0 wants_value, bit1 wants_content, bit2 has value),
+    u64 byte_length, and — when bit2 — u32 value length + value.
     """
-    if not records:
-        return XMLNode(EMPTY_TAG)
-    nodes: list[XMLNode] = []
-    top_level: list[XMLNode] = []
-    for position, key in enumerate(ordered):
-        record = records[key]
-        node = XMLNode(record.tag)
-        if record.wants_value and record.value is not None:
-            node.text = record.value
-        anno = NodeAnnotations(
-            dewey=dewey_ids[position], byte_length=record.byte_length
+    parts: list[bytes] = [
+        _SKELETON_MAGIC,
+        _SKELETON_VERSION.to_bytes(2, "big"),
+        _pack_str(skeleton.doc_name),
+        skeleton.entry_count.to_bytes(8, "big"),
+        len(skeleton.records).to_bytes(4, "big"),
+    ]
+    for key in skeleton.ordered:
+        record = skeleton.records[key]
+        flags = (
+            (1 if record.wants_value else 0)
+            | (2 if record.wants_content else 0)
+            | (4 if record.value is not None else 0)
         )
-        anno.pruned = record.wants_content
-        anno.doc = doc_name
-        anno.slot = slots[position]
-        node.anno = anno
-        nodes.append(node)
-        parent = parents[position]
-        if parent >= 0:
-            nodes[parent].append(node)
-        else:
-            top_level.append(node)
-    if len(top_level) == 1 and dewey_ids[0].depth == 1:
-        # The document root element itself is in the PDT: it is the tree.
-        return top_level[0]
-    root = XMLNode(FRAGMENT_TAG)
-    for node in top_level:
-        root.append(node)
-    return root
+        parts.append(len(key).to_bytes(2, "big"))
+        parts.append(key)
+        parts.append(_pack_str(record.tag))
+        parts.append(bytes((flags,)))
+        parts.append(record.byte_length.to_bytes(8, "big"))
+        if record.value is not None:
+            parts.append(_pack_str(record.value))
+    return b"".join(parts)
+
+
+def deserialize_skeleton(payload: bytes) -> PDTSkeleton:
+    """Decode :func:`serialize_skeleton` output back into a skeleton.
+
+    Raises ``ValueError`` on any malformed, truncated or
+    version-mismatched payload — callers (the snapshot store) treat that
+    as a miss, never as corrupt state to serve.
+    """
+    reader = _SkeletonReader(payload)
+    if reader.take(len(_SKELETON_MAGIC)) != _SKELETON_MAGIC:
+        raise ValueError("not a PDT skeleton payload")
+    version = reader.take_int(2)
+    if version != _SKELETON_VERSION:
+        raise ValueError(f"unsupported PDT skeleton version {version}")
+    doc_name = reader.take_str()
+    entry_count = reader.take_int(8)
+    record_count = reader.take_int(4)
+    records: dict[bytes, PDTRecord] = {}
+    # The record loop parses with inline offset arithmetic — restoring a
+    # snapshot competes with rebuilding the skeleton, so per-field
+    # reader calls would eat the win.  One final bounds check suffices:
+    # every slice below is length-prefixed, and a lying prefix either
+    # trips the running ``end > total`` checks or the trailing-bytes
+    # check.
+    data = payload
+    offset = reader.offset
+    total = len(data)
+    new_record = PDTRecord.__new__
+    from_bytes = int.from_bytes
+    try:
+        for _ in range(record_count):
+            end = offset + 2
+            key_end = end + from_bytes(data[offset:end], "big")
+            key = data[end:key_end]
+            unpack(key)  # validates the packed form (and rejects empty)
+            end = key_end + 4
+            tag_end = end + from_bytes(data[key_end:end], "big")
+            if tag_end > total:
+                raise ValueError("truncated PDT skeleton payload")
+            tag = data[end:tag_end].decode("utf-8")
+            flags = data[tag_end]
+            end = tag_end + 9
+            byte_length = from_bytes(data[tag_end + 1:end], "big")
+            if flags & 4:
+                value_end = end + 4
+                end = value_end + from_bytes(data[end:value_end], "big")
+                if end > total:
+                    raise ValueError("truncated PDT skeleton payload")
+                value = data[value_end:end].decode("utf-8")
+            else:
+                value = None
+            record = new_record(PDTRecord)
+            record.key = key
+            record.tag = tag
+            record.value = value
+            record.byte_length = byte_length
+            record.wants_value = bool(flags & 1)
+            record.wants_content = bool(flags & 2)
+            records[key] = record
+            offset = end
+    except IndexError as exc:
+        raise ValueError("truncated PDT skeleton payload") from exc
+    if offset != total:
+        raise ValueError("trailing bytes in PDT skeleton payload")
+    return PDTSkeleton.from_records(
+        doc_name=doc_name, records=records, entry_count=entry_count
+    )
 
 
 def build_skeleton(
@@ -542,21 +1170,29 @@ def build_skeleton(
     probed: Optional[frozenset] = None,
     inpdt_fast_path: bool = True,
 ) -> PDTSkeleton:
-    """Run the structural merge pass for a ``(view, document)`` pair.
+    """Run the structural pass for a ``(view, document)`` pair.
 
     ``path_lists`` can be supplied to reuse already-issued path-index
     probes (the engine's prepared tier); otherwise the keyword-free half
     of PrepareLists is issued here.  No inverted-index probe is ever
     made — the skeleton carries no keyword data.
+
+    The default pass is the array sweep
+    (:func:`_collect_records_swept`); ``inpdt_fast_path=False`` routes
+    through the stack automaton with the Section 4.2.2.1 fast path
+    disabled — the ablation baseline, same output.
     """
     if path_lists is None:
         path_lists = prepare_path_lists(qpt, path_index)
     if probed is None:
         probed = frozenset(path_lists)
     lists = PreparedLists(path_lists=path_lists, inv_lists={}, probed=probed)
-    records = _PDTBuilder(
-        qpt, lists, path_index, inpdt_fast_path=inpdt_fast_path
-    ).run()
+    if inpdt_fast_path:
+        records = _collect_records_swept(qpt, lists, path_index)
+    else:
+        records = _PDTBuilder(
+            qpt, lists, path_index, inpdt_fast_path=False
+        ).run()
     return PDTSkeleton.from_records(
         doc_name=qpt.doc_name,
         records=records,

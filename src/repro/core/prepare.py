@@ -14,7 +14,7 @@ from dataclasses import dataclass
 
 from repro.core.qpt import QPT, QPTNode
 from repro.storage.inverted_index import InvertedIndex, PostingList
-from repro.storage.path_index import PathIndex, PathList
+from repro.storage.path_index import PathIndex, PathList, PathProbe
 
 
 @dataclass
@@ -47,23 +47,46 @@ class PreparedLists:
         return len(self.path_lists) + len(self.inv_lists)
 
 
+def build_probe_plan(qpt: QPT) -> list[PathProbe]:
+    """The QPT's fixed probe set as explicit :class:`PathProbe` specs.
+
+    One spec per probed node, in QPT pre-order — the unit the batched
+    path-index sweep consumes and ``probe_plan`` renders.  Memoized on
+    the QPT (immutable once built), so repeated cold builds re-plan for
+    free.
+    """
+    plan = getattr(qpt, "_probe_plan", None)
+    if plan is None:
+        plan = [
+            PathProbe(
+                pattern=qpt.pattern(node),
+                predicates=tuple(node.predicates),
+                with_values=node.v_ann,
+                node_index=node.index,
+                tag=node.tag,
+            )
+            for node in qpt.probed_nodes()
+        ]
+        qpt._probe_plan = plan
+    return plan
+
+
 def prepare_path_lists(
     qpt: QPT, path_index: PathIndex
 ) -> dict[int, PathList]:
-    """The path-index half of PrepareLists: one probe per probed QPT node.
+    """The path-index half of PrepareLists, issued as one planned sweep.
 
-    This half is *keyword-independent* — it depends only on the view's
-    QPT and the document — which is what makes the PDT skeleton reusable
-    across queries (see :mod:`repro.core.pdt`).
+    The whole probe plan goes to :meth:`PathIndex.lookup_ids_batched` in
+    a single call: pattern expansions are shared, the full-path scans ride
+    one B+-tree leaf-chain sweep, and the equality point probes one
+    batched descent — instead of one independent root-to-leaf descent per
+    pattern.  This half is *keyword-independent* — it depends only on the
+    view's QPT and the document — which is what makes the PDT skeleton
+    reusable across queries (see :mod:`repro.core.pdt`).
     """
-    path_lists: dict[int, PathList] = {}
-    for node in qpt.probed_nodes():
-        path_lists[node.index] = path_index.lookup_ids(
-            qpt.pattern(node),
-            predicates=node.predicates,
-            with_values=node.v_ann,
-        )
-    return path_lists
+    plan = build_probe_plan(qpt)
+    lists = path_index.lookup_ids_batched(plan)
+    return {probe.node_index: lst for probe, lst in zip(plan, lists)}
 
 
 def prepare_inv_lists(
@@ -99,9 +122,11 @@ def probe_plan(qpt: QPT) -> list[tuple[str, tuple[tuple[str, str], ...], bool]]:
     """Human-readable probe plan: (tag, pattern, with_values) per probe.
 
     Used by documentation/examples to show the fixed probe set the
-    algorithm issues for a view (paper Fig. 8's left column).
+    algorithm issues for a view (paper Fig. 8's left column).  The same
+    plan, in its :class:`PathProbe` form (``build_probe_plan``), is what
+    ``prepare_path_lists`` hands to the batched sweep.
     """
-    plan: list[tuple[str, tuple[tuple[str, str], ...], bool]] = []
-    for node in qpt.probed_nodes():
-        plan.append((node.tag, qpt.pattern(node), node.v_ann))
-    return plan
+    return [
+        (probe.tag, probe.pattern, probe.with_values)
+        for probe in build_probe_plan(qpt)
+    ]

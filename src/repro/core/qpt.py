@@ -23,6 +23,7 @@ The edge-annotation rules matter for correctness, not just pruning power:
 
 from __future__ import annotations
 
+import hashlib
 from typing import Iterable, Optional
 
 from repro.errors import UnsupportedQueryError, ViewDefinitionError
@@ -136,6 +137,7 @@ class QPT:
         self._collect(root)
         self._patterns: dict[int, tuple[tuple[str, str], ...]] = {}
         self._match_cache: dict[tuple[str, ...], list[list[QPTNode]]] = {}
+        self._content_hash: Optional[str] = None
 
     def _collect(self, root: QPTNode) -> None:
         stack = list(reversed(root.children))
@@ -159,6 +161,55 @@ class QPT:
         pattern = tuple(steps)
         self._patterns[node.index] = pattern
         return pattern
+
+    @property
+    def content_hash(self) -> str:
+        """A process-independent digest of the QPT's *content*.
+
+        Covers everything PDT construction depends on: the document
+        name, every node's tag, predicates (operator + literal) and
+        v/c annotations, and every edge's axis and optional/mandatory
+        flag, all in the deterministic pre-order the tree was built in.
+        Two QPTs generated from the same view text — in the same process
+        or different ones — hash equal; any structural or annotation
+        change alters the digest.
+
+        This is what cross-process cache keys use in place of QPT object
+        identity: the sharded tiers key on ``(generation, content_hash)``
+        and the persistent skeleton store on
+        ``(document fingerprint, content_hash)``.  SHA-256, hex —
+        independent of ``PYTHONHASHSEED``.
+        """
+        digest = self._content_hash
+        if digest is None:
+            hasher = hashlib.sha256()
+            update = hasher.update
+            update(self.doc_name.encode("utf-8"))
+
+            def _walk(node: QPTNode) -> None:
+                for edge in node.edges:
+                    child = edge.child
+                    parts = [
+                        "\x1e",
+                        edge.axis,
+                        "m" if edge.mandatory else "o",
+                        child.tag,
+                        "v" if child.v_ann else "",
+                        "c" if child.c_ann else "",
+                    ]
+                    for predicate in child.predicates:
+                        parts.append(
+                            f"[{predicate.op}\x1f{predicate.literal!r}]"
+                        )
+                    parts.append("(")
+                    update("\x1f".join(parts).encode("utf-8"))
+                    _walk(child)
+                    update(b")")
+
+            _walk(self.root)
+            digest = hasher.hexdigest()
+            self._content_hash = digest
+        return digest
 
     def probed_nodes(self) -> list[QPTNode]:
         """Nodes that PrepareLists issues path-index probes for.

@@ -1,0 +1,173 @@
+"""A file-backed persistent store for PDT skeletons.
+
+The skeleton tier makes first-contact queries cheap *within* a process;
+this store makes them cheap across processes and restarts.  A skeleton
+is a pure function of ``(document content, QPT structure)``, so the
+store keys each snapshot by two content digests:
+
+* the **document fingerprint** — SHA-256 of the canonical serialized
+  document (:attr:`repro.storage.database.IndexedDocument.fingerprint`),
+  stable across loads of identical content and different across any
+  content change; and
+* the **QPT content hash**
+  (:attr:`repro.core.qpt.QPT.content_hash`) — structure + axes +
+  annotations, stable across processes.
+
+Invalidation therefore needs no protocol: regenerating a document or
+changing a view's structure changes a key component, and the old
+snapshot simply can never be addressed again (``prune`` reclaims the
+orphaned files; serving a stale result is impossible by construction).
+The in-process cache tiers keep their ``(generation, qpt_hash)`` keys —
+the store sits *behind* the skeleton tier, consulted only on a skeleton
+miss and filled on every fresh build, so a restarted engine (or a
+sibling process sharing the directory) loads structural work instead of
+redoing path probes and the merge pass.
+
+Writes are atomic (temp file + ``os.replace``) so concurrent readers
+never observe a torn snapshot; corrupt or truncated payloads read back
+as misses, never as data.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from pathlib import Path
+from typing import Iterator, Optional, Union
+
+from repro.core.pdt import PDTSkeleton
+
+_SUFFIX = ".pdts"
+
+
+class SkeletonStore:
+    """Directory of serialized skeletons keyed by content digests.
+
+    Safe to share between processes: keys are content-derived (never
+    process-local identities or generation counters), writes are atomic
+    renames, and loads validate the payload before trusting it.  A
+    single store instance is also safe to use from multiple threads —
+    there is no mutable in-memory state beyond counters.
+    """
+
+    def __init__(self, root: Union[str, Path]):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.saves = 0
+        self.hits = 0
+        self.misses = 0
+
+    # -- keys ----------------------------------------------------------------
+
+    @staticmethod
+    def entry_name(doc_fingerprint: str, qpt_hash: str) -> str:
+        """Filename for one snapshot: ``<qpt_hash>-<doc_fingerprint>``.
+
+        Both components are hex digests; they are truncated to 32 chars
+        each (128 bits) to keep names filesystem-friendly without
+        meaningfully weakening collision resistance.
+        """
+        return f"{qpt_hash[:32]}-{doc_fingerprint[:32]}{_SUFFIX}"
+
+    def path_for(self, doc_fingerprint: str, qpt_hash: str) -> Path:
+        return self.root / self.entry_name(doc_fingerprint, qpt_hash)
+
+    # -- operations ----------------------------------------------------------
+
+    def save(
+        self,
+        doc_fingerprint: str,
+        qpt_hash: str,
+        skeleton: PDTSkeleton,
+    ) -> Path:
+        """Persist a skeleton; atomic, last-writer-wins.
+
+        Concurrent writers racing on the same key write identical
+        content (the key pins both inputs of the pure function), so the
+        race is benign.
+        """
+        target = self.path_for(doc_fingerprint, qpt_hash)
+        payload = skeleton.to_bytes()
+        descriptor, temp_name = tempfile.mkstemp(
+            dir=self.root, prefix=".tmp-", suffix=_SUFFIX
+        )
+        try:
+            with os.fdopen(descriptor, "wb") as handle:
+                handle.write(payload)
+            os.replace(temp_name, target)
+        except BaseException:
+            try:
+                os.unlink(temp_name)
+            except OSError:
+                pass
+            raise
+        self.saves += 1
+        return target
+
+    def load(
+        self, doc_fingerprint: str, qpt_hash: str
+    ) -> Optional[PDTSkeleton]:
+        """The stored skeleton, or ``None`` (missing *or* unreadable).
+
+        A corrupt file counts as a miss and is removed so the next
+        build re-snapshots cleanly.
+        """
+        target = self.path_for(doc_fingerprint, qpt_hash)
+        try:
+            payload = target.read_bytes()
+        except OSError:
+            self.misses += 1
+            return None
+        try:
+            skeleton = PDTSkeleton.from_bytes(payload)
+        except ValueError:
+            self.misses += 1
+            try:
+                target.unlink()
+            except OSError:
+                pass
+            return None
+        self.hits += 1
+        return skeleton
+
+    def __contains__(self, key: tuple[str, str]) -> bool:
+        doc_fingerprint, qpt_hash = key
+        return self.path_for(doc_fingerprint, qpt_hash).exists()
+
+    def entries(self) -> Iterator[Path]:
+        """Every snapshot file currently in the store."""
+        return (
+            path
+            for path in sorted(self.root.glob(f"*{_SUFFIX}"))
+            if not path.name.startswith(".tmp-")
+        )
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.entries())
+
+    def prune(self, keep: Optional[set[str]] = None) -> int:
+        """Delete snapshot files, returning how many were removed.
+
+        With ``keep`` (a set of :meth:`entry_name` filenames) only
+        files *not* named survive — how an operator reclaims snapshots
+        orphaned by document regeneration or view evolution.  Without
+        it, the store is emptied.
+        """
+        removed = 0
+        for path in list(self.entries()):
+            if keep is not None and path.name in keep:
+                continue
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "saves": self.saves,
+            "hits": self.hits,
+            "misses": self.misses,
+            "entries": len(self),
+        }

@@ -121,6 +121,21 @@ def packed_child_bound(key: bytes) -> bytes:
     return key[:last_start] + pack_component(last + 1)
 
 
+def dewey_from_parts(components: tuple[int, ...], packed: bytes) -> "DeweyID":
+    """Trusted :class:`DeweyID` constructor for pre-validated parts.
+
+    The caller guarantees ``components == unpack(packed)``; validation is
+    skipped entirely.  Exists for the skeleton-finalization loop, which
+    decodes thousands of ids whose suffixes extend an already-decoded
+    ancestor — re-running the checked constructor per id would double the
+    cost of the pass.
+    """
+    dewey = object.__new__(DeweyID)
+    dewey.components = components
+    dewey._packed = packed
+    return dewey
+
+
 @total_ordering
 class DeweyID:
     """An immutable, hashable Dewey identifier.
@@ -153,10 +168,14 @@ class DeweyID:
 
     @classmethod
     def from_packed(cls, key: bytes) -> "DeweyID":
-        """Decode a packed byte key (see module docstring) into an ID."""
-        dewey = cls(unpack(key))
-        dewey._packed = key
-        return dewey
+        """Decode a packed byte key (see module docstring) into an ID.
+
+        Skips the constructor's per-component validation: ``unpack``
+        already rejects malformed keys, and its components are positive
+        ints by construction, so re-checking them per record would only
+        tax the skeleton-finalization hot loop.
+        """
+        return dewey_from_parts(unpack(key), key)
 
     @classmethod
     def root(cls) -> "DeweyID":

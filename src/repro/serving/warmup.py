@@ -11,7 +11,14 @@ means every first-contact keyword query runs the warm array-sweep path.
 targets — annotated with the cache shard each lands on, so operators
 can see how warm state distributes over the cache partitioning — and
 ``execute_warmup`` runs the plan through the engine and reports what
-was actually built versus already warm.
+was actually built versus restored versus already warm.
+
+When the engine carries a persistent skeleton store
+(:class:`repro.core.snapshot.SkeletonStore`), warming restores
+skeletons snapshotted by an earlier process instead of rebuilding them
+(reported per target as ``"restored"``), and snapshots whatever it does
+build — a restarted fleet member warms from disk, not from path
+probes.
 """
 
 from __future__ import annotations
@@ -38,14 +45,22 @@ class WarmupReport:
     """What a warm-up pass did, per target."""
 
     targets: list[WarmupTarget] = field(default_factory=list)
-    #: ``(view, doc) -> "built"`` (skeleton constructed by this pass) or
-    #: ``"warm"`` (a prior query or warm-up already built it).
+    #: ``(view, doc) -> "built"`` (skeleton constructed by this pass),
+    #: ``"restored"`` (loaded from the persistent snapshot store —
+    #: warm-from-snapshot, no path probes, no merge pass) or ``"warm"``
+    #: (a prior query or warm-up already filled the in-memory tier).
     results: dict[tuple[str, str], str] = field(default_factory=dict)
     duration: float = 0.0
 
     @property
     def built_count(self) -> int:
         return sum(1 for state in self.results.values() if state == "built")
+
+    @property
+    def restored_count(self) -> int:
+        return sum(
+            1 for state in self.results.values() if state == "restored"
+        )
 
     @property
     def warm_count(self) -> int:
@@ -58,6 +73,7 @@ class WarmupReport:
                 for t in self.targets
             ],
             "built": self.built_count,
+            "restored": self.restored_count,
             "already_warm": self.warm_count,
             "duration": self.duration,
         }
@@ -103,7 +119,12 @@ def execute_warmup(
     for view_name in dict.fromkeys(target.view for target in targets):
         cache_hits = engine.warm_view(view_name)
         for doc_name, hit in cache_hits.items():
-            state = "built" if hit == "miss" else "warm"
+            if hit == "miss":
+                state = "built"
+            elif hit == "snapshot":
+                state = "restored"
+            else:
+                state = "warm"
             report.results[(view_name, doc_name)] = state
     report.duration = time.perf_counter() - start
     return report

@@ -127,6 +127,94 @@ class BPlusTree:
                 return
             yield key, value
 
+    # -- batched probes --------------------------------------------------------
+
+    def get_many(self, keys: list) -> list:
+        """Point-look up many keys with one planned sweep (``None`` gaps).
+
+        ``keys`` need not be sorted — the sweep orders them internally and
+        descends once per *leaf run* instead of once per key: after each
+        hit the cursor stays on its leaf, and the next key re-descends
+        only when it falls beyond the current leaf.  For the sorted probe
+        batches the path index issues this collapses k root-to-leaf walks
+        into one walk plus in-leaf bisects.
+        """
+        if not keys:
+            return []
+        order = sorted(range(len(keys)), key=keys.__getitem__)
+        results: list = [None] * len(keys)
+        leaf: Optional[_Leaf] = None
+        for position in order:
+            key = keys[position]
+            if leaf is None or not leaf.keys or key > leaf.keys[-1]:
+                leaf = self._find_leaf(key)
+            index = bisect_left(leaf.keys, key)
+            if index < len(leaf.keys) and leaf.keys[index] == key:
+                results[position] = leaf.values[index]
+        return results
+
+    def scan_prefixes(self, prefixes: list[tuple]) -> list[list[tuple[Any, Any]]]:
+        """Prefix-scan many composite-key prefixes in one planned sweep.
+
+        Returns one ``[(key, value), ...]`` run per input prefix, in input
+        order.  The sweep visits the prefixes in key order sharing a
+        single leaf-chain cursor: a prefix whose range begins on the
+        current leaf continues from it directly; only a prefix beyond the
+        leaf's last key pays a fresh root descent.  This is the B+-tree
+        half of the batched multi-pattern path probe — one sweep per QPT
+        instead of one descent per pattern.
+
+        Duplicated prefixes share one scan.  Prefixes must otherwise be
+        *non-overlapping* (none a strict tuple-prefix of another): the
+        forward-only cursor cannot re-enter a range a wider prefix
+        already consumed.  The path index's ``(path_id,)`` probes satisfy
+        this by construction.
+        """
+        if not prefixes:
+            return []
+        order = sorted(range(len(prefixes)), key=prefixes.__getitem__)
+        results: list[list[tuple[Any, Any]]] = [[] for _ in prefixes]
+        leaf: Optional[_Leaf] = None
+        index = 0
+        previous: Optional[int] = None
+        for position in order:
+            prefix = prefixes[position]
+            if previous is not None and prefixes[previous] == prefix:
+                # A duplicate probe shares the already-scanned run: the
+                # cursor has consumed its range, so rescanning would miss.
+                results[position] = results[previous]
+                continue
+            previous = position
+            plen = len(prefix)
+            if leaf is None or not leaf.keys or prefix > leaf.keys[-1]:
+                leaf = self._find_leaf(prefix)
+                index = bisect_left(leaf.keys, prefix)
+            else:
+                index = bisect_left(leaf.keys, prefix, index)
+            run = results[position]
+            scan_leaf: Optional[_Leaf] = leaf
+            scan_index = index
+            while scan_leaf is not None:
+                keys = scan_leaf.keys
+                values = scan_leaf.values
+                while scan_index < len(keys):
+                    key = keys[scan_index]
+                    if key[:plen] != prefix:
+                        # Past the prefix's contiguous range: remember the
+                        # cursor for the next (larger) prefix and stop.
+                        leaf, index = scan_leaf, scan_index
+                        scan_leaf = None
+                        break
+                    run.append((key, values[scan_index]))
+                    scan_index += 1
+                else:
+                    scan_leaf = scan_leaf.next
+                    scan_index = 0
+                    if scan_leaf is None:
+                        leaf, index = None, 0
+                    continue
+        return results
+
     # -- internals ------------------------------------------------------------
 
     def _find_leaf(self, key: Any) -> _Leaf:

@@ -42,6 +42,7 @@ class IndexedDocument:
     generation: int = 0
     _tag_index: Optional[TagIndex] = None
     _serialized: Optional[str] = None
+    _fingerprint: Optional[str] = None
 
     @property
     def name(self) -> str:
@@ -71,6 +72,26 @@ class IndexedDocument:
 
             self._serialized = serialize(self.document.root)
         return self._serialized
+
+    @property
+    def fingerprint(self) -> str:
+        """Content digest of the document (SHA-256 of :attr:`serialized`).
+
+        Unlike ``generation`` — a process-local counter — the
+        fingerprint is stable across processes and across reloads of
+        identical content, and changes with *any* content change.  The
+        persistent skeleton store keys on it, which is the whole
+        invalidation story: a regenerated document can never address a
+        stale snapshot.  Computed lazily and cached; only snapshot
+        paths pay the serialization.
+        """
+        if self._fingerprint is None:
+            import hashlib
+
+            self._fingerprint = hashlib.sha256(
+                self.serialized.encode("utf-8")
+            ).hexdigest()
+        return self._fingerprint
 
 
 class XMLDatabase:

@@ -22,7 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable, Optional, Sequence
 
-from repro.dewey import DeweyID, pack, unpack
+from repro.dewey import DeweyID, pack, packed_prefix_ends, unpack
 from repro.storage.btree import BPlusTree
 from repro.values import Predicate, atom_key
 from repro.xmlmodel.node import XMLNode
@@ -60,18 +60,88 @@ class PathListEntry:
 
 
 class PathList:
-    """A Dewey-ordered list of entries for one QPT node (paper Fig. 8)."""
+    """A Dewey-ordered list of entries for one QPT node (paper Fig. 8).
 
-    __slots__ = ("entries",)
+    Storage is four parallel arrays — packed keys, path ids, values and
+    byte lengths — mirroring :class:`repro.storage.inverted_index.PostingList`:
+    the PDT merge pass sweeps the arrays directly (no per-element object
+    is ever allocated on the cold path), while ``entries``/iteration
+    synthesize :class:`PathListEntry` views on demand for diagnostics,
+    tests and the baselines.
+    """
 
-    def __init__(self, entries: list[PathListEntry]):
-        self.entries = entries
+    __slots__ = ("keys", "path_ids", "values", "byte_lengths", "single_path",
+                 "has_values")
+
+    def __init__(
+        self,
+        keys: list[bytes],
+        path_ids: list[int],
+        values: list[Optional[str]],
+        byte_lengths: list[int],
+        single_path: Optional[int] = None,
+        has_values: bool = True,
+    ):
+        self.keys = keys
+        self.path_ids = path_ids
+        self.values = values
+        self.byte_lengths = byte_lengths
+        #: The one concrete path id all entries share, when the probe can
+        #: certify it (whole-path handoffs) — lets consumers skip a scan.
+        self.single_path = single_path
+        #: False when the probe certifies every value is ``None`` (the
+        #: with_values=False case); True means "may carry values".
+        self.has_values = has_values
+
+    @classmethod
+    def from_entries(cls, entries: Iterable[PathListEntry]) -> "PathList":
+        keys: list[bytes] = []
+        path_ids: list[int] = []
+        values: list[Optional[str]] = []
+        byte_lengths: list[int] = []
+        for entry in entries:
+            keys.append(entry.key)
+            path_ids.append(entry.path_id)
+            values.append(entry.value)
+            byte_lengths.append(entry.byte_length)
+        return cls(keys, path_ids, values, byte_lengths)
 
     def __len__(self) -> int:
-        return len(self.entries)
+        return len(self.keys)
+
+    def _entry_at(self, index: int) -> PathListEntry:
+        return PathListEntry(
+            self.keys[index],
+            self.path_ids[index],
+            self.values[index],
+            self.byte_lengths[index],
+        )
+
+    @property
+    def entries(self) -> list[PathListEntry]:
+        """Decoded entry views (synthesized; not the storage form)."""
+        return [self._entry_at(i) for i in range(len(self.keys))]
 
     def __iter__(self):
-        return iter(self.entries)
+        return (self._entry_at(i) for i in range(len(self.keys)))
+
+
+@dataclass(frozen=True)
+class PathProbe:
+    """One planned path-index probe (a QPT node's pattern + push-downs).
+
+    ``prepare_path_lists`` builds one probe per probed QPT node and hands
+    the whole plan to :meth:`PathIndex.lookup_ids_batched` — a single
+    planned sweep per QPT instead of one independent descent per
+    pattern.  ``node_index``/``tag`` identify the owning QPT node for
+    plan rendering; the index itself only reads the probe fields.
+    """
+
+    pattern: PathPattern
+    predicates: tuple[Predicate, ...] = ()
+    with_values: bool = False
+    node_index: int = -1
+    tag: str = ""
 
 
 class PathIndex:
@@ -81,6 +151,11 @@ class PathIndex:
         self._table = BPlusTree()
         self._paths: list[tuple[str, ...]] = []
         self._path_ids: dict[tuple[str, ...], int] = {}
+        self._expansion_cache: dict[PathPattern, list[int]] = {}
+        self._ancestors: dict[tuple[int, int], list[bytes]] = {}
+        self._path_arrays: dict[
+            int, tuple[list[bytes], list[Optional[str]], list[int]]
+        ] = {}
         self.probe_count = 0
 
     # -- construction ----------------------------------------------------------
@@ -89,13 +164,20 @@ class PathIndex:
     def from_tree(cls, root: XMLNode) -> "PathIndex":
         index = cls()
         rows: dict[tuple[int, tuple], list[tuple[bytes, int]]] = {}
+        triples_by_path: dict[
+            int, list[tuple[bytes, Optional[str], int]]
+        ] = {}
         stack: list[tuple[XMLNode, tuple[str, ...]]] = [(root, (root.tag,))]
         while stack:
             node, path = stack.pop()
             path_id = index._intern_path(path)
-            key = (path_id, atom_key(node.value))
-            rows.setdefault(key, []).append(
-                (pack(node.dewey.components), serialized_length(node))
+            packed = pack(node.dewey.components)
+            value = node.value
+            length = serialized_length(node)
+            key = (path_id, atom_key(value))
+            rows.setdefault(key, []).append((packed, length))
+            triples_by_path.setdefault(path_id, []).append(
+                (packed, value, length)
             )
             for child in node.children:
                 stack.append((child, path + (child.tag,)))
@@ -103,6 +185,53 @@ class PathIndex:
         # packed keys sorts in document order.
         items = [(key, sorted(rows[key])) for key in sorted(rows)]
         index._table = BPlusTree.from_sorted_items(items)
+        # Load-time column arrays and ancestor-prefix arrays, both static
+        # document structure precomputed like the index-resident byte
+        # lengths:
+        #
+        # * ``_path_arrays``: per path, the document-ordered (keys,
+        #   values, lengths) columns — an unpredicated path probe is an
+        #   array handoff instead of a B+-tree row scan (predicated
+        #   probes still push their predicates into the tree);
+        # * ``_ancestors``: per (path, depth), the sorted distinct packed
+        #   keys of the depth-d ancestors of the path's elements — what
+        #   lets the PDT sweep skip all per-entry prefix derivation (see
+        #   ``repro.core.pdt._collect_records_swept``).
+        path_arrays: dict[
+            int,
+            tuple[
+                list[bytes],
+                list[Optional[str]],
+                list[int],
+                list[int],
+                list[None],
+            ],
+        ] = {}
+        ancestors: dict[tuple[int, int], list[bytes]] = {}
+        for path_id, triples in triples_by_path.items():
+            triples.sort()
+            keys = [triple[0] for triple in triples]
+            path_arrays[path_id] = (
+                keys,
+                [triple[1] for triple in triples],
+                [triple[2] for triple in triples],
+                # Constant columns, shared by every whole-path handoff.
+                [path_id] * len(keys),
+                [None] * len(keys),
+            )
+            depth = len(index._paths[path_id])
+            ancestors[(path_id, depth)] = keys
+            if depth <= 1:
+                continue
+            per_depth: list[set[bytes]] = [set() for _ in range(depth - 1)]
+            for key in keys:
+                ends = packed_prefix_ends(key)
+                for d in range(depth - 1):
+                    per_depth[d].add(key[: ends[d]])
+            for d, prefixes in enumerate(per_depth, start=1):
+                ancestors[(path_id, d)] = sorted(prefixes)
+        index._path_arrays = path_arrays
+        index._ancestors = ancestors
         return index
 
     def _intern_path(self, path: tuple[str, ...]) -> int:
@@ -123,18 +252,38 @@ class PathIndex:
     def path_by_id(self, path_id: int) -> tuple[str, ...]:
         return self._paths[path_id]
 
+    def ancestors_on_path(self, path_id: int, depth: int) -> list[bytes]:
+        """Sorted distinct packed keys of the depth-``depth`` ancestors of
+        the elements on ``path_id`` (the elements themselves at the path's
+        own depth).
+
+        Precomputed at load time; callers must not mutate the returned
+        list.  This is the index-resident form of the PDT sweep's
+        "which elements can an interior QPT node stand on" question —
+        answered per (path, depth) with zero per-entry work at query
+        time.
+        """
+        return self._ancestors.get((path_id, depth), [])
+
     def expand_pattern(self, pattern: PathPattern) -> list[int]:
         """Concrete path ids matching a ``/``/``//`` path pattern.
 
         This is the "the index is probed for each full data path" expansion
         of Section 3.2; the DataGuide is tiny compared to the data, so the
-        match is cheap and independent of document size.
+        match is cheap and independent of document size.  Expansions are
+        memoized per pattern — the path dictionary is immutable after
+        ``from_tree``, and the fixed probe plan of a view re-expands the
+        same patterns on every cold build.
         """
-        return [
-            path_id
-            for path_id, path in enumerate(self._paths)
-            if pattern_matches_path(pattern, path)
-        ]
+        cached = self._expansion_cache.get(pattern)
+        if cached is None:
+            cached = [
+                path_id
+                for path_id, path in enumerate(self._paths)
+                if pattern_matches_path(pattern, path)
+            ]
+            self._expansion_cache[pattern] = cached
+        return cached
 
     # -- probes -------------------------------------------------------------------
 
@@ -151,49 +300,161 @@ class PathIndex:
         probe: an equality predicate becomes a point probe per concrete
         path; other operators filter rows by value.  ``with_values``
         attaches atomic values to the entries (the 'v'-annotation case).
-        """
-        predicates = tuple(predicates)
-        merged: list[PathListEntry] = []
-        for path_id in self.expand_pattern(pattern):
-            merged.extend(self._probe_path(path_id, predicates, with_values))
-        merged.sort(key=lambda entry: entry.key)
-        return PathList(merged)
 
-    def _probe_path(
-        self,
-        path_id: int,
-        predicates: tuple[Predicate, ...],
-        with_values: bool,
-    ) -> list[PathListEntry]:
-        self.probe_count += 1
-        equality = [p for p in predicates if p.op == "="]
-        if equality:
-            # Point probe with the composite key (path, value); remaining
-            # predicates (if any) filter the probed value.
-            literal = equality[0].literal
-            key = (path_id, atom_key(literal))
-            row = self._table.get(key)
-            if row is None:
-                return []
-            value = literal
-            if not all(p.matches(value) for p in predicates):
-                return []
-            return [
-                PathListEntry(packed, path_id, value if with_values else None, length)
-                for packed, length in row
-            ]
-        entries: list[PathListEntry] = []
-        for key, row in self._table.prefix_range((path_id,)):
-            kind = key[1][0]
-            value = None if kind == 0 else key[1][-1]
-            if predicates and not all(p.matches(value) for p in predicates):
+        A one-probe batch: multi-pattern callers (PrepareLists) should
+        use :meth:`lookup_ids_batched` so the whole probe set shares one
+        planned B+-tree sweep.
+        """
+        probe = PathProbe(
+            pattern=pattern,
+            predicates=tuple(predicates),
+            with_values=with_values,
+        )
+        return self.lookup_ids_batched([probe])[0]
+
+    def lookup_ids_batched(self, probes: Sequence[PathProbe]) -> list[PathList]:
+        """Issue a whole probe plan as one planned sweep (batched Fig. 7).
+
+        All patterns are expanded against the DataGuide first; the
+        concrete paths needing full ``(path,)`` scans are fetched with a
+        single shared leaf-chain sweep (:meth:`BPlusTree.scan_prefixes`)
+        and the equality-predicate point probes with one
+        :meth:`BPlusTree.get_many` batch.  Probes of different QPT nodes
+        that expand to the same concrete path share one scan — the
+        per-pattern descents of the unbatched path re-read those rows
+        once per pattern.  Results come back as array-backed
+        :class:`PathList`\\ s in probe order.
+
+        ``probe_count`` accounting is unchanged: one logical probe per
+        (probe, concrete path), so probe-complexity invariants (query
+        size, never data size) keep meaning the same thing they always
+        did.
+        """
+        path_arrays = self._path_arrays
+        plans: list[
+            tuple[PathProbe, tuple[Predicate, ...], list[int], Optional[Predicate]]
+        ] = []
+        scan_ids: set[int] = set()
+        point_keys: list[tuple] = []
+        point_slots: dict[tuple[int, tuple], int] = {}
+        for probe in probes:
+            predicates = tuple(probe.predicates)
+            path_ids = self.expand_pattern(probe.pattern)
+            self.probe_count += len(path_ids)
+            equality = next((p for p in predicates if p.op == "="), None)
+            plans.append((probe, predicates, path_ids, equality))
+            if equality is not None:
+                value_key = atom_key(equality.literal)
+                for path_id in path_ids:
+                    composite = (path_id, value_key)
+                    if composite not in point_slots:
+                        point_slots[composite] = len(point_keys)
+                        point_keys.append(composite)
+            elif predicates:
+                # Non-equality predicates push into the tree: the rows
+                # arrive pre-grouped by value, so filtering is per row.
+                scan_ids.update(path_ids)
+            else:
+                # Unpredicated probes ride the load-time column arrays;
+                # the tree sweep only backs up paths an incrementally
+                # built index has no arrays for.
+                scan_ids.update(
+                    path_id
+                    for path_id in path_ids
+                    if path_id not in path_arrays
+                )
+        ordered_scans = sorted(scan_ids)
+        scan_rows = self._table.scan_prefixes(
+            [(path_id,) for path_id in ordered_scans]
+        )
+        rows_by_path = dict(zip(ordered_scans, scan_rows))
+        point_rows = self._table.get_many(point_keys)
+
+        results: list[PathList] = []
+        for probe, predicates, path_ids, equality in plans:
+            with_values = probe.with_values
+            if (
+                equality is None
+                and not predicates
+                and len(path_ids) == 1
+                and path_ids[0] in path_arrays
+            ):
+                # Whole-path handoff: the precomputed columns are the
+                # probe result.  Shared read-only with the index — the
+                # PDT machinery never mutates path lists.
+                path_id = path_ids[0]
+                all_keys, all_values, all_lengths, id_column, none_column = (
+                    path_arrays[path_id]
+                )
+                results.append(
+                    PathList(
+                        all_keys,
+                        id_column,
+                        all_values if with_values else none_column,
+                        all_lengths,
+                        single_path=path_id,
+                        has_values=with_values,
+                    )
+                )
                 continue
-            keep_value = value if with_values else None
-            entries.extend(
-                PathListEntry(packed, path_id, keep_value, length)
-                for packed, length in row
-            )
-        return entries
+            keys: list[bytes] = []
+            entry_paths: list[int] = []
+            values: list[Optional[str]] = []
+            lengths: list[int] = []
+            if equality is not None:
+                value = equality.literal
+                keep = value if with_values else None
+                if all(p.matches(value) for p in predicates):
+                    for path_id in path_ids:
+                        row = point_rows[point_slots[(path_id, atom_key(value))]]
+                        if row is None:
+                            continue
+                        keys += [packed for packed, _ in row]
+                        lengths += [length for _, length in row]
+                        entry_paths += [path_id] * len(row)
+                        values += [keep] * len(row)
+            elif predicates:
+                for path_id in path_ids:
+                    for composite, row in rows_by_path[path_id]:
+                        kind = composite[1][0]
+                        value = None if kind == 0 else composite[1][-1]
+                        if not all(p.matches(value) for p in predicates):
+                            continue
+                        keep = value if with_values else None
+                        keys += [packed for packed, _ in row]
+                        lengths += [length for _, length in row]
+                        entry_paths += [path_id] * len(row)
+                        values += [keep] * len(row)
+            else:
+                for path_id in path_ids:
+                    arrays = path_arrays.get(path_id)
+                    if arrays is not None:
+                        path_keys, path_values, path_lengths = arrays[:3]
+                        keys += path_keys
+                        lengths += path_lengths
+                        entry_paths += arrays[3]
+                        values += path_values if with_values else arrays[4]
+                    else:
+                        for composite, row in rows_by_path[path_id]:
+                            kind = composite[1][0]
+                            value = None if kind == 0 else composite[1][-1]
+                            keep = value if with_values else None
+                            keys += [packed for packed, _ in row]
+                            lengths += [length for _, length in row]
+                            entry_paths += [path_id] * len(row)
+                            values += [keep] * len(row)
+            if any(keys[i] > keys[i + 1] for i in range(len(keys) - 1)):
+                # Rows from different (path, value) pairs interleave in
+                # document order; one argsort restores it (timsort over
+                # the concatenated pre-sorted runs).  The linear check
+                # skips the sort for the common single-row probes.
+                order = sorted(range(len(keys)), key=keys.__getitem__)
+                keys = [keys[i] for i in order]
+                entry_paths = [entry_paths[i] for i in order]
+                values = [values[i] for i in order]
+                lengths = [lengths[i] for i in order]
+            results.append(PathList(keys, entry_paths, values, lengths))
+        return results
 
     def ids_on_path(self, path_id: int) -> list[tuple[int, ...]]:
         """All element ids on one concrete path (used by the tag index)."""

@@ -24,7 +24,7 @@ from typing import Callable, Iterator, Optional
 from repro.dewey import DeweyID
 
 
-@dataclass
+@dataclass(slots=True)
 class NodeAnnotations:
     """Extra information attached to pruned (PDT) nodes.
 

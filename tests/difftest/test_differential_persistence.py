@@ -1,0 +1,165 @@
+"""Differential restart/persistence configuration.
+
+Extends the randomized harness with the persistent skeleton store: one
+engine builds skeletons and snapshots them, a *fresh* engine over a
+*fresh* database of identical content (a simulated process restart —
+new QPT objects, new generations, only the store directory shared)
+must
+
+* serve its first-contact queries from the snapshot tier (``snapshot``
+  hits, zero path-index probes), and
+* produce ranked output exactly equal to the naive
+  materialize-then-search baseline, for every generated keyword set in
+  both conjunctive modes.
+
+The stale-snapshot case regenerates a document under the same name with
+*different* content: the fingerprint-keyed store must miss (a rebuild —
+path probes again), and results must match a baseline recomputed over
+the mutated database — a stale snapshot can never be served.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.baselines.naive import BaselineEngine
+from repro.core.engine import KeywordSearchEngine
+from repro.core.snapshot import SkeletonStore
+
+from difftest.generators import generate_case
+from difftest.harness import _check, assert_outcomes_equivalent
+
+
+def _seed_matrix() -> tuple[int, ...]:
+    raw = os.environ.get("DIFFTEST_SEEDS", "")
+    if not raw.strip():
+        return (101, 404, 606)
+    return tuple(int(part) for part in raw.split(",") if part.strip())
+
+
+def _path_probes(db) -> int:
+    return sum(db.get(n).path_index.probe_count for n in db.document_names())
+
+
+@pytest.mark.parametrize("seed", _seed_matrix())
+def test_restarted_engine_serves_snapshots_and_matches_baseline(
+    seed, tmp_path
+):
+    store_dir = tmp_path / "snapshots"
+
+    # "Process 1": build every skeleton once; each build is persisted.
+    first_case = generate_case(seed)
+    first = KeywordSearchEngine(
+        first_case.database, snapshot_store=SkeletonStore(store_dir)
+    )
+    first_view = first.define_view("persist", first_case.view_text)
+    warm_hits = first.warm_view(first_view)
+    _check(
+        set(warm_hits.values()) == {"miss"},
+        f"seed={seed}",
+        f"expected cold first build, got {warm_hits}",
+    )
+
+    # "Process 2": identical content, fresh everything, shared store.
+    case = generate_case(seed)
+    db = case.database
+    engine = KeywordSearchEngine(db, snapshot_store=SkeletonStore(store_dir))
+    view = engine.define_view("persist", case.view_text)
+    baseline = BaselineEngine(db)
+    bview = baseline.define_view("truth", case.view_text)
+    db.reset_access_counters()
+
+    first_contact = True
+    for keywords in case.keyword_sets:
+        for conjunctive in (True, False):
+            context = f"seed={seed} kw={keywords} conj={conjunctive}"
+            eout = engine.search_detailed(view, keywords, 10, conjunctive)
+            bout = baseline.search_detailed(bview, keywords, 10, conjunctive)
+            assert_outcomes_equivalent(
+                eout, bout, keywords, f"{context} [restored]"
+            )
+            if first_contact:
+                # The very first query restores every skeleton from disk.
+                _check(
+                    set(eout.cache_hits.values()) == {"snapshot"},
+                    context,
+                    f"expected snapshot hits, got {eout.cache_hits}",
+                )
+                first_contact = False
+            else:
+                _check(
+                    set(eout.cache_hits.values())
+                    <= {"pdt", "skeleton", "snapshot"},
+                    context,
+                    f"expected warm hits, got {eout.cache_hits}",
+                )
+    # The baseline walks stored trees, never the path index: every probe
+    # count would come from the restored engine — and there were none.
+    _check(
+        _path_probes(db) == 0,
+        f"seed={seed}",
+        f"restored engine made {_path_probes(db)} path probes (expected 0)",
+    )
+
+
+@pytest.mark.parametrize("seed", _seed_matrix()[:1])
+def test_regenerated_document_invalidates_snapshots(seed, tmp_path):
+    """Document regeneration must force a rebuild, never a stale serve."""
+    store_dir = tmp_path / "snapshots"
+
+    original = generate_case(seed)
+    builder = KeywordSearchEngine(
+        original.database, snapshot_store=SkeletonStore(store_dir)
+    )
+    builder_view = builder.define_view("persist", original.view_text)
+    builder.warm_view(builder_view)
+
+    # Restart over a database whose first document was *regenerated*:
+    # same name, different content (borrowed from a different seed's
+    # deterministic generator output).
+    case = generate_case(seed)
+    db = case.database
+    mutated_name = sorted(db.document_names())[0]
+    donor = generate_case(seed + 1).database
+    replacement = donor.get(mutated_name).document.root.detach_copy()
+    db.drop_document(mutated_name)
+    db.load_document(mutated_name, replacement)
+
+    engine = KeywordSearchEngine(db, snapshot_store=SkeletonStore(store_dir))
+    view = engine.define_view("persist", case.view_text)
+    baseline = BaselineEngine(db)
+    bview = baseline.define_view("truth", case.view_text)
+    db.reset_access_counters()
+
+    keywords = case.keyword_sets[0]
+    eout = engine.search_detailed(view, keywords, 10, True)
+    bout = baseline.search_detailed(bview, keywords, 10, True)
+    # Correctness against the *mutated* database's ground truth: a stale
+    # snapshot of the old content would diverge here.
+    assert_outcomes_equivalent(
+        eout, bout, keywords, f"seed={seed} [stale-snapshot]"
+    )
+    # The regenerated document missed the store and rebuilt (probes);
+    # the untouched documents still restored from disk.
+    _check(
+        eout.cache_hits[mutated_name] == "miss",
+        f"seed={seed}",
+        f"regenerated doc should rebuild, got {eout.cache_hits}",
+    )
+    other_hits = {
+        doc: hit
+        for doc, hit in eout.cache_hits.items()
+        if doc != mutated_name
+    }
+    _check(
+        set(other_hits.values()) <= {"snapshot"},
+        f"seed={seed}",
+        f"untouched docs should restore, got {eout.cache_hits}",
+    )
+    _check(
+        db.get(mutated_name).path_index.probe_count > 0,
+        f"seed={seed}",
+        "the rebuild should have probed the path index",
+    )

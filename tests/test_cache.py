@@ -515,6 +515,36 @@ class TestEvaluatedTier:
         # Results are still correct without the tier.
         assert outcome.results
 
+    def test_racing_put_under_old_expression_is_unreachable(self):
+        """The evaluated key embeds the view *expression's* identity: a
+        put that races a same-QPT-structure redefinition (identical
+        content hash, different return clause) lands under the dead
+        expression and can never be served — the tier-level guarantee
+        the content-hash rekeying must not lose."""
+        from repro.storage.database import XMLDatabase
+
+        db = XMLDatabase()
+        db.load_document("d.xml", "<r><a><b>x</b></a></r>")
+        engine = KeywordSearchEngine(db)
+        text_one = 'for $a in fn:doc(d.xml)/r/a return <one>{ $a/b }</one>'
+        text_two = 'for $a in fn:doc(d.xml)/r/a return <two>{ $a/b }</two>'
+        first = engine.define_view("v", text_one)
+        stale_nodes = tuple(engine.evaluate_view("v", materialize=False))
+        assert all(node.tag == "one" for node in stale_nodes)
+        second = engine.define_view("v", text_two)
+        # Identical QPTs: only the constructor tag differs.
+        qpt_hash = second.qpts["d.xml"].content_hash
+        assert first.qpts["d.xml"].content_hash == qpt_hash
+        # Simulate the racing put: re-insert the old definition's result
+        # under the *old expression's* key after the redefinition.
+        generation = db.get("d.xml").generation
+        stale_key = engine.cache.evaluated_key(
+            "v", first.expr, (("d.xml", generation, qpt_hash),)
+        )
+        engine.cache.evaluated.put(stale_key, stale_nodes)
+        results = engine.evaluate_view("v", materialize=False)
+        assert results and all(node.tag == "two" for node in results)
+
     def test_inline_views_never_cached(self, engine, bookrev_db):
         text = (
             "for $book in fn:doc(books.xml)/books//book\n"

@@ -1,0 +1,88 @@
+"""The rewritten cold path must be *byte-identical* to the frozen one.
+
+``repro.core.pdt_legacy`` snapshots the pre-overhaul per-pattern build
+(probes, tuple-stream heap merge, original finalization).  These tests
+sweep every difftest view shape plus seeded random scenarios and assert
+the shipped batched/array-swept ``build_skeleton`` emits exactly the
+same skeletons — records, nesting, slots, tf bounds, shared tree — and
+identical annotation results.  The benchmark's 3x speedup claim means
+nothing unless this holds.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from difftest.generators import VIEW_SHAPES, generate_case
+
+from repro.core.engine import KeywordSearchEngine
+from repro.core.pdt import annotate_skeleton, build_skeleton
+from repro.core.pdt_legacy import legacy_build_skeleton
+from repro.core.prepare import prepare_inv_lists
+from repro.xmlmodel.serializer import serialize
+
+
+def _assert_skeletons_identical(batched, legacy, keywords, inv_lists):
+    assert batched.doc_name == legacy.doc_name
+    assert batched.ordered == legacy.ordered
+    assert batched.parents == legacy.parents
+    assert batched.slots == legacy.slots
+    assert batched.bounds == legacy.bounds
+    assert batched.slot_bounds == legacy.slot_bounds
+    assert batched.entry_count == legacy.entry_count
+    assert [d.components for d in batched.dewey_ids] == [
+        d.components for d in legacy.dewey_ids
+    ]
+    for key, record in batched.records.items():
+        other = legacy.records[key]
+        assert (
+            record.tag,
+            record.value,
+            record.byte_length,
+            record.wants_value,
+            record.wants_content,
+        ) == (
+            other.tag,
+            other.value,
+            other.byte_length,
+            other.wants_value,
+            other.wants_content,
+        )
+    assert serialize(batched.tree) == serialize(legacy.tree)
+    assert (
+        annotate_skeleton(batched, inv_lists, keywords).tf_arrays
+        == annotate_skeleton(legacy, inv_lists, keywords).tf_arrays
+    )
+
+
+def _sweep_case(case):
+    engine = KeywordSearchEngine(case.database, enable_cache=False)
+    view = engine.define_view("equiv", case.view_text)
+    keywords = tuple(
+        dict.fromkeys(
+            word for keyword_set in case.keyword_sets for word in keyword_set
+        )
+    )
+    for doc_name in view.document_names:
+        indexed = case.database.get(doc_name)
+        qpt = view.qpts[doc_name]
+        batched = build_skeleton(qpt, indexed.path_index)
+        legacy = legacy_build_skeleton(qpt, indexed.path_index)
+        inv_lists = prepare_inv_lists(indexed.inverted_index, keywords)
+        _assert_skeletons_identical(batched, legacy, keywords, inv_lists)
+        # The ablation path (stack automaton, fast path off) agrees too.
+        ablation = build_skeleton(
+            qpt, indexed.path_index, inpdt_fast_path=False
+        )
+        assert ablation.ordered == batched.ordered
+        assert ablation.slots == batched.slots
+
+
+@pytest.mark.parametrize("shape", VIEW_SHAPES)
+def test_equivalence_every_view_shape(shape):
+    _sweep_case(generate_case(23, shape=shape))
+
+
+@pytest.mark.parametrize("seed", [5, 17, 101, 404, 808])
+def test_equivalence_random_scenarios(seed):
+    _sweep_case(generate_case(seed))
