@@ -2,17 +2,20 @@
 
 Times the three serving regimes of ``bench_x4_skeleton_reuse`` — cold /
 skeleton-warm / fully-warm — plus the annotation microbench pair of
-``bench_x5_annotation`` and the cold-path trio of
-``bench_x7_cold_path`` (legacy per-pattern build / batched array-swept
-build / snapshot restore), at one or more data scales, and writes the
-latencies as JSON.  This is the artifact the CI perf-smoke job uploads
-per commit, so the ROADMAP's "fast as the hardware allows" goal has a
-recorded trajectory instead of docstring folklore.
+``bench_x5_annotation``, the cold-path trio of ``bench_x7_cold_path``
+(legacy per-pattern build / batched array-swept build / snapshot
+restore) and the corpus-sharding pair of ``bench_x8_sharding`` (single
+executor vs 4 shard executors over the cache-thrashing corpus, with
+the streaming merge's early-termination counters), at one or more data
+scales, and writes the latencies as JSON.  This is the artifact the CI
+perf-smoke job uploads per commit, so the ROADMAP's "fast as the
+hardware allows" goal has a recorded trajectory instead of docstring
+folklore.
 
 Run it directly (no pytest-benchmark needed)::
 
     PYTHONPATH=src python benchmarks/bench_report.py \
-        --scales 0 1 --pr 5 --out BENCH_pr5.json
+        --scales 0 1 --pr 6 --out BENCH_pr6.json
 
 Scale 0 is a degenerate near-empty database — it keeps the smoke run
 fast and exercises the empty-document and zero-result edge paths.
@@ -143,6 +146,27 @@ def _cold_path_ms(params: ExperimentParams, rounds: int) -> dict[str, float]:
     }
 
 
+def _sharding_ms(rounds: int) -> dict[str, float]:
+    """The bench_x8 pair: single executor vs 4 shard executors.
+
+    Delegates to :func:`repro.bench.experiments.measure_sharding` — one
+    measurement protocol shared with the X8 experiment table and the
+    self-enforcing acceptance bench.  Always measured on bench_x8's own
+    96-document corpus so the numbers are comparable across reports.
+    """
+    from repro.bench.experiments import measure_sharding
+
+    numbers = measure_sharding(rounds=max(4, rounds // 6))
+    return {
+        "single_ms": round(numbers["single_ms"], 3),
+        "sharded_ms": round(numbers["sharded_ms"], 3),
+        "speedup": round(numbers["speedup"], 2),
+        "merge_consumed": numbers["merge_consumed"],
+        "merge_candidates": numbers["merge_candidates"],
+        "merge_pruned": numbers["merge_pruned"],
+    }
+
+
 def build_report(scales: list[int], rounds: int, pr: int) -> dict:
     report: dict = {
         "pr": pr,
@@ -164,6 +188,7 @@ def build_report(scales: list[int], rounds: int, pr: int) -> dict:
     # runs at bench_x5's fixed configuration (see _annotation_us).
     if any(scale >= 1 for scale in scales):
         report["annotation"] = _annotation_us(rounds)
+    report["sharding"] = _sharding_ms(rounds)
     return report
 
 
@@ -171,8 +196,8 @@ def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--scales", type=int, nargs="+", default=[0, 1])
     parser.add_argument("--rounds", type=int, default=30)
-    parser.add_argument("--pr", type=int, default=5)
-    parser.add_argument("--out", type=Path, default=Path("BENCH_pr5.json"))
+    parser.add_argument("--pr", type=int, default=6)
+    parser.add_argument("--out", type=Path, default=Path("BENCH_pr6.json"))
     args = parser.parse_args()
     report = build_report(args.scales, args.rounds, args.pr)
     args.out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
@@ -183,6 +208,7 @@ def main() -> None:
         print(f"  cold_path {name}: {numbers}")
     if "annotation" in report:
         print(f"  annotation: {report['annotation']}")
+    print(f"  sharding: {report['sharding']}")
 
 
 if __name__ == "__main__":

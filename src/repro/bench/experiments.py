@@ -538,6 +538,176 @@ def run_x7_cold_path(
     return table
 
 
+def _sharding_corpus(
+    doc_count: int = 96, seed: int = 7
+) -> tuple[dict[str, str], str, list[tuple[str, ...]]]:
+    """Documents, a per-document-fragment view and cycled keyword sets.
+
+    Sized to separate the two deployments by *cache capacity*, which is
+    what corpus sharding actually buys on one machine: ``doc_count``
+    ``(view, doc)`` skeleton keys swept cyclically against the single
+    engine's 64-entry skeleton tier (8 slots per cache shard — the LRU
+    worst case, every key evicted before its next use), while each of
+    four shard executors owns ``doc_count / 4`` keys, comfortably inside
+    its own tier.  Keyword sets are cycled so the PDT tier cannot mask
+    the skeleton tier: the single engine's ``doc_count x len(sets)`` PDT
+    keys thrash its 128-entry tier too, while a shard's slice fits.
+    """
+    import random as _random
+
+    rng = _random.Random(seed)
+    topics = [
+        "xml", "query", "index", "search", "ranking", "views",
+        "dewey", "cache", "stream", "shard", "keyword", "join",
+    ]
+    documents: dict[str, str] = {}
+    for number in range(doc_count):
+        books = []
+        for _ in range(rng.randint(4, 8)):
+            hot = rng.choice(topics)
+            words = [rng.choice(topics) for _ in range(rng.randint(6, 30))]
+            words += [hot] * rng.randint(0, 6)
+            rng.shuffle(words)
+            title = " ".join(rng.choice(topics) for _ in range(3))
+            books.append(
+                f"<book><title>{title}</title>"
+                f"<body>{' '.join(words)}</body></book>"
+            )
+        documents[f"doc{number:03d}"] = f"<lib>{''.join(books)}</lib>"
+    fragments = [
+        f"(for $b in fn:doc({name})//book "
+        f"return <hit>{{$b/title}}{{$b/body}}</hit>)"
+        for name in sorted(documents)
+    ]
+    view_text = "(" + ",\n".join(fragments) + ")"
+    keyword_sets: list[tuple[str, ...]] = [
+        ("xml",),
+        ("query", "index"),
+        ("search",),
+        ("ranking", "views"),
+    ]
+    return documents, view_text, keyword_sets
+
+
+def measure_sharding(
+    doc_count: int = 96,
+    shard_count: int = 4,
+    rounds: int = 8,
+    top_k: int = 5,
+) -> dict[str, float]:
+    """Scatter-gather over shard executors vs one engine, in milliseconds.
+
+    One sample is a full keyword-cycle sweep (every keyword set once).
+    Both deployments are pre-warmed and measured interleaved with the
+    garbage collector paused, minimum statistic — the protocol of
+    :func:`measure_cold_path`.  Alongside the wall times the dict
+    carries the streaming merge's counters summed over one sweep
+    (``merge_candidates`` / ``merge_consumed`` / ``merge_pruned``), so
+    the self-enforcing bench can check early termination actually cut
+    the per-shard results consumed, not just that the clock was kind.
+    """
+    import gc
+    import time as _time
+
+    from repro.core.ingest import ingest_corpus
+
+    documents, view_text, keyword_sets = _sharding_corpus(doc_count)
+
+    database = XMLDatabase()
+    for name in sorted(documents):
+        database.load_document(name, documents[name])
+    single = KeywordSearchEngine(database)
+    view = single.define_view("v", view_text)
+    single.warm_view(view)
+
+    coordinator, _ = ingest_corpus(
+        documents, {"v": view_text}, shard_count=shard_count
+    )
+
+    def single_sweep() -> None:
+        for keywords in keyword_sets:
+            single.search(view, keywords, top_k=top_k)
+
+    def sharded_sweep() -> None:
+        for keywords in keyword_sets:
+            coordinator.search("v", keywords, top_k=top_k)
+
+    try:
+        # Steady state: both sides have served every keyword set once.
+        single_sweep()
+        sharded_sweep()
+        single_samples: list[float] = []
+        sharded_samples: list[float] = []
+        gc_was_enabled = gc.isenabled()
+        gc.disable()
+        try:
+            for _ in range(rounds):
+                start = _time.perf_counter()
+                single_sweep()
+                single_samples.append(_time.perf_counter() - start)
+                start = _time.perf_counter()
+                sharded_sweep()
+                sharded_samples.append(_time.perf_counter() - start)
+        finally:
+            if gc_was_enabled:
+                gc.enable()
+                gc.collect()
+        candidates = consumed = pruned = 0
+        for keywords in keyword_sets:
+            outcome = coordinator.search_detailed(
+                "v", keywords, top_k=top_k
+            )
+            candidates += outcome.merge_stats.candidates
+            consumed += outcome.merge_stats.consumed
+            pruned += outcome.merge_stats.pruned
+    finally:
+        coordinator.close()
+    single_ms = min(single_samples) * 1000.0
+    sharded_ms = min(sharded_samples) * 1000.0
+    return {
+        "single_ms": single_ms,
+        "sharded_ms": sharded_ms,
+        "speedup": single_ms / sharded_ms if sharded_ms else float("inf"),
+        "merge_candidates": float(candidates),
+        "merge_consumed": float(consumed),
+        "merge_pruned": float(pruned),
+    }
+
+
+def run_x8_sharding(repeats: int = 1) -> ExperimentTable:
+    """X8: corpus sharding — per-shard executors + streaming top-k merge.
+
+    The self-enforcing ≥2x acceptance check at 4 shards lives in
+    ``benchmarks/bench_x8_sharding.py``; this table records the
+    trajectory across shard counts (1 is the degenerate case: one
+    executor with the same cache budget as the single engine, so its
+    row shows the coordinator's overhead, not a speedup).
+    """
+    rounds = max(6, 6 * repeats)
+    table = ExperimentTable(
+        experiment_id="X8",
+        title="Corpus sharding (ms per keyword-cycle sweep, 96 documents)",
+        parameter="shards",
+        columns=[
+            "single_ms",
+            "sharded_ms",
+            "speedup",
+            "merge_consumed",
+            "merge_candidates",
+            "merge_pruned",
+        ],
+    )
+    for shard_count in (1, 2, 4):
+        numbers = measure_sharding(shard_count=shard_count, rounds=rounds)
+        table.add_row(shard_count, **numbers)
+    table.note(
+        "acceptance floor: 4 shards >= 2x the single executor, with the "
+        "streaming merge consuming fewer results than the shards offered "
+        "(self-enforced by benchmarks/bench_x8_sharding.py)"
+    )
+    return table
+
+
 ALL_EXPERIMENTS = {
     "T1": run_params_table,
     "F13": run_fig13_data_size,
@@ -552,4 +722,5 @@ ALL_EXPERIMENTS = {
     "X1": run_x1_element_size,
     "X2": run_x2_pdt_size,
     "X7": run_x7_cold_path,
+    "X8": run_x8_sharding,
 }

@@ -60,6 +60,8 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Any, Callable, Hashable, Iterator, Optional
 
+from repro.core.routing import ShardRouter
+
 
 @dataclass
 class CacheStats:
@@ -175,9 +177,20 @@ class ShardedLRUCache:
         capacity: int,
         shards: int = 8,
         shard_key: Optional[Callable[[Hashable], Hashable]] = None,
+        router: Optional[ShardRouter] = None,
     ):
         self.capacity = capacity
         self.shard_count = max(1, shards)
+        if router is not None and router.shard_count != self.shard_count:
+            raise ValueError(
+                f"router routes onto {router.shard_count} shards but the "
+                f"cache has {self.shard_count}"
+            )
+        #: The shared :class:`~repro.core.routing.ShardRouter` — stable
+        #: (no ``PYTHONHASHSEED`` dependence) and shareable with the
+        #: serving lanes and the corpus shard plan, so every layer that
+        #: partitions by ``(view, doc)`` agrees on placement.
+        self.router = router or ShardRouter(self.shard_count)
         per_shard = 0
         if capacity > 0:
             per_shard = -(-capacity // self.shard_count)  # ceil division
@@ -188,7 +201,7 @@ class ShardedLRUCache:
     # -- partitioning --------------------------------------------------------
 
     def shard_index(self, key: Hashable) -> int:
-        return hash(self._shard_key(key)) % self.shard_count
+        return self.router.index(self._shard_key(key))
 
     @contextmanager
     def _hold_all_locks(self) -> Iterator[None]:
@@ -341,23 +354,42 @@ class QueryCache:
     skeleton_capacity: int = 64
     evaluated_capacity: int = 64
     shard_count: int = 8
+    #: The single routing authority for every tier (defaults to a
+    #: :class:`~repro.core.routing.ShardRouter` over ``shard_count``).
+    #: Passing a shared instance lets the serving layer and the corpus
+    #: shard plan route with the *same object* the cache partitions by.
+    router: Optional[ShardRouter] = None
     prepared: ShardedLRUCache = field(init=False)
     pdts: ShardedLRUCache = field(init=False)
     skeletons: ShardedLRUCache = field(init=False)
     evaluated: ShardedLRUCache = field(init=False)
 
     def __post_init__(self) -> None:
+        if self.router is None:
+            self.router = ShardRouter(self.shard_count)
         self.prepared = ShardedLRUCache(
-            self.prepared_capacity, self.shard_count, shard_key=lambda k: k[0]
+            self.prepared_capacity,
+            self.shard_count,
+            shard_key=lambda k: k[0],
+            router=self.router,
         )
         self.pdts = ShardedLRUCache(
-            self.pdt_capacity, self.shard_count, shard_key=lambda k: k[:2]
+            self.pdt_capacity,
+            self.shard_count,
+            shard_key=lambda k: k[:2],
+            router=self.router,
         )
         self.skeletons = ShardedLRUCache(
-            self.skeleton_capacity, self.shard_count, shard_key=lambda k: k[:2]
+            self.skeleton_capacity,
+            self.shard_count,
+            shard_key=lambda k: k[:2],
+            router=self.router,
         )
         self.evaluated = ShardedLRUCache(
-            self.evaluated_capacity, self.shard_count, shard_key=lambda k: k[0]
+            self.evaluated_capacity,
+            self.shard_count,
+            shard_key=lambda k: k[0],
+            router=self.router,
         )
 
     # -- keys ---------------------------------------------------------------
@@ -420,8 +452,12 @@ class QueryCache:
         partitioning: requests that would contend on a shard's lock are
         serialized in front of the cache instead of inside it, and a hot
         view's traffic lands on a predictable lane.
+
+        Delegates to the shared :class:`ShardRouter` — by construction
+        identical to ``self.skeletons.shard_index((view_name,
+        doc_name))``, and stable across processes.
         """
-        return self.skeletons.shard_index((view_name, doc_name))
+        return self.router.route(view_name, doc_name)
 
     # -- invalidation --------------------------------------------------------
 

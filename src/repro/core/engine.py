@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import threading
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 from typing import Callable, Optional, Sequence, Union
 
 from repro.core.cache import QueryCache
@@ -47,10 +47,13 @@ from repro.core.rewrite import make_pdt_resolver
 from repro.core.snapshot import SkeletonStore
 from repro.core.scoring import (
     ScoredResult,
-    ScoringOutcome,
-    score_results,
+    apply_scores,
+    collect_statistics,
+    containing_counts,
+    filter_matching,
+    idf_from_counts,
 )
-from repro.core.topk import select_top_k_streaming
+from repro.core.topk import TopKSelector
 from repro.errors import (
     StaleViewError,
     StorageError,
@@ -121,6 +124,27 @@ class PhaseTimings:
             "post_processing": self.post_processing,
             "total": self.total,
         }
+
+    @classmethod
+    def merge(
+        cls, spans: Sequence["PhaseTimings"], concurrent: bool = True
+    ) -> "PhaseTimings":
+        """Aggregate several phase ledgers into one.
+
+        ``concurrent=True`` models spans that ran side by side (the
+        coordinator's shard executors under its thread pool): elapsed
+        wall clock per phase is the *longest* span, so each field merges
+        by max.  ``concurrent=False`` models serial composition (the
+        coordinator's own scatter/merge spans stacked on top of the
+        shard work, or shards executed one after another): fields sum.
+        An empty sequence merges to all zeros either way.
+        """
+        merged = cls()
+        combine = max if concurrent else sum
+        for spec in fields(cls):
+            values = [getattr(span, spec.name) for span in spans]
+            setattr(merged, spec.name, combine(values) if values else 0.0)
+        return merged
 
 
 @dataclass
@@ -201,6 +225,29 @@ class SearchOutcome:
                 self._cache.stats() if self._cache is not None else {}
             )
         return self._cache_stats
+
+
+@dataclass
+class ViewStatistics:
+    """Phase-1 output of the scatter-gather scoring protocol.
+
+    Everything one engine contributes *before* scores can exist: the
+    unscored per-result statistics, the view size, and the per-keyword
+    containing counts.  idf is a global statistic over the whole view
+    (Section 2.2) — under a sharded corpus it exists only after every
+    shard's ``view_size`` and ``containing`` integers are summed, so
+    phase 1 stops at the integers and phase 2 (:func:`apply_scores`)
+    runs once the global idf is known.  The counts are exact integer
+    sums, which is why sharded scores come out bit-identical to the
+    single-engine path.
+    """
+
+    scored: list[ScoredResult]
+    view_size: int
+    containing: dict[str, int]
+    pdts: dict[str, PDTResult]
+    cache_hits: dict[str, str]
+    evaluated_hit: bool
 
 
 class KeywordSearchEngine:
@@ -300,6 +347,17 @@ class KeywordSearchEngine:
         """Parse and analyze a view definition; QPTs are built once here."""
         program = parse_query(text)
         expr = inline_functions(program)
+        return self.register_view(name, expr, text)
+
+    def register_view(self, name: str, expr: Expr, text: str = "") -> View:
+        """Register an already-parsed, function-free view expression.
+
+        ``define_view`` minus the parse step.  The sharded coordinator
+        parses a view once and hands each shard executor the fragment
+        expressions it owns; re-serializing them just to re-parse here
+        would be wasted work (and a round-trip through the printer the
+        AST does not have).
+        """
         qpts = generate_qpts(expr)
         if not qpts:
             raise ViewDefinitionError(
@@ -395,37 +453,23 @@ class KeywordSearchEngine:
         normalized = tuple(normalize_keyword(keyword) for keyword in keywords)
         timings.qpt = time.perf_counter() - start
 
-        # Phase 2: PDT generation — indices only, served from cache when a
-        # prior query already built the lists/skeletons/PDTs for these
-        # inputs.
-        start = time.perf_counter()
-        pdts, cache_hits, doc_coordinates = self._build_pdts(
-            view, normalized, timings
-        )
-        timings.pdt = time.perf_counter() - start
+        # Phases 2–3a plus the statistics walk (see
+        # collect_view_statistics).  This is the same phase-1 routine a
+        # shard executor runs: the single engine *is* the 1-shard
+        # degenerate case of the scatter-gather protocol.
+        stats = self.collect_view_statistics(view, normalized, timings)
 
-        # Phase 3a: evaluate the unmodified view query over the PDTs.
-        # PDT trees are keyword-independent, so the result node list is
-        # served from the evaluated tier whenever any keyword set was
-        # queried against these exact (view, generations) before.
-        start = time.perf_counter()
-        view_results, evaluated_hit = self._evaluate_view_results(
-            view, pdts, doc_coordinates
-        )
-        timings.evaluator = time.perf_counter() - start
-
-        # Phase 3b: score and stream through the bounded top-k heap.  No
+        # Phase 3b continued: idf from the (here: single-shard) counts,
+        # scores, keyword semantics, and the bounded top-k heap.  No
         # result touches the document store here unless the caller opted
         # into eager materialization.
         start = time.perf_counter()
-        outcome = score_results(
-            view_results,
-            normalized,
-            conjunctive=conjunctive,
-            normalize=self.normalize_scores,
-            tf_source=pdts,
-        )
-        winners = select_top_k_streaming(outcome, top_k)
+        idf = idf_from_counts(stats.view_size, stats.containing)
+        apply_scores(stats.scored, idf, normalized, self.normalize_scores)
+        kept = filter_matching(stats.scored, normalized, conjunctive)
+        selector = TopKSelector(top_k)
+        selector.extend(kept)
+        winners = selector.results()
         results = [
             SearchResult(
                 rank=rank,
@@ -438,23 +482,76 @@ class KeywordSearchEngine:
         if materialize:
             for result in results:
                 result.materialize()
-        timings.post_processing = time.perf_counter() - start
+        timings.post_processing += time.perf_counter() - start
 
         self.last_timings = timings
         search_outcome = SearchOutcome(
             results=results,
-            view_size=outcome.view_size,
-            matching_count=len(outcome.results),
-            idf=outcome.idf,
-            pdts=pdts,
+            view_size=stats.view_size,
+            matching_count=len(kept),
+            idf=idf,
+            pdts=stats.pdts,
             timings=timings,
-            cache_hits=cache_hits,
-            evaluated_hit=evaluated_hit,
+            cache_hits=stats.cache_hits,
+            evaluated_hit=stats.evaluated_hit,
             _cache=self.cache,
         )
         for hook in tuple(self._timing_hooks):
             hook(view.name, search_outcome)
         return search_outcome
+
+    def collect_view_statistics(
+        self,
+        view: Union[View, str],
+        normalized: Sequence[str],
+        timings: Optional[PhaseTimings] = None,
+    ) -> ViewStatistics:
+        """Phase 1 of the scatter-gather protocol: statistics, no scores.
+
+        Runs the pipeline up to — but not including — scoring: PDT
+        generation (phase 2), view evaluation (phase 3a), and the
+        per-result statistics walk.  Scores need idf, and idf is a
+        global view statistic; under a sharded corpus it exists only
+        after every shard's integer counts are summed, so this method
+        stops at the integers and leaves phase 2 of the protocol
+        (:func:`repro.core.scoring.apply_scores` onward) to the caller.
+        ``normalized`` must already be keyword-normalized.  When a
+        timings ledger is passed, spans are *added* to the same phases
+        ``search_detailed`` reports (pdt, evaluator; the statistics walk
+        lands in post_processing).
+        """
+        if isinstance(view, str):
+            view = self.get_view(view)
+        self._reject_stale(view)
+        normalized = tuple(normalized)
+
+        start = time.perf_counter()
+        pdts, cache_hits, doc_coordinates = self._build_pdts(
+            view, normalized, timings
+        )
+        if timings is not None:
+            timings.pdt += time.perf_counter() - start
+
+        start = time.perf_counter()
+        view_results, evaluated_hit = self._evaluate_view_results(
+            view, pdts, doc_coordinates
+        )
+        if timings is not None:
+            timings.evaluator += time.perf_counter() - start
+
+        start = time.perf_counter()
+        scored = collect_statistics(view_results, normalized, tf_source=pdts)
+        containing = containing_counts(scored, normalized)
+        if timings is not None:
+            timings.post_processing += time.perf_counter() - start
+        return ViewStatistics(
+            scored=scored,
+            view_size=len(scored),
+            containing=containing,
+            pdts=pdts,
+            cache_hits=cache_hits,
+            evaluated_hit=evaluated_hit,
+        )
 
     def _reject_stale(self, view: View) -> None:
         """Fail fast when a view references dropped documents."""

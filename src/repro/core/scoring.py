@@ -143,36 +143,103 @@ def score_results(
     the keyword-satisfying results — exactly as in Section 2.2 where
     ``V(D)`` is the full view.  ``tf_source`` resolves the tfs of
     shared-skeleton PDT nodes (see :func:`aggregate_result`).
+
+    Composed from the scatter-gather primitives below
+    (:func:`collect_statistics` → :func:`containing_counts` →
+    :func:`idf_from_counts` → :func:`apply_scores` →
+    :func:`filter_matching`) so the single-engine path and the sharded
+    coordinator run the *identical* arithmetic in the identical order —
+    the foundation of the bit-identical-ranking guarantee.
+    """
+    scored = collect_statistics(view_results, keywords, tf_source)
+    view_size = len(scored)
+    idf = idf_from_counts(view_size, containing_counts(scored, keywords))
+    apply_scores(scored, idf, keywords, normalize)
+    kept = filter_matching(scored, keywords, conjunctive)
+    return ScoringOutcome(
+        results=kept, view_size=view_size, idf=idf, all_results=scored
+    )
+
+
+# -- scatter-gather primitives --------------------------------------------------
+#
+# The TF-IDF pipeline splits into a *statistics* phase (per-result tf
+# vectors and byte lengths — embarrassingly parallel across corpus
+# shards) and a *scoring* phase (idf is a global statistic over the
+# whole view: |V(D)| and the containing counts must be summed across
+# shards before any score exists).  The sharded coordinator runs the
+# phases on either side of its gather barrier; the single engine runs
+# them back to back.  Integer statistics sum exactly, so the idf floats
+# — and therefore every score — come out bit-identical either way.
+
+
+def collect_statistics(
+    view_results: Iterable[XMLNode],
+    keywords: Sequence[str],
+    tf_source: Optional[Mapping[str, object]] = None,
+) -> list[ScoredResult]:
+    """Phase 1: per-result statistics, no scores (``score`` stays 0.0).
+
+    ``index`` is the position within *this* result sequence; a sharded
+    caller rebases it to the global view position before ranking.
     """
     scored: list[ScoredResult] = []
     for index, node in enumerate(view_results):
         statistics = aggregate_result(node, keywords, tf_source)
         scored.append(ScoredResult(index=index, node=node, statistics=statistics))
-    view_size = len(scored)
-    idf = compute_idf(scored, view_size, keywords)
+    return scored
+
+
+def containing_counts(
+    scored: Sequence[ScoredResult], keywords: Sequence[str]
+) -> dict[str, int]:
+    """``|{e: contains(e, k)}|`` per keyword — integer, so shard-summable."""
+    return {
+        keyword: sum(1 for result in scored if result.contains(keyword))
+        for keyword in keywords
+    }
+
+
+def idf_from_counts(
+    view_size: int, containing: Mapping[str, int]
+) -> dict[str, float]:
+    """Phase 2 entry: idf from (possibly shard-summed) integer counts."""
+    return {
+        keyword: view_size / count if count else 0.0
+        for keyword, count in containing.items()
+    }
+
+
+def apply_scores(
+    scored: Iterable[ScoredResult],
+    idf: Mapping[str, float],
+    keywords: Sequence[str],
+    normalize: bool = True,
+) -> None:
+    """Phase 2: in-place TF-IDF scores (keyword order fixes the sum order)."""
     for result in scored:
         raw = sum(result.tf(keyword) * idf[keyword] for keyword in keywords)
         if normalize and result.statistics.byte_length > 0:
             raw /= result.statistics.byte_length
         result.score = raw
+
+
+def filter_matching(
+    scored: Iterable[ScoredResult],
+    keywords: Sequence[str],
+    conjunctive: bool = True,
+) -> list[ScoredResult]:
+    """The keyword-satisfying results, in input order."""
     if conjunctive:
-        kept = [r for r in scored if all(r.contains(k) for k in keywords)]
-    else:
-        kept = [r for r in scored if any(r.contains(k) for k in keywords)]
-    return ScoringOutcome(
-        results=kept, view_size=view_size, idf=idf, all_results=scored
-    )
+        return [r for r in scored if all(r.contains(k) for k in keywords)]
+    return [r for r in scored if any(r.contains(k) for k in keywords)]
 
 
 def compute_idf(
     scored: Sequence[ScoredResult], view_size: int, keywords: Sequence[str]
 ) -> dict[str, float]:
     """``idf(k) = |V(D)| / |{e in V(D): contains(e, k)}|`` per keyword."""
-    idf: dict[str, float] = {}
-    for keyword in keywords:
-        containing = sum(1 for result in scored if result.contains(keyword))
-        idf[keyword] = view_size / containing if containing else 0.0
-    return idf
+    return idf_from_counts(view_size, containing_counts(scored, keywords))
 
 
 def select_top_k(outcome: ScoringOutcome, k: Optional[int]) -> list[ScoredResult]:

@@ -1,0 +1,727 @@
+"""Corpus sharding: per-shard executors + a scatter-gather coordinator.
+
+Everything through the single :class:`~repro.core.engine.KeywordSearchEngine`
+scales per *document*; this module scales per *corpus*.  The corpus is
+hash-partitioned across N :class:`ShardExecutor`\\ s — each owning its own
+database, query cache and snapshot-store slice — by a :class:`ShardPlan`
+that reuses the cache's keyspace partitioning (:class:`repro.core.routing.
+ShardRouter`), and a :class:`CorpusCoordinator` runs queries over the
+fleet with the paper's Section 4.2.2.2 top-k selection generalized to a
+scatter-gather merge.
+
+The protocol has two scatter phases because idf is a **global** view
+statistic (Section 2.2: ``idf(k) = |V(D)| / containing(k)`` over the
+*whole* view) — no shard can score independently:
+
+1. **Statistics scatter** — every shard holding view fragments runs the
+   pipeline through evaluation and the statistics walk
+   (:meth:`~repro.core.engine.KeywordSearchEngine.collect_view_statistics`),
+   returning per-result tf vectors/byte lengths plus two integers per
+   shard: its view-size contribution and per-keyword containing counts.
+2. **Gather** — the coordinator sums the integers (exact, so the idf
+   floats are bit-identical to the single-engine division), rebases each
+   fragment's result indexes to global view positions (prefix sums over
+   fragment sizes in sequence order), and computes the global idf.
+3. **Ranking scatter** — every shard applies the global idf, filters by
+   the keyword semantics, and runs its own bounded top-k heap.
+4. **Streaming merge** — the coordinator k-way-merges the per-shard
+   ranked streams (:func:`repro.core.topk.merge_shard_streams`),
+   abandoning a shard as soon as its score upper bound falls strictly
+   below the current k-th score.
+
+A view is fragmented at its top-level sequence boundaries (``(f1, f2,
+…)``): each fragment is the evaluation unit and must live wholly on one
+shard — the plan colocates a fragment's documents, and ``define_view``
+rejects a plan that would split one.  Ranking is **bit-identical** to
+evaluating the concatenated view on one engine: sequence evaluation is
+fragment-by-fragment, the statistics are integer-summed, the scores are
+the same floats, and the merge provably returns the same top-k (the
+difftest suite asserts this bit-for-bit across randomized plans).
+
+The single-engine API is the 1-shard degenerate case: one executor, one
+fragment set, a merge over one stream.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Mapping, Optional, Sequence, Union
+
+from repro.core.cache import QueryCache
+from repro.core.engine import (
+    KeywordSearchEngine,
+    PhaseTimings,
+    SearchOutcome,
+    SearchResult,
+    ViewStatistics,
+)
+from repro.core.routing import ShardRouter
+from repro.core.scoring import (
+    ScoredResult,
+    apply_scores,
+    filter_matching,
+    idf_from_counts,
+)
+from repro.core.snapshot import SkeletonStore
+from repro.core.topk import (
+    MergeStats,
+    ShardStream,
+    TopKSelector,
+    merge_shard_streams,
+)
+from repro.errors import ShardingError, ViewDefinitionError
+from repro.storage.database import IndexedDocument, XMLDatabase
+from repro.xmlmodel.node import Document, XMLNode
+from repro.xmlmodel.tokenizer import normalize_keyword
+from repro.xquery.ast import Expr, SequenceExpr, referenced_documents
+from repro.xquery.functions import inline_functions
+from repro.xquery.parser import parse_query
+
+
+# -- view fragmentation ---------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Fragment:
+    """One top-level piece of a view's sequence expression.
+
+    ``position`` is the fragment's index in the sequence — the key for
+    rebasing its local result indexes to global view positions.  A
+    fragment is the unit of placement: its documents must share a shard.
+    """
+
+    position: int
+    expr: Expr
+    documents: tuple[str, ...]
+
+
+def view_fragments(expr: Expr) -> tuple[Fragment, ...]:
+    """Split a view expression at its top-level sequence boundaries.
+
+    A non-sequence view is a single fragment.  Sequence evaluation is
+    fragment-by-fragment concatenation, so per-fragment results at
+    rebased indexes reproduce the whole view's result order exactly.
+    """
+    if isinstance(expr, SequenceExpr):
+        items: tuple[Expr, ...] = expr.items
+    else:
+        items = (expr,)
+    fragments = []
+    for position, item in enumerate(items):
+        documents = tuple(sorted(referenced_documents(item)))
+        if not documents:
+            raise ShardingError(
+                f"view fragment {position} references no documents; it "
+                "cannot be placed on any shard"
+            )
+        fragments.append(
+            Fragment(position=position, expr=item, documents=documents)
+        )
+    return tuple(fragments)
+
+
+# -- the shard plan -------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """An immutable document-to-shard assignment.
+
+    Built either by hashing (``build`` — the production path, stable
+    across processes via :class:`ShardRouter`) or verbatim
+    (``from_assignments`` — the difftest path, which sweeps randomized
+    placements).
+    """
+
+    shard_count: int
+    assignments: Mapping[str, int]
+
+    @classmethod
+    def build(
+        cls,
+        doc_names: Sequence[str],
+        shard_count: int,
+        colocate: Sequence[Sequence[str]] = (),
+        router: Optional[ShardRouter] = None,
+    ) -> "ShardPlan":
+        """Hash-partition documents, honoring colocation constraints.
+
+        ``colocate`` groups (typically one group per multi-document view
+        fragment) are placed as units: union-find merges overlapping
+        groups, each component's *leader* is its lexicographically
+        smallest document, and the whole component lands on the leader's
+        hash shard — deterministic, and independent of group order.
+        """
+        router = router or ShardRouter(shard_count)
+        if router.shard_count != shard_count:
+            raise ShardingError(
+                f"router is configured for {router.shard_count} shards, "
+                f"plan wants {shard_count}"
+            )
+        parent = {name: name for name in doc_names}
+
+        def find(name: str) -> str:
+            while parent[name] != name:
+                parent[name] = parent[parent[name]]
+                name = parent[name]
+            return name
+
+        for group in colocate:
+            group = list(group)
+            for doc in group:
+                if doc not in parent:
+                    raise ShardingError(
+                        f"colocation constraint references unknown "
+                        f"document {doc!r}"
+                    )
+            for doc in group[1:]:
+                parent[find(doc)] = find(group[0])
+
+        leaders: dict[str, str] = {}
+        for name in parent:
+            root = find(name)
+            if root not in leaders or name < leaders[root]:
+                leaders[root] = name
+        assignments = {
+            name: router.place_document(leaders[find(name)])
+            for name in parent
+        }
+        return cls(shard_count=shard_count, assignments=assignments)
+
+    @classmethod
+    def from_assignments(
+        cls, assignments: Mapping[str, int], shard_count: int
+    ) -> "ShardPlan":
+        for name, shard in assignments.items():
+            if not 0 <= shard < shard_count:
+                raise ShardingError(
+                    f"document {name!r} assigned to shard {shard}, outside "
+                    f"[0, {shard_count})"
+                )
+        return cls(shard_count=shard_count, assignments=dict(assignments))
+
+    def shard_of(self, doc_name: str) -> int:
+        try:
+            return self.assignments[doc_name]
+        except KeyError:
+            raise ShardingError(
+                f"document {doc_name!r} is not in the shard plan"
+            ) from None
+
+    def documents_for(self, shard_id: int) -> list[str]:
+        return sorted(
+            name
+            for name, shard in self.assignments.items()
+            if shard == shard_id
+        )
+
+
+# -- per-shard execution --------------------------------------------------------
+
+
+@dataclass
+class FragmentStatistics:
+    """Phase-1 statistics for one fragment on one shard."""
+
+    position: int
+    stats: ViewStatistics
+
+
+@dataclass
+class ShardHarvest:
+    """Everything one shard returns from the statistics scatter."""
+
+    shard_id: int
+    fragments: list[FragmentStatistics]
+    timings: PhaseTimings
+    cache_hits: dict[str, str]
+    evaluated_hit: bool
+
+    @property
+    def pdts(self) -> dict:
+        """Per-document PDTs, merged across fragments (diagnostic only:
+        scoring already resolved tfs through each fragment's own PDTs,
+        so last-wins merging for documents shared by fragments is fine).
+        """
+        merged: dict = {}
+        for fragment in self.fragments:
+            merged.update(fragment.stats.pdts)
+        return merged
+
+
+@dataclass
+class ShardRanking:
+    """Phase-2 output: the shard's ranked survivors."""
+
+    shard_id: int
+    ranked: list[ScoredResult]
+    matching_count: int
+
+
+class ShardExecutor:
+    """One shard: its own database, cache, snapshot slice, and engine.
+
+    Executors never see each other — all cross-shard coordination
+    (global idf, index rebasing, the final merge) happens in the
+    coordinator.  Each view fragment placed here is registered as its
+    own engine view (``view#position``), so every cache tier — prepared
+    lists, skeletons, PDTs, evaluated results — operates per fragment.
+    """
+
+    def __init__(
+        self,
+        shard_id: int,
+        normalize_scores: bool = True,
+        cache: Optional[QueryCache] = None,
+        enable_cache: bool = True,
+        snapshot_store: Optional[SkeletonStore] = None,
+        database: Optional[XMLDatabase] = None,
+    ):
+        self.shard_id = shard_id
+        self.database = database if database is not None else XMLDatabase()
+        self.engine = KeywordSearchEngine(
+            self.database,
+            normalize_scores=normalize_scores,
+            cache=cache,
+            enable_cache=enable_cache,
+            snapshot_store=snapshot_store,
+        )
+        self._fragments: dict[str, tuple[Fragment, ...]] = {}
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardExecutor(shard_id={self.shard_id}, "
+            f"documents={self.database.document_names()})"
+        )
+
+    # -- corpus slice ------------------------------------------------------------
+
+    def load_document(
+        self, name: str, source: Union[str, XMLNode, Document]
+    ) -> IndexedDocument:
+        return self.database.load_document(name, source)
+
+    def adopt_document(self, indexed: IndexedDocument) -> IndexedDocument:
+        """Attach a document indexed elsewhere (ingestion workers, or a
+        single-engine database being re-partitioned for comparison)."""
+        return self.database.attach_document(indexed)
+
+    # -- views -------------------------------------------------------------------
+
+    def register_view(
+        self, view_name: str, fragments: Sequence[Fragment]
+    ) -> None:
+        """Register this shard's fragments of a view.
+
+        Each fragment becomes a separate engine view named
+        ``view#position`` — stable across processes (the position comes
+        from the view text), so cache keys and snapshot files line up
+        between runs.
+        """
+        ordered = tuple(sorted(fragments, key=lambda f: f.position))
+        for fragment in ordered:
+            self.engine.register_view(
+                _fragment_view_name(view_name, fragment.position),
+                fragment.expr,
+            )
+        self._fragments[view_name] = ordered
+
+    def fragments_for(self, view_name: str) -> tuple[Fragment, ...]:
+        try:
+            return self._fragments[view_name]
+        except KeyError:
+            raise ViewDefinitionError(
+                f"shard {self.shard_id} holds no fragments of view "
+                f"{view_name!r}"
+            ) from None
+
+    def warm_view(self, view_name: str) -> dict[str, str]:
+        """Warm every fragment's skeleton/evaluated tiers on this shard."""
+        merged: dict[str, str] = {}
+        for fragment in self.fragments_for(view_name):
+            merged.update(
+                self.engine.warm_view(
+                    _fragment_view_name(view_name, fragment.position)
+                )
+            )
+        return merged
+
+    # -- the two scatter phases --------------------------------------------------
+
+    def collect(
+        self, view_name: str, normalized: tuple[str, ...]
+    ) -> ShardHarvest:
+        """Statistics scatter: phase 1 over every local fragment."""
+        timings = PhaseTimings()
+        fragments: list[FragmentStatistics] = []
+        cache_hits: dict[str, str] = {}
+        evaluated_hit = True
+        for fragment in self.fragments_for(view_name):
+            stats = self.engine.collect_view_statistics(
+                _fragment_view_name(view_name, fragment.position),
+                normalized,
+                timings,
+            )
+            fragments.append(
+                FragmentStatistics(position=fragment.position, stats=stats)
+            )
+            cache_hits.update(stats.cache_hits)
+            evaluated_hit = evaluated_hit and stats.evaluated_hit
+        return ShardHarvest(
+            shard_id=self.shard_id,
+            fragments=fragments,
+            timings=timings,
+            cache_hits=cache_hits,
+            evaluated_hit=evaluated_hit,
+        )
+
+    def rank(
+        self,
+        harvest: ShardHarvest,
+        idf: Mapping[str, float],
+        normalized: tuple[str, ...],
+        conjunctive: bool,
+        k: Optional[int],
+        normalize: bool,
+    ) -> ShardRanking:
+        """Ranking scatter: apply the global idf, filter, bounded top-k.
+
+        The harvest's result indexes must already be rebased to global
+        view positions (the coordinator does this in the gather step) so
+        the heap's tie-break — and therefore the merged ranking — is
+        identical to the single-engine path.
+        """
+        start = time.perf_counter()
+        selector = TopKSelector(k)
+        matching = 0
+        for fragment in harvest.fragments:
+            apply_scores(fragment.stats.scored, idf, normalized, normalize)
+            kept = filter_matching(
+                fragment.stats.scored, normalized, conjunctive
+            )
+            matching += len(kept)
+            selector.extend(kept)
+        ranked = selector.results()
+        harvest.timings.post_processing += time.perf_counter() - start
+        return ShardRanking(
+            shard_id=self.shard_id, ranked=ranked, matching_count=matching
+        )
+
+
+def _fragment_view_name(view_name: str, position: int) -> str:
+    return f"{view_name}#{position}"
+
+
+# -- the coordinator ------------------------------------------------------------
+
+
+@dataclass
+class CoordinatorView:
+    """A view as the coordinator sees it: fragments and their homes."""
+
+    name: str
+    text: str
+    expr: Expr
+    fragments: tuple[Fragment, ...]
+    fragment_shards: dict[int, int]  # fragment position -> shard id
+    shards: tuple[int, ...]  # distinct shards, ascending
+
+    @property
+    def document_names(self) -> list[str]:
+        return sorted(
+            {doc for fragment in self.fragments for doc in fragment.documents}
+        )
+
+
+@dataclass
+class ShardedSearchOutcome(SearchOutcome):
+    """A :class:`SearchOutcome` plus the scatter-gather diagnostics."""
+
+    shards: tuple[int, ...] = ()
+    merge_stats: Optional[MergeStats] = None
+    shard_timings: dict[int, PhaseTimings] = field(default_factory=dict)
+
+
+class CorpusCoordinator:
+    """Scatter-gather keyword search over a fleet of shard executors.
+
+    Speaks the same ``define_view`` / ``warm_view`` / ``search`` /
+    ``search_detailed`` surface as :class:`KeywordSearchEngine`, so the
+    serving layer can sit on either.  With ``parallel=True`` (default)
+    the scatter phases run on a thread pool sized to the fleet; pass
+    ``False`` for deterministic serial execution (the difftest harness
+    covers both).  The coordinator owns the pool — ``close()`` it, or
+    use the coordinator as a context manager.
+    """
+
+    def __init__(
+        self,
+        executors: Sequence[ShardExecutor],
+        plan: ShardPlan,
+        normalize_scores: bool = True,
+        parallel: bool = True,
+        merge_batch_size: int = 4,
+    ):
+        if len(executors) != plan.shard_count:
+            raise ShardingError(
+                f"plan wants {plan.shard_count} shards but "
+                f"{len(executors)} executors were supplied"
+            )
+        for index, executor in enumerate(executors):
+            if executor.shard_id != index:
+                raise ShardingError(
+                    f"executor at position {index} reports shard_id "
+                    f"{executor.shard_id}; executors must be ordered by "
+                    "shard id"
+                )
+        self.executors = list(executors)
+        self.plan = plan
+        self.normalize_scores = normalize_scores
+        self.parallel = parallel
+        self.merge_batch_size = merge_batch_size
+        self._views: dict[str, CoordinatorView] = {}
+        self._pool: Optional[ThreadPoolExecutor] = None
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    @property
+    def shard_count(self) -> int:
+        return self.plan.shard_count
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __enter__(self) -> "CorpusCoordinator":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _map(self, fn, shards: Sequence[int]) -> dict:
+        """Run ``fn(shard_id)`` for every shard, parallel when configured."""
+        if self.parallel and len(shards) > 1:
+            if self._pool is None:
+                self._pool = ThreadPoolExecutor(
+                    max_workers=len(self.executors),
+                    thread_name_prefix="shard",
+                )
+            return dict(zip(shards, self._pool.map(fn, shards)))
+        return {shard: fn(shard) for shard in shards}
+
+    # -- views -------------------------------------------------------------------
+
+    def define_view(self, name: str, text: str) -> CoordinatorView:
+        """Parse a view, fragment it, and register each fragment on the
+        shard that owns its documents.
+
+        A fragment whose documents span shards is rejected: fragments
+        are the evaluation unit (a join cannot execute across two
+        databases), so the plan must have colocated them — ``build``'s
+        ``colocate`` groups exist exactly for this.
+        """
+        program = parse_query(text)
+        expr = inline_functions(program)
+        fragments = view_fragments(expr)
+        fragment_shards: dict[int, int] = {}
+        per_shard: dict[int, list[Fragment]] = {}
+        for fragment in fragments:
+            homes = {self.plan.shard_of(doc) for doc in fragment.documents}
+            if len(homes) > 1:
+                raise ShardingError(
+                    f"view {name!r} fragment {fragment.position} joins "
+                    f"documents {list(fragment.documents)} placed on "
+                    f"shards {sorted(homes)}; a fragment must live on one "
+                    "shard (colocate its documents in the plan)"
+                )
+            home = homes.pop()
+            fragment_shards[fragment.position] = home
+            per_shard.setdefault(home, []).append(fragment)
+        for shard, shard_fragments in per_shard.items():
+            self.executors[shard].register_view(name, shard_fragments)
+        view = CoordinatorView(
+            name=name,
+            text=text,
+            expr=expr,
+            fragments=fragments,
+            fragment_shards=fragment_shards,
+            shards=tuple(sorted(per_shard)),
+        )
+        self._views[name] = view
+        return view
+
+    def get_view(self, name: str) -> CoordinatorView:
+        try:
+            return self._views[name]
+        except KeyError:
+            raise ViewDefinitionError(f"no view named {name!r}") from None
+
+    def shards_for_view(self, name: str) -> tuple[int, ...]:
+        """The shards a query against this view scatters to."""
+        return self.get_view(name).shards
+
+    def shard_of_document(self, doc_name: str) -> int:
+        return self.plan.shard_of(doc_name)
+
+    def warm_view(self, view: Union[CoordinatorView, str]) -> dict[str, str]:
+        """Warm every owning shard's fragment tiers; merged per-doc hits."""
+        if isinstance(view, str):
+            view = self.get_view(view)
+        name = view.name
+        hits = self._map(
+            lambda shard: self.executors[shard].warm_view(name), view.shards
+        )
+        merged: dict[str, str] = {}
+        for shard in view.shards:
+            merged.update(hits[shard])
+        return merged
+
+    # -- search ------------------------------------------------------------------
+
+    def search(
+        self,
+        view: Union[CoordinatorView, str],
+        keywords: Sequence[str],
+        top_k: Optional[int] = 10,
+        conjunctive: bool = True,
+        materialize: bool = False,
+    ) -> list[SearchResult]:
+        return self.search_detailed(
+            view, keywords, top_k, conjunctive, materialize=materialize
+        ).results
+
+    def search_detailed(
+        self,
+        view: Union[CoordinatorView, str],
+        keywords: Sequence[str],
+        top_k: Optional[int] = 10,
+        conjunctive: bool = True,
+        materialize: bool = False,
+    ) -> ShardedSearchOutcome:
+        """The full scatter-gather protocol (see the module docstring).
+
+        The outcome's ``timings`` merge the per-shard ledgers by max
+        (they ran concurrently) — or by sum under ``parallel=False`` —
+        and stack the coordinator's own gather/merge spans serially on
+        top, so ``timings.total`` tracks coordinator wall clock.
+        """
+        coordinator_timings = PhaseTimings()
+        start = time.perf_counter()
+        if isinstance(view, str):
+            view = self.get_view(view)
+        normalized = tuple(normalize_keyword(keyword) for keyword in keywords)
+        shards = view.shards
+        name = view.name
+        coordinator_timings.qpt = time.perf_counter() - start
+
+        # Phase 1 scatter: per-shard statistics (no scores exist yet).
+        harvests = self._map(
+            lambda shard: self.executors[shard].collect(name, normalized),
+            shards,
+        )
+
+        # Gather: integer sums -> global idf; rebase fragment-local
+        # result indexes to global view positions so ranking tie-breaks
+        # match the single-engine concatenated evaluation exactly.
+        start = time.perf_counter()
+        fragment_sizes: dict[int, int] = {}
+        for shard in shards:
+            for fragment in harvests[shard].fragments:
+                fragment_sizes[fragment.position] = len(fragment.stats.scored)
+        offsets: dict[int, int] = {}
+        running = 0
+        for position in sorted(fragment_sizes):
+            offsets[position] = running
+            running += fragment_sizes[position]
+        view_size = running
+        for shard in shards:
+            for fragment in harvests[shard].fragments:
+                base = offsets[fragment.position]
+                for local_index, scored in enumerate(fragment.stats.scored):
+                    scored.index = base + local_index
+        containing = {
+            keyword: sum(
+                fragment.stats.containing.get(keyword, 0)
+                for shard in shards
+                for fragment in harvests[shard].fragments
+            )
+            for keyword in normalized
+        }
+        idf = idf_from_counts(view_size, containing)
+        coordinator_timings.post_processing += time.perf_counter() - start
+
+        # Phase 2 scatter: global idf -> scores -> per-shard bounded heap.
+        rankings = self._map(
+            lambda shard: self.executors[shard].rank(
+                harvests[shard],
+                idf,
+                normalized,
+                conjunctive,
+                top_k,
+                self.normalize_scores,
+            ),
+            shards,
+        )
+
+        # Streaming k-way merge with early termination.
+        start = time.perf_counter()
+        streams = [
+            ShardStream(
+                shard, rankings[shard].ranked, batch_size=self.merge_batch_size
+            )
+            for shard in shards
+        ]
+        winners, merge_stats = merge_shard_streams(streams, top_k)
+        owner = {
+            id(scored): shard
+            for shard in shards
+            for scored in rankings[shard].ranked
+        }
+        results = [
+            SearchResult(
+                rank=rank,
+                score=scored.score,
+                scored=scored,
+                _database=self.executors[owner[id(scored)]].database,
+            )
+            for rank, scored in enumerate(winners, start=1)
+        ]
+        if materialize:
+            for result in results:
+                result.materialize()
+        coordinator_timings.post_processing += time.perf_counter() - start
+
+        shard_timings = {shard: harvests[shard].timings for shard in shards}
+        merged_shard_timings = PhaseTimings.merge(
+            list(shard_timings.values()),
+            concurrent=self.parallel and len(shards) > 1,
+        )
+        timings = PhaseTimings.merge(
+            [coordinator_timings, merged_shard_timings], concurrent=False
+        )
+
+        pdts: dict = {}
+        cache_hits: dict[str, str] = {}
+        for shard in shards:
+            pdts.update(harvests[shard].pdts)
+            cache_hits.update(harvests[shard].cache_hits)
+        return ShardedSearchOutcome(
+            results=results,
+            view_size=view_size,
+            matching_count=sum(
+                rankings[shard].matching_count for shard in shards
+            ),
+            idf=idf,
+            pdts=pdts,
+            timings=timings,
+            cache_hits=cache_hits,
+            evaluated_hit=all(
+                harvests[shard].evaluated_hit for shard in shards
+            ),
+            shards=shards,
+            merge_stats=merge_stats,
+            shard_timings=shard_timings,
+        )

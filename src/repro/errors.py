@@ -64,6 +64,16 @@ class DocumentNotFoundError(StorageError):
         self.name = name
 
 
+class ShardingError(ReproError):
+    """Raised on corpus-sharding misuse.
+
+    Covers plan construction (a document assigned outside the shard
+    range, colocation constraints over unknown documents) and view
+    placement (a view fragment whose documents span shards — fragments
+    are the evaluation unit, so each must live wholly on one shard).
+    """
+
+
 class ViewDefinitionError(ReproError):
     """Raised when a view definition cannot be analyzed into QPTs."""
 

@@ -15,6 +15,7 @@ from repro.serving.admission import (
     REASON_COLD_VIEW_SHED,
     REASON_QUEUE_FULL,
     REASON_SERVER_STOPPED,
+    REASON_SHARD_SATURATED,
     REASON_VIEW_SATURATED,
     AdmissionController,
     AdmissionLimits,
@@ -37,6 +38,7 @@ __all__ = [
     "REASON_COLD_VIEW_SHED",
     "REASON_QUEUE_FULL",
     "REASON_SERVER_STOPPED",
+    "REASON_SHARD_SATURATED",
     "REASON_VIEW_SATURATED",
     "SearchServer",
     "ServeResult",

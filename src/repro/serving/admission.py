@@ -25,11 +25,12 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass
-from typing import Any, Optional
+from typing import Any, Optional, Sequence
 
 #: ``Overloaded.reason`` values (typed, not free-form strings).
 REASON_QUEUE_FULL = "queue_full"
 REASON_VIEW_SATURATED = "view_saturated"
+REASON_SHARD_SATURATED = "shard_saturated"
 REASON_COLD_VIEW_SHED = "cold_view_shed"
 REASON_SERVER_STOPPED = "server_stopped"
 
@@ -48,10 +49,13 @@ class Overloaded:
     queue_depth: int
     inflight: int
     limit: int
+    #: Which shard tripped a ``shard_saturated`` rejection (else None).
+    shard: Optional[int] = None
 
     def describe(self) -> str:
+        where = f" shard={self.shard}" if self.shard is not None else ""
         return (
-            f"overloaded ({self.reason}): view={self.view!r} "
+            f"overloaded ({self.reason}): view={self.view!r}{where} "
             f"queue_depth={self.queue_depth} inflight={self.inflight} "
             f"limit={self.limit}"
         )
@@ -63,6 +67,11 @@ class AdmissionLimits:
 
     max_queue_depth: int = 64
     max_inflight_per_view: int = 16
+    #: Queued + executing requests touching any one shard lane; ``None``
+    #: disables the check.  Under a sharded corpus this is the knob that
+    #: keeps one hot shard (skewed document placement, one giant view)
+    #: from absorbing the whole fleet's admission budget.
+    max_inflight_per_shard: Optional[int] = None
     #: Shed cold-view traffic under queue pressure (off by default; the
     #: two hard limits above are always on).
     shed_cold_views: bool = False
@@ -88,16 +97,26 @@ class AdmissionController:
         self.limits = limits or AdmissionLimits()
         self._lock = threading.Lock()
         self._inflight: dict[str, int] = {}
+        self._shard_inflight: dict[int, int] = {}
         self._miss_ewma: dict[str, float] = {}
 
     # -- the decision --------------------------------------------------------
 
-    def try_admit(self, view_name: str, queue_depth: int) -> Optional[Overloaded]:
+    def try_admit(
+        self,
+        view_name: str,
+        queue_depth: int,
+        shards: Sequence[int] = (),
+    ) -> Optional[Overloaded]:
         """Admit (returns ``None``, inflight incremented) or reject.
 
         Checks are ordered cheapest-signal-first: the queue bound (a
-        global backstop), the per-view inflight bound (fairness), then
-        — only when armed by queue pressure — the cold-view shed.
+        global backstop), the per-view inflight bound (fairness), the
+        per-shard inflight bound over ``shards`` (the lanes this request
+        would execute under — shard fairness, when a limit is set), then
+        — only when armed by queue pressure — the cold-view shed.  An
+        admitted request's ``shards`` are accounted until ``release`` is
+        called with the same sequence.
         """
         limits = self.limits
         with self._lock:
@@ -118,6 +137,18 @@ class AdmissionController:
                     inflight=inflight,
                     limit=limits.max_inflight_per_view,
                 )
+            if limits.max_inflight_per_shard is not None:
+                for shard in shards:
+                    shard_inflight = self._shard_inflight.get(shard, 0)
+                    if shard_inflight >= limits.max_inflight_per_shard:
+                        return Overloaded(
+                            reason=REASON_SHARD_SATURATED,
+                            view=view_name,
+                            queue_depth=queue_depth,
+                            inflight=shard_inflight,
+                            limit=limits.max_inflight_per_shard,
+                            shard=shard,
+                        )
             if (
                 limits.shed_cold_views
                 and queue_depth
@@ -137,16 +168,29 @@ class AdmissionController:
                     limit=limits.max_inflight_per_view,
                 )
             self._inflight[view_name] = inflight + 1
+            for shard in shards:
+                self._shard_inflight[shard] = (
+                    self._shard_inflight.get(shard, 0) + 1
+                )
             return None
 
-    def release(self, view_name: str) -> None:
-        """A previously admitted request finished (served or errored)."""
+    def release(self, view_name: str, shards: Sequence[int] = ()) -> None:
+        """A previously admitted request finished (served or errored).
+
+        ``shards`` must be the sequence the request was admitted with.
+        """
         with self._lock:
             remaining = self._inflight.get(view_name, 0) - 1
             if remaining > 0:
                 self._inflight[view_name] = remaining
             else:
                 self._inflight.pop(view_name, None)
+            for shard in shards:
+                left = self._shard_inflight.get(shard, 0) - 1
+                if left > 0:
+                    self._shard_inflight[shard] = left
+                else:
+                    self._shard_inflight.pop(shard, None)
 
     # -- the feedback loop ---------------------------------------------------
 
@@ -188,6 +232,10 @@ class AdmissionController:
         with self._lock:
             return self._inflight.get(view_name, 0)
 
+    def shard_inflight(self, shard: int) -> int:
+        with self._lock:
+            return self._shard_inflight.get(shard, 0)
+
     def miss_rate(self, view_name: str) -> Optional[float]:
         with self._lock:
             return self._miss_ewma.get(view_name)
@@ -196,5 +244,6 @@ class AdmissionController:
         with self._lock:
             return {
                 "inflight": dict(self._inflight),
+                "shard_inflight": dict(self._shard_inflight),
                 "miss_ewma": dict(self._miss_ewma),
             }

@@ -42,6 +42,8 @@ from functools import partial
 from typing import Any, Optional, Sequence, Union
 
 from repro.core.engine import KeywordSearchEngine, SearchOutcome, SearchResult, View
+from repro.core.routing import ShardRouter
+from repro.core.sharding import CorpusCoordinator
 from repro.serving.admission import (
     AdmissionController,
     AdmissionLimits,
@@ -60,6 +62,10 @@ class ServerConfig:
     max_queue_depth: int = 64
     #: Queued + executing requests per view; beyond it: ``view_saturated``.
     max_inflight_per_view: int = 16
+    #: Queued + executing requests per shard lane; ``None`` disables.
+    #: Under a :class:`~repro.core.sharding.CorpusCoordinator` the lanes
+    #: are shard executors, so this bounds each shard's admitted load.
+    max_inflight_per_shard: Optional[int] = None
     #: Concurrent requests per cache-shard lane (1 = serialize a shard).
     shard_lane_width: int = 2
     #: Worker coroutines == executor threads executing engine calls.
@@ -80,6 +86,7 @@ class ServerConfig:
         return AdmissionLimits(
             max_queue_depth=self.max_queue_depth,
             max_inflight_per_view=self.max_inflight_per_view,
+            max_inflight_per_shard=self.max_inflight_per_shard,
             shed_cold_views=self.shed_cold_views,
             shed_queue_fraction=self.shed_queue_fraction,
             shed_miss_threshold=self.shed_miss_threshold,
@@ -150,7 +157,7 @@ class SearchServer:
 
     def __init__(
         self,
-        engine: KeywordSearchEngine,
+        engine: Union[KeywordSearchEngine, CorpusCoordinator],
         config: Optional[ServerConfig] = None,
         stats: Optional[ServingStats] = None,
     ):
@@ -158,11 +165,19 @@ class SearchServer:
         self.config = config or ServerConfig()
         self.stats = stats or ServingStats(window=self.config.latency_window)
         self.admission = AdmissionController(self.config.admission_limits())
-        self.lane_count = (
-            engine.cache.shard_count
-            if engine.cache is not None
-            else self.config.fallback_shards
-        )
+        # Lanes mirror whatever partitions the engine's own execution:
+        # shard executors under a coordinator, cache shards under a
+        # single cached engine, and the shared router's keyspace when
+        # neither exists (so the cacheless fallback still agrees with
+        # every other layer about where a (view, doc) pair lives).
+        cache = getattr(engine, "cache", None)
+        if isinstance(engine, CorpusCoordinator):
+            self.lane_count = engine.shard_count
+        elif cache is not None:
+            self.lane_count = cache.shard_count
+        else:
+            self.lane_count = self.config.fallback_shards
+        self._fallback_router = ShardRouter(self.lane_count)
         self.startup_warmup: Optional[WarmupReport] = None
         self._running = False
         self._loop: Optional[asyncio.AbstractEventLoop] = None
@@ -232,7 +247,7 @@ class SearchServer:
         # requests behind: shed them so no caller awaits forever.
         while not self._queue.empty():
             request = self._queue.get_nowait()
-            self.admission.release(request.view_name)
+            self.admission.release(request.view_name, request.lanes)
             self.stats.record_rejected(REASON_SERVER_STOPPED)
             if not request.future.done():
                 request.future.set_result(
@@ -266,13 +281,18 @@ class SearchServer:
         ``materialize=True`` winners are expanded inside the thread
         pool, so reading ``to_xml()`` afterwards never blocks the loop.
         """
-        view_name = view.name if isinstance(view, View) else view
+        view_name = view if isinstance(view, str) else view.name
         resolved = self.engine.get_view(view_name)  # raises on unknown
         self.stats.record_submitted()
         if not self._running or self._queue is None:
             self.stats.record_rejected(REASON_SERVER_STOPPED)
             return self._stopped_response(view_name)
-        decision = self.admission.try_admit(view_name, self._queue.qsize())
+        # Lanes are resolved *before* admission so the per-shard inflight
+        # bound can see which shards this request would occupy.
+        lanes = self.route(resolved)
+        decision = self.admission.try_admit(
+            view_name, self._queue.qsize(), shards=lanes
+        )
         if decision is not None:
             self.stats.record_rejected(decision.reason)
             return decision
@@ -283,7 +303,7 @@ class SearchServer:
             top_k=top_k,
             conjunctive=conjunctive,
             materialize=materialize,
-            lanes=self.route(resolved),
+            lanes=lanes,
             future=self._loop.create_future(),
         )
         # Cannot overflow: admission just saw qsize() < max_queue_depth
@@ -317,14 +337,22 @@ class SearchServer:
     # -- routing -------------------------------------------------------------
 
     def route(self, view: Union[View, str]) -> tuple[int, ...]:
-        """The sorted cache-shard lanes a view's requests execute under.
+        """The sorted lanes a view's requests execute under.
 
-        Mirrors ``QueryCache.shard_for`` per ``(view, doc)`` pair, so
-        execution concurrency is partitioned exactly like the cache:
-        traffic for one shard's views queues on that shard's lane.
+        Under a :class:`CorpusCoordinator` the lanes *are* the shard
+        executors holding the view's fragments — a request serializes in
+        front of exactly the shards its scatter will touch.  Under a
+        single cached engine they mirror ``QueryCache.shard_for`` per
+        ``(view, doc)`` pair, so execution concurrency is partitioned
+        exactly like the cache.  The cacheless fallback hashes the same
+        pairs through the shared :class:`ShardRouter` — the same
+        placement a cache of ``lane_count`` shards would compute, never
+        a third opinion.
         """
         if isinstance(view, str):
             view = self.engine.get_view(view)
+        if isinstance(self.engine, CorpusCoordinator):
+            return self.engine.shards_for_view(view.name)
         cache = self.engine.cache
         if cache is not None:
             lanes = {
@@ -333,7 +361,7 @@ class SearchServer:
             }
         else:
             lanes = {
-                hash((view.name, doc_name)) % self.lane_count
+                self._fallback_router.route(view.name, doc_name)
                 for doc_name in view.document_names
             }
         return tuple(sorted(lanes))
@@ -381,7 +409,7 @@ class SearchServer:
                 )
                 service_time = time.perf_counter() - started
         except BaseException as exc:
-            self.admission.release(request.view_name)
+            self.admission.release(request.view_name, request.lanes)
             if isinstance(exc, asyncio.CancelledError):
                 # The worker was cancelled (stop(drain=False)), not the
                 # request: the caller gets the same typed stopped
@@ -399,7 +427,7 @@ class SearchServer:
                 request.future.set_exception(exc)
             return
         latency = time.perf_counter() - request.admitted_at
-        self.admission.release(request.view_name)
+        self.admission.release(request.view_name, request.lanes)
         self.admission.observe(request.view_name, outcome.cache_hits)
         self.stats.record_completed(
             queue_wait, service_time, latency, outcome.cache_hits
@@ -429,7 +457,7 @@ class SearchServer:
             "admission": self.admission.snapshot(),
             "cache": (
                 self.engine.cache.stats()
-                if self.engine.cache is not None
+                if getattr(self.engine, "cache", None) is not None
                 else {}
             ),
         }

@@ -88,7 +88,16 @@ def plan_warmup(
     a warm-up plan that silently skips a typo'd hot view would defeat
     its purpose.  Targets keep the caller's view order (then document
     order within a view), matching the order ``execute_warmup`` warms.
+
+    ``engine`` may also be a :class:`~repro.core.sharding.
+    CorpusCoordinator` (same ``get_view``/``warm_view`` surface): then
+    each target's ``shard`` is the shard *executor* holding the
+    document — the plan shows how warm-up work distributes over the
+    fleet, and warming runs per shard.  A plain engine annotates the
+    cache shard instead, or ``None`` without a cache.
     """
+    shard_of = getattr(engine, "shard_of_document", None)
+    cache = getattr(engine, "cache", None)
     targets: list[WarmupTarget] = []
     seen: set[str] = set()
     for name in view_names:
@@ -97,11 +106,12 @@ def plan_warmup(
         seen.add(name)
         view = engine.get_view(name)
         for doc_name in view.document_names:
-            shard = (
-                engine.cache.shard_for(name, doc_name)
-                if engine.cache is not None
-                else None
-            )
+            if shard_of is not None:
+                shard = shard_of(doc_name)
+            elif cache is not None:
+                shard = cache.shard_for(name, doc_name)
+            else:
+                shard = None
             targets.append(WarmupTarget(view=name, doc=doc_name, shard=shard))
     return targets
 

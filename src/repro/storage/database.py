@@ -94,6 +94,42 @@ class IndexedDocument:
         return self._fingerprint
 
 
+def index_document(
+    name: str,
+    source: Union[str, XMLNode, Document],
+    *,
+    store_positions: bool = False,
+    index_tag_names: bool = False,
+    generation: int = 0,
+) -> IndexedDocument:
+    """Parse (if needed), Dewey-label and index one document — no database.
+
+    This is the pure, shared-nothing heart of :meth:`XMLDatabase.load_document`:
+    it touches no shared state, so a bulk-ingestion pipeline can run it
+    across a thread pool and :meth:`XMLDatabase.attach_document` the
+    results under each target shard's own generation counter.
+    """
+    if isinstance(source, Document):
+        document = Document(
+            name, source.root, assign_ids=source.root.dewey is None
+        )
+    elif isinstance(source, XMLNode):
+        document = Document(name, source)
+    else:
+        document = Document(name, parse_xml(source))
+    return IndexedDocument(
+        document=document,
+        store=DocumentStore.from_tree(document.root),
+        path_index=PathIndex.from_tree(document.root),
+        inverted_index=InvertedIndex.from_tree(
+            document.root,
+            store_positions=store_positions,
+            index_tag_names=index_tag_names,
+        ),
+        generation=generation,
+    )
+
+
 class XMLDatabase:
     """A set of indexed XML documents addressable by name (``fn:doc``)."""
 
@@ -164,28 +200,48 @@ class XMLDatabase:
         """
         if name in self._documents:
             raise StorageError(f"document already loaded: {name!r}")
-        if isinstance(source, Document):
-            document = Document(
-                name, source.root, assign_ids=source.root.dewey is None
-            )
-        elif isinstance(source, XMLNode):
-            document = Document(name, source)
-        else:
-            document = Document(name, parse_xml(source))
-        indexed = IndexedDocument(
-            document=document,
-            store=DocumentStore.from_tree(document.root),
-            path_index=PathIndex.from_tree(document.root),
-            inverted_index=InvertedIndex.from_tree(
-                document.root,
-                store_positions=self.store_positions,
-                index_tag_names=self.index_tag_names,
-            ),
+        indexed = index_document(
+            name,
+            source,
+            store_positions=self.store_positions,
+            index_tag_names=self.index_tag_names,
             generation=next(self._generations),
         )
         self._documents[name] = indexed
         self._notify_invalidation(name)
         return indexed
+
+    def attach_document(self, indexed: IndexedDocument) -> IndexedDocument:
+        """Adopt an already-indexed document built elsewhere.
+
+        The ingestion pipeline indexes documents off-database (in
+        worker threads, via :func:`index_document`) and attaches each
+        to its target shard's database; the sharded difftest harness
+        attaches documents a single-engine case already indexed.  The
+        immutable pieces — labelled tree, store, indices, cached
+        serialization/fingerprint — are *shared* with the source, not
+        copied, but the adopted record gets a fresh generation from
+        **this** database's counter so its cache keys can never alias
+        another database's.  (The index objects carry their probe
+        counters with them; databases sharing a document share those
+        diagnostics, which the differential harness exploits.)
+        """
+        name = indexed.name
+        if name in self._documents:
+            raise StorageError(f"document already loaded: {name!r}")
+        adopted = IndexedDocument(
+            document=indexed.document,
+            store=indexed.store,
+            path_index=indexed.path_index,
+            inverted_index=indexed.inverted_index,
+            generation=next(self._generations),
+            _tag_index=indexed._tag_index,
+            _serialized=indexed._serialized,
+            _fingerprint=indexed._fingerprint,
+        )
+        self._documents[name] = adopted
+        self._notify_invalidation(name)
+        return adopted
 
     def drop_document(self, name: str) -> None:
         if name not in self._documents:

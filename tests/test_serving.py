@@ -24,6 +24,7 @@ from repro.serving import (
     REASON_COLD_VIEW_SHED,
     REASON_QUEUE_FULL,
     REASON_SERVER_STOPPED,
+    REASON_SHARD_SATURATED,
     REASON_VIEW_SATURATED,
     SearchServer,
     ServerConfig,
@@ -499,6 +500,123 @@ class TestPreWarmProperty:
                 assert response.cache_stats["skeleton"]["hits"] >= 2
 
         run_async(scenario())
+
+
+class TestShardedServing:
+    """The server over a :class:`CorpusCoordinator`: shard-executor
+    lanes, per-shard admission and per-shard warm-up planning."""
+
+    DOCS = {
+        f"s{i}": (
+            f"<lib><book><title>alpha beta {'gamma ' * (i % 3)}</title>"
+            f"<body>delta {'alpha ' * (i % 4)}epsilon</body></book></lib>"
+        )
+        for i in range(6)
+    }
+    VIEW = "(" + ",\n".join(
+        f"(for $b in fn:doc(s{i})//book "
+        f"return <hit>{{$b/title}}{{$b/body}}</hit>)"
+        for i in range(6)
+    ) + ")"
+
+    def _coordinator(self, shard_count=3):
+        from repro.core.ingest import ingest_corpus
+
+        coordinator, _ = ingest_corpus(
+            self.DOCS, {"v": self.VIEW}, shard_count=shard_count
+        )
+        return coordinator
+
+    def test_per_shard_inflight_bound(self):
+        controller = AdmissionController(
+            AdmissionLimits(max_inflight_per_shard=1)
+        )
+        assert controller.try_admit("v", 0, shards=(0, 1)) is None
+        rejected = controller.try_admit("w", 0, shards=(1, 2))
+        assert rejected is not None
+        assert rejected.reason == REASON_SHARD_SATURATED
+        assert rejected.shard == 1
+        assert "shard=1" in rejected.describe()
+        # A disjoint lane set is unaffected...
+        assert controller.try_admit("w", 0, shards=(2,)) is None
+        # ...and nothing was leaked by the rejected attempt: releasing
+        # the two admitted requests empties the accounting entirely.
+        controller.release("v", shards=(0, 1))
+        controller.release("w", shards=(2,))
+        assert controller.snapshot()["shard_inflight"] == {}
+        assert controller.try_admit("w", 0, shards=(1, 2)) is None
+
+    def test_server_over_coordinator_matches_direct_search(self):
+        coordinator = self._coordinator()
+        with coordinator:
+            expected = {
+                kws: [
+                    (r.rank, r.score, r.to_xml())
+                    for r in coordinator.search("v", kws, top_k=5)
+                ]
+                for kws in (("alpha",), ("alpha", "gamma"))
+            }
+
+            async def scenario():
+                config = ServerConfig(warm_views=("v",), workers=3)
+                async with SearchServer(coordinator, config) as server:
+                    # The lanes *are* the shard executors.
+                    assert server.lane_count == coordinator.shard_count
+                    assert server.route("v") == coordinator.shards_for_view(
+                        "v"
+                    )
+                    for kws, want in expected.items():
+                        response = await server.search("v", kws, top_k=5)
+                        assert isinstance(response, ServeResult)
+                        assert [
+                            (r.rank, r.score, r.to_xml())
+                            for r in response.results
+                        ] == want
+                        assert response.lanes == server.route("v")
+                        # The sharded outcome's diagnostics ride along.
+                        assert response.outcome.merge_stats is not None
+
+            run_async(scenario())
+
+    def test_warmup_plan_annotates_executor_shards(self):
+        coordinator = self._coordinator()
+        with coordinator:
+            targets = plan_warmup(coordinator, ["v"])
+            assert {t.doc for t in targets} == set(self.DOCS)
+            for target in targets:
+                assert target.shard == coordinator.shard_of_document(
+                    target.doc
+                )
+
+    def test_shard_saturated_rejection_through_server(self, monkeypatch):
+        coordinator = self._coordinator()
+        with coordinator:
+            started, gate = gate_engine(monkeypatch, coordinator)
+
+            async def scenario():
+                config = ServerConfig(
+                    workers=2, max_inflight_per_shard=1
+                )
+                async with SearchServer(coordinator, config) as server:
+                    first = asyncio.ensure_future(
+                        server.search("v", ("alpha",))
+                    )
+                    await wait_for_event(started)
+                    # Every shard lane is now occupied by the gated
+                    # request; the next request for the same view trips
+                    # the per-shard bound, not the per-view one.
+                    rejected = await server.search("v", ("alpha",))
+                    assert isinstance(rejected, Overloaded)
+                    assert rejected.reason == REASON_SHARD_SATURATED
+                    assert rejected.shard in server.route("v")
+                    gate.set()
+                    served = await first
+                    assert isinstance(served, ServeResult)
+                    # The released lanes admit again.
+                    again = await server.search("v", ("alpha",))
+                    assert isinstance(again, ServeResult)
+
+            run_async(scenario())
 
 
 class TestStatsPrimitives:

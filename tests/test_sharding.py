@@ -1,0 +1,425 @@
+"""The corpus-sharding layer: router, plan, executors, coordinator, ingest."""
+
+import json
+
+import pytest
+
+from repro.core.cache import QueryCache, ShardedLRUCache
+from repro.core.engine import KeywordSearchEngine, PhaseTimings
+from repro.core.ingest import ingest_corpus
+from repro.core.routing import ShardRouter
+from repro.core.sharding import (
+    CorpusCoordinator,
+    ShardExecutor,
+    ShardPlan,
+    view_fragments,
+)
+from repro.errors import ShardingError, StorageError, ViewDefinitionError
+from repro.storage.database import XMLDatabase, index_document
+from repro.xquery.functions import inline_functions
+from repro.xquery.parser import parse_query
+
+
+DOCS = {
+    f"d{i}": (
+        f"<lib><book><title>alpha beta {'gamma ' * (i % 3)}</title>"
+        f"<body>delta {'alpha ' * (i % 4)}epsilon</body></book></lib>"
+    )
+    for i in range(8)
+}
+
+
+def _fragment(name):
+    return (
+        f"(for $b in fn:doc({name})//book "
+        f"return <hit>{{$b/title}}{{$b/body}}</hit>)"
+    )
+
+
+def _view_text(names):
+    return "(" + ",\n".join(_fragment(name) for name in names) + ")"
+
+
+def _single_engine(view_text, docs=DOCS):
+    db = XMLDatabase()
+    for name in sorted(docs):
+        db.load_document(name, docs[name])
+    engine = KeywordSearchEngine(db)
+    engine.define_view("v", view_text)
+    return engine
+
+
+def _coordinator(shard_count, view_text, docs=DOCS, parallel=False):
+    plan = ShardPlan.build(sorted(docs), shard_count)
+    executors = [ShardExecutor(i) for i in range(shard_count)]
+    for name in sorted(docs):
+        executors[plan.shard_of(name)].load_document(name, docs[name])
+    coordinator = CorpusCoordinator(executors, plan, parallel=parallel)
+    coordinator.define_view("v", view_text)
+    return coordinator
+
+
+class TestShardRouter:
+    def test_deterministic_and_in_range(self):
+        router = ShardRouter(7)
+        for key in ("a", ("v", "d"), 42, ("x", 1, ("y",))):
+            shard = router.index(key)
+            assert 0 <= shard < 7
+            assert router.index(key) == shard  # stable
+        assert ShardRouter(7).index(("v", "d")) == router.index(("v", "d"))
+
+    def test_route_is_index_of_tuple(self):
+        router = ShardRouter(5)
+        assert router.route("v", "d") == router.index(("v", "d"))
+        assert router.place_document("d") == router.index(("d",))
+
+    def test_spreads_keys(self):
+        router = ShardRouter(4)
+        shards = {router.place_document(f"doc{i}.xml") for i in range(64)}
+        assert shards == {0, 1, 2, 3}
+
+    def test_rejects_bad_count(self):
+        with pytest.raises(ValueError):
+            ShardRouter(0)
+
+    def test_equality(self):
+        assert ShardRouter(3) == ShardRouter(3)
+        assert ShardRouter(3) != ShardRouter(4)
+
+
+class TestRouterIsShared:
+    """Satellite 1: cache tiers, serving lanes and plans route identically."""
+
+    def test_query_cache_shard_for_uses_router(self):
+        cache = QueryCache()
+        router = cache.router
+        assert cache.shard_for("v", "d") == router.route("v", "d")
+        for tier in (cache.prepared, cache.pdts, cache.skeletons, cache.evaluated):
+            assert tier.router is router
+
+    def test_tier_rejects_mismatched_router(self):
+        with pytest.raises(ValueError):
+            ShardedLRUCache(
+                capacity=8,
+                shards=4,
+                shard_key=lambda k: k,
+                router=ShardRouter(8),
+            )
+
+    def test_plan_agrees_with_router(self):
+        router = ShardRouter(4)
+        plan = ShardPlan.build(sorted(DOCS), 4, router=router)
+        for name in DOCS:
+            assert plan.shard_of(name) == router.place_document(name)
+
+
+class TestShardPlan:
+    def test_build_assigns_every_document(self):
+        plan = ShardPlan.build(sorted(DOCS), 3)
+        assert set(plan.assignments) == set(DOCS)
+        assert all(0 <= s < 3 for s in plan.assignments.values())
+        assert sorted(
+            doc for s in range(3) for doc in plan.documents_for(s)
+        ) == sorted(DOCS)
+
+    def test_colocation_groups_share_a_shard(self):
+        plan = ShardPlan.build(
+            sorted(DOCS), 5, colocate=[("d0", "d3"), ("d3", "d6")]
+        )
+        # Transitive: d0/d3/d6 form one component.
+        assert plan.shard_of("d0") == plan.shard_of("d3") == plan.shard_of("d6")
+
+    def test_colocation_is_deterministic(self):
+        first = ShardPlan.build(sorted(DOCS), 5, colocate=[("d1", "d2")])
+        second = ShardPlan.build(
+            sorted(DOCS), 5, colocate=[("d2", "d1")]  # order must not matter
+        )
+        assert first.assignments == second.assignments
+
+    def test_colocation_unknown_document(self):
+        with pytest.raises(ShardingError):
+            ShardPlan.build(["d0"], 2, colocate=[("d0", "ghost")])
+
+    def test_from_assignments_validates_range(self):
+        with pytest.raises(ShardingError):
+            ShardPlan.from_assignments({"d0": 5}, 2)
+
+    def test_shard_of_unknown_document(self):
+        plan = ShardPlan.from_assignments({"d0": 0}, 2)
+        with pytest.raises(ShardingError):
+            plan.shard_of("ghost")
+
+
+class TestViewFragments:
+    def test_single_expression_is_one_fragment(self):
+        expr = inline_functions(parse_query(_fragment("d0")))
+        fragments = view_fragments(expr)
+        assert len(fragments) == 1
+        assert fragments[0].position == 0
+        assert fragments[0].documents == ("d0",)
+
+    def test_sequence_splits_by_position(self):
+        expr = inline_functions(
+            parse_query(_view_text(["d0", "d1", "d2"]))
+        )
+        fragments = view_fragments(expr)
+        assert [f.position for f in fragments] == [0, 1, 2]
+        assert [f.documents for f in fragments] == [("d0",), ("d1",), ("d2",)]
+
+    def test_docless_fragment_rejected(self):
+        expr = inline_functions(parse_query("(<a></a>, <b></b>)"))
+        with pytest.raises(ShardingError):
+            view_fragments(expr)
+
+
+class TestPhaseTimingsMerge:
+    def test_concurrent_takes_max_per_field(self):
+        a = PhaseTimings(qpt=1.0, pdt=2.0, evaluator=5.0)
+        b = PhaseTimings(qpt=3.0, pdt=1.0, post_processing=4.0)
+        merged = PhaseTimings.merge([a, b], concurrent=True)
+        assert merged.qpt == 3.0
+        assert merged.pdt == 2.0
+        assert merged.evaluator == 5.0
+        assert merged.post_processing == 4.0
+
+    def test_serial_sums_per_field(self):
+        a = PhaseTimings(qpt=1.0, pdt_skeleton=0.5)
+        b = PhaseTimings(qpt=3.0, pdt_skeleton=0.25)
+        merged = PhaseTimings.merge([a, b], concurrent=False)
+        assert merged.qpt == 4.0
+        assert merged.pdt_skeleton == 0.75
+
+    def test_empty_merges_to_zeros(self):
+        for concurrent in (True, False):
+            merged = PhaseTimings.merge([], concurrent=concurrent)
+            assert merged.total == 0.0
+
+    def test_single_span_is_identity(self):
+        span = PhaseTimings(qpt=1.0, pdt=2.0, evaluator=3.0, post_processing=4.0)
+        for concurrent in (True, False):
+            assert PhaseTimings.merge([span], concurrent=concurrent) == span
+
+
+class TestAttachDocument:
+    def test_shares_indices_with_fresh_generation(self):
+        source = XMLDatabase()
+        original = source.load_document("d0", DOCS["d0"])
+        target = XMLDatabase()
+        target.load_document("other", DOCS["d1"])  # advance the counter
+        adopted = target.attach_document(original)
+        assert adopted.path_index is original.path_index
+        assert adopted.inverted_index is original.inverted_index
+        assert adopted.store is original.store
+        assert adopted.document is original.document
+        assert adopted.generation != original.generation
+
+    def test_rejects_duplicate_name(self):
+        source = XMLDatabase()
+        original = source.load_document("d0", DOCS["d0"])
+        target = XMLDatabase()
+        target.load_document("d0", DOCS["d0"])
+        with pytest.raises(StorageError):
+            target.attach_document(original)
+
+    def test_fires_invalidation_hook(self):
+        source = XMLDatabase()
+        original = source.load_document("d0", DOCS["d0"])
+        target = XMLDatabase()
+        seen = []
+        target.add_invalidation_hook(seen.append)
+        target.attach_document(original)
+        assert seen == ["d0"]
+
+    def test_index_document_matches_load(self):
+        indexed = index_document("d0", DOCS["d0"])
+        db = XMLDatabase()
+        loaded = db.load_document("d0", DOCS["d0"])
+        assert indexed.fingerprint == loaded.fingerprint
+        assert len(indexed.store) == len(loaded.store)
+
+
+class TestCoordinator:
+    @pytest.mark.parametrize("shard_count", [1, 2, 4])
+    @pytest.mark.parametrize("parallel", [False, True])
+    def test_matches_single_engine_bit_for_bit(self, shard_count, parallel):
+        view_text = _view_text(sorted(DOCS))
+        single = _single_engine(view_text)
+        with _coordinator(shard_count, view_text, parallel=parallel) as coord:
+            for keywords in (("alpha",), ("alpha", "gamma"), ("ghostword",)):
+                for conjunctive in (True, False):
+                    ref = single.search_detailed(
+                        "v", keywords, top_k=5, conjunctive=conjunctive
+                    )
+                    out = coord.search_detailed(
+                        "v", keywords, top_k=5, conjunctive=conjunctive
+                    )
+                    assert out.view_size == ref.view_size
+                    assert out.matching_count == ref.matching_count
+                    assert out.idf == ref.idf  # exact floats, not isclose
+                    assert [
+                        (r.rank, r.score, r.scored.index) for r in out.results
+                    ] == [
+                        (r.rank, r.score, r.scored.index) for r in ref.results
+                    ]
+                    assert [r.to_xml() for r in out.results] == [
+                        r.to_xml() for r in ref.results
+                    ]
+
+    def test_outcome_carries_shard_diagnostics(self):
+        view_text = _view_text(sorted(DOCS))
+        with _coordinator(4, view_text) as coord:
+            out = coord.search_detailed("v", ("alpha",), top_k=3)
+        assert out.shards == coord.shards_for_view("v")
+        assert len(out.shards) > 1  # 8 docs over 4 shards scatter
+        assert out.merge_stats is not None
+        assert out.merge_stats.shard_count == len(out.shards)
+        assert out.merge_stats.consumed <= out.merge_stats.candidates
+        assert set(out.shard_timings) == set(out.shards)
+        # Serial shard spans + coordinator spans: total covers both.
+        assert out.timings.total >= max(
+            t.total for t in out.shard_timings.values()
+        )
+
+    def test_fragment_spanning_shards_is_rejected(self):
+        plan = ShardPlan.from_assignments({"d0": 0, "d1": 1}, 2)
+        executors = [ShardExecutor(0), ShardExecutor(1)]
+        executors[0].load_document("d0", DOCS["d0"])
+        executors[1].load_document("d1", DOCS["d1"])
+        coordinator = CorpusCoordinator(executors, plan, parallel=False)
+        join = (
+            "for $a in fn:doc(d0)//book "
+            "for $b in fn:doc(d1)//book "
+            "where $a/title = $b/title "
+            "return $a"
+        )
+        with pytest.raises(ShardingError):
+            coordinator.define_view("j", join)
+
+    def test_executor_count_must_match_plan(self):
+        plan = ShardPlan.from_assignments({"d0": 0}, 2)
+        with pytest.raises(ShardingError):
+            CorpusCoordinator([ShardExecutor(0)], plan)
+
+    def test_executors_must_be_ordered(self):
+        plan = ShardPlan.from_assignments({"d0": 0}, 2)
+        with pytest.raises(ShardingError):
+            CorpusCoordinator([ShardExecutor(1), ShardExecutor(0)], plan)
+
+    def test_unknown_view(self):
+        with _coordinator(2, _view_text(["d0"]), docs={"d0": DOCS["d0"]}) as coord:
+            with pytest.raises(ViewDefinitionError):
+                coord.search("ghost", ("alpha",))
+
+    def test_warm_view_reports_and_warms(self):
+        view_text = _view_text(sorted(DOCS))
+        with _coordinator(3, view_text) as coord:
+            hits = coord.warm_view("v")
+            assert set(hits) == set(DOCS)
+            out = coord.search_detailed("v", ("alpha",), top_k=3)
+            # Warmed: every document served from the skeleton tier or
+            # deeper, and every fragment evaluation from the evaluated tier.
+            assert set(out.cache_hits.values()) <= {"skeleton", "pdt"}
+            assert out.evaluated_hit
+
+    def test_shard_of_document(self):
+        with _coordinator(4, _view_text(sorted(DOCS))) as coord:
+            for name in DOCS:
+                assert coord.shard_of_document(name) == coord.plan.shard_of(name)
+
+
+class TestIngest:
+    def test_ingest_builds_warm_coordinator(self, tmp_path):
+        view_text = _view_text(sorted(DOCS))
+        coordinator, report = ingest_corpus(
+            DOCS,
+            {"v": view_text},
+            shard_count=3,
+            snapshot_dir=tmp_path / "snapshots",
+        )
+        with coordinator:
+            assert report.shard_count == 3
+            assert set(report.documents) == set(DOCS)
+            assert set(report.views["v"]) == set(DOCS)
+            assert set(report.timings) == {"plan", "index", "attach", "warm"}
+            # Per-shard snapshot slices exist for every populated shard.
+            populated = set(report.documents.values())
+            for shard in populated:
+                assert (tmp_path / "snapshots" / f"shard-{shard:02d}").is_dir()
+            out = coordinator.search_detailed("v", ("alpha",), top_k=3)
+            assert out.evaluated_hit  # ingest pre-warmed the tiers
+            assert json.loads(json.dumps(report.as_dict()))  # serializable
+
+    def test_ingest_colocates_join_fragments(self):
+        # d0 and d3 carry identical titles (i % 3 == 0), so the value
+        # join genuinely produces results.
+        join_view = (
+            "for $a in fn:doc(d0)//book "
+            "for $b in fn:doc(d3)//book "
+            "where $a/title = $b/title "
+            "return <hit>{$a/title}</hit>"
+        )
+        coordinator, report = ingest_corpus(
+            {"d0": DOCS["d0"], "d3": DOCS["d3"]},
+            {"j": join_view},
+            shard_count=8,
+        )
+        with coordinator:
+            assert report.documents["d0"] == report.documents["d3"]
+            assert coordinator.search("j", ("alpha",), top_k=3)
+
+    def test_ingest_rejects_unknown_view_document(self):
+        with pytest.raises(ShardingError):
+            ingest_corpus({"d0": DOCS["d0"]}, {"v": _view_text(["ghost"])})
+
+    def test_ingest_matches_single_engine(self):
+        view_text = _view_text(sorted(DOCS))
+        single = _single_engine(view_text)
+        ref = single.search_detailed("v", ("alpha", "delta"), top_k=5)
+        for parallel in (False, True):
+            coordinator, _ = ingest_corpus(
+                DOCS, {"v": view_text}, shard_count=4, parallel=parallel
+            )
+            with coordinator:
+                out = coordinator.search_detailed(
+                    "v", ("alpha", "delta"), top_k=5
+                )
+                assert out.idf == ref.idf
+                assert [(r.rank, r.score) for r in out.results] == [
+                    (r.rank, r.score) for r in ref.results
+                ]
+
+    def test_cli_smoke(self, tmp_path, capsys):
+        from repro.ingest import main
+
+        doc_paths = []
+        for name in ("a", "b", "c"):
+            path = tmp_path / f"{name}.xml"
+            path.write_text(DOCS[f"d{len(doc_paths)}"])
+            doc_paths.append(str(path))
+        view_path = tmp_path / "view.xq"
+        view_path.write_text(_view_text(["a", "b", "c"]))
+        manifest = tmp_path / "manifest.json"
+        code = main(
+            [
+                "--shards",
+                "2",
+                "--view",
+                f"v={view_path}",
+                "--manifest",
+                str(manifest),
+                "--serial",
+                *doc_paths,
+            ]
+        )
+        assert code == 0
+        payload = json.loads(manifest.read_text())
+        assert payload["shard_count"] == 2
+        assert set(payload["documents"]) == {"a", "b", "c"}
+        assert json.loads(capsys.readouterr().out) == payload
+
+    def test_cli_reports_errors(self, tmp_path, capsys):
+        from repro.ingest import main
+
+        code = main([str(tmp_path / "missing.xml")])
+        assert code == 1
+        assert "ingest failed" in capsys.readouterr().err
