@@ -4,10 +4,12 @@ Times the three serving regimes of ``bench_x4_skeleton_reuse`` — cold /
 skeleton-warm / fully-warm — plus the annotation microbench pair of
 ``bench_x5_annotation``, the cold-path trio of ``bench_x7_cold_path``
 (legacy per-pattern build / batched array-swept build / snapshot
-restore) and the corpus-sharding pair of ``bench_x8_sharding`` (single
+restore), the corpus-sharding pair of ``bench_x8_sharding`` (single
 executor vs 4 shard executors over the cache-thrashing corpus, with
-the streaming merge's early-termination counters), at one or more data
-scales, and writes the latencies as JSON.  This is the artifact the CI
+the streaming merge's early-termination counters) and the update pair
+of ``bench_x9_updates`` (post-edit query under delta maintenance vs the
+invalidation-storm cold rebuild), at one or more data scales, and
+writes the latencies as JSON.  This is the artifact the CI
 perf-smoke job uploads per commit, so the ROADMAP's "fast as the
 hardware allows" goal has a recorded trajectory instead of docstring
 folklore.
@@ -15,7 +17,7 @@ folklore.
 Run it directly (no pytest-benchmark needed)::
 
     PYTHONPATH=src python benchmarks/bench_report.py \
-        --scales 0 1 --pr 6 --out BENCH_pr6.json
+        --scales 0 1 --pr 7 --out BENCH_pr7.json
 
 Scale 0 is a degenerate near-empty database — it keeps the smoke run
 fast and exercises the empty-document and zero-result edge paths.
@@ -167,6 +169,28 @@ def _sharding_ms(rounds: int) -> dict[str, float]:
     }
 
 
+def _updates_ms(rounds: int) -> dict[str, float]:
+    """The bench_x9 pair: post-edit query, delta-maintained vs storm.
+
+    Delegates to :func:`repro.bench.experiments.measure_updates` — one
+    measurement protocol shared with the X9 experiment table and the
+    self-enforcing acceptance bench.  Always measured on a fresh scale-1
+    INEX database (updates mutate in place, so the shared build cache is
+    never used) with the survival counters alongside the wall times.
+    """
+    from repro.bench.experiments import measure_updates
+
+    numbers = measure_updates(rounds=max(4, rounds // 6))
+    return {
+        "delta_ms": round(numbers["delta_ms"], 3),
+        "storm_ms": round(numbers["storm_ms"], 3),
+        "speedup": round(numbers["speedup"], 2),
+        "delta_warm_rounds": numbers["delta_warm_rounds"],
+        "delta_path_probes": numbers["delta_path_probes"],
+        "storm_path_probes": numbers["storm_path_probes"],
+    }
+
+
 def build_report(scales: list[int], rounds: int, pr: int) -> dict:
     report: dict = {
         "pr": pr,
@@ -189,6 +213,7 @@ def build_report(scales: list[int], rounds: int, pr: int) -> dict:
     if any(scale >= 1 for scale in scales):
         report["annotation"] = _annotation_us(rounds)
     report["sharding"] = _sharding_ms(rounds)
+    report["updates"] = _updates_ms(rounds)
     return report
 
 
@@ -196,8 +221,8 @@ def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--scales", type=int, nargs="+", default=[0, 1])
     parser.add_argument("--rounds", type=int, default=30)
-    parser.add_argument("--pr", type=int, default=6)
-    parser.add_argument("--out", type=Path, default=Path("BENCH_pr6.json"))
+    parser.add_argument("--pr", type=int, default=7)
+    parser.add_argument("--out", type=Path, default=Path("BENCH_pr7.json"))
     args = parser.parse_args()
     report = build_report(args.scales, args.rounds, args.pr)
     args.out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
@@ -209,6 +234,7 @@ def main() -> None:
     if "annotation" in report:
         print(f"  annotation: {report['annotation']}")
     print(f"  sharding: {report['sharding']}")
+    print(f"  updates: {report['updates']}")
 
 
 if __name__ == "__main__":

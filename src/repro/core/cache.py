@@ -143,6 +143,27 @@ class LRUCache:
         self.stats.invalidations += len(doomed)
         return len(doomed)
 
+    def rekey_where(
+        self,
+        predicate: Callable[[Hashable], Hashable],
+        transform: Callable[[Hashable], Hashable],
+    ) -> list[tuple[Hashable, Any]]:
+        """Move matching entries to ``transform(key)`` and return them.
+
+        The delta-maintenance migration primitive: a surviving entry is
+        re-addressed under its new coordinates (e.g. a fresh document
+        generation) instead of being dropped and rebuilt.  Moved entries
+        become most-recently-used; returns ``(new_key, value)`` pairs so
+        the caller can patch the values in place afterwards.
+        """
+        moved: list[tuple[Hashable, Any]] = []
+        for key in [k for k in self._data if predicate(k)]:
+            value = self._data.pop(key)
+            new_key = transform(key)
+            self._data[new_key] = value
+            moved.append((new_key, value))
+        return moved
+
     def clear(self) -> int:
         count = len(self._data)
         self._data.clear()
@@ -248,6 +269,25 @@ class ShardedLRUCache:
             with lock:
                 dropped += shard.invalidate_where(predicate)
         return dropped
+
+    def rekey_where(
+        self,
+        predicate: Callable[[Hashable], Hashable],
+        transform: Callable[[Hashable], Hashable],
+    ) -> list[tuple[Hashable, Any]]:
+        """Per-shard :meth:`LRUCache.rekey_where` (one lock at a time).
+
+        ``transform`` must preserve the shard coordinates (for the query
+        tiers: the view/document prefix the shard key reads) — the entry
+        is reinserted into the shard it was found in.  Generation
+        rewrites satisfy this by construction: generations never
+        participate in shard selection.
+        """
+        moved: list[tuple[Hashable, Any]] = []
+        for shard, lock in zip(self._shards, self._locks):
+            with lock:
+                moved.extend(shard.rekey_where(predicate, transform))
+        return moved
 
     def clear(self) -> int:
         dropped = 0
@@ -470,6 +510,43 @@ class QueryCache:
             lambda k: any(coord[0] == doc_name for coord in k[2])
         )
         return dropped
+
+    def apply_document_delta(
+        self,
+        doc_name: str,
+        old_generation: int,
+        new_generation: int,
+        patched_views: set[str],
+    ) -> tuple[list[tuple[tuple, Any]], int]:
+        """Delta-aware invalidation for one sub-document update.
+
+        Skeleton entries of ``patched_views`` (the views the engine
+        classified as skeleton-patchable for this edit) are *migrated* to
+        the new generation instead of dropped — the caller then patches
+        the skeleton objects in place.  Everything else derived from the
+        document dies: prepared lists (they hold pre-edit index arrays),
+        skeletons of non-patchable views or older generations, all PDTs
+        (their tf annotations embed pre-edit postings), and evaluated
+        results spanning the document.  Returns the moved ``(new_key,
+        skeleton)`` pairs and the number of entries dropped.
+        """
+        moved = self.skeletons.rekey_where(
+            lambda k: (
+                k[1] == doc_name
+                and k[2] == old_generation
+                and k[0] in patched_views
+            ),
+            lambda k: (k[0], k[1], new_generation, k[3]),
+        )
+        dropped = self.prepared.invalidate_where(lambda k: k[0] == doc_name)
+        dropped += self.skeletons.invalidate_where(
+            lambda k: k[1] == doc_name and k[2] != new_generation
+        )
+        dropped += self.pdts.invalidate_where(lambda k: k[1] == doc_name)
+        dropped += self.evaluated.invalidate_where(
+            lambda k: any(coord[0] == doc_name for coord in k[2])
+        )
+        return moved, dropped
 
     def invalidate_view(self, view_name: str) -> int:
         """Drop the skeletons, PDTs and evaluated results of a (re)defined

@@ -36,6 +36,7 @@ from repro.core.pdt import (
     annotate_skeleton,
     build_skeleton,
     generate_pdt,
+    patch_skeleton_byte_lengths,
 )
 from repro.core.prepare import (
     PreparedLists,
@@ -61,6 +62,7 @@ from repro.errors import (
     ViewDefinitionError,
 )
 from repro.storage.database import XMLDatabase
+from repro.storage.update import DocumentDelta
 from repro.xmlmodel.node import XMLNode
 from repro.xmlmodel.serializer import serialize
 from repro.xmlmodel.tokenizer import normalize_keyword
@@ -277,6 +279,8 @@ class KeywordSearchEngine:
         cache: Optional[QueryCache] = None,
         enable_cache: bool = True,
         snapshot_store: Optional["SkeletonStore"] = None,
+        delta_maintenance: bool = True,
+        rewarm_on_update: bool = True,
     ):
         self.database = database
         self.normalize_scores = normalize_scores
@@ -299,8 +303,19 @@ class KeywordSearchEngine:
         #: engine restarts and sibling processes sharing the directory
         #: load structural work instead of rebuilding it.
         self.snapshot_store = snapshot_store
+        #: Delta-aware write path: when on (the default), sub-document
+        #: updates migrate patchable skeleton-tier entries to the new
+        #: generation instead of orphaning them, forward snapshots to the
+        #: new fingerprint, and (with ``rewarm_on_update``) eagerly
+        #: re-warm the affected views so the next query lands warm.  Off,
+        #: an update behaves like the old invalidation storm: the bumped
+        #: generation orphans every tier and the next query is cold.
+        self.delta_maintenance = delta_maintenance
+        self.rewarm_on_update = rewarm_on_update
         if cache is not None:
             database.add_invalidation_hook(self._on_document_change)
+            if delta_maintenance:
+                database.add_update_hook(self._on_document_update)
 
     @property
     def last_timings(self) -> Optional[PhaseTimings]:
@@ -340,6 +355,113 @@ class KeywordSearchEngine:
         """Database hook: a document was loaded or dropped."""
         if self.cache is not None:
             self.cache.invalidate_document(doc_name)
+
+    @staticmethod
+    def _delta_patchable(qpt: QPT, delta: DocumentDelta) -> bool:
+        """Can this view's skeletons survive the edit with a byte-length
+        patch alone?
+
+        Yes iff *no* removed or added element matches a QPT node anywhere
+        along its full root-to-element path: then the edit cannot change
+        which elements the structural pass emits (a removed element that
+        influenced the skeleton only through a probed descendant would
+        have that descendant — also removed — fail this check), so the
+        record set, tree shape, values and entry count are all identical
+        to a rebuild, and only the edit point's ancestor byte lengths
+        moved.  Patchability is a function of the QPT's structure and the
+        delta's paths only — two views with equal content hashes always
+        agree, which is what lets snapshots be forwarded per hash.
+        """
+        for path in delta.removed_paths + delta.added_paths:
+            if qpt.match_table(path)[len(path) - 1]:
+                return False
+        return True
+
+    def _on_document_update(self, delta: DocumentDelta) -> None:
+        """Database hook: a sub-document update was applied.
+
+        The write path that replaces the invalidation storm: classify
+        each registered view reading the document as patchable or not,
+        migrate + patch the patchable skeleton-tier entries (and forward
+        their snapshots to the new fingerprint), drop everything else
+        derived from the document, and — unless ``rewarm_on_update`` is
+        off — eagerly re-warm the affected views so the next query finds
+        the skeleton and evaluated tiers hot.
+        """
+        cache = self.cache
+        if cache is None:
+            return
+        doc_name = delta.doc_name
+        affected: list[View] = []
+        patched_views: set[str] = set()
+        for name, view in self._views.items():
+            qpt = view.qpts.get(doc_name)
+            if qpt is None:
+                continue
+            affected.append(view)
+            if self._delta_patchable(qpt, delta):
+                patched_views.add(name)
+        moved, _ = cache.apply_document_delta(
+            doc_name,
+            delta.old_generation,
+            delta.new_generation,
+            patched_views,
+        )
+        patched_by_hash: dict[str, PDTSkeleton] = {}
+        seen: set[int] = set()
+        for key, skeleton in moved:
+            if id(skeleton) not in seen:
+                seen.add(id(skeleton))
+                patch_skeleton_byte_lengths(
+                    skeleton, delta.ancestor_keys, delta.length_delta
+                )
+            patched_by_hash[key[3]] = skeleton
+        self._forward_snapshots(delta, affected, patched_views, patched_by_hash)
+        if self.rewarm_on_update:
+            for view in affected:
+                if all(name in self.database for name in view.qpts):
+                    self.warm_view(view)
+
+    def _forward_snapshots(
+        self,
+        delta: DocumentDelta,
+        affected: list[View],
+        patched_views: set[str],
+        patched_by_hash: dict[str, PDTSkeleton],
+    ) -> None:
+        """Version the persistent tier forward across an update.
+
+        For each affected QPT content hash: a patchable view's snapshot
+        is re-written under the document's *new* fingerprint (patched in
+        memory when the skeleton tier had it, else loaded from the old
+        snapshot and patched), and the old-fingerprint snapshot is
+        discarded — it is unaddressable by construction, so this only
+        reclaims the disk instead of orphaning the file.
+        """
+        store = self.snapshot_store
+        if store is None or delta.old_fingerprint is None:
+            return
+        if delta.doc_name not in self.database:
+            return
+        new_fingerprint = self.database.get(delta.doc_name).fingerprint
+        handled: set[str] = set()
+        for view in affected:
+            qpt_hash = view.qpts[delta.doc_name].content_hash
+            if qpt_hash in handled:
+                continue
+            handled.add(qpt_hash)
+            if view.name in patched_views:
+                skeleton = patched_by_hash.get(qpt_hash)
+                if skeleton is None:
+                    restored = store.load(delta.old_fingerprint, qpt_hash)
+                    if restored is not None and restored.doc_name == delta.doc_name:
+                        patch_skeleton_byte_lengths(
+                            restored, delta.ancestor_keys, delta.length_delta
+                        )
+                        skeleton = restored
+                if skeleton is not None:
+                    store.save(new_fingerprint, qpt_hash, skeleton)
+            store.discard(delta.old_fingerprint, qpt_hash)
 
     # -- view management --------------------------------------------------------
 

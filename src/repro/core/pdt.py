@@ -1163,6 +1163,51 @@ def deserialize_skeleton(payload: bytes) -> PDTSkeleton:
     )
 
 
+def patch_skeleton_byte_lengths(
+    skeleton: PDTSkeleton, ancestor_keys: tuple[bytes, ...], delta: int
+) -> int:
+    """Shift the byte lengths of the edit point's ancestors in place.
+
+    The delta-maintenance fast path for edits the engine classified as
+    *skeleton-patchable*: no added or removed element matches the view's
+    QPT anywhere along its path, so the record set, the shared tree and
+    the content-slot bounds are all unchanged — only the serialized
+    lengths of the edit point's proper ancestors moved, by the same
+    ``delta`` each.  Patches both the record table and the matching
+    ``anno.byte_length`` annotations on the shared tree (the annotation
+    pass reads lengths from the tree).  Returns the number of skeleton
+    nodes patched; ancestors the skeleton does not materialize are
+    skipped — their lengths are simply not part of this view.
+    """
+    if delta == 0 or not ancestor_keys:
+        return 0
+    records = skeleton.records
+    remaining = {key for key in ancestor_keys if key in records}
+    if not remaining:
+        return 0
+    for key in remaining:
+        records[key].byte_length += delta
+    patched = len(remaining)
+    # ``ancestor_keys`` is a root-first prefix chain, so the deepest key
+    # bounds the walk: descend only through nodes on the chain (and the
+    # fragment wrapper, which carries no annotation).
+    deepest = ancestor_keys[-1]
+    stack = [skeleton.tree]
+    while stack and remaining:
+        node = stack.pop()
+        anno = node.anno
+        if anno is None or anno.dewey is None:
+            stack.extend(node.children)
+            continue
+        key = anno.dewey.packed
+        if key in remaining:
+            anno.byte_length += delta
+            remaining.discard(key)
+        if deepest.startswith(key):
+            stack.extend(node.children)
+    return patched
+
+
 def build_skeleton(
     qpt: QPT,
     path_index: PathIndex,

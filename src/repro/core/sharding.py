@@ -71,8 +71,10 @@ from repro.core.topk import (
     TopKSelector,
     merge_shard_streams,
 )
+from repro.dewey import DeweyID
 from repro.errors import ShardingError, ViewDefinitionError
 from repro.storage.database import IndexedDocument, XMLDatabase
+from repro.storage.update import DocumentDelta
 from repro.xmlmodel.node import Document, XMLNode
 from repro.xmlmodel.tokenizer import normalize_keyword
 from repro.xquery.ast import Expr, SequenceExpr, referenced_documents
@@ -307,6 +309,34 @@ class ShardExecutor:
         """Attach a document indexed elsewhere (ingestion workers, or a
         single-engine database being re-partitioned for comparison)."""
         return self.database.attach_document(indexed)
+
+    # -- sub-document updates ----------------------------------------------------
+    #
+    # Updates apply to this shard's own database, so the delta flows
+    # through the shard's engine hook exactly as in the single-engine
+    # case — patchable skeletons survive, structural rebuilds stay
+    # scoped to this shard's fragments.
+
+    def insert_subtree(
+        self,
+        name: str,
+        parent: Union[str, DeweyID],
+        payload: Union[str, XMLNode],
+    ) -> DocumentDelta:
+        return self.database.insert_subtree(name, parent, payload)
+
+    def delete_subtree(
+        self, name: str, target: Union[str, DeweyID]
+    ) -> DocumentDelta:
+        return self.database.delete_subtree(name, target)
+
+    def replace_subtree(
+        self,
+        name: str,
+        target: Union[str, DeweyID],
+        payload: Union[str, XMLNode],
+    ) -> DocumentDelta:
+        return self.database.replace_subtree(name, target, payload)
 
     # -- views -------------------------------------------------------------------
 
@@ -565,6 +595,39 @@ class CorpusCoordinator:
 
     def shard_of_document(self, doc_name: str) -> int:
         return self.plan.shard_of(doc_name)
+
+    # -- sub-document updates ----------------------------------------------------
+    #
+    # The coordinator routes each update to the document's owning shard
+    # (the plan is content-addressed, so ownership never moves on an
+    # update) and lets that shard's delta machinery do the rest.  No
+    # cross-shard re-sync step is needed: idf is recomputed from integer
+    # sums on *every* query's statistics scatter, so the next search
+    # automatically sees the post-update global statistics.
+
+    def insert_subtree(
+        self,
+        doc_name: str,
+        parent: Union[str, DeweyID],
+        payload: Union[str, XMLNode],
+    ) -> DocumentDelta:
+        shard = self.plan.shard_of(doc_name)
+        return self.executors[shard].insert_subtree(doc_name, parent, payload)
+
+    def delete_subtree(
+        self, doc_name: str, target: Union[str, DeweyID]
+    ) -> DocumentDelta:
+        shard = self.plan.shard_of(doc_name)
+        return self.executors[shard].delete_subtree(doc_name, target)
+
+    def replace_subtree(
+        self,
+        doc_name: str,
+        target: Union[str, DeweyID],
+        payload: Union[str, XMLNode],
+    ) -> DocumentDelta:
+        shard = self.plan.shard_of(doc_name)
+        return self.executors[shard].replace_subtree(doc_name, target, payload)
 
     def warm_view(self, view: Union[CoordinatorView, str]) -> dict[str, str]:
         """Warm every owning shard's fragment tiers; merged per-doc hits."""

@@ -32,6 +32,7 @@ from __future__ import annotations
 
 import os
 import tempfile
+import threading
 from pathlib import Path
 from typing import Iterator, Optional, Union
 
@@ -47,7 +48,8 @@ class SkeletonStore:
     process-local identities or generation counters), writes are atomic
     renames, and loads validate the payload before trusting it.  A
     single store instance is also safe to use from multiple threads —
-    there is no mutable in-memory state beyond counters.
+    the only mutable in-memory state is the counters, which are guarded
+    by a lock.
     """
 
     def __init__(self, root: Union[str, Path]):
@@ -56,6 +58,11 @@ class SkeletonStore:
         self.saves = 0
         self.hits = 0
         self.misses = 0
+        self._stats_lock = threading.Lock()
+
+    def _count(self, counter: str) -> None:
+        with self._stats_lock:
+            setattr(self, counter, getattr(self, counter) + 1)
 
     # -- keys ----------------------------------------------------------------
 
@@ -101,7 +108,7 @@ class SkeletonStore:
             except OSError:
                 pass
             raise
-        self.saves += 1
+        self._count("saves")
         return target
 
     def load(
@@ -110,25 +117,52 @@ class SkeletonStore:
         """The stored skeleton, or ``None`` (missing *or* unreadable).
 
         A corrupt file counts as a miss and is removed so the next
-        build re-snapshots cleanly.
+        build re-snapshots cleanly — but only if the file on disk is
+        still the payload we read.  A concurrent :meth:`save` can
+        ``os.replace`` a fresh, valid snapshot in between our read and
+        the cleanup; blindly unlinking would then delete the *new*
+        writer's work.  Re-statting and comparing identity (inode,
+        size, mtime) before the unlink keeps cleanup scoped to the
+        corrupt payload this reader actually observed.
         """
         target = self.path_for(doc_fingerprint, qpt_hash)
         try:
+            before = target.stat()
             payload = target.read_bytes()
         except OSError:
-            self.misses += 1
+            self._count("misses")
             return None
         try:
             skeleton = PDTSkeleton.from_bytes(payload)
         except ValueError:
-            self.misses += 1
+            self._count("misses")
             try:
-                target.unlink()
+                after = target.stat()
+                if (
+                    after.st_ino == before.st_ino
+                    and after.st_size == before.st_size
+                    and after.st_mtime_ns == before.st_mtime_ns
+                ):
+                    target.unlink()
             except OSError:
                 pass
             return None
-        self.hits += 1
+        self._count("hits")
         return skeleton
+
+    def discard(self, doc_fingerprint: str, qpt_hash: str) -> bool:
+        """Remove one snapshot if present; missing is not an error.
+
+        Used by delta maintenance to reclaim the old-fingerprint
+        snapshot after forwarding a patched skeleton to a document's
+        new fingerprint — the old key is unaddressable by construction,
+        so this only frees disk, never loses reachable state.
+        """
+        try:
+            self.path_for(doc_fingerprint, qpt_hash).unlink()
+            return True
+        except OSError:
+            return False
 
     def __contains__(self, key: tuple[str, str]) -> bool:
         doc_fingerprint, qpt_hash = key
@@ -165,9 +199,11 @@ class SkeletonStore:
         return removed
 
     def stats(self) -> dict[str, int]:
-        return {
-            "saves": self.saves,
-            "hits": self.hits,
-            "misses": self.misses,
-            "entries": len(self),
-        }
+        with self._stats_lock:
+            snapshot = {
+                "saves": self.saves,
+                "hits": self.hits,
+                "misses": self.misses,
+            }
+        snapshot["entries"] = len(self)
+        return snapshot

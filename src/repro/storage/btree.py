@@ -75,6 +75,21 @@ class BPlusTree:
             return leaf.values[index]
         return default
 
+    def update(self, key: Any, fn) -> Any:
+        """Replace the value of an existing key with ``fn(old_value)``.
+
+        In-place row mutation for the delta-maintenance path: no structural
+        change, no rebalancing.  Raises ``KeyError`` when the key is absent
+        (a patch addressed at a missing row is a caller bug, never a no-op).
+        """
+        leaf = self._find_leaf(key)
+        index = bisect_left(leaf.keys, key)
+        if index >= len(leaf.keys) or leaf.keys[index] != key:
+            raise KeyError(key)
+        value = fn(leaf.values[index])
+        leaf.values[index] = value
+        return value
+
     def __contains__(self, key: Any) -> bool:
         sentinel = object()
         return self.get(key, sentinel) is not sentinel

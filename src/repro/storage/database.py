@@ -14,11 +14,13 @@ import weakref
 from dataclasses import dataclass
 from typing import Callable, Iterable, Optional, Union
 
+from repro.dewey import DeweyID
 from repro.errors import DocumentNotFoundError, StorageError
 from repro.storage.document_store import DocumentStore
 from repro.storage.inverted_index import InvertedIndex
 from repro.storage.path_index import PathIndex
 from repro.storage.tag_index import TagIndex
+from repro.storage.update import DocumentDelta, execute_subtree_update
 from repro.xmlmodel.node import Document, XMLNode
 from repro.xmlmodel.parser import parse_xml
 
@@ -141,10 +143,17 @@ class XMLDatabase:
         # never stamp two documents with the same generation.
         self._generations = itertools.count(1)
         # Each entry is a zero-arg resolver returning the live callable or
-        # ``None`` once its owner is gone.
+        # ``None`` once its owner is gone.  Invalidation hooks fire on
+        # load/drop (document identity changed: derived state is garbage);
+        # update hooks fire on sub-document edits with the typed delta
+        # (derived state is *patchable*) — a separate channel, so an edit
+        # never triggers the invalidation storm it exists to avoid.
         self._invalidation_hooks: list[Callable[[], Optional[Callable[[str], None]]]] = []
+        self._update_hooks: list[
+            Callable[[], Optional[Callable[[DocumentDelta], None]]]
+        ] = []
 
-    # -- invalidation hooks --------------------------------------------------
+    # -- invalidation / update hooks -----------------------------------------
 
     def add_invalidation_hook(self, hook: Callable[[str], None]) -> None:
         """Register a callback fired with the document name whenever a
@@ -156,35 +165,67 @@ class XMLDatabase:
         point on a shared database), and registration must not pin dead
         engines and their caches.  Plain functions are held strongly.
         """
-        if self._resolve_hooks(prune=False).count(hook):
+        self._add_hook("_invalidation_hooks", hook)
+
+    def remove_invalidation_hook(self, hook: Callable[[str], None]) -> None:
+        self._remove_hook("_invalidation_hooks", hook)
+
+    def add_update_hook(self, hook: Callable[[DocumentDelta], None]) -> None:
+        """Register a callback fired with the :class:`DocumentDelta` of
+        every sub-document update.  Same ownership rules as
+        :meth:`add_invalidation_hook` (bound methods weak, functions
+        strong)."""
+        self._add_hook("_update_hooks", hook)
+
+    def remove_update_hook(self, hook: Callable[[DocumentDelta], None]) -> None:
+        self._remove_hook("_update_hooks", hook)
+
+    def _add_hook(self, attr: str, hook: Callable) -> None:
+        if self._resolve_hooks_attr(attr, prune=False).count(hook):
             return
         try:
             entry = weakref.WeakMethod(hook)
         except TypeError:
             # Plain function or builtin method: hold strongly.
             entry = lambda hook=hook: hook  # noqa: E731
-        self._invalidation_hooks.append(entry)
+        getattr(self, attr).append(entry)
 
-    def remove_invalidation_hook(self, hook: Callable[[str], None]) -> None:
-        self._invalidation_hooks = [
-            entry for entry in self._invalidation_hooks if entry() != hook
-        ]
+    def _remove_hook(self, attr: str, hook: Callable) -> None:
+        # Dead weak entries resolve to None; drop them here too, or the
+        # list grows without bound across engine churn (a collected bound
+        # method compares unequal to every removal argument).
+        setattr(
+            self,
+            attr,
+            [
+                entry
+                for entry in getattr(self, attr)
+                if entry() is not None and entry() != hook
+            ],
+        )
 
-    def _resolve_hooks(self, prune: bool = True) -> list[Callable[[str], None]]:
-        live: list[Callable[[str], None]] = []
+    def _resolve_hooks_attr(self, attr: str, prune: bool = True) -> list[Callable]:
+        live: list[Callable] = []
         survivors = []
-        for entry in self._invalidation_hooks:
+        for entry in getattr(self, attr):
             hook = entry()
             if hook is not None:
                 live.append(hook)
                 survivors.append(entry)
         if prune:
-            self._invalidation_hooks = survivors
+            setattr(self, attr, survivors)
         return live
+
+    def _resolve_hooks(self, prune: bool = True) -> list[Callable[[str], None]]:
+        return self._resolve_hooks_attr("_invalidation_hooks", prune)
 
     def _notify_invalidation(self, name: str) -> None:
         for hook in self._resolve_hooks():
             hook(name)
+
+    def _notify_update(self, delta: DocumentDelta) -> None:
+        for hook in self._resolve_hooks_attr("_update_hooks"):
+            hook(delta)
 
     # -- loading -----------------------------------------------------------
 
@@ -242,6 +283,90 @@ class XMLDatabase:
         self._documents[name] = adopted
         self._notify_invalidation(name)
         return adopted
+
+    # -- sub-document updates ------------------------------------------------
+
+    def insert_subtree(
+        self,
+        name: str,
+        parent: Union[DeweyID, str],
+        payload: Union[str, XMLNode],
+    ) -> DocumentDelta:
+        """Append ``payload`` as the last child of the element ``parent``.
+
+        The new subtree root gets the ordinal one past the parent's
+        current last child (1 when childless); siblings are never
+        renumbered.  Emits (and returns) the :class:`DocumentDelta` after
+        patching the tree, the document store and both indices in place.
+        """
+        return self._apply_update(name, "insert", parent, payload)
+
+    def delete_subtree(self, name: str, target: Union[DeweyID, str]) -> DocumentDelta:
+        """Remove the subtree rooted at ``target`` (never the document
+        root), leaving an ordinal hole — no sibling is renumbered."""
+        return self._apply_update(name, "delete", target, None)
+
+    def replace_subtree(
+        self,
+        name: str,
+        target: Union[DeweyID, str],
+        payload: Union[str, XMLNode],
+    ) -> DocumentDelta:
+        """Swap the subtree rooted at ``target`` for ``payload``; the new
+        subtree root inherits the old root's Dewey ID."""
+        return self._apply_update(name, "replace", target, payload)
+
+    def _apply_update(
+        self,
+        name: str,
+        kind: str,
+        target: Union[DeweyID, str],
+        payload: Optional[Union[str, XMLNode]],
+    ) -> DocumentDelta:
+        indexed = self.get(name)
+        target_id = target if isinstance(target, DeweyID) else DeweyID.parse(target)
+        new_root = self._payload_root(payload) if payload is not None else None
+        old_generation = indexed.generation
+        # The pre-edit digest is read from the cache only: forcing the
+        # serialization here would make every edit pay it, and a snapshot
+        # of the old content can only exist if something already did.
+        old_fingerprint = indexed._fingerprint
+        key, bound, ancestor_keys, removed_paths, added_paths, length_delta = (
+            execute_subtree_update(
+                indexed,
+                kind,
+                target_id,
+                new_root,
+                index_tag_names=self.index_tag_names,
+            )
+        )
+        indexed._serialized = None
+        indexed._fingerprint = None
+        indexed._tag_index = None
+        indexed.generation = next(self._generations)
+        delta = DocumentDelta(
+            doc_name=name,
+            kind=kind,
+            key=key,
+            bound=bound,
+            old_generation=old_generation,
+            new_generation=indexed.generation,
+            old_fingerprint=old_fingerprint,
+            removed_paths=removed_paths,
+            added_paths=added_paths,
+            ancestor_keys=ancestor_keys,
+            length_delta=length_delta,
+        )
+        self._notify_update(delta)
+        return delta
+
+    @staticmethod
+    def _payload_root(payload: Union[str, XMLNode]) -> XMLNode:
+        if isinstance(payload, XMLNode):
+            if payload.parent is not None:
+                raise StorageError("update payload must be a detached subtree")
+            return payload
+        return parse_xml(payload)
 
     def drop_document(self, name: str) -> None:
         if name not in self._documents:

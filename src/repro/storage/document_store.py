@@ -96,6 +96,42 @@ class DocumentStore:
     def __len__(self) -> int:
         return len(self._keys)
 
+    # -- delta maintenance -----------------------------------------------------
+
+    def apply_subtree_edit(
+        self,
+        low_key: bytes,
+        high_key: bytes,
+        added: list[tuple[bytes, str, Optional[str], int]],
+        ancestor_keys: tuple[bytes, ...],
+        length_delta: int,
+    ) -> None:
+        """Splice a subtree edit into the record arrays.
+
+        Replaces the record range ``[low_key, high_key)`` with ``added``
+        (pre-sorted ``(packed key, tag, value, byte_length)`` tuples), then
+        shifts the stored byte length of every ancestor in
+        ``ancestor_keys`` by ``length_delta``.  Ancestors are proper
+        prefixes of ``low_key`` and therefore sort strictly before the
+        spliced range, so their indices are unaffected by the splice.
+        """
+        low = bisect_left(self._keys, low_key)
+        high = bisect_left(self._keys, high_key)
+        self._keys[low:high] = [key for key, _, _, _ in added]
+        self._packed[low:high] = [
+            _pack(tag, value, byte_length) for _, tag, value, byte_length in added
+        ]
+        if length_delta == 0:
+            return
+        for key in ancestor_keys:
+            index = bisect_left(self._keys, key)
+            if index >= len(self._keys) or self._keys[index] != key:
+                raise StorageError(f"no stored record for ancestor key {key!r}")
+            tag, value, byte_length = self._packed[index].split(_FIELD_SEP)
+            self._packed[index] = _FIELD_SEP.join(
+                (tag, value, str(int(byte_length) + length_delta))
+            )
+
     # -- lookups -------------------------------------------------------------
 
     def _locate(self, dewey: DeweyID) -> int:

@@ -150,6 +150,39 @@ class PostingList:
             out.append(cumulative[i])
         return out
 
+    def splice_range(
+        self,
+        low: bytes,
+        high: bytes,
+        added: list[tuple[bytes, int, tuple[int, ...]]],
+    ) -> None:
+        """Replace the postings in ``[low, high)`` with ``added``.
+
+        ``added`` is pre-sorted ``(packed key, tf, positions)`` tuples.
+        Array surgery on the storage form: keys/tfs/positions are spliced
+        and the tf prefix sums rebuilt (one linear pass — the arrays were
+        rewritten anyway).  ``_positions`` collapses back to ``None`` when
+        no surviving posting carries positions, so a delete can return a
+        list to the cheap positions-off layout.
+        """
+        lo = bisect_left(self._keys, low)
+        hi = bisect_left(self._keys, high)
+        added_positions = [tuple(pos) for _, _, pos in added]
+        if self._positions is None and any(added_positions):
+            self._positions = [()] * len(self._keys)
+        self._keys[lo:hi] = [key for key, _, _ in added]
+        self._tfs[lo:hi] = [tf for _, tf, _ in added]
+        if self._positions is not None:
+            self._positions[lo:hi] = added_positions
+            if not any(self._positions):
+                self._positions = None
+        cumulative = [0]
+        total = 0
+        for tf in self._tfs:
+            total += tf
+            cumulative.append(total)
+        self._cumulative = cumulative
+
     def storage_nbytes(self) -> int:
         """Approximate payload bytes held by the packed key array.
 
@@ -212,6 +245,44 @@ class InvertedIndex:
             for token, postings in accumulator.items()
         }
         return cls(lists, store_positions)
+
+    def apply_subtree_edit(
+        self,
+        low: bytes,
+        high: bytes,
+        removed_keywords: set[str],
+        added_postings: dict[str, list[Posting]],
+    ) -> None:
+        """Patch the lists for one subtree edit over ``[low, high)``.
+
+        ``removed_keywords`` are the tokens of the removed subtree (derived
+        by tokenizing its nodes — exactly the lists holding postings inside
+        the range); ``added_postings`` holds the pre-order (hence sorted)
+        postings of the inserted subtree per keyword.  Only the union of
+        the two keyword sets is touched; every other list is byte-for-byte
+        untouched.  A list left empty is dropped, so vocabulary and
+        document frequencies match a from-scratch rebuild.
+        """
+        affected = removed_keywords | set(added_postings)
+        for keyword in affected:
+            added = [
+                (pack(p.dewey), p.tf, tuple(p.positions))
+                for p in added_postings.get(keyword, ())
+            ]
+            existing = self._lists.get(keyword)
+            if existing is None:
+                if added:
+                    self._lists[keyword] = PostingList(
+                        keyword,
+                        [
+                            Posting(dewey=unpack(key), tf=tf, positions=pos)
+                            for key, tf, pos in added
+                        ],
+                    )
+                continue
+            existing.splice_range(low, high, added)
+            if not len(existing):
+                del self._lists[keyword]
 
     def lookup(self, keyword: str) -> PostingList:
         """The posting list for ``keyword`` (empty list if absent)."""

@@ -19,6 +19,7 @@ Definition 3 attaches byte lengths to PDT nodes).
 
 from __future__ import annotations
 
+from bisect import insort
 from dataclasses import dataclass
 from typing import Iterable, Optional, Sequence
 
@@ -241,6 +242,120 @@ class PathIndex:
             self._paths.append(path)
             self._path_ids[path] = path_id
         return path_id
+
+    # -- delta maintenance -------------------------------------------------------
+
+    def apply_subtree_edit(
+        self,
+        removed: list[tuple[tuple[str, ...], Optional[str], bytes]],
+        added: list[tuple[tuple[str, ...], Optional[str], bytes, int]],
+        ancestors: list[tuple[tuple[str, ...], Optional[str], bytes]],
+        length_delta: int,
+    ) -> None:
+        """Patch the Path-Values table for one subtree edit.
+
+        ``removed``/``added`` carry one ``(path, value, packed key[, byte
+        length])`` row per removed/added element; ``ancestors`` are the
+        edit point's proper ancestors, whose stored byte lengths shift by
+        ``length_delta`` (skipped entirely when the delta is zero).  Rows
+        are patched in place via :meth:`BPlusTree.update`; a row left
+        empty is kept (the tree has no delete — empty rows contribute
+        nothing to any probe), and the affected paths' column/ancestor
+        arrays are rebuilt as *new* lists, because the old ones may be
+        shared read-only with live path lists and skeletons.
+        """
+        paths_before = len(self._paths)
+        affected: set[int] = set()
+
+        drops: dict[tuple, set[bytes]] = {}
+        for path, value, packed in removed:
+            path_id = self._path_ids[path]
+            drops.setdefault((path_id, atom_key(value)), set()).add(packed)
+            affected.add(path_id)
+        for rowkey, dropped in drops.items():
+            self._table.update(
+                rowkey,
+                lambda row, dropped=dropped: [
+                    pair for pair in row if pair[0] not in dropped
+                ],
+            )
+
+        adds: dict[tuple, list[tuple[bytes, int]]] = {}
+        for path, value, packed, length in added:
+            path_id = self._intern_path(path)
+            adds.setdefault((path_id, atom_key(value)), []).append(
+                (packed, length)
+            )
+            affected.add(path_id)
+        for rowkey, pairs in adds.items():
+            if rowkey in self._table:
+
+                def merge(row, pairs=pairs):
+                    merged = list(row)
+                    for pair in pairs:
+                        insort(merged, pair)
+                    return merged
+
+                self._table.update(rowkey, merge)
+            else:
+                self._table.insert(rowkey, sorted(pairs))
+
+        if length_delta:
+            for path, value, packed in ancestors:
+                path_id = self._path_ids[path]
+                self._table.update(
+                    (path_id, atom_key(value)),
+                    lambda row, target=packed: [
+                        (key, length + length_delta if key == target else length)
+                        for key, length in row
+                    ],
+                )
+                affected.add(path_id)
+
+        self._rebuild_path_columns(affected)
+        if len(self._paths) > paths_before:
+            # The DataGuide grew: memoized pattern expansions may now be
+            # incomplete.  Shrinking never happens (paths stay interned).
+            self._expansion_cache.clear()
+
+    def _rebuild_path_columns(self, path_ids: Iterable[int]) -> None:
+        """Recompute the column and ancestor arrays for the given paths.
+
+        Mirrors the load-time construction in :meth:`from_tree`; always
+        allocates fresh lists so consumers holding the previous arrays
+        (whole-path handoffs are shared read-only) are unaffected.
+        """
+        for path_id in sorted(path_ids):
+            triples: list[tuple[bytes, Optional[str], int]] = []
+            for composite, row in self._table.prefix_range((path_id,)):
+                kind = composite[1][0]
+                value = None if kind == 0 else composite[1][-1]
+                triples.extend((packed, value, length) for packed, length in row)
+            depth = len(self._paths[path_id])
+            if not triples:
+                self._path_arrays.pop(path_id, None)
+                for d in range(1, depth + 1):
+                    self._ancestors.pop((path_id, d), None)
+                continue
+            triples.sort()
+            keys = [triple[0] for triple in triples]
+            self._path_arrays[path_id] = (
+                keys,
+                [triple[1] for triple in triples],
+                [triple[2] for triple in triples],
+                [path_id] * len(keys),
+                [None] * len(keys),
+            )
+            self._ancestors[(path_id, depth)] = keys
+            if depth <= 1:
+                continue
+            per_depth: list[set[bytes]] = [set() for _ in range(depth - 1)]
+            for key in keys:
+                ends = packed_prefix_ends(key)
+                for d in range(depth - 1):
+                    per_depth[d].add(key[: ends[d]])
+            for d, prefixes in enumerate(per_depth, start=1):
+                self._ancestors[(path_id, d)] = sorted(prefixes)
 
     # -- path dictionary (DataGuide) --------------------------------------------
 

@@ -14,7 +14,9 @@ import random
 from dataclasses import dataclass, field
 from typing import Optional
 
+from repro.dewey import DeweyID
 from repro.storage.database import XMLDatabase
+from repro.storage.update import DocumentDelta
 from repro.xmlmodel.node import XMLNode
 
 # A small vocabulary keeps keyword selectivity interesting: most words
@@ -319,3 +321,142 @@ def generate_case(seed: int, shape: Optional[str] = None) -> GeneratedCase:
         priming_keywords=priming,
         description=f"seed={seed} view={name} items={item_count}",
     )
+
+
+# -- subtree mutation streams ---------------------------------------------------
+
+
+@dataclass(frozen=True)
+class MutationOp:
+    """One deterministic subtree edit in a mutation stream.
+
+    ``target`` is the Dewey components of the edit point — the *parent*
+    for inserts, the node being removed for deletes/replaces.  Storing
+    components (not node references) makes the op replayable against any
+    database holding the same content.
+    """
+
+    kind: str  # "insert" | "delete" | "replace"
+    doc: str
+    target: tuple[int, ...]
+    payload: Optional[str] = None
+
+    def describe(self) -> str:
+        where = ".".join(str(part) for part in self.target)
+        return f"{self.kind} {self.doc}@{where}"
+
+
+def apply_mutation(database: XMLDatabase, op: MutationOp) -> DocumentDelta:
+    """Replay one op against a database (delta engine, baseline replica,
+    sharded coordinator executor — anything exposing the update API)."""
+    target = DeweyID(op.target)
+    if op.kind == "insert":
+        return database.insert_subtree(op.doc, target, op.payload)
+    if op.kind == "delete":
+        return database.delete_subtree(op.doc, target)
+    return database.replace_subtree(op.doc, target, op.payload)
+
+
+def generate_mutation_stream(
+    seed: int, database: XMLDatabase, count: int = 8
+) -> list[MutationOp]:
+    """A deterministic stream of subtree edits for the mutations difftest.
+
+    **Mutates ``database`` while generating** — each op must target keys
+    that exist after the previous ops — so pass a throwaway replica
+    (e.g. ``generate_case(seed, shape).database`` built fresh), then
+    replay the returned ops with :func:`apply_mutation` against the
+    databases actually under test.
+
+    The stream pins both edges of the key space before going random:
+
+    * op 0 is a root-adjacent insert of a ``<zaux>`` subtree under the
+      first document's root — ``zaux`` appears in no view template, so
+      the edit is skeleton-patchable for *every* shape and the test can
+      assert delta maintenance kept the warm tiers alive;
+    * op 1 replaces the deepest leaf, exercising the longest packed
+      prefixes (and, when the leaf's tag is QPT-matched, the scoped
+      rebuild path).
+
+    The remainder mixes patchable inserts (``zaux`` payloads), plausibly
+    structural inserts (tags the view templates do reference), small
+    deletes (subtree of at most ~10 nodes) and same-tag/foreign-tag
+    replaces across all loaded documents.
+    """
+    rng = random.Random(f"mutations-{seed}")
+    docs = database.document_names()
+    primary = docs[0]
+    ops: list[MutationOp] = []
+
+    def emit(op: MutationOp) -> None:
+        ops.append(op)
+        apply_mutation(database, op)
+
+    def elements(doc_name: str) -> list[XMLNode]:
+        return list(database.get(doc_name).document.root.iter())
+
+    def removable(doc_name: str, limit: int = 10) -> list[XMLNode]:
+        return [
+            node
+            for node in elements(doc_name)
+            if node.parent is not None
+            and sum(1 for _ in node.iter()) <= limit
+        ]
+
+    root = database.get(primary).document.root
+    emit(
+        MutationOp(
+            "insert",
+            primary,
+            root.dewey.components,
+            f"<zaux>{_sentence(rng, 3)}</zaux>",
+        )
+    )
+
+    deepest = max(
+        (node for node in elements(primary) if node.parent is not None),
+        key=lambda node: (len(node.dewey.components), node.dewey.components),
+    )
+    emit(
+        MutationOp(
+            "replace",
+            primary,
+            deepest.dewey.components,
+            f"<{deepest.tag}>{_sentence(rng, 2)}</{deepest.tag}>",
+        )
+    )
+
+    kinds = ("insert", "insert", "delete", "replace")
+    while len(ops) < count:
+        kind = rng.choice(kinds)
+        doc_name = rng.choice(docs)
+        if kind == "insert":
+            parent = rng.choice(elements(doc_name))
+            if rng.random() < 0.5:
+                payload = f"<zaux>{_sentence(rng, rng.randint(1, 3))}</zaux>"
+            else:
+                tag = rng.choice(("para", "note", "tag", "extra", "zmisc"))
+                payload = f"<{tag}>{_sentence(rng, rng.randint(1, 4))}</{tag}>"
+            emit(
+                MutationOp(
+                    "insert", doc_name, parent.dewey.components, payload
+                )
+            )
+            continue
+        candidates = removable(doc_name)
+        if not candidates:
+            continue
+        target = rng.choice(candidates)
+        if kind == "delete":
+            emit(MutationOp("delete", doc_name, target.dewey.components))
+        else:
+            tag = target.tag if rng.random() < 0.5 else "zaux"
+            emit(
+                MutationOp(
+                    "replace",
+                    doc_name,
+                    target.dewey.components,
+                    f"<{tag}>{_sentence(rng, rng.randint(1, 3))}</{tag}>",
+                )
+            )
+    return ops

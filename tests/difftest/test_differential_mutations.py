@@ -1,0 +1,280 @@
+"""Differential tests for sub-document updates (the ``mutations`` config).
+
+Each seed interleaves a deterministic stream of real subtree edits
+(:func:`difftest.generators.generate_mutation_stream`) with queries, and
+checks the delta-maintained engine three ways after every edit:
+
+* **vs the naive baseline** — a replica database replaying the same ops,
+  searched by :class:`repro.baselines.naive.BaselineEngine` (which
+  evaluates the live trees per query, so it is mutation-truthful by
+  construction);
+* **vs rebuild-from-scratch** — a fresh :class:`XMLDatabase` re-indexing
+  the mutated trees, compared **bit-for-bit**: ranked outcomes *and*
+  digests of every derived structure (document-store rows, posting
+  lists including positions, Path-Values rows keyed by path tuple);
+* **delta quality** — the stream's forced step-0 patchable edit must
+  leave the warm tiers alive: the next query is served at skeleton
+  depth or better with **zero path-index probes**.
+
+A snapshot-store configuration checks fingerprint forwarding (the
+patched snapshot is addressable under the *new* fingerprint, the old
+one is reclaimed, and a restarted engine restores from it), and a
+sharded configuration replays the same streams through the
+:class:`CorpusCoordinator` routing layer at shard counts 1 and 2.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.baselines.naive import BaselineEngine
+from repro.core.cache import QueryCache
+from repro.core.engine import KeywordSearchEngine
+from repro.core.sharding import CorpusCoordinator, ShardExecutor, ShardPlan
+from repro.core.snapshot import SkeletonStore
+from repro.storage.database import XMLDatabase
+
+from difftest.generators import (
+    apply_mutation,
+    generate_case,
+    generate_mutation_stream,
+)
+from difftest.harness import assert_outcomes_equivalent
+from difftest.test_differential import _seed_matrix
+
+TOP_K = 10
+STREAM_LENGTH = 8
+
+
+# -- state digests --------------------------------------------------------------
+#
+# Bit-level fingerprints of every derived structure, keyed by stable
+# identities (Dewey components, keywords, path *tuples* — never interned
+# ids, which legitimately differ between a patched index and a rebuilt
+# one).
+
+
+def _store_digest(store):
+    return tuple(
+        (record.dewey, record.tag, record.value, record.byte_length)
+        for record in store.iter_records()
+    )
+
+
+def _postings_digest(index):
+    return {
+        keyword: tuple(
+            (posting.dewey, posting.tf, posting.positions)
+            for posting in plist.postings
+        )
+        for keyword, plist in index._lists.items()
+        if len(plist)
+    }
+
+
+def _path_rows_digest(index):
+    rows = {}
+    for path_id, path in enumerate(index.data_paths):
+        for composite, row in index._table.prefix_range((path_id,)):
+            if not row:
+                continue  # deletes keep emptied rows; rebuilds never have them
+            kind = composite[1][0]
+            value = None if kind == 0 else composite[1][-1]
+            rows[(path, value)] = tuple(tuple(pair) for pair in row)
+    return rows
+
+
+def _rebuild_database(db: XMLDatabase) -> XMLDatabase:
+    """Re-index the mutated trees from scratch (Dewey IDs are kept, so
+    the rebuild is the ground truth the delta-patched state must match
+    bit-for-bit).  The fresh database is never mutated, so sharing the
+    live trees is safe."""
+    fresh = XMLDatabase()
+    for name in db.document_names():
+        fresh.load_document(name, db.get(name).document)
+    return fresh
+
+
+def _assert_state_matches_rebuild(db: XMLDatabase, context: str) -> None:
+    rebuilt = _rebuild_database(db)
+    for name in db.document_names():
+        live, fresh = db.get(name), rebuilt.get(name)
+        where = f"{context} doc={name}"
+        assert _store_digest(live.store) == _store_digest(fresh.store), (
+            f"{where}: document-store rows diverged from rebuild"
+        )
+        assert _postings_digest(live.inverted_index) == _postings_digest(
+            fresh.inverted_index
+        ), f"{where}: posting lists diverged from rebuild"
+        assert _path_rows_digest(live.path_index) == _path_rows_digest(
+            fresh.path_index
+        ), f"{where}: path-index rows diverged from rebuild"
+
+
+def _path_probes(db: XMLDatabase) -> int:
+    return sum(
+        db.get(name).path_index.probe_count for name in db.document_names()
+    )
+
+
+# -- the mutations configuration ------------------------------------------------
+
+
+@pytest.mark.parametrize("seed", _seed_matrix())
+def test_mutations_delta_matches_rebuild_and_baseline(seed):
+    case = generate_case(seed)
+    db = case.database
+    engine = KeywordSearchEngine(db)  # default cache, delta maintenance on
+    view = engine.define_view("v", case.view_text)
+
+    baseline_db = generate_case(seed).database
+    baseline = BaselineEngine(baseline_db)
+    bview = baseline.define_view("truth", case.view_text)
+
+    ops = generate_mutation_stream(
+        seed, generate_case(seed).database, count=STREAM_LENGTH
+    )
+
+    # Warm every tier before the first edit so step 0 demonstrates
+    # survival rather than a cold build.
+    engine.search(view, case.priming_keywords, top_k=TOP_K)
+
+    for step, op in enumerate(ops):
+        apply_mutation(db, op)
+        apply_mutation(baseline_db, op)
+        if step == 0:
+            db.reset_access_counters()
+        keywords = case.keyword_sets[step % len(case.keyword_sets)]
+        context = f"seed={seed} step={step} op={op.describe()}"
+        for conjunctive in (True, False):
+            eout = engine.search_detailed(view, keywords, TOP_K, conjunctive)
+            bout = baseline.search_detailed(bview, keywords, TOP_K, conjunctive)
+            assert_outcomes_equivalent(
+                eout,
+                bout,
+                keywords,
+                f"{context} conj={conjunctive} [delta-vs-naive]",
+            )
+            if step == 0:
+                assert (
+                    eout.evaluated_hit
+                    or eout.cache_hits.get(op.doc)
+                    in ("pdt", "skeleton", "snapshot")
+                ), (
+                    f"{context}: patchable edit should leave warm tiers "
+                    f"alive, got {eout.cache_hits}"
+                )
+        if step == 0:
+            assert _path_probes(db) == 0, (
+                f"{context}: patchable edit re-probed the path index"
+            )
+        _assert_state_matches_rebuild(db, context)
+        rebuilt_engine = KeywordSearchEngine(
+            _rebuild_database(db), enable_cache=False
+        )
+        rview = rebuilt_engine.define_view("rebuilt", case.view_text)
+        rout = rebuilt_engine.search_detailed(rview, keywords, TOP_K, True)
+        eout = engine.search_detailed(view, keywords, TOP_K, True)
+        assert_outcomes_equivalent(
+            eout, rout, keywords, f"{context} [delta-vs-rebuild]"
+        )
+
+
+def test_mutation_streams_are_deterministic():
+    first = generate_mutation_stream(42, generate_case(42).database)
+    second = generate_mutation_stream(42, generate_case(42).database)
+    assert first == second
+
+
+def test_mutations_snapshot_store_forwards_patched_snapshots(tmp_path):
+    seed = _seed_matrix()[0]
+    case = generate_case(seed, shape="selection")
+    db = case.database
+    store = SkeletonStore(tmp_path)
+    engine = KeywordSearchEngine(db, cache=QueryCache(), snapshot_store=store)
+    view = engine.define_view("v", case.view_text)
+    engine.search(view, case.priming_keywords, top_k=TOP_K)
+
+    old_fp = db.get("items.xml").fingerprint
+    delta = db.insert_subtree("items.xml", "1", "<zaux>forwarded</zaux>")
+    new_fp = db.get("items.xml").fingerprint
+    assert delta.old_fingerprint == old_fp
+    qpt_hash = view.qpts["items.xml"].content_hash
+    # The patched snapshot was written under the new fingerprint and the
+    # orphaned old-fingerprint file reclaimed.
+    assert (new_fp, qpt_hash) in store
+    assert (old_fp, qpt_hash) not in store
+
+    # A restarted engine (fresh cache, same directory) restores the
+    # forwarded snapshot: first query at snapshot depth, no path probes.
+    restarted_db = _rebuild_database(db)
+    restarted = KeywordSearchEngine(
+        restarted_db, cache=QueryCache(), snapshot_store=store
+    )
+    rview = restarted.define_view("v", case.view_text)
+    keywords = case.keyword_sets[0]
+    out = restarted.search_detailed(rview, keywords, TOP_K, True)
+    assert out.cache_hits == {"items.xml": "snapshot"}
+    assert _path_probes(restarted_db) == 0
+
+    baseline = BaselineEngine(db)
+    bview = baseline.define_view("truth", case.view_text)
+    bout = baseline.search_detailed(bview, keywords, TOP_K, True)
+    assert_outcomes_equivalent(
+        out, bout, keywords, f"seed={seed} [snapshot-restore-after-update]"
+    )
+
+
+@pytest.mark.parametrize("shard_count", (1, 2))
+@pytest.mark.parametrize("seed", _seed_matrix())
+def test_mutations_sharded_matches_single_engine(seed, shard_count):
+    """The coordinator routes each edit to the owning shard; ranked
+    output stays bit-identical to a single delta-maintained engine
+    replaying the same stream."""
+    case = generate_case(seed)
+    docs = case.database.document_names()
+    rng = random.Random(seed * 31 + shard_count)
+    home = rng.randrange(shard_count)
+    plan = ShardPlan.from_assignments(
+        {name: home for name in docs}, shard_count
+    )
+    executors = [ShardExecutor(i) for i in range(shard_count)]
+    replica = generate_case(seed).database
+    for name in docs:
+        executors[home].load_document(name, replica.get(name).document)
+    coordinator = CorpusCoordinator(executors, plan, parallel=False)
+    coordinator.define_view("v", case.view_text)
+
+    single = KeywordSearchEngine(case.database)
+    sview = single.define_view("v", case.view_text)
+
+    ops = generate_mutation_stream(
+        seed, generate_case(seed).database, count=6
+    )
+    try:
+        for step, op in enumerate(ops):
+            # apply_mutation works on anything exposing the update API —
+            # here the coordinator, which must route to the owning shard.
+            apply_mutation(coordinator, op)
+            apply_mutation(case.database, op)
+            keywords = case.keyword_sets[step % len(case.keyword_sets)]
+            for conjunctive in (True, False):
+                context = (
+                    f"seed={seed} shards={shard_count} step={step} "
+                    f"op={op.describe()} conj={conjunctive} [sharded]"
+                )
+                cout = coordinator.search_detailed(
+                    "v", keywords, TOP_K, conjunctive
+                )
+                sout = single.search_detailed(
+                    sview, keywords, TOP_K, conjunctive
+                )
+                assert_outcomes_equivalent(cout, sout, keywords, context)
+                for cres, sres in zip(cout.results, sout.results):
+                    assert cres.score == sres.score, (
+                        f"{context}: merged score not bit-identical"
+                    )
+    finally:
+        coordinator.close()

@@ -108,6 +108,26 @@ class TestInvalidationHooks:
         db.drop_document("a.xml")  # dead hook pruned silently
         assert db._invalidation_hooks == []
 
+    def test_remove_hook_prunes_dead_weak_entries(self):
+        # Removing any hook must also drop entries whose weak referent
+        # died: a dead entry resolves to None, which never equals the
+        # hook being removed, so without pruning it would live forever.
+        import gc
+
+        class Owner:
+            def hook(self, name: str) -> None:
+                pass
+
+        db = XMLDatabase()
+        owner = Owner()
+        db.add_invalidation_hook(owner.hook)
+        del owner
+        gc.collect()
+        events: list[str] = []
+        db.add_invalidation_hook(events.append)
+        db.remove_invalidation_hook(events.append)
+        assert db._invalidation_hooks == []
+
     def test_failed_drop_fires_no_hook(self):
         db = XMLDatabase()
         events: list[str] = []

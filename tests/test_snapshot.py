@@ -336,6 +336,66 @@ def test_store_corrupt_payload_is_a_miss_and_removed(tmp_path):
     assert not target.exists()  # removed so the next build re-snapshots
 
 
+def test_store_corrupt_reader_spares_a_concurrent_rewrite(tmp_path, monkeypatch):
+    """A reader that parsed garbage must not unlink the file if a
+    concurrent save replaced it in the meantime — cleanup is scoped to
+    the exact payload the reader observed (same inode/size/mtime)."""
+    import repro.core.snapshot as snapshot_module
+
+    store = SkeletonStore(tmp_path)
+    fingerprint, qpt_hash = "f" * 64, "a" * 64
+    target = store.path_for(fingerprint, qpt_hash)
+    target.write_bytes(b"garbage that is not a skeleton")
+    fresh = _store_skeleton()
+    real = snapshot_module.PDTSkeleton
+
+    class RacingSkeleton:
+        @staticmethod
+        def from_bytes(payload):
+            # Simulate a writer winning the race between our read and
+            # the failed parse's cleanup.
+            store.save(fingerprint, qpt_hash, fresh)
+            return real.from_bytes(payload)
+
+    monkeypatch.setattr(snapshot_module, "PDTSkeleton", RacingSkeleton)
+    assert store.load(fingerprint, qpt_hash) is None  # garbage is a miss
+    monkeypatch.setattr(snapshot_module, "PDTSkeleton", real)
+    # The racing writer's valid snapshot survived the reader's cleanup.
+    assert target.exists()
+    assert store.load(fingerprint, qpt_hash) is not None
+
+
+def test_store_discard_removes_one_snapshot(tmp_path):
+    store = SkeletonStore(tmp_path)
+    store.save("f" * 64, "a" * 64, _store_skeleton())
+    assert store.discard("f" * 64, "a" * 64)
+    assert ("f" * 64, "a" * 64) not in store
+    assert not store.discard("f" * 64, "a" * 64)  # missing is not an error
+
+
+def test_store_counters_are_thread_safe(tmp_path):
+    import threading
+
+    store = SkeletonStore(tmp_path)
+    store.save("f" * 64, "a" * 64, _store_skeleton())
+    per_thread, thread_count = 100, 8
+
+    def hammer():
+        for _ in range(per_thread):
+            store.load("f" * 64, "a" * 64)
+            store.load("0" * 64, "a" * 64)
+
+    threads = [threading.Thread(target=hammer) for _ in range(thread_count)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    stats = store.stats()
+    assert stats["hits"] == per_thread * thread_count
+    assert stats["misses"] == per_thread * thread_count
+    assert stats["saves"] == 1
+
+
 def test_store_keys_differ_by_fingerprint_and_hash(tmp_path):
     store = SkeletonStore(tmp_path)
     store.save("f" * 64, "a" * 64, _store_skeleton(1))
