@@ -6,9 +6,11 @@ skeleton-warm / fully-warm — plus the annotation microbench pair of
 (legacy per-pattern build / batched array-swept build / snapshot
 restore), the corpus-sharding pair of ``bench_x8_sharding`` (single
 executor vs 4 shard executors over the cache-thrashing corpus, with
-the streaming merge's early-termination counters) and the update pair
+the streaming merge's early-termination counters), the update pair
 of ``bench_x9_updates`` (post-edit query under delta maintenance vs the
-invalidation-storm cold rebuild), at one or more data scales, and
+invalidation-storm cold rebuild) and the memory pair of
+``bench_x10_memory`` (DAG-compressed vs eager skeleton tier, plus the
+mmap-vs-parse restore race), at one or more data scales, and
 writes the latencies as JSON.  This is the artifact the CI
 perf-smoke job uploads per commit, so the ROADMAP's "fast as the
 hardware allows" goal has a recorded trajectory instead of docstring
@@ -17,7 +19,7 @@ folklore.
 Run it directly (no pytest-benchmark needed)::
 
     PYTHONPATH=src python benchmarks/bench_report.py \
-        --scales 0 1 --pr 7 --out BENCH_pr7.json
+        --scales 0 1 --pr 8 --out BENCH_pr8.json
 
 Scale 0 is a degenerate near-empty database — it keeps the smoke run
 fast and exercises the empty-document and zero-result edge paths.
@@ -191,6 +193,33 @@ def _updates_ms(rounds: int) -> dict[str, float]:
     }
 
 
+def _memory_numbers(rounds: int) -> dict[str, float]:
+    """The bench_x10 pair: compressed vs eager skeleton tier + restores.
+
+    Delegates to :func:`repro.bench.experiments.measure_memory` — one
+    measurement protocol shared with the X10 experiment table and the
+    self-enforcing acceptance bench.  Always measured on bench_x10's
+    own repetitive 12-document corpus so the numbers are comparable
+    across reports.
+    """
+    from repro.bench.experiments import measure_memory
+
+    numbers = measure_memory(rounds=max(4, rounds // 6))
+    return {
+        "compressed_kib": round(numbers["compressed_kib"], 1),
+        "eager_kib": round(numbers["eager_kib"], 1),
+        "memory_reduction": round(numbers["memory_reduction"], 2),
+        "warm_compressed_ms": round(numbers["warm_compressed_ms"], 3),
+        "warm_eager_ms": round(numbers["warm_eager_ms"], 3),
+        "warm_ratio": round(numbers["warm_ratio"], 3),
+        "eager_restore_ms": round(numbers["eager_restore_ms"], 3),
+        "mmap_restore_ms": round(numbers["mmap_restore_ms"], 3),
+        "restore_speedup": round(numbers["restore_speedup"], 2),
+        "shapes": numbers["shapes"],
+        "shape_hits": numbers["shape_hits"],
+    }
+
+
 def build_report(scales: list[int], rounds: int, pr: int) -> dict:
     report: dict = {
         "pr": pr,
@@ -214,6 +243,7 @@ def build_report(scales: list[int], rounds: int, pr: int) -> dict:
         report["annotation"] = _annotation_us(rounds)
     report["sharding"] = _sharding_ms(rounds)
     report["updates"] = _updates_ms(rounds)
+    report["memory"] = _memory_numbers(rounds)
     return report
 
 
@@ -221,8 +251,8 @@ def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--scales", type=int, nargs="+", default=[0, 1])
     parser.add_argument("--rounds", type=int, default=30)
-    parser.add_argument("--pr", type=int, default=7)
-    parser.add_argument("--out", type=Path, default=Path("BENCH_pr7.json"))
+    parser.add_argument("--pr", type=int, default=8)
+    parser.add_argument("--out", type=Path, default=Path("BENCH_pr8.json"))
     args = parser.parse_args()
     report = build_report(args.scales, args.rounds, args.pr)
     args.out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
@@ -235,6 +265,7 @@ def main() -> None:
         print(f"  annotation: {report['annotation']}")
     print(f"  sharding: {report['sharding']}")
     print(f"  updates: {report['updates']}")
+    print(f"  memory: {report['memory']}")
 
 
 if __name__ == "__main__":

@@ -1,0 +1,140 @@
+"""X10 (extension): memory at scale — DAG compression + zero-copy restores.
+
+Not a paper figure — this locks down the memory PR the way bench_x9
+locks down the write path.  One repetitive corpus (structurally
+identical feed documents, the shape hash-consing exists for — see
+``repro.bench.experiments.measure_memory``), three claims:
+
+* **memory** — the skeleton tier of a ``dag_compression=True`` engine
+  (shared :class:`~repro.core.shapes.ShapeTable` included) holds the
+  corpus in a fraction of the bytes the eager ``PDTSkeleton`` tier
+  needs;
+* **warm latency** — skeleton-warm queries (a fresh keyword every
+  round, so the annotation merge-join really runs) stay within noise of
+  the uncompressed engine: sharing shapes must not tax the read path;
+* **restore** — ``SkeletonStore(mmap_mode=True)`` serves first contact
+  by mapping pages and validating the header, instead of parsing every
+  column eagerly.
+
+``test_memory_floors_hold`` is the self-enforcing acceptance criterion
+of the memory PR:
+
+* skeleton-tier bytes shrink **≥ 3x** on the repetitive corpus;
+* skeleton-warm latency is **≤ 1.25x** of the uncompressed engine;
+* the mmap restore is **≥ 2x** faster than the eager parse-restore.
+
+The correctness evidence is deterministic and asserted on every
+attempt: ranked outcomes of the two engines are exactly equal, mapped
+and eager restores re-serialize byte-identically, and the shape table
+actually shared (hits, few distinct shapes).  Bit identity across the
+whole seed matrix is the ``compressed`` difftest configuration's job;
+this file owns the resource claims.
+"""
+
+from __future__ import annotations
+
+from repro.bench.experiments import measure_memory
+
+MEMORY_FLOOR = 3.0
+WARM_RATIO_CEILING = 1.25
+RESTORE_FLOOR = 2.0
+
+
+# -- pytest-benchmark variants (the usual statistics tables) ------------------
+
+
+def _warm_engine(dag: bool):
+    from repro.bench.experiments import _feed_view, _repetitive_corpus
+    from repro.core.engine import KeywordSearchEngine
+    from repro.storage.database import XMLDatabase
+
+    pool = [f"mem{i:02d}" for i in range(8)]
+    docs = _repetitive_corpus(12, 48, pool)
+    database = XMLDatabase()
+    for name in sorted(docs):
+        database.load_document(name, docs[name])
+    engine = KeywordSearchEngine(database, dag_compression=dag)
+    views = [
+        engine.define_view(f"v{i}", _feed_view(name))
+        for i, name in enumerate(sorted(docs))
+    ]
+    for view in views:
+        engine.warm_view(view)
+    return engine, views, pool
+
+
+def _benchmark_warm_sweep(benchmark, dag: bool):
+    engine, views, pool = _warm_engine(dag)
+    state = {"round": 0}
+
+    def sweep():
+        keywords = [pool[state["round"] % len(pool)]]
+        state["round"] += 1
+        for view in views:
+            engine.search(view, keywords, top_k=5)
+
+    sweep()
+    benchmark(sweep)
+
+
+def test_skeleton_warm_sweep_compressed(benchmark):
+    _benchmark_warm_sweep(benchmark, dag=True)
+
+
+def test_skeleton_warm_sweep_eager(benchmark):
+    _benchmark_warm_sweep(benchmark, dag=False)
+
+
+# -- self-enforcing acceptance criteria ---------------------------------------
+
+
+def test_memory_floors_hold():
+    """Acceptance: ≥ 3x smaller skeleton tier, warm queries ≤ 1.25x of
+    the uncompressed engine, mmap restores ≥ 2x faster than the eager
+    parse — with the evidence that the representations agree bit-for-bit
+    asserted on every attempt.
+
+    Up to three measurement attempts: scheduler noise can only *hurt* a
+    measured ratio, so the timing floors pass if any attempt clears
+    them.  The memory ratio and the correctness evidence are
+    deterministic — they hold on every attempt, or the compression
+    machinery is broken, not noisy.
+    """
+    attempts = []
+    for _ in range(3):
+        numbers = measure_memory()
+        assert numbers["identical_results"] == 1.0, (
+            "compressed and eager engines ranked the corpus differently"
+        )
+        assert numbers["snapshot_bit_identical"] == 1.0, (
+            "mapped and eager restores re-serialized to different bytes"
+        )
+        assert numbers["shape_hits"] > 0, (
+            "the shape table never shared a subtree — interning is off"
+        )
+        assert numbers["shapes"] < numbers["skeletons"] * 4, (
+            f"{numbers['shapes']:.0f} distinct shapes for "
+            f"{numbers['skeletons']:.0f} isomorphic skeletons — the "
+            "corpus did not actually share structure"
+        )
+        assert numbers["memory_reduction"] >= MEMORY_FLOOR, (
+            f"skeleton tier shrank only "
+            f"{numbers['memory_reduction']:.2f}x "
+            f"(compressed {numbers['compressed_kib']:.0f} KiB / eager "
+            f"{numbers['eager_kib']:.0f} KiB) — floor is "
+            f"{MEMORY_FLOOR}x and byte accounting is deterministic"
+        )
+        attempts.append(numbers)
+        if (
+            numbers["warm_ratio"] <= WARM_RATIO_CEILING
+            and numbers["restore_speedup"] >= RESTORE_FLOOR
+        ):
+            return
+    summary = ", ".join(
+        f"warm {n['warm_ratio']:.2f}x (ceiling {WARM_RATIO_CEILING}x), "
+        f"restore {n['restore_speedup']:.2f}x (floor {RESTORE_FLOOR}x)"
+        for n in attempts
+    )
+    raise AssertionError(
+        f"timing floors missed in every attempt: {summary}"
+    )

@@ -849,6 +849,252 @@ def run_x9_updates(repeats: int = 1) -> ExperimentTable:
     return table
 
 
+def _repetitive_corpus(
+    doc_count: int, items: int, pool: Sequence[str]
+) -> dict[str, str]:
+    """``doc_count`` structurally identical feed documents.
+
+    Every document carries the same ``<feed><entry>...`` element tree —
+    only the text values differ per document — which is the shape a
+    syndicated corpus's per-source mirrors have and the workload DAG
+    compression exists for.  Every document contains every keyword of
+    ``pool``, so rotating the probe keyword never short-circuits the
+    annotation path.
+    """
+    docs: dict[str, str] = {}
+    for d in range(doc_count):
+        parts = ["<feed>"]
+        for i in range(items):
+            word = pool[i % len(pool)]
+            partner = pool[(i + d) % len(pool)]
+            parts.append(
+                "<entry>"
+                f"<title>{word} brief {d}-{i}</title>"
+                f"<body>{partner} article text {d * items + i}</body>"
+                "</entry>"
+            )
+        parts.append("</feed>")
+        docs[f"feed{d:02d}.xml"] = "".join(parts)
+    return docs
+
+
+def _feed_view(name: str) -> str:
+    return (
+        f"for $e in fn:doc({name})/feed/entry\n"
+        "return <hit>{ $e/title }</hit>"
+    )
+
+
+def measure_memory(
+    doc_count: int = 12,
+    items: int = 48,
+    rounds: int = 6,
+    top_k: int = 5,
+) -> dict[str, float]:
+    """DAG compression + mmap snapshots vs the eager representation.
+
+    Three claims, one repetitive corpus (:func:`_repetitive_corpus`):
+
+    * **memory** — summed skeleton-tier ``memory_bytes`` of a
+      ``dag_compression=True`` engine (shared shape table included)
+      against the same tier holding eager :class:`PDTSkeleton` objects;
+    * **warm latency** — skeleton-warm queries (a fresh keyword every
+      round, so the PDT tier never serves and the annotation merge-join
+      actually runs over each representation), interleaved minimums with
+      the garbage collector paused;
+    * **restore** — loading every snapshot of the corpus through
+      ``SkeletonStore(mmap_mode=True)`` (header-validated page mapping)
+      against the eager parse-everything load.
+
+    Alongside the wall times the dict carries the deterministic
+    evidence: shape-table sharing counters, exact ranked-outcome
+    equality between the two engines, and byte equality between the
+    mapped and eager restore payloads — the self-enforcing bench
+    asserts these on every attempt.
+    """
+    import gc
+    import tempfile
+    import time as _time
+    from pathlib import Path
+
+    from repro.core.snapshot import SkeletonStore
+
+    pool = [f"mem{i:02d}" for i in range(max(rounds + 3, 8))]
+    docs = _repetitive_corpus(doc_count, items, pool)
+    names = sorted(docs)
+
+    def build(dag: bool, store: Optional[SkeletonStore] = None):
+        database = XMLDatabase()
+        for name in names:
+            database.load_document(name, docs[name])
+        engine = KeywordSearchEngine(
+            database, dag_compression=dag, snapshot_store=store
+        )
+        views = [
+            engine.define_view(f"v{i}", _feed_view(name))
+            for i, name in enumerate(names)
+        ]
+        for view in views:
+            engine.warm_view(view)
+        return engine, views
+
+    compressed_engine, compressed_views = build(True)
+    eager_engine, eager_views = build(False)
+
+    compressed_bytes = (
+        compressed_engine.cache.skeletons.memory_bytes
+        + compressed_engine.shape_table.memory_bytes()
+    )
+    eager_bytes = eager_engine.cache.skeletons.memory_bytes
+    shape_stats = compressed_engine.shape_table.stats()
+
+    # Exact ranked-outcome equality — timing a wrong answer means nothing.
+    identical = 1.0
+    probe = [pool[0], pool[1]]
+    for cview, eview in zip(compressed_views, eager_views):
+        cout = compressed_engine.search_detailed(cview, probe, top_k=top_k)
+        eout = eager_engine.search_detailed(eview, probe, top_k=top_k)
+        if [(r.rank, r.score, r.scored.index) for r in cout.results] != [
+            (r.rank, r.score, r.scored.index) for r in eout.results
+        ]:
+            identical = 0.0
+
+    compressed_samples: list[float] = []
+    eager_samples: list[float] = []
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        for r in range(rounds):
+            keywords = [pool[(r + 3) % len(pool)]]
+            start = _time.perf_counter()
+            for view in compressed_views:
+                compressed_engine.search(view, keywords, top_k=top_k)
+            compressed_samples.append(_time.perf_counter() - start)
+            start = _time.perf_counter()
+            for view in eager_views:
+                eager_engine.search(view, keywords, top_k=top_k)
+            eager_samples.append(_time.perf_counter() - start)
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+            gc.collect()
+
+    with tempfile.TemporaryDirectory() as raw:
+        store_root = Path(raw) / "snapshots"
+        builder, _ = build(False, store=SkeletonStore(store_root))
+        entries = []
+        for view in builder._views.values():
+            for doc_name, qpt in view.qpts.items():
+                entries.append(
+                    (
+                        builder.database.get(doc_name).fingerprint,
+                        qpt.content_hash,
+                    )
+                )
+        eager_store = SkeletonStore(store_root)
+        mapped_store = SkeletonStore(store_root, mmap_mode=True)
+        bit_identical = 1.0
+        for fingerprint, qpt_hash in entries:
+            eager_skel = eager_store.load(fingerprint, qpt_hash)
+            mapped_skel = mapped_store.load(fingerprint, qpt_hash)
+            if (
+                eager_skel is None
+                or mapped_skel is None
+                or eager_skel.to_bytes() != mapped_skel.to_bytes()
+            ):
+                bit_identical = 0.0
+        eager_restore: list[float] = []
+        mapped_restore: list[float] = []
+        gc.disable()
+        try:
+            for _ in range(rounds):
+                start = _time.perf_counter()
+                for fingerprint, qpt_hash in entries:
+                    eager_store.load(fingerprint, qpt_hash)
+                eager_restore.append(_time.perf_counter() - start)
+                start = _time.perf_counter()
+                for fingerprint, qpt_hash in entries:
+                    mapped_store.load(fingerprint, qpt_hash)
+                mapped_restore.append(_time.perf_counter() - start)
+        finally:
+            if gc_was_enabled:
+                gc.enable()
+                gc.collect()
+
+    warm_compressed_ms = min(compressed_samples) * 1000.0
+    warm_eager_ms = min(eager_samples) * 1000.0
+    eager_restore_ms = min(eager_restore) * 1000.0
+    mapped_restore_ms = min(mapped_restore) * 1000.0
+    return {
+        "compressed_kib": compressed_bytes / 1024.0,
+        "eager_kib": eager_bytes / 1024.0,
+        "memory_reduction": (
+            eager_bytes / compressed_bytes if compressed_bytes else float("inf")
+        ),
+        "warm_compressed_ms": warm_compressed_ms,
+        "warm_eager_ms": warm_eager_ms,
+        "warm_ratio": (
+            warm_compressed_ms / warm_eager_ms
+            if warm_eager_ms
+            else float("inf")
+        ),
+        "eager_restore_ms": eager_restore_ms,
+        "mmap_restore_ms": mapped_restore_ms,
+        "restore_speedup": (
+            eager_restore_ms / mapped_restore_ms
+            if mapped_restore_ms
+            else float("inf")
+        ),
+        "shapes": float(shape_stats["shapes"]),
+        "shape_hits": float(shape_stats["hits"]),
+        "skeletons": float(len(entries)),
+        "identical_results": identical,
+        "snapshot_bit_identical": bit_identical,
+    }
+
+
+def run_x10_memory(repeats: int = 1) -> ExperimentTable:
+    """X10: memory at scale — DAG compression and zero-copy restores.
+
+    The self-enforcing floors (≥3x skeleton-tier reduction, warm ratio
+    ≤1.25x, mmap restore ≥2x) live in
+    ``benchmarks/bench_x10_memory.py``; this table records the gap at
+    two corpus widths.
+    """
+    rounds = max(5, 5 * repeats)
+    table = ExperimentTable(
+        experiment_id="X10",
+        title="Memory at scale (skeleton tier KiB, warm ms, restore ms)",
+        parameter="doc_count",
+        columns=[
+            "compressed_kib",
+            "eager_kib",
+            "memory_reduction",
+            "warm_compressed_ms",
+            "warm_eager_ms",
+            "warm_ratio",
+            "eager_restore_ms",
+            "mmap_restore_ms",
+            "restore_speedup",
+            "shapes",
+            "shape_hits",
+            "skeletons",
+            "identical_results",
+            "snapshot_bit_identical",
+        ],
+    )
+    for doc_count in (8, 16):
+        numbers = measure_memory(doc_count=doc_count, rounds=rounds)
+        table.add_row(doc_count, **numbers)
+    table.note(
+        "acceptance floors: >= 3x skeleton-tier byte reduction on the "
+        "repetitive corpus, skeleton-warm latency <= 1.25x of the "
+        "uncompressed engine, mmap restore >= 2x faster than the eager "
+        "parse (self-enforced by benchmarks/bench_x10_memory.py)"
+    )
+    return table
+
+
 ALL_EXPERIMENTS = {
     "T1": run_params_table,
     "F13": run_fig13_data_size,
@@ -865,4 +1111,5 @@ ALL_EXPERIMENTS = {
     "X7": run_x7_cold_path,
     "X8": run_x8_sharding,
     "X9": run_x9_updates,
+    "X10": run_x10_memory,
 }

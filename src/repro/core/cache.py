@@ -65,12 +65,18 @@ from repro.core.routing import ShardRouter
 
 @dataclass
 class CacheStats:
-    """Hit/miss/eviction counters for one cache tier (or one shard)."""
+    """Hit/miss/eviction counters for one cache tier (or one shard).
+
+    ``memory_bytes`` is a *gauge* (the resident-byte estimate at
+    snapshot time), not a monotone counter — ``add`` still sums it,
+    because aggregating shard gauges yields the tier gauge.
+    """
 
     hits: int = 0
     misses: int = 0
     evictions: int = 0
     invalidations: int = 0
+    memory_bytes: int = 0
 
     @property
     def lookups(self) -> int:
@@ -85,6 +91,7 @@ class CacheStats:
         self.misses += other.misses
         self.evictions += other.evictions
         self.invalidations += other.invalidations
+        self.memory_bytes += other.memory_bytes
 
     def as_dict(self) -> dict[str, float]:
         return {
@@ -92,8 +99,21 @@ class CacheStats:
             "misses": self.misses,
             "evictions": self.evictions,
             "invalidations": self.invalidations,
+            "memory_bytes": self.memory_bytes,
             "hit_rate": self.hit_rate,
         }
+
+
+def default_sizer(value: Any) -> int:
+    """Bytes a cached value reports for budget accounting.
+
+    Values expose a ``memory_bytes`` attribute (skeletons — compressed
+    or eager — and mapped snapshots all do); anything without one is
+    accounted as free, so byte budgets constrain exactly the tiers
+    whose values opted into accounting.
+    """
+    size = getattr(value, "memory_bytes", 0)
+    return size if isinstance(size, int) else 0
 
 
 class LRUCache:
@@ -103,11 +123,28 @@ class LRUCache:
     a no-op), which lets callers turn a tier off without branching.  Not
     thread-safe on its own — :class:`ShardedLRUCache` serializes access
     per shard.
+
+    Besides the entry-count bound, an optional ``byte_budget`` bounds
+    the *bytes* resident in the cache: each value is measured once at
+    insertion by ``sizer`` (default: its ``memory_bytes`` attribute)
+    and LRU entries are evicted while the running total exceeds the
+    budget.  A single value larger than the whole budget is evicted
+    immediately — a hard budget, not advisory.  The running total is
+    exposed as :attr:`memory_bytes`.
     """
 
-    def __init__(self, capacity: int):
+    def __init__(
+        self,
+        capacity: int,
+        byte_budget: Optional[int] = None,
+        sizer: Optional[Callable[[Any], int]] = None,
+    ):
         self.capacity = capacity
+        self.byte_budget = byte_budget
+        self._sizer = sizer or default_sizer
         self._data: OrderedDict[Hashable, Any] = OrderedDict()
+        self._sizes: dict[Hashable, int] = {}
+        self.memory_bytes = 0
         self.stats = CacheStats()
 
     def __len__(self) -> int:
@@ -125,14 +162,26 @@ class LRUCache:
         self.stats.hits += 1
         return self._data[key]
 
+    def _forget_size(self, key: Hashable) -> None:
+        self.memory_bytes -= self._sizes.pop(key, 0)
+
     def put(self, key: Hashable, value: Any) -> None:
         if self.capacity <= 0:
             return
         if key in self._data:
             self._data.move_to_end(key)
+            self._forget_size(key)
         self._data[key] = value
-        while len(self._data) > self.capacity:
-            self._data.popitem(last=False)
+        size = self._sizer(value)
+        self._sizes[key] = size
+        self.memory_bytes += size
+        budget = self.byte_budget
+        data = self._data
+        while len(data) > self.capacity or (
+            budget is not None and self.memory_bytes > budget and data
+        ):
+            evicted_key, _ = data.popitem(last=False)
+            self._forget_size(evicted_key)
             self.stats.evictions += 1
 
     def invalidate_where(self, predicate: Callable[[Hashable], bool]) -> int:
@@ -140,6 +189,7 @@ class LRUCache:
         doomed = [key for key in self._data if predicate(key)]
         for key in doomed:
             del self._data[key]
+            self._forget_size(key)
         self.stats.invalidations += len(doomed)
         return len(doomed)
 
@@ -154,19 +204,26 @@ class LRUCache:
         re-addressed under its new coordinates (e.g. a fresh document
         generation) instead of being dropped and rebuilt.  Moved entries
         become most-recently-used; returns ``(new_key, value)`` pairs so
-        the caller can patch the values in place afterwards.
+        the caller can patch the values in place afterwards.  Byte
+        accounting follows the entry (the value is not re-measured).
         """
         moved: list[tuple[Hashable, Any]] = []
         for key in [k for k in self._data if predicate(k)]:
             value = self._data.pop(key)
+            size = self._sizes.pop(key, 0)
             new_key = transform(key)
+            if new_key in self._sizes:  # overwrite: drop the old accounting
+                self._forget_size(new_key)
             self._data[new_key] = value
+            self._sizes[new_key] = size
             moved.append((new_key, value))
         return moved
 
     def clear(self) -> int:
         count = len(self._data)
         self._data.clear()
+        self._sizes.clear()
+        self.memory_bytes = 0
         self.stats.invalidations += count
         return count
 
@@ -193,14 +250,34 @@ class ShardedLRUCache:
     always acquire in fixed shard order.
     """
 
+    @staticmethod
+    def _distribute(total: int, parts: int) -> list[int]:
+        """Split ``total`` across ``parts`` without exceeding it.
+
+        The first ``total % parts`` shards take one extra slot, so the
+        per-shard slices sum to exactly ``total``.  (The previous ceil
+        division handed *every* shard the rounded-up slice, letting the
+        aggregate overshoot the configured bound by up to
+        ``parts - 1``.)  Note the corollary: with ``total < parts``
+        some shards get zero slots — the configured capacity is the
+        contract, not a per-shard minimum.
+        """
+        base, remainder = divmod(total, parts)
+        return [
+            base + (1 if index < remainder else 0) for index in range(parts)
+        ]
+
     def __init__(
         self,
         capacity: int,
         shards: int = 8,
         shard_key: Optional[Callable[[Hashable], Hashable]] = None,
         router: Optional[ShardRouter] = None,
+        byte_budget: Optional[int] = None,
+        sizer: Optional[Callable[[Any], int]] = None,
     ):
         self.capacity = capacity
+        self.byte_budget = byte_budget
         self.shard_count = max(1, shards)
         if router is not None and router.shard_count != self.shard_count:
             raise ValueError(
@@ -212,10 +289,17 @@ class ShardedLRUCache:
         #: serving lanes and the corpus shard plan, so every layer that
         #: partitions by ``(view, doc)`` agrees on placement.
         self.router = router or ShardRouter(self.shard_count)
-        per_shard = 0
-        if capacity > 0:
-            per_shard = -(-capacity // self.shard_count)  # ceil division
-        self._shards = [LRUCache(per_shard) for _ in range(self.shard_count)]
+        capacities = self._distribute(max(capacity, 0), self.shard_count)
+        if byte_budget is None:
+            budgets: list[Optional[int]] = [None] * self.shard_count
+        else:
+            budgets = list(
+                self._distribute(max(byte_budget, 0), self.shard_count)
+            )
+        self._shards = [
+            LRUCache(capacities[index], budgets[index], sizer)
+            for index in range(self.shard_count)
+        ]
         self._locks = [threading.Lock() for _ in range(self.shard_count)]
         self._shard_key = shard_key or (lambda key: key)
 
@@ -324,6 +408,7 @@ class ShardedLRUCache:
                     misses=shard.stats.misses,
                     evictions=shard.stats.evictions,
                     invalidations=shard.stats.invalidations,
+                    memory_bytes=shard.memory_bytes,
                 )
                 for shard in self._shards
             ]
@@ -331,6 +416,12 @@ class ShardedLRUCache:
     def shard_sizes(self) -> list[int]:
         with self._hold_all_locks():
             return [len(shard) for shard in self._shards]
+
+    @property
+    def memory_bytes(self) -> int:
+        """Accounted bytes resident across all shards (one instant)."""
+        with self._hold_all_locks():
+            return sum(shard.memory_bytes for shard in self._shards)
 
     def stats_dict(self) -> dict[str, Any]:
         """Aggregate counters plus the per-shard breakdown.
@@ -393,6 +484,16 @@ class QueryCache:
     pdt_capacity: int = 128
     skeleton_capacity: int = 64
     evaluated_capacity: int = 64
+    #: Optional per-tier byte budgets (``None`` = unbounded bytes, the
+    #: entry-count capacity still applies).  Values report their own
+    #: footprint through ``memory_bytes`` (see
+    #: :func:`default_sizer`) — DAG-compressed skeletons report the
+    #: compressed per-instance footprint, so a budget buys
+    #: correspondingly more resident views on repetitive corpora.
+    prepared_byte_budget: Optional[int] = None
+    pdt_byte_budget: Optional[int] = None
+    skeleton_byte_budget: Optional[int] = None
+    evaluated_byte_budget: Optional[int] = None
     shard_count: int = 8
     #: The single routing authority for every tier (defaults to a
     #: :class:`~repro.core.routing.ShardRouter` over ``shard_count``).
@@ -412,24 +513,28 @@ class QueryCache:
             self.shard_count,
             shard_key=lambda k: k[0],
             router=self.router,
+            byte_budget=self.prepared_byte_budget,
         )
         self.pdts = ShardedLRUCache(
             self.pdt_capacity,
             self.shard_count,
             shard_key=lambda k: k[:2],
             router=self.router,
+            byte_budget=self.pdt_byte_budget,
         )
         self.skeletons = ShardedLRUCache(
             self.skeleton_capacity,
             self.shard_count,
             shard_key=lambda k: k[:2],
             router=self.router,
+            byte_budget=self.skeleton_byte_budget,
         )
         self.evaluated = ShardedLRUCache(
             self.evaluated_capacity,
             self.shard_count,
             shard_key=lambda k: k[0],
             router=self.router,
+            byte_budget=self.evaluated_byte_budget,
         )
 
     # -- keys ---------------------------------------------------------------

@@ -31,13 +31,16 @@ from typing import Callable, Optional, Sequence, Union
 from repro.core.cache import QueryCache
 from repro.core.materialize import materialize_result
 from repro.core.pdt import (
+    CompressedSkeleton,
     PDTResult,
     PDTSkeleton,
     annotate_skeleton,
     build_skeleton,
+    compress_skeleton,
     generate_pdt,
     patch_skeleton_byte_lengths,
 )
+from repro.core.shapes import ShapeTable
 from repro.core.prepare import (
     PreparedLists,
     prepare_inv_lists,
@@ -281,6 +284,8 @@ class KeywordSearchEngine:
         snapshot_store: Optional["SkeletonStore"] = None,
         delta_maintenance: bool = True,
         rewarm_on_update: bool = True,
+        dag_compression: bool = True,
+        shape_table: Optional[ShapeTable] = None,
     ):
         self.database = database
         self.normalize_scores = normalize_scores
@@ -288,6 +293,18 @@ class KeywordSearchEngine:
         self._hooks_lock = threading.Lock()
         self._timing_hooks: list[Callable[[str, "SearchOutcome"], None]] = []
         self._views: dict[str, View] = {}
+        self._closed = False
+        #: DAG-compress every skeleton entering the skeleton tier (and
+        #: every snapshot restore) against ``shape_table`` — isomorphic
+        #: subtree structures are stored once across all of this
+        #: engine's skeletons.  ``dag_compression=False`` keeps the
+        #: eager uncompressed path (ablation / difftest cross-checks).
+        #: Pass a shared :class:`~repro.core.shapes.ShapeTable` to pool
+        #: structure across engines (the sharded executors do).
+        self.dag_compression = dag_compression
+        if shape_table is None and dag_compression:
+            shape_table = ShapeTable()
+        self.shape_table = shape_table
         if cache is None and enable_cache:
             cache = QueryCache()
         self.cache = cache
@@ -462,6 +479,67 @@ class KeywordSearchEngine:
                 if skeleton is not None:
                     store.save(new_fingerprint, qpt_hash, skeleton)
             store.discard(delta.old_fingerprint, qpt_hash)
+
+    # -- skeleton interning / lifecycle -----------------------------------------
+
+    def _intern_skeleton(
+        self, skeleton: Union[PDTSkeleton, CompressedSkeleton]
+    ) -> Union[PDTSkeleton, CompressedSkeleton]:
+        """DAG-compress ``skeleton`` against the engine's shape table.
+
+        Identity when ``dag_compression`` is off — the uncompressed (or
+        mmap-backed) skeleton then enters the cache tier as-is.
+        """
+        if not self.dag_compression or self.shape_table is None:
+            return skeleton
+        return compress_skeleton(skeleton, self.shape_table)
+
+    def prune_snapshots(self) -> int:
+        """Drop persistent snapshots no live ``(document, view)`` pair can
+        restore, returning the number of files removed.
+
+        The live set is every ``(fingerprint, qpt hash)`` coordinate
+        reachable from the currently registered views and the documents
+        currently in the database; anything else in the store — older
+        fingerprints, dropped views, other engines' leftovers — is
+        unaddressable from here and only holds disk.  No-op without a
+        snapshot store.
+        """
+        store = self.snapshot_store
+        if store is None:
+            return 0
+        keep: set[str] = set()
+        for view in self._views.values():
+            for doc_name, qpt in view.qpts.items():
+                if doc_name not in self.database:
+                    continue
+                fingerprint = self.database.get(doc_name).fingerprint
+                keep.add(store.entry_name(fingerprint, qpt.content_hash))
+        return store.prune(keep=keep)
+
+    def close(self) -> None:
+        """Release the engine's external hooks and tidy the snapshot tier.
+
+        Unregisters the database invalidation/update hooks (so a dropped
+        engine stops receiving write traffic) and prunes the snapshot
+        store down to coordinates still reachable from the registered
+        views.  Idempotent; the engine remains usable for reads after
+        closing, it just no longer tracks writes.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        if self.cache is not None:
+            self.database.remove_invalidation_hook(self._on_document_change)
+            if self.delta_maintenance:
+                self.database.remove_update_hook(self._on_document_update)
+        self.prune_snapshots()
+
+    def __enter__(self) -> "KeywordSearchEngine":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
 
     # -- view management --------------------------------------------------------
 
@@ -776,7 +854,7 @@ class KeywordSearchEngine:
                         # collision or a store shared across
                         # differently-named loads of the same content —
                         # never served blind.)
-                        skeleton = restored
+                        skeleton = self._intern_skeleton(restored)
                         hit = "snapshot"
                         cache.skeletons.put(skeleton_key, skeleton)
                 if skeleton is None:
@@ -797,9 +875,17 @@ class KeywordSearchEngine:
                         probed=probed,
                     )
                     if cacheable:
-                        cache.skeletons.put(skeleton_key, skeleton)
                         if store is not None:
+                            # Serialize from the eager form *before*
+                            # interning (identical bytes either way; the
+                            # eager skeleton still has its columns hot).
                             store.save(indexed.fingerprint, qpt_hash, skeleton)
+                        # Interning seeds the compressed skeleton's weak
+                        # tree reference from the tree just built, so the
+                        # annotation below reuses it instead of
+                        # re-materializing.
+                        skeleton = self._intern_skeleton(skeleton)
+                        cache.skeletons.put(skeleton_key, skeleton)
             if timings is not None:
                 timings.pdt_skeleton += time.perf_counter() - start
 

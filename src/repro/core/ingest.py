@@ -34,6 +34,7 @@ from pathlib import Path
 from typing import Mapping, Optional, Sequence, Union
 
 from repro.core.routing import ShardRouter
+from repro.core.shapes import ShapeTable
 from repro.core.sharding import (
     CorpusCoordinator,
     ShardExecutor,
@@ -56,6 +57,7 @@ class IngestReport:
     views: dict[str, dict[str, str]]  # view -> per-doc warm outcome
     timings: dict[str, float] = field(default_factory=dict)
     snapshot_dir: Optional[str] = None
+    pruned: int = 0  # stale snapshot files reclaimed after warm-up
 
     def as_dict(self) -> dict:
         return {
@@ -67,6 +69,7 @@ class IngestReport:
             },
             "timings": self.timings,
             "snapshot_dir": self.snapshot_dir,
+            "pruned": self.pruned,
         }
 
 
@@ -78,13 +81,19 @@ def ingest_corpus(
     workers: Optional[int] = None,
     parallel: bool = True,
     router: Optional[ShardRouter] = None,
+    dag_compression: bool = True,
+    mmap_snapshots: bool = False,
 ) -> tuple[CorpusCoordinator, IngestReport]:
     """Build a warm sharded corpus in one call.
 
     ``documents`` maps document names to XML text; ``views`` maps view
     names to view definition text.  Returns the ready coordinator and
     the ingest manifest.  ``workers`` bounds the parse/index pool
-    (default: one per document, capped at 8).
+    (default: one per document, capped at 8).  ``dag_compression``
+    shares one shape table across *all* shard engines, so isomorphic
+    skeleton structure is stored once corpus-wide, not once per shard.
+    ``mmap_snapshots`` makes each shard's snapshot slice memory-map
+    payloads on restore instead of parsing them eagerly.
     """
     timings: dict[str, float] = {}
 
@@ -133,11 +142,22 @@ def ingest_corpus(
     # Step 3: attach to home shards, define views, warm everything.
     start = time.perf_counter()
     executors = []
+    shape_table = ShapeTable() if dag_compression else None
     for shard_id in range(shard_count):
         store = None
         if snapshot_dir is not None:
-            store = SkeletonStore(Path(snapshot_dir) / f"shard-{shard_id:02d}")
-        executors.append(ShardExecutor(shard_id, snapshot_store=store))
+            store = SkeletonStore(
+                Path(snapshot_dir) / f"shard-{shard_id:02d}",
+                mmap_mode=mmap_snapshots,
+            )
+        executors.append(
+            ShardExecutor(
+                shard_id,
+                snapshot_store=store,
+                dag_compression=dag_compression,
+                shape_table=shape_table,
+            )
+        )
     for record in indexed:
         executors[plan.shard_of(record.name)].adopt_document(record)
     coordinator = CorpusCoordinator(executors, plan, parallel=parallel)
@@ -151,12 +171,18 @@ def ingest_corpus(
         warm[name] = coordinator.warm_view(name)
     timings["warm"] = time.perf_counter() - start
 
+    # The snapshot slices are freshly warmed, so anything else in them
+    # (older fingerprints from a previous ingestion into the same
+    # directory) is dead weight — reclaim it now.
+    pruned = coordinator.prune_snapshots() if snapshot_dir is not None else 0
+
     report = IngestReport(
         shard_count=shard_count,
         documents=dict(plan.assignments),
         views=warm,
         timings=timings,
         snapshot_dir=str(snapshot_dir) if snapshot_dir is not None else None,
+        pruned=pruned,
     )
     return coordinator, report
 

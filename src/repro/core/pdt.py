@@ -52,9 +52,12 @@ Equivalence with Definitions 1-3 is enforced by property tests against
 
 from __future__ import annotations
 
+import struct
+import sys
+import weakref
 from bisect import bisect_left, bisect_right
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Union
 
 from repro.core.prepare import (
     PreparedLists,
@@ -62,11 +65,13 @@ from repro.core.prepare import (
     prepare_lists,
     prepare_path_lists,
 )
+from repro.core.shapes import Shape, ShapeTable, forest_columns
 from repro.storage.inverted_index import PostingList
 from repro.core.qpt import QPT, QPTNode
 from repro.dewey import (
     DeweyID,
     pack_component,
+    packed_child_bound,
     packed_prefix_ends,
     unpack,
 )
@@ -810,6 +815,55 @@ class _PDTBuilder:
         return item.qnode.tag
 
 
+def _deep_sizeof(roots: tuple) -> int:
+    """Estimate the resident bytes of an object graph (id-deduplicated).
+
+    Walks the containers and model objects a skeleton owns; shared
+    sub-objects (interned strings, shared tuples) are counted once.  An
+    estimate, not an audit — it feeds cache byte budgets and the memory
+    benchmarks, where relative footprint is what matters.
+    """
+    getsizeof = sys.getsizeof
+    seen: set[int] = set()
+    add_seen = seen.add
+    total = 0
+    stack: list = list(roots)
+    while stack:
+        obj = stack.pop()
+        if obj is None:
+            continue
+        oid = id(obj)
+        if oid in seen:
+            continue
+        add_seen(oid)
+        try:
+            total += getsizeof(obj)
+        except TypeError:  # pragma: no cover - exotic objects
+            total += 64
+        if type(obj) is dict:
+            stack.extend(obj.keys())
+            stack.extend(obj.values())
+        elif type(obj) in (tuple, list, set, frozenset):
+            stack.extend(obj)
+        elif type(obj) is PDTRecord:
+            stack.append(obj.key)
+            stack.append(obj.tag)
+            stack.append(obj.value)
+        elif type(obj) is XMLNode:
+            stack.append(obj.tag)
+            stack.append(obj.text)
+            stack.append(obj.children)
+            stack.append(obj.anno)
+        elif type(obj) is NodeAnnotations:
+            stack.append(obj.dewey)
+            stack.append(obj.term_frequencies)
+            stack.append(obj.doc)
+        elif type(obj) is DeweyID:
+            stack.append(obj.components)
+            stack.append(obj._packed)
+    return total
+
+
 @dataclass
 class PDTSkeleton:
     """The keyword-independent structural part of a PDT.
@@ -863,6 +917,33 @@ class PDTSkeleton:
 
     def stats(self) -> dict[str, int]:
         return {"nodes": self.node_count, "entries": self.entry_count}
+
+    @property
+    def memory_bytes(self) -> int:
+        """Estimated resident footprint (memoized deep object-graph size).
+
+        Counts everything the skeleton owns: the record table, decoded
+        ids, bounds and the fully-materialized shared tree.  Cache tiers
+        use this as the byte-budget sizer; the DAG-compressed form
+        (:class:`CompressedSkeleton`) reports a much smaller figure for
+        repetitive structure.
+        """
+        cached = self.__dict__.get("_memory_bytes")
+        if cached is None:
+            cached = _deep_sizeof(
+                (
+                    self.records,
+                    self.ordered,
+                    self.dewey_ids,
+                    self.parents,
+                    self.slots,
+                    self.bounds,
+                    self.slot_bounds,
+                    self.tree,
+                )
+            )
+            self.__dict__["_memory_bytes"] = cached
+        return cached
 
     # -- serialization -------------------------------------------------------
 
@@ -1022,8 +1103,349 @@ class PDTSkeleton:
         )
 
 
+class CompressedSkeleton:
+    """A DAG-compressed :class:`PDTSkeleton`: shared structure, flat state.
+
+    The structural part of a skeleton — tags, nesting and annotation
+    flags — is hash-consed into :class:`~repro.core.shapes.Shape`
+    objects interned in a per-engine (or per-corpus)
+    :class:`~repro.core.shapes.ShapeTable`, so each distinct subtree
+    structure is stored **once** within and across skeletons.  What
+    remains per instance is exactly the per-record state that actually
+    differs between documents, kept in flat parallel arrays in record
+    (preorder) order:
+
+    * ``keys`` — the packed Dewey keys (sorted; bytes order = document
+      order);
+    * ``byte_lengths`` — mutable, so delta maintenance can patch them in
+      place;
+    * ``values`` — materialized atomic values (``None`` where absent).
+
+    Everything :func:`annotate_skeleton` consumes is exposed with the
+    same names and semantics as on ``PDTSkeleton`` (``bounds``,
+    ``slot_bounds``, ``tree``, ``doc_name``, ``node_count``,
+    ``entry_count``), so the merge-join sweep runs over the DAG
+    unchanged and ``PDTResult`` / ranking stay bit-identical:
+
+    * ``bounds`` / ``slot_bounds`` are derived lazily from the shapes'
+      cached content positions plus the per-instance keys (memoized
+      strongly — they are small and every annotation needs them);
+    * ``tree`` is memoized **weakly**: the shared tree is derived data,
+      rebuilt on demand and kept alive exactly as long as some cached
+      ``PDTResult`` / evaluated-tier entry references its nodes.  Slots
+      are positional, so re-materialized trees are interchangeable.
+
+    Lazy computations are idempotent and the memo writes are atomic, so
+    a benign compute race between annotating threads settles on
+    equivalent state — matching the skeleton tier's concurrent-read
+    contract.
+    """
+
+    __slots__ = (
+        "doc_name",
+        "entry_count",
+        "roots",
+        "keys",
+        "byte_lengths",
+        "values",
+        "content_count",
+        "_bounds",
+        "_slot_bounds",
+        "_tree_ref",
+        "_memory_bytes",
+    )
+
+    def __init__(
+        self,
+        doc_name: str,
+        entry_count: int,
+        roots: tuple[Shape, ...],
+        keys: tuple[bytes, ...],
+        byte_lengths: list[int],
+        values: tuple[Optional[str], ...],
+    ):
+        self.doc_name = doc_name
+        self.entry_count = entry_count
+        self.roots = roots
+        self.keys = keys
+        self.byte_lengths = byte_lengths
+        self.values = values
+        self.content_count = sum(root.content_count for root in roots)
+        self._bounds: Optional[tuple[bytes, ...]] = None
+        self._slot_bounds: Optional[tuple[tuple[int, int], ...]] = None
+        self._tree_ref: Optional[weakref.ref] = None
+        self._memory_bytes: Optional[int] = None
+
+    # -- PDTSkeleton-compatible surface --------------------------------------
+
+    @property
+    def node_count(self) -> int:
+        return len(self.keys)
+
+    def stats(self) -> dict[str, int]:
+        return {"nodes": self.node_count, "entries": self.entry_count}
+
+    def columns(
+        self,
+    ) -> tuple[tuple[str, ...], tuple[bool, ...], tuple[bool, ...]]:
+        """Full preorder ``(tags, wants_value, wants_content)`` columns.
+
+        Pure concatenation of the top-level shapes' cached columns —
+        the per-shape work is done once per distinct structure, here we
+        only splice.  Not memoized: the callers (tree materialization,
+        serialization) are themselves memoized or cold-path.
+        """
+        return forest_columns(self.roots)
+
+    def content_positions(self) -> tuple[int, ...]:
+        """Preorder record positions of the content ('c') nodes."""
+        positions: list[int] = []
+        base = 0
+        for root in self.roots:
+            for relative in root.columns()[3]:
+                positions.append(base + relative)
+            base += root.size
+        return tuple(positions)
+
+    @property
+    def bounds(self) -> tuple[bytes, ...]:
+        if self._bounds is None:
+            self._compute_bounds()
+        return self._bounds
+
+    @property
+    def slot_bounds(self) -> tuple[tuple[int, int], ...]:
+        if self._slot_bounds is None:
+            self._compute_bounds()
+        return self._slot_bounds
+
+    def _compute_bounds(self) -> None:
+        """Derive the annotation sweep's bound arrays from the DAG.
+
+        Content *positions* come from the shapes (computed once per
+        distinct structure); the subtree boundary *keys* are then two
+        reads per content node off the per-instance key array — the
+        exact same ``[key, packed_child_bound(key))`` ranges
+        :meth:`PDTSkeleton.from_records` precomputes eagerly.
+        """
+        keys = self.keys
+        bound_keys: set[bytes] = set()
+        content_ranges: list[tuple[bytes, bytes]] = []
+        for position in self.content_positions():
+            key = keys[position]
+            upper = packed_child_bound(key)
+            content_ranges.append((key, upper))
+            bound_keys.add(key)
+            bound_keys.add(upper)
+        bounds = tuple(sorted(bound_keys))
+        bound_index = {bound: i for i, bound in enumerate(bounds)}
+        self._slot_bounds = tuple(
+            (bound_index[low], bound_index[high])
+            for low, high in content_ranges
+        )
+        self._bounds = bounds
+
+    @property
+    def tree(self) -> XMLNode:
+        ref = self._tree_ref
+        if ref is not None:
+            tree = ref()
+            if tree is not None:
+                return tree
+        tree = self._materialize().tree
+        self._tree_ref = weakref.ref(tree)
+        return tree
+
+    def _materialize(self) -> PDTSkeleton:
+        """Decompress into a transient eager :class:`PDTSkeleton`.
+
+        Reuses :meth:`PDTSkeleton.from_records` wholesale so the
+        materialized tree (slot assignment, fragment wrapping, value
+        placement) is the uncompressed build, by construction, not a
+        reimplementation that could drift.
+        """
+        tags, wants_value, wants_content = self.columns()
+        records: dict[bytes, PDTRecord] = {}
+        new_record = PDTRecord.__new__
+        byte_lengths = self.byte_lengths
+        values = self.values
+        for position, key in enumerate(self.keys):
+            record = new_record(PDTRecord)
+            record.key = key
+            record.tag = tags[position]
+            record.value = values[position]
+            record.byte_length = byte_lengths[position]
+            record.wants_value = wants_value[position]
+            record.wants_content = wants_content[position]
+            records[key] = record
+        return PDTSkeleton.from_records(
+            doc_name=self.doc_name,
+            records=records,
+            entry_count=self.entry_count,
+        )
+
+    # -- serialization -------------------------------------------------------
+
+    def to_bytes(self) -> bytes:
+        """Identical bytes to the uncompressed skeleton's ``to_bytes``."""
+        return serialize_skeleton(self)
+
+    # -- delta maintenance ---------------------------------------------------
+
+    def patch_byte_lengths(
+        self, ancestor_keys: tuple[bytes, ...], delta: int
+    ) -> int:
+        """DAG-side :func:`patch_skeleton_byte_lengths`.
+
+        Bisects each ancestor key into the sorted per-instance key array
+        and shifts its byte length; the shared structure is untouched
+        (byte lengths are instance state, never part of a shape).  A
+        live materialized tree, if any, is patched through the same
+        bounded ancestor-chain walk as the eager path.
+        """
+        if delta == 0 or not ancestor_keys:
+            return 0
+        keys = self.keys
+        byte_lengths = self.byte_lengths
+        count = len(keys)
+        patched: set[bytes] = set()
+        for key in ancestor_keys:
+            position = bisect_left(keys, key)
+            if position < count and keys[position] == key:
+                byte_lengths[position] += delta
+                patched.add(key)
+        if not patched:
+            return 0
+        ref = self._tree_ref
+        tree = ref() if ref is not None else None
+        if tree is not None:
+            _patch_tree_annotations(
+                tree, set(patched), ancestor_keys[-1], delta
+            )
+        return len(patched)
+
+    # -- accounting ----------------------------------------------------------
+
+    @property
+    def memory_bytes(self) -> int:
+        """Per-instance resident footprint (memoized).
+
+        Counts only what this instance *owns*: keys, byte lengths,
+        values and the (forced) bound arrays.  The interned shapes are
+        shared corpus-wide and accounted once by
+        :meth:`ShapeTable.memory_bytes`; the weakly-held tree is
+        evictable derived data and excluded by design — it exists only
+        while query results pin it.
+        """
+        cached = self._memory_bytes
+        if cached is None:
+            if self._bounds is None:
+                self._compute_bounds()
+            cached = (
+                64  # object header + slot storage
+                + 8 * len(self.roots)
+                + _deep_sizeof(
+                    (
+                        self.keys,
+                        self.byte_lengths,
+                        self.values,
+                        self._bounds,
+                        self._slot_bounds,
+                    )
+                )
+            )
+            self._memory_bytes = cached
+        return cached
+
+    def __repr__(self) -> str:
+        return (
+            f"<CompressedSkeleton {self.doc_name!r} nodes={self.node_count} "
+            f"roots={len(self.roots)}>"
+        )
+
+
+def compress_skeleton(
+    skeleton: Union[PDTSkeleton, "CompressedSkeleton"],
+    table: ShapeTable,
+) -> CompressedSkeleton:
+    """DAG-compress a skeleton against a shared shape table.
+
+    Bottom-up hash-consing over the record columns: every isomorphic
+    subtree structure collapses to one interned
+    :class:`~repro.core.shapes.Shape`, within this skeleton and across
+    every other skeleton interned in the same ``table``.  Accepts any
+    skeleton exposing the eager attribute surface (``ordered`` /
+    ``records`` / ``parents``), so mmap-restored skeletons compress the
+    same way; an already-compressed skeleton passes through unchanged.
+
+    The source's already-built shared tree (when present) seeds the weak
+    tree memo, so compressing a freshly built skeleton does not discard
+    and rebuild the tree the cold path just paid for.
+    """
+    if isinstance(skeleton, CompressedSkeleton):
+        return skeleton
+    ordered = skeleton.ordered
+    records = skeleton.records
+    tags: list[str] = []
+    wants_value: list[bool] = []
+    wants_content: list[bool] = []
+    values: list[Optional[str]] = []
+    byte_lengths: list[int] = []
+    for key in ordered:
+        record = records[key]
+        tags.append(record.tag)
+        wants_value.append(record.wants_value)
+        wants_content.append(record.wants_content)
+        values.append(record.value)
+        byte_lengths.append(record.byte_length)
+    roots = table.intern_forest(
+        tags, wants_value, wants_content, skeleton.parents
+    )
+    compressed = CompressedSkeleton(
+        doc_name=skeleton.doc_name,
+        entry_count=skeleton.entry_count,
+        roots=roots,
+        keys=tuple(ordered),
+        byte_lengths=byte_lengths,
+        values=tuple(values),
+    )
+    tree = getattr(skeleton, "tree", None)
+    if tree is not None:
+        compressed._tree_ref = weakref.ref(tree)
+    return compressed
+
+
 _SKELETON_MAGIC = b"PDTS"
-_SKELETON_VERSION = 1
+_SKELETON_VERSION_V1 = 1
+_SKELETON_VERSION = 2
+
+# v2 fixed header (big-endian):
+#   [0:4]   magic "PDTS"
+#   [4:6]   u16 version (= 2)
+#   [6:14]  u64 entry_count
+#   [14:18] u32 record_count (n)
+#   [18:22] u32 content_count
+#   [22:26] u32 value_count (m: records whose value is present)
+#   [26:30] u32 tag_count (t: distinct tags, first-appearance order)
+#   [30:34] u32 doc_name byte length
+#   [34:38] u32 keys blob byte length
+#   [38:42] u32 tag table byte length
+#   [42:46] u32 values blob byte length
+# then, back to back (every section offset is O(1) arithmetic over the
+# header — the offset table an mmap reader needs to address any column
+# without parsing the ones before it):
+#   doc_name utf-8
+#   key_offsets   u32[n+1]   (relative, key_offsets[0] == 0)
+#   keys blob     (concatenated packed Dewey keys)
+#   tag_ids       u16[n]
+#   tag table     t × (u32 length + utf-8)
+#   flags         u8[n]      (bit0 wants_value, bit1 wants_content,
+#                             bit2 value present)
+#   byte_lengths  i64[n]     (signed: delta patches legitimately drive a
+#                             pruned record's running length negative)
+#   value_offsets u32[m+1]   (relative, over value-bearing records in order)
+#   values blob   (concatenated utf-8 values)
+_V2_HEADER_SIZE = 46
 
 
 def _pack_str(value: str) -> bytes:
@@ -1055,25 +1477,165 @@ class _SkeletonReader:
         return self.take(self.take_int(4)).decode("utf-8")
 
 
-def serialize_skeleton(skeleton: PDTSkeleton) -> bytes:
-    """Encode a skeleton as self-contained bytes (see ``deserialize``).
+def _skeleton_columns(
+    skeleton: Union[PDTSkeleton, CompressedSkeleton],
+) -> tuple:
+    """Preorder wire columns, identical for eager and compressed forms.
 
-    Only the *records* travel: everything else a skeleton carries
-    (parent positions, decoded ids, subtree bounds, the shared tree) is
-    a pure function of the records and is rebuilt by
-    :meth:`PDTSkeleton.from_records` on the way in — so the wire format
-    cannot drift from the in-memory derivations, and a payload is
-    host-independent (no pickled code, no interpreter state).
+    Returns ``(doc_name, entry_count, keys, tags, wants_value,
+    wants_content, values, byte_lengths)``.  The compressed form splices
+    its shapes' cached columns; the eager form walks its record table in
+    key order — both yield the same sequences, which is what makes
+    ``to_bytes`` byte-identical across representations (and lets the
+    difftests compare skeleton state by payload digest).
+    """
+    if isinstance(skeleton, CompressedSkeleton):
+        tags, wants_value, wants_content = skeleton.columns()
+        return (
+            skeleton.doc_name,
+            skeleton.entry_count,
+            skeleton.keys,
+            tags,
+            wants_value,
+            wants_content,
+            skeleton.values,
+            skeleton.byte_lengths,
+        )
+    ordered = skeleton.ordered
+    records = skeleton.records
+    tags_list: list[str] = []
+    wants_value_list: list[bool] = []
+    wants_content_list: list[bool] = []
+    values: list[Optional[str]] = []
+    byte_lengths: list[int] = []
+    for key in ordered:
+        record = records[key]
+        tags_list.append(record.tag)
+        wants_value_list.append(record.wants_value)
+        wants_content_list.append(record.wants_content)
+        values.append(record.value)
+        byte_lengths.append(record.byte_length)
+    return (
+        skeleton.doc_name,
+        skeleton.entry_count,
+        ordered,
+        tags_list,
+        wants_value_list,
+        wants_content_list,
+        values,
+        byte_lengths,
+    )
 
-    Layout (big-endian): magic ``PDTS``, u16 version, doc name (u32
-    length + UTF-8), u64 entry_count, u32 record count, then per record
-    in key order: u16 key length + packed key, u32 tag length + tag,
-    flags u8 (bit0 wants_value, bit1 wants_content, bit2 has value),
-    u64 byte_length, and — when bit2 — u32 value length + value.
+
+def serialize_skeleton(
+    skeleton: Union[PDTSkeleton, CompressedSkeleton],
+) -> bytes:
+    """Encode a skeleton as self-contained v2 bytes (see the header map).
+
+    Only the *record columns* travel: everything else a skeleton
+    carries (parent positions, decoded ids, subtree bounds, the shared
+    tree, the shape DAG) is a pure function of the columns and is
+    rebuilt on the way in — so the wire format cannot drift from the
+    in-memory derivations, and a payload is host-independent (no
+    pickled code, no interpreter state).
+
+    Unlike v1's per-record framing, v2 is a struct/array layout: a
+    fixed offset-table header plus packed column arrays, so a reader
+    can address any column in O(1) and :class:`repro.core.snapshot
+    .MappedSkeleton` can expose a payload through ``mmap`` without
+    parsing it.  The encoding is deterministic (tag table in
+    first-appearance order), so serializing the same skeleton from its
+    eager or DAG-compressed form yields identical bytes.
+    """
+    (
+        doc_name,
+        entry_count,
+        keys,
+        tags,
+        wants_value,
+        wants_content,
+        values,
+        byte_lengths,
+    ) = _skeleton_columns(skeleton)
+    count = len(keys)
+    doc_raw = doc_name.encode("utf-8")
+    key_offsets = [0] * (count + 1)
+    running = 0
+    for position, key in enumerate(keys):
+        running += len(key)
+        key_offsets[position + 1] = running
+    keys_blob = b"".join(keys)
+    tag_index: dict[str, int] = {}
+    tag_ids = [0] * count
+    tag_entries: list[bytes] = []
+    for position, tag in enumerate(tags):
+        tag_id = tag_index.get(tag)
+        if tag_id is None:
+            tag_id = len(tag_index)
+            tag_index[tag] = tag_id
+            raw = tag.encode("utf-8")
+            tag_entries.append(len(raw).to_bytes(4, "big") + raw)
+        tag_ids[position] = tag_id
+    if len(tag_index) > 0xFFFF:
+        raise ValueError("too many distinct tags for skeleton payload")
+    tag_table = b"".join(tag_entries)
+    flags = bytes(
+        (1 if wants_value[i] else 0)
+        | (2 if wants_content[i] else 0)
+        | (4 if values[i] is not None else 0)
+        for i in range(count)
+    )
+    value_parts = [
+        value.encode("utf-8") for value in values if value is not None
+    ]
+    value_count = len(value_parts)
+    value_offsets = [0] * (value_count + 1)
+    running = 0
+    for position, part in enumerate(value_parts):
+        running += len(part)
+        value_offsets[position + 1] = running
+    values_blob = b"".join(value_parts)
+    content_count = sum(1 for flag in wants_content if flag)
+    header = b"".join(
+        (
+            _SKELETON_MAGIC,
+            _SKELETON_VERSION.to_bytes(2, "big"),
+            entry_count.to_bytes(8, "big"),
+            count.to_bytes(4, "big"),
+            content_count.to_bytes(4, "big"),
+            value_count.to_bytes(4, "big"),
+            len(tag_index).to_bytes(4, "big"),
+            len(doc_raw).to_bytes(4, "big"),
+            len(keys_blob).to_bytes(4, "big"),
+            len(tag_table).to_bytes(4, "big"),
+            len(values_blob).to_bytes(4, "big"),
+        )
+    )
+    return b"".join(
+        (
+            header,
+            doc_raw,
+            struct.pack(f">{count + 1}I", *key_offsets),
+            keys_blob,
+            struct.pack(f">{count}H", *tag_ids),
+            tag_table,
+            flags,
+            struct.pack(f">{count}q", *byte_lengths),
+            struct.pack(f">{value_count + 1}I", *value_offsets),
+            values_blob,
+        )
+    )
+
+
+def _serialize_skeleton_v1(skeleton: PDTSkeleton) -> bytes:
+    """The v1 per-record framing, kept for compatibility tests.
+
+    Production writes v2; old stores' v1 payloads remain readable
+    through :func:`deserialize_skeleton`'s version dispatch.
     """
     parts: list[bytes] = [
         _SKELETON_MAGIC,
-        _SKELETON_VERSION.to_bytes(2, "big"),
+        _SKELETON_VERSION_V1.to_bytes(2, "big"),
         _pack_str(skeleton.doc_name),
         skeleton.entry_count.to_bytes(8, "big"),
         len(skeleton.records).to_bytes(4, "big"),
@@ -1095,18 +1657,253 @@ def serialize_skeleton(skeleton: PDTSkeleton) -> bytes:
     return b"".join(parts)
 
 
+def skeleton_payload_version(payload) -> int:
+    """The wire version of a skeleton payload (header peek, O(1)).
+
+    Accepts any bytes-like buffer.  Raises ``ValueError`` when the
+    payload is too short or carries the wrong magic — the same contract
+    as full deserialization, so store code can branch on version
+    without first risking a parse.
+    """
+    if len(payload) < 6 or bytes(payload[0:4]) != _SKELETON_MAGIC:
+        raise ValueError("not a PDT skeleton payload")
+    return int.from_bytes(bytes(payload[4:6]), "big")
+
+
+class SkeletonLayout:
+    """Validated v2 section offsets over a bytes-like payload.
+
+    Parsing is O(1) in the payload size: the fixed header names every
+    section length, so all offsets are arithmetic and the single
+    total-length equation rejects truncated or trailing-byte payloads
+    up front.  Column *content* is validated when (and only when) a
+    column is decoded — that is the contract that lets an mmap reader
+    admit a payload without paging it in.
+    """
+
+    __slots__ = (
+        "payload",
+        "doc_name",
+        "entry_count",
+        "record_count",
+        "content_count",
+        "value_count",
+        "tag_count",
+        "key_index_offset",
+        "keys_offset",
+        "keys_size",
+        "tag_ids_offset",
+        "tag_table_offset",
+        "tag_table_size",
+        "flags_offset",
+        "lengths_offset",
+        "value_index_offset",
+        "values_offset",
+        "values_size",
+        "total",
+    )
+
+    def __init__(self, payload):
+        total = len(payload)
+        if total < _V2_HEADER_SIZE:
+            raise ValueError("truncated PDT skeleton payload")
+        version = skeleton_payload_version(payload)
+        if version != _SKELETON_VERSION:
+            raise ValueError(f"unsupported PDT skeleton version {version}")
+        header = bytes(payload[:_V2_HEADER_SIZE])
+        (
+            entry_count,
+            record_count,
+            content_count,
+            value_count,
+            tag_count,
+            doc_size,
+            keys_size,
+            tag_table_size,
+            values_size,
+        ) = struct.unpack(">Q8I", header[6:])
+        self.payload = payload
+        self.entry_count = entry_count
+        self.record_count = record_count
+        self.content_count = content_count
+        self.value_count = value_count
+        self.tag_count = tag_count
+        self.keys_size = keys_size
+        self.tag_table_size = tag_table_size
+        self.values_size = values_size
+        offset = _V2_HEADER_SIZE
+        doc_end = offset + doc_size
+        self.key_index_offset = doc_end
+        self.keys_offset = self.key_index_offset + 4 * (record_count + 1)
+        self.tag_ids_offset = self.keys_offset + keys_size
+        self.tag_table_offset = self.tag_ids_offset + 2 * record_count
+        self.flags_offset = self.tag_table_offset + tag_table_size
+        self.lengths_offset = self.flags_offset + record_count
+        self.value_index_offset = self.lengths_offset + 8 * record_count
+        self.values_offset = self.value_index_offset + 4 * (value_count + 1)
+        self.total = self.values_offset + values_size
+        if self.total > total:
+            raise ValueError("truncated PDT skeleton payload")
+        if self.total < total:
+            raise ValueError("trailing bytes in PDT skeleton payload")
+        try:
+            self.doc_name = bytes(payload[offset:doc_end]).decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise ValueError("corrupt PDT skeleton doc name") from exc
+
+    # -- column decoders (each validates what it touches) --------------------
+
+    def keys(self) -> tuple[bytes, ...]:
+        payload = self.payload
+        count = self.record_count
+        offsets = struct.unpack_from(
+            f">{count + 1}I", payload, self.key_index_offset
+        )
+        if offsets[0] != 0 or offsets[-1] != self.keys_size:
+            raise ValueError("corrupt PDT skeleton key index")
+        base = self.keys_offset
+        keys: list[bytes] = []
+        previous: Optional[bytes] = None
+        for position in range(count):
+            low, high = offsets[position], offsets[position + 1]
+            if high <= low:
+                raise ValueError("corrupt PDT skeleton key index")
+            key = bytes(payload[base + low:base + high])
+            unpack(key)  # validates the packed form (and rejects empty)
+            if previous is not None and key <= previous:
+                raise ValueError("PDT skeleton keys out of order")
+            previous = key
+            keys.append(key)
+        return tuple(keys)
+
+    def tags(self) -> tuple[str, ...]:
+        payload = self.payload
+        table_offset = self.tag_table_offset
+        cursor = table_offset
+        end = cursor + self.tag_table_size
+        names: list[str] = []
+        from_bytes = int.from_bytes
+        for _ in range(self.tag_count):
+            size_end = cursor + 4
+            if size_end > end:
+                raise ValueError("corrupt PDT skeleton tag table")
+            tag_end = size_end + from_bytes(
+                bytes(payload[cursor:size_end]), "big"
+            )
+            if tag_end > end:
+                raise ValueError("corrupt PDT skeleton tag table")
+            try:
+                names.append(bytes(payload[size_end:tag_end]).decode("utf-8"))
+            except UnicodeDecodeError as exc:
+                raise ValueError("corrupt PDT skeleton tag table") from exc
+            cursor = tag_end
+        if cursor != end:
+            raise ValueError("corrupt PDT skeleton tag table")
+        count = self.record_count
+        tag_ids = struct.unpack_from(f">{count}H", payload, self.tag_ids_offset)
+        resolved: list[str] = []
+        for tag_id in tag_ids:
+            if tag_id >= len(names):
+                raise ValueError("corrupt PDT skeleton tag ids")
+            resolved.append(names[tag_id])
+        return tuple(resolved)
+
+    def flags(self) -> bytes:
+        return bytes(
+            self.payload[self.flags_offset:self.flags_offset
+                         + self.record_count]
+        )
+
+    def byte_lengths(self) -> tuple[int, ...]:
+        return struct.unpack_from(
+            f">{self.record_count}q", self.payload, self.lengths_offset
+        )
+
+    def values(self, flags: bytes) -> tuple[Optional[str], ...]:
+        payload = self.payload
+        count = self.value_count
+        offsets = struct.unpack_from(
+            f">{count + 1}I", payload, self.value_index_offset
+        )
+        if offsets[0] != 0 or offsets[-1] != self.values_size:
+            raise ValueError("corrupt PDT skeleton value index")
+        base = self.values_offset
+        values: list[Optional[str]] = []
+        position = 0
+        try:
+            for flag in flags:
+                if flag & 4:
+                    low, high = offsets[position], offsets[position + 1]
+                    if high < low:
+                        raise ValueError(
+                            "corrupt PDT skeleton value index"
+                        )
+                    values.append(
+                        bytes(payload[base + low:base + high]).decode("utf-8")
+                    )
+                    position += 1
+                else:
+                    values.append(None)
+        except IndexError as exc:
+            raise ValueError("corrupt PDT skeleton value index") from exc
+        except UnicodeDecodeError as exc:
+            raise ValueError("corrupt PDT skeleton values") from exc
+        if position != count:
+            raise ValueError("corrupt PDT skeleton value index")
+        return tuple(values)
+
+
+def _deserialize_skeleton_v2(payload) -> PDTSkeleton:
+    layout = SkeletonLayout(payload)
+    keys = layout.keys()
+    tags = layout.tags()
+    flags = layout.flags()
+    byte_lengths = layout.byte_lengths()
+    values = layout.values(flags)
+    if sum(1 for flag in flags if flag & 2) != layout.content_count:
+        raise ValueError("corrupt PDT skeleton content count")
+    records: dict[bytes, PDTRecord] = {}
+    new_record = PDTRecord.__new__
+    for position, key in enumerate(keys):
+        flag = flags[position]
+        record = new_record(PDTRecord)
+        record.key = key
+        record.tag = tags[position]
+        record.value = values[position]
+        record.byte_length = byte_lengths[position]
+        record.wants_value = bool(flag & 1)
+        record.wants_content = bool(flag & 2)
+        records[key] = record
+    return PDTSkeleton.from_records(
+        doc_name=layout.doc_name,
+        records=records,
+        entry_count=layout.entry_count,
+    )
+
+
 def deserialize_skeleton(payload: bytes) -> PDTSkeleton:
     """Decode :func:`serialize_skeleton` output back into a skeleton.
 
-    Raises ``ValueError`` on any malformed, truncated or
-    version-mismatched payload — callers (the snapshot store) treat that
-    as a miss, never as corrupt state to serve.
+    Dispatches on the header version — current v2 column payloads and
+    legacy v1 per-record payloads both decode to the same eager
+    skeleton.  Raises ``ValueError`` on any malformed, truncated or
+    version-mismatched payload — callers (the snapshot store) treat
+    that as a miss, never as corrupt state to serve.
     """
+    version = skeleton_payload_version(payload)
+    if version == _SKELETON_VERSION:
+        return _deserialize_skeleton_v2(payload)
+    if version == _SKELETON_VERSION_V1:
+        return _deserialize_skeleton_v1(payload)
+    raise ValueError(f"unsupported PDT skeleton version {version}")
+
+
+def _deserialize_skeleton_v1(payload: bytes) -> PDTSkeleton:
     reader = _SkeletonReader(payload)
     if reader.take(len(_SKELETON_MAGIC)) != _SKELETON_MAGIC:
         raise ValueError("not a PDT skeleton payload")
     version = reader.take_int(2)
-    if version != _SKELETON_VERSION:
+    if version != _SKELETON_VERSION_V1:
         raise ValueError(f"unsupported PDT skeleton version {version}")
     doc_name = reader.take_str()
     entry_count = reader.take_int(8)
@@ -1163,8 +1960,35 @@ def deserialize_skeleton(payload: bytes) -> PDTSkeleton:
     )
 
 
+def _patch_tree_annotations(
+    tree: XMLNode, remaining: set[bytes], deepest: bytes, delta: int
+) -> None:
+    """Shift ``anno.byte_length`` on a live shared tree for an edit.
+
+    ``remaining`` holds the ancestor keys still to patch;
+    ``ancestor_keys`` is a root-first prefix chain, so ``deepest``
+    bounds the walk: descend only through nodes on the chain (and the
+    fragment wrapper, which carries no annotation).
+    """
+    stack = [tree]
+    while stack and remaining:
+        node = stack.pop()
+        anno = node.anno
+        if anno is None or anno.dewey is None:
+            stack.extend(node.children)
+            continue
+        key = anno.dewey.packed
+        if key in remaining:
+            anno.byte_length += delta
+            remaining.discard(key)
+        if deepest.startswith(key):
+            stack.extend(node.children)
+
+
 def patch_skeleton_byte_lengths(
-    skeleton: PDTSkeleton, ancestor_keys: tuple[bytes, ...], delta: int
+    skeleton: Union[PDTSkeleton, CompressedSkeleton],
+    ancestor_keys: tuple[bytes, ...],
+    delta: int,
 ) -> int:
     """Shift the byte lengths of the edit point's ancestors in place.
 
@@ -1178,7 +2002,14 @@ def patch_skeleton_byte_lengths(
     pass reads lengths from the tree).  Returns the number of skeleton
     nodes patched; ancestors the skeleton does not materialize are
     skipped — their lengths are simply not part of this view.
+
+    Skeleton representations other than the eager one (DAG-compressed,
+    mmap-restored) carry their own ``patch_byte_lengths`` and are
+    dispatched to it — same contract, same return value.
     """
+    patcher = getattr(skeleton, "patch_byte_lengths", None)
+    if patcher is not None:
+        return patcher(ancestor_keys, delta)
     if delta == 0 or not ancestor_keys:
         return 0
     records = skeleton.records
@@ -1188,23 +2019,9 @@ def patch_skeleton_byte_lengths(
     for key in remaining:
         records[key].byte_length += delta
     patched = len(remaining)
-    # ``ancestor_keys`` is a root-first prefix chain, so the deepest key
-    # bounds the walk: descend only through nodes on the chain (and the
-    # fragment wrapper, which carries no annotation).
-    deepest = ancestor_keys[-1]
-    stack = [skeleton.tree]
-    while stack and remaining:
-        node = stack.pop()
-        anno = node.anno
-        if anno is None or anno.dewey is None:
-            stack.extend(node.children)
-            continue
-        key = anno.dewey.packed
-        if key in remaining:
-            anno.byte_length += delta
-            remaining.discard(key)
-        if deepest.startswith(key):
-            stack.extend(node.children)
+    _patch_tree_annotations(
+        skeleton.tree, remaining, ancestor_keys[-1], delta
+    )
     return patched
 
 

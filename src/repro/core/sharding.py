@@ -58,6 +58,7 @@ from repro.core.engine import (
     ViewStatistics,
 )
 from repro.core.routing import ShardRouter
+from repro.core.shapes import ShapeTable
 from repro.core.scoring import (
     ScoredResult,
     apply_scores,
@@ -280,6 +281,8 @@ class ShardExecutor:
         enable_cache: bool = True,
         snapshot_store: Optional[SkeletonStore] = None,
         database: Optional[XMLDatabase] = None,
+        dag_compression: bool = True,
+        shape_table: Optional[ShapeTable] = None,
     ):
         self.shard_id = shard_id
         self.database = database if database is not None else XMLDatabase()
@@ -289,8 +292,18 @@ class ShardExecutor:
             cache=cache,
             enable_cache=enable_cache,
             snapshot_store=snapshot_store,
+            dag_compression=dag_compression,
+            shape_table=shape_table,
         )
         self._fragments: dict[str, tuple[Fragment, ...]] = {}
+
+    def close(self) -> None:
+        """Release the shard engine's hooks and prune its snapshot slice."""
+        self.engine.close()
+
+    def prune_snapshots(self) -> int:
+        """Prune this shard's snapshot slice (see the engine method)."""
+        return self.engine.prune_snapshots()
 
     def __repr__(self) -> str:
         return (
@@ -524,6 +537,14 @@ class CorpusCoordinator:
         if self._pool is not None:
             self._pool.shutdown(wait=True)
             self._pool = None
+        for executor in self.executors:
+            executor.close()
+
+    def prune_snapshots(self) -> int:
+        """Prune every shard's snapshot slice; total files removed."""
+        return sum(
+            executor.prune_snapshots() for executor in self.executors
+        )
 
     def __enter__(self) -> "CorpusCoordinator":
         return self

@@ -51,6 +51,9 @@ class WarmupReport:
     #: (a prior query or warm-up already filled the in-memory tier).
     results: dict[tuple[str, str], str] = field(default_factory=dict)
     duration: float = 0.0
+    #: Stale snapshot files reclaimed after warming (snapshots no live
+    #: ``(document, view)`` coordinate can restore any more).
+    pruned: int = 0
 
     @property
     def built_count(self) -> int:
@@ -76,6 +79,7 @@ class WarmupReport:
             "restored": self.restored_count,
             "already_warm": self.warm_count,
             "duration": self.duration,
+            "pruned": self.pruned,
         }
 
 
@@ -136,5 +140,11 @@ def execute_warmup(
             else:
                 state = "warm"
             report.results[(view_name, doc_name)] = state
+    # Every warm view just re-saved its snapshots under the current
+    # fingerprints, so anything unreachable in the store is stale —
+    # reclaim it while we hold the startup window.
+    prune = getattr(engine, "prune_snapshots", None)
+    if prune is not None:
+        report.pruned = prune()
     report.duration = time.perf_counter() - start
     return report

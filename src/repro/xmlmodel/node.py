@@ -57,7 +57,12 @@ class XMLNode:
     ``None`` for freshly constructed (query-output) nodes.
     """
 
-    __slots__ = ("tag", "text", "children", "parent", "dewey", "anno")
+    # ``__weakref__`` lets DAG-compressed skeletons memoize their lazily
+    # materialized shared tree *weakly*: the tree stays alive exactly as
+    # long as some cached PDT or evaluated result references it, and is
+    # reclaimable the moment nothing does.
+    __slots__ = ("tag", "text", "children", "parent", "dewey", "anno",
+                 "__weakref__")
 
     def __init__(
         self,

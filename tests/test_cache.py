@@ -120,6 +120,105 @@ class TestShardedLRUCache:
         assert sum(s["hits"] for s in stats["shards"]) == 1
 
 
+class _Sized:
+    """A value reporting its own resident footprint (like skeletons)."""
+
+    def __init__(self, memory_bytes: int):
+        self.memory_bytes = memory_bytes
+
+
+class TestByteBudgets:
+    def test_gauge_tracks_puts_overwrites_and_evictions(self):
+        cache = LRUCache(2)
+        cache.put("a", _Sized(100))
+        cache.put("b", _Sized(50))
+        assert cache.memory_bytes == 150
+        cache.put("a", _Sized(10))  # overwrite re-measures
+        assert cache.memory_bytes == 60
+        cache.put("c", _Sized(5))  # evicts b (LRU)
+        assert cache.memory_bytes == 15
+
+    def test_byte_budget_evicts_lru_until_under(self):
+        cache = LRUCache(100, byte_budget=100)
+        cache.put("a", _Sized(40))
+        cache.put("b", _Sized(40))
+        cache.get("a")  # refresh: b is now least recent
+        cache.put("c", _Sized(40))
+        assert "b" not in cache
+        assert "a" in cache and "c" in cache
+        assert cache.memory_bytes == 80
+        assert cache.stats.evictions == 1
+
+    def test_oversized_entry_is_never_retained(self):
+        cache = LRUCache(100, byte_budget=10)
+        cache.put("huge", _Sized(1000))
+        assert len(cache) == 0
+        assert cache.memory_bytes == 0
+
+    def test_unsized_values_cost_nothing(self):
+        cache = LRUCache(100, byte_budget=10)
+        cache.put("a", "plain string")
+        cache.put("b", _Sized(3))
+        assert "a" in cache and "b" in cache
+        assert cache.memory_bytes == 3
+
+    def test_gauge_through_invalidate_and_clear(self):
+        cache = LRUCache(8)
+        cache.put(("x", 1), _Sized(10))
+        cache.put(("y", 2), _Sized(20))
+        cache.invalidate_where(lambda k: k[0] == "x")
+        assert cache.memory_bytes == 20
+        cache.clear()
+        assert cache.memory_bytes == 0
+
+    def test_gauge_follows_rekeyed_entries(self):
+        cache = LRUCache(8)
+        cache.put(("doc", 1), _Sized(10))
+        cache.put(("doc", 2), _Sized(7))  # will be overwritten by the move
+        moved = cache.rekey_where(
+            lambda k: k[1] == 1, lambda k: (k[0], 2)
+        )
+        assert [key for key, _ in moved] == [("doc", 2)]
+        # The moved entry keeps its original measurement; the
+        # overwritten entry's bytes are forgotten.
+        assert cache.memory_bytes == 10
+
+    def test_sharded_capacity_sums_exactly_to_bound(self):
+        # The regression the remainder split fixes: ceil division let
+        # the aggregate exceed the configured capacity by shards - 1.
+        for capacity, shards in [(8, 4), (10, 8), (7, 3), (5, 8), (0, 4)]:
+            cache = ShardedLRUCache(capacity, shards=shards)
+            assert sum(s.capacity for s in cache._shards) == capacity
+            for i in range(capacity * 3 + 5):
+                cache.put(("k", i), i)
+            assert len(cache) <= capacity
+
+    def test_sharded_byte_budget_sums_exactly_to_bound(self):
+        cache = ShardedLRUCache(64, shards=8, byte_budget=100)
+        assert sum(s.byte_budget for s in cache._shards) == 100
+
+    def test_sharded_memory_bytes_aggregates(self):
+        cache = ShardedLRUCache(64, shards=4)
+        for i in range(10):
+            cache.put(("k", i), _Sized(7))
+        assert cache.memory_bytes == 70
+        stats = cache.stats_dict()
+        assert stats["memory_bytes"] == 70
+        assert sum(s["memory_bytes"] for s in stats["shards"]) == 70
+
+    def test_query_cache_threads_budgets_through(self):
+        qc = QueryCache(
+            skeleton_byte_budget=80,
+            pdt_byte_budget=160,
+        )
+        assert sum(s.byte_budget for s in qc.skeletons._shards) == 80
+        assert sum(s.byte_budget for s in qc.pdts._shards) == 160
+        assert all(s.byte_budget is None for s in qc.prepared._shards)
+        for i in range(20):
+            qc.skeletons.put(("v", f"d{i}", 1, "h"), _Sized(10))
+        assert qc.skeletons.memory_bytes <= 80
+
+
 class TestQueryCache:
     def test_invalidate_document_hits_all_tiers(self):
         qc = QueryCache()

@@ -430,6 +430,27 @@ class TestWarmup:
 
         run_async(scenario())
 
+    def test_warm_up_prunes_stale_snapshots(
+        self, tmp_path, bookrev_db, bookrev_view_text
+    ):
+        from repro.core.pdt import PDTSkeleton
+        from repro.core.snapshot import SkeletonStore
+        from repro.serving.warmup import execute_warmup
+
+        store = SkeletonStore(tmp_path / "snap")
+        # A leftover snapshot no live (document, view) pair addresses.
+        store.save(
+            "0" * 64, "1" * 64, PDTSkeleton.from_records("gone.xml", {}, 0)
+        )
+        engine = KeywordSearchEngine(bookrev_db, snapshot_store=store)
+        engine.define_view("v", bookrev_view_text)
+        report = execute_warmup(engine, plan_warmup(engine, ["v"]))
+        assert report.built_count == 2
+        assert report.pruned == 1
+        assert report.as_dict()["pruned"] == 1
+        # The snapshots the warm-up itself just wrote survived.
+        assert len(store) == 2
+
     def test_route_matches_cache_shards(self, bookrev_db, bookrev_view_text):
         engine = KeywordSearchEngine(bookrev_db)
         view = engine.define_view("v", bookrev_view_text)

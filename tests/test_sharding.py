@@ -349,6 +349,64 @@ class TestIngest:
             assert out.evaluated_hit  # ingest pre-warmed the tiers
             assert json.loads(json.dumps(report.as_dict()))  # serializable
 
+    def test_ingest_prunes_stale_snapshots_and_reports(self, tmp_path):
+        view_text = _view_text(sorted(DOCS))
+        snapshots = tmp_path / "snapshots"
+        first, report = ingest_corpus(
+            DOCS, {"v": view_text}, shard_count=2, snapshot_dir=snapshots
+        )
+        first.close()
+        assert report.pruned == 0
+        assert report.as_dict()["pruned"] == 0
+        # Re-ingesting with one document's content changed orphans the
+        # old fingerprint's snapshot; ingest reclaims it after warming.
+        changed = dict(DOCS)
+        changed["d0"] = DOCS["d0"].replace("alpha", "omega", 1)
+        second, report = ingest_corpus(
+            changed, {"v": view_text}, shard_count=2, snapshot_dir=snapshots
+        )
+        with second:
+            assert report.pruned == 1
+            assert second.search("v", ("delta",), top_k=3)
+
+    def test_ingest_mmap_snapshots_round_trip(self, tmp_path):
+        view_text = _view_text(sorted(DOCS))
+        snapshots = tmp_path / "snapshots"
+        first, _ = ingest_corpus(
+            DOCS, {"v": view_text}, shard_count=2, snapshot_dir=snapshots
+        )
+        with first:
+            expected = [
+                (r.rank, r.score) for r in first.search("v", ("alpha",), top_k=5)
+            ]
+        # A restarted fleet restores via mmap and ranks identically.
+        second, report = ingest_corpus(
+            DOCS,
+            {"v": view_text},
+            shard_count=2,
+            snapshot_dir=snapshots,
+            mmap_snapshots=True,
+        )
+        with second:
+            assert all(
+                hit == "snapshot" for hit in report.views["v"].values()
+            )
+            assert [
+                (r.rank, r.score)
+                for r in second.search("v", ("alpha",), top_k=5)
+            ] == expected
+
+    def test_ingest_shares_one_shape_table_across_shards(self):
+        coordinator, _ = ingest_corpus(
+            DOCS, {"v": _view_text(sorted(DOCS))}, shard_count=3
+        )
+        with coordinator:
+            tables = {
+                id(executor.engine.shape_table)
+                for executor in coordinator.executors
+            }
+            assert len(tables) == 1
+
     def test_ingest_colocates_join_fragments(self):
         # d0 and d3 carry identical titles (i % 3 == 0), so the value
         # join genuinely produces results.

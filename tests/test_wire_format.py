@@ -1,0 +1,247 @@
+"""Skeleton wire-format (v2) + mmap-backed store tests.
+
+The v2 layout is an offset-table header plus packed column arrays, so
+a reader can validate a payload and answer identity questions in O(1)
+without parsing the columns.  These tests pin down:
+
+* **round trips** — ``to_bytes``/``from_bytes`` through the eager
+  parser and through :class:`~repro.core.snapshot.MappedSkeleton`
+  agree on every derived structure and re-serialize byte-identically;
+* **rejection** — truncation, trailing bytes, bad magic, bad version
+  and corrupt offset tables all raise, never mis-parse;
+* **compatibility** — v1 payloads remain readable, and
+  ``skeleton_payload_version`` distinguishes the generations in O(1);
+* **the mmap store** — ``mmap_mode=True`` returns mapped skeletons,
+  treats corrupt payloads as misses, and round-trips patched state.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.pdt import (
+    PDTRecord,
+    PDTSkeleton,
+    SkeletonLayout,
+    _serialize_skeleton_v1,
+    annotate_skeleton,
+    deserialize_skeleton,
+    serialize_skeleton,
+    skeleton_payload_version,
+)
+from repro.core.snapshot import MappedSkeleton, SkeletonStore
+from repro.dewey import pack
+from repro.storage.inverted_index import Posting, PostingList
+
+_TAGS = ["a", "b", "item", "Ünïcode-tag"]
+_VALUES = [None, "", "x", "multi word value", "ناص", "v" * 300]
+
+
+def _random_records(rng: random.Random) -> dict[bytes, PDTRecord]:
+    records: dict[bytes, PDTRecord] = {}
+    seen: set[tuple[int, ...]] = set()
+    for _ in range(rng.randint(0, 25)):
+        dewey = tuple(
+            rng.randint(1, 300) for _ in range(rng.randint(1, 5))
+        )
+        if dewey in seen:
+            continue
+        seen.add(dewey)
+        key = pack(dewey)
+        wants_value = rng.random() < 0.5
+        records[key] = PDTRecord(
+            key=key,
+            tag=rng.choice(_TAGS),
+            value=rng.choice(_VALUES) if wants_value else None,
+            byte_length=rng.randint(0, 1 << 40),
+            wants_value=wants_value,
+            wants_content=rng.random() < 0.5,
+        )
+    return records
+
+
+def _skeleton(seed: int = 11) -> PDTSkeleton:
+    rng = random.Random(seed)
+    return PDTSkeleton.from_records(
+        "doc-ü.xml", _random_records(rng), 37
+    )
+
+
+# ---------------------------------------------------------------------------
+# Layout + round trips
+# ---------------------------------------------------------------------------
+
+
+def test_v2_payload_version_and_layout():
+    payload = _skeleton().to_bytes()
+    assert payload[:4] == b"PDTS"
+    assert skeleton_payload_version(payload) == 2
+    layout = SkeletonLayout(payload)
+    skeleton = _skeleton()
+    assert layout.doc_name == skeleton.doc_name
+    assert layout.entry_count == skeleton.entry_count
+    assert layout.record_count == skeleton.node_count
+
+
+@pytest.mark.parametrize("seed", range(15))
+def test_mapped_skeleton_matches_eager(seed):
+    skeleton = _skeleton(seed)
+    payload = skeleton.to_bytes()
+    eager = PDTSkeleton.from_bytes(payload)
+    mapped = MappedSkeleton(payload)
+
+    # O(1) facts, straight from the header.
+    assert mapped.doc_name == skeleton.doc_name
+    assert mapped.entry_count == skeleton.entry_count
+    assert mapped.node_count == skeleton.node_count
+    assert mapped.content_count == skeleton.content_count
+    assert mapped.memory_bytes == len(payload)
+
+    # Deep structures, through the lazily materialized inner skeleton.
+    assert mapped.ordered == eager.ordered
+    assert mapped.parents == eager.parents
+    assert mapped.slots == eager.slots
+    assert mapped.bounds == eager.bounds
+    assert mapped.slot_bounds == eager.slot_bounds
+    assert mapped.to_bytes() == payload
+
+    rng = random.Random(seed + 1)
+    deweys = sorted(
+        {
+            tuple(rng.randint(1, 300) for _ in range(rng.randint(1, 5)))
+            for _ in range(20)
+        }
+    )
+    inv_lists = {
+        "kw": PostingList(
+            "kw", [Posting(dewey=d, tf=rng.randint(1, 9)) for d in deweys]
+        )
+    }
+    assert (
+        annotate_skeleton(mapped, inv_lists, ("kw",)).tf_arrays
+        == annotate_skeleton(eager, inv_lists, ("kw",)).tf_arrays
+    )
+
+
+def test_mapped_patch_flips_to_reencode():
+    skeleton = _skeleton(5)
+    if not skeleton.ordered:
+        pytest.skip("degenerate seed")
+    payload = skeleton.to_bytes()
+    mapped = MappedSkeleton(payload)
+    chain = [skeleton.ordered[0]]
+    mapped.patch_byte_lengths(chain, 7)
+    patched = PDTSkeleton.from_bytes(payload)
+    patched.records[chain[0]].byte_length += 7
+    assert mapped.to_bytes() != payload
+    assert mapped.to_bytes() == patched.to_bytes()
+
+
+# ---------------------------------------------------------------------------
+# Rejection
+# ---------------------------------------------------------------------------
+
+
+def test_header_corruption_rejected():
+    payload = _skeleton().to_bytes()
+    with pytest.raises(ValueError):
+        SkeletonLayout(payload[:-1])  # truncated
+    with pytest.raises(ValueError):
+        SkeletonLayout(payload + b"\x00")  # trailing bytes
+    with pytest.raises(ValueError):
+        SkeletonLayout(b"XXXX" + payload[4:])  # bad magic
+    with pytest.raises(ValueError):
+        SkeletonLayout(payload[:10])  # shorter than the header
+    mutated = bytearray(payload)
+    mutated[5] ^= 0xFF  # version low byte
+    with pytest.raises(ValueError):
+        SkeletonLayout(bytes(mutated))
+    with pytest.raises(ValueError):
+        skeleton_payload_version(b"PD")  # too short to carry a version
+
+
+def test_column_corruption_rejected():
+    skeleton = _skeleton(7)
+    if skeleton.node_count < 2:
+        pytest.skip("degenerate seed")
+    payload = bytearray(skeleton.to_bytes())
+    # Scribble over the key-offsets table (it starts right after the
+    # header + doc name): monotonicity breaks and decoding must raise.
+    doc_len = len(skeleton.doc_name.encode("utf-8"))
+    offset = 46 + doc_len
+    payload[offset : offset + 8] = b"\xff" * 8
+    with pytest.raises(ValueError):
+        deserialize_skeleton(bytes(payload))
+
+
+# ---------------------------------------------------------------------------
+# Compatibility
+# ---------------------------------------------------------------------------
+
+
+def test_v1_payloads_remain_readable():
+    skeleton = _skeleton(9)
+    payload = _serialize_skeleton_v1(skeleton)
+    assert skeleton_payload_version(payload) == 1
+    restored = deserialize_skeleton(payload)
+    assert restored.ordered == skeleton.ordered
+    assert restored.bounds == skeleton.bounds
+    # Re-serializing a v1 restore emits the current format.
+    assert skeleton_payload_version(restored.to_bytes()) == 2
+
+
+def test_serialize_matches_across_entry_points():
+    skeleton = _skeleton(3)
+    assert serialize_skeleton(skeleton) == skeleton.to_bytes()
+
+
+# ---------------------------------------------------------------------------
+# The mmap-mode store
+# ---------------------------------------------------------------------------
+
+
+def test_store_mmap_mode_returns_mapped_skeletons(tmp_path):
+    store = SkeletonStore(tmp_path / "snap", mmap_mode=True)
+    skeleton = _skeleton()
+    store.save("f" * 64, "a" * 64, skeleton)
+    restored = store.load("f" * 64, "a" * 64)
+    assert isinstance(restored, MappedSkeleton)
+    assert restored.doc_name == skeleton.doc_name
+    assert restored.to_bytes() == skeleton.to_bytes()
+    assert store.stats()["hits"] == 1
+    restored.close()
+    restored.close()  # idempotent
+
+
+def test_store_mmap_mode_corrupt_payload_is_a_miss(tmp_path):
+    store = SkeletonStore(tmp_path / "snap", mmap_mode=True)
+    store.save("f" * 64, "a" * 64, _skeleton())
+    path = store.path_for("f" * 64, "a" * 64)
+    path.write_bytes(path.read_bytes()[:20])  # truncate mid-header
+    assert store.load("f" * 64, "a" * 64) is None
+    assert store.stats()["misses"] == 1
+    assert not path.exists()  # corrupt snapshot reclaimed
+
+
+def test_store_mmap_mode_reads_v1_payloads_eagerly(tmp_path):
+    store = SkeletonStore(tmp_path / "snap", mmap_mode=True)
+    skeleton = _skeleton()
+    path = store.path_for("f" * 64, "a" * 64)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_bytes(_serialize_skeleton_v1(skeleton))
+    restored = store.load("f" * 64, "a" * 64)
+    assert isinstance(restored, PDTSkeleton)
+    assert restored.ordered == skeleton.ordered
+
+
+def test_store_prune_counter(tmp_path):
+    store = SkeletonStore(tmp_path / "snap")
+    store.save("f" * 64, "a" * 64, _skeleton())
+    store.save("e" * 64, "b" * 64, _skeleton())
+    keep = {SkeletonStore.entry_name("f" * 64, "a" * 64)}
+    assert store.prune(keep=keep) == 1
+    assert store.prune(keep=keep) == 0
+    assert store.stats()["pruned"] == 1
+    assert len(store) == 1
