@@ -8,10 +8,11 @@ restore), the corpus-sharding pair of ``bench_x8_sharding`` (single
 executor vs 4 shard executors over the cache-thrashing corpus, with
 the streaming merge's early-termination counters), the update pair
 of ``bench_x9_updates`` (post-edit query under delta maintenance vs the
-invalidation-storm cold rebuild) and the memory pair of
+invalidation-storm cold rebuild), the memory pair of
 ``bench_x10_memory`` (DAG-compressed vs eager skeleton tier, plus the
-mmap-vs-parse restore race), at one or more data scales, and
-writes the latencies as JSON.  This is the artifact the CI
+mmap-vs-parse restore race) and the fleet pair of ``bench_x11_fleet``
+(peer-warmed first contact over HTTP vs the local cold build), at one
+or more data scales, and writes the latencies as JSON.  This is the artifact the CI
 perf-smoke job uploads per commit, so the ROADMAP's "fast as the
 hardware allows" goal has a recorded trajectory instead of docstring
 folklore.
@@ -19,7 +20,7 @@ folklore.
 Run it directly (no pytest-benchmark needed)::
 
     PYTHONPATH=src python benchmarks/bench_report.py \
-        --scales 0 1 --pr 8 --out BENCH_pr8.json
+        --scales 0 1 --pr 9 --out BENCH_pr9.json
 
 Scale 0 is a degenerate near-empty database — it keeps the smoke run
 fast and exercises the empty-document and zero-result edge paths.
@@ -220,6 +221,29 @@ def _memory_numbers(rounds: int) -> dict[str, float]:
     }
 
 
+def _fleet_numbers(rounds: int) -> dict[str, float]:
+    """The bench_x11 pair: peer-warmed first contact vs local cold build.
+
+    Delegates to :func:`repro.bench.experiments.measure_fleet` — one
+    measurement protocol shared with the X11 experiment table and the
+    self-enforcing acceptance bench.  Always measured on bench_x11's
+    own 6-document corpus (items=768) so the numbers are comparable
+    across reports.
+    """
+    from repro.bench.experiments import measure_fleet
+
+    numbers = measure_fleet(rounds=max(4, rounds // 6))
+    return {
+        "cold_build_ms": round(numbers["cold_build_ms"], 3),
+        "fleet_fetch_ms": round(numbers["fleet_fetch_ms"], 3),
+        "speedup": round(numbers["speedup"], 2),
+        "fetched": numbers["fetched"],
+        "fetch_failed": numbers["fetch_failed"],
+        "fell_back": numbers["fell_back"],
+        "path_probes": numbers["path_probes"],
+    }
+
+
 def build_report(scales: list[int], rounds: int, pr: int) -> dict:
     report: dict = {
         "pr": pr,
@@ -244,6 +268,7 @@ def build_report(scales: list[int], rounds: int, pr: int) -> dict:
     report["sharding"] = _sharding_ms(rounds)
     report["updates"] = _updates_ms(rounds)
     report["memory"] = _memory_numbers(rounds)
+    report["fleet"] = _fleet_numbers(rounds)
     return report
 
 
@@ -251,8 +276,8 @@ def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--scales", type=int, nargs="+", default=[0, 1])
     parser.add_argument("--rounds", type=int, default=30)
-    parser.add_argument("--pr", type=int, default=8)
-    parser.add_argument("--out", type=Path, default=Path("BENCH_pr8.json"))
+    parser.add_argument("--pr", type=int, default=9)
+    parser.add_argument("--out", type=Path, default=Path("BENCH_pr9.json"))
     args = parser.parse_args()
     report = build_report(args.scales, args.rounds, args.pr)
     args.out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
@@ -266,6 +291,7 @@ def main() -> None:
     print(f"  sharding: {report['sharding']}")
     print(f"  updates: {report['updates']}")
     print(f"  memory: {report['memory']}")
+    print(f"  fleet: {report['fleet']}")
 
 
 if __name__ == "__main__":

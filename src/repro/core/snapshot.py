@@ -252,8 +252,19 @@ class SkeletonStore:
         content (the key pins both inputs of the pure function), so the
         race is benign.
         """
+        return self.save_payload(doc_fingerprint, qpt_hash, skeleton.to_bytes())
+
+    def save_payload(
+        self, doc_fingerprint: str, qpt_hash: str, payload: bytes
+    ) -> Path:
+        """Persist already-serialized wire bytes under a key; atomic.
+
+        The write-through primitive of the networked tier: a payload
+        fetched from a peer is stored verbatim (it is the same pure
+        function of the key, so bytes from any honest process are
+        interchangeable with a local serialization).
+        """
         target = self.path_for(doc_fingerprint, qpt_hash)
-        payload = skeleton.to_bytes()
         descriptor, temp_name = tempfile.mkstemp(
             dir=self.root, prefix=".tmp-", suffix=_SUFFIX
         )
@@ -269,6 +280,22 @@ class SkeletonStore:
             raise
         self._count("saves")
         return target
+
+    def read_payload(
+        self, doc_fingerprint: str, qpt_hash: str
+    ) -> Optional[bytes]:
+        """The raw wire bytes of one snapshot, or ``None`` when missing.
+
+        No parsing, no counter updates — this is the serving side of
+        the peer protocol (a peer streams its stored bytes verbatim;
+        the *fetching* side validates before trusting them), so a
+        corrupt local file is passed through for the fetcher to reject
+        rather than silently repaired here.
+        """
+        try:
+            return self.path_for(doc_fingerprint, qpt_hash).read_bytes()
+        except OSError:
+            return None
 
     def _unlink_if_unchanged(self, target: Path, before: os.stat_result) -> None:
         """Reclaim a corrupt snapshot, but only the payload we observed.

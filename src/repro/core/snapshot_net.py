@@ -1,0 +1,345 @@
+"""A networked tier behind the skeleton snapshot store.
+
+:class:`~repro.core.snapshot.SkeletonStore` made skeletons cheap across
+*restarts*; this module makes them cheap across *hosts*.  A cold fleet
+member asks a warm peer for the snapshot bytes instead of rebuilding
+from path probes — and because every snapshot key is a pure content
+digest (``<qpt_hash>-<doc_fingerprint>``, see the store's module
+docstring), bytes fetched from any honest peer are interchangeable
+with a local serialization.  The peer serves its stored v2 wire bytes
+verbatim; the fetching side validates them before trusting them.
+
+The pieces:
+
+* :class:`SnapshotPeer` — the protocol a remote source implements:
+  ``fetch(doc_fingerprint, qpt_hash) -> bytes | None``.
+* :class:`HTTPSnapshotPeer` — the stdlib HTTP implementation (GET
+  ``/snapshots/<entry_name>`` against a peer's serving endpoint), with
+  a per-fetch timeout and bounded exponential-backoff retries.
+* :class:`CircuitBreaker` — after ``failure_threshold`` consecutive
+  fetch failures the network path opens (every load falls back to the
+  local cold build immediately, no timeout waits); after
+  ``reset_after`` seconds one half-open trial fetch decides whether to
+  close it again.
+* :class:`NetworkedSkeletonStore` — wraps a local store; ``load``
+  consults the local tier first, then the peer (validated +
+  written through to local disk, so one fetch warms the file tier
+  for every later process too), and falls back to ``None`` — the
+  engine's existing cold build — when the network cannot help.
+  Counts ``fetched`` / ``fetch_failed`` / ``fell_back``.
+
+Failure semantics, in one table::
+
+    local hit                    -> skeleton        (no network touched)
+    peer hit                     -> skeleton        fetched += 1
+    peer miss (404)              -> None            fell_back += 1
+    fetch error (after retries)  -> None            fetch_failed += 1, fell_back += 1
+    breaker open                 -> None            fell_back += 1
+    corrupt peer payload         -> None            fetch_failed += 1, fell_back += 1
+
+``None`` always means "cold-build locally" — a fleet member never
+fails a query because a peer is down.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+from typing import Callable, Iterator, Optional, Protocol, Union
+
+from repro.core.pdt import PDTSkeleton, SkeletonLayout
+from repro.core.snapshot import MappedSkeleton, SkeletonStore
+from repro.errors import SnapshotFetchError
+
+
+class SnapshotPeer(Protocol):
+    """Anything that can produce snapshot wire bytes for a content key."""
+
+    def fetch(self, doc_fingerprint: str, qpt_hash: str) -> Optional[bytes]:
+        """The peer's stored payload, ``None`` if the peer lacks it.
+
+        Raises :class:`~repro.errors.SnapshotFetchError` when the peer
+        could not be reached (as opposed to reached-but-missing).
+        """
+        ...  # pragma: no cover - protocol signature
+
+
+class CircuitBreaker:
+    """Consecutive-failure circuit breaker for the snapshot network path.
+
+    Closed (normal) until ``failure_threshold`` consecutive failures;
+    then open for ``reset_after`` seconds, during which :meth:`allow`
+    answers ``False`` and callers skip the network entirely — a dead
+    peer must cost a cold build, not a connect timeout per miss.  After
+    the cooldown, exactly one caller is admitted as the half-open
+    trial; its success closes the breaker, its failure re-opens it for
+    another full cooldown.
+
+    Thread-safe; ``clock`` is injectable for tests (monotonic seconds).
+    """
+
+    def __init__(
+        self,
+        failure_threshold: int = 3,
+        reset_after: float = 5.0,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        self.failure_threshold = failure_threshold
+        self.reset_after = reset_after
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._consecutive_failures = 0
+        self._opened_at: Optional[float] = None
+        self._half_open_inflight = False
+
+    @property
+    def state(self) -> str:
+        """``"closed"``, ``"open"`` or ``"half_open"`` (informational)."""
+        with self._lock:
+            if self._opened_at is None:
+                return "closed"
+            if self._half_open_inflight:
+                return "half_open"
+            if self._clock() - self._opened_at >= self.reset_after:
+                return "half_open"
+            return "open"
+
+    def allow(self) -> bool:
+        """May the caller try the network now?
+
+        While open, answers ``False``.  Once the cooldown elapses, the
+        first caller gets ``True`` as the half-open trial and everyone
+        else keeps getting ``False`` until that trial reports back.
+        """
+        with self._lock:
+            if self._opened_at is None:
+                return True
+            if self._half_open_inflight:
+                return False
+            if self._clock() - self._opened_at >= self.reset_after:
+                self._half_open_inflight = True
+                return True
+            return False
+
+    def record_success(self) -> None:
+        with self._lock:
+            self._consecutive_failures = 0
+            self._opened_at = None
+            self._half_open_inflight = False
+
+    def record_failure(self) -> None:
+        with self._lock:
+            if self._half_open_inflight:
+                # The half-open trial failed: restart the cooldown.
+                self._half_open_inflight = False
+                self._opened_at = self._clock()
+                return
+            self._consecutive_failures += 1
+            if self._consecutive_failures >= self.failure_threshold:
+                self._opened_at = self._clock()
+
+
+class HTTPSnapshotPeer:
+    """Fetch snapshot bytes from a peer's HTTP serving endpoint.
+
+    ``GET <base_url>/snapshots/<entry_name>`` with a per-request
+    ``timeout``; transport failures are retried up to ``retries`` times
+    with exponential backoff (``backoff * 2**attempt`` seconds between
+    tries) before raising :class:`SnapshotFetchError`.  An HTTP 404 is
+    a definitive answer — the peer does not have the snapshot — and is
+    returned as ``None`` without retrying.
+
+    Built on ``urllib`` so the fleet path adds no dependencies;
+    ``opener`` and ``sleep`` are injectable for tests.
+    """
+
+    def __init__(
+        self,
+        base_url: str,
+        timeout: float = 2.0,
+        retries: int = 2,
+        backoff: float = 0.05,
+        opener: Optional[Callable[..., object]] = None,
+        sleep: Callable[[float], None] = time.sleep,
+    ):
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+        self.retries = retries
+        self.backoff = backoff
+        self._open = opener or urllib.request.urlopen
+        self._sleep = sleep
+
+    def fetch(self, doc_fingerprint: str, qpt_hash: str) -> Optional[bytes]:
+        entry = SkeletonStore.entry_name(doc_fingerprint, qpt_hash)
+        url = f"{self.base_url}/snapshots/{entry}"
+        last_error = "no attempt made"
+        for attempt in range(self.retries + 1):
+            if attempt:
+                self._sleep(self.backoff * (2 ** (attempt - 1)))
+            try:
+                with self._open(url, timeout=self.timeout) as response:
+                    return response.read()
+            except urllib.error.HTTPError as exc:
+                if exc.code == 404:
+                    return None  # definitive miss: never retry
+                last_error = f"HTTP {exc.code}"
+            except (urllib.error.URLError, OSError) as exc:
+                reason = getattr(exc, "reason", exc)
+                last_error = f"{type(exc).__name__}: {reason}"
+        raise SnapshotFetchError(entry, last_error)
+
+
+class NetworkedSkeletonStore:
+    """A :class:`SkeletonStore` with a peer behind its misses.
+
+    Drop-in for the local store everywhere the engine, warm-up and
+    delta-maintenance paths use one — same ``load`` / ``save`` /
+    ``discard`` / ``prune`` / ``stats`` surface, same
+    content-digest keys.  Only ``load`` changes: a local miss consults
+    the peer (gated by the circuit breaker), validates the fetched
+    bytes structurally (the O(1) :class:`SkeletonLayout` admission
+    check the mmap tier uses), writes them through to the local store
+    and re-loads from disk — so a fetched snapshot behaves exactly
+    like a locally-saved one (including ``mmap_mode`` zero-copy
+    restores, and including the eager mode's full-parse rejection of
+    deeper corruption) and every later load, in this process or a
+    sibling sharing the directory, is local.
+
+    Network activity is counted separately from the local store's
+    hit/miss counters: ``net_stats`` reports ``fetched`` (peer
+    supplied the bytes), ``fetch_failed`` (the peer path errored after
+    retries, or returned bytes that failed validation) and
+    ``fell_back`` (the load returned ``None`` and the caller will
+    cold-build).  ``stats`` merges both views.
+    """
+
+    def __init__(
+        self,
+        local: SkeletonStore,
+        peer: SnapshotPeer,
+        breaker: Optional[CircuitBreaker] = None,
+    ):
+        self.local = local
+        self.peer = peer
+        self.breaker = breaker or CircuitBreaker()
+        self.fetched = 0
+        self.fetch_failed = 0
+        self.fell_back = 0
+        self._net_lock = threading.Lock()
+
+    def _count(self, *counters: str) -> None:
+        with self._net_lock:
+            for counter in counters:
+                setattr(self, counter, getattr(self, counter) + 1)
+
+    # -- the networked load path ---------------------------------------------
+
+    def load(
+        self, doc_fingerprint: str, qpt_hash: str
+    ) -> Optional[Union[PDTSkeleton, MappedSkeleton]]:
+        found = self.local.load(doc_fingerprint, qpt_hash)
+        if found is not None:
+            return found
+        if not self.breaker.allow():
+            self._count("fell_back")
+            return None
+        try:
+            payload = self.peer.fetch(doc_fingerprint, qpt_hash)
+        except SnapshotFetchError:
+            self.breaker.record_failure()
+            self._count("fetch_failed", "fell_back")
+            return None
+        self.breaker.record_success()
+        if payload is None:
+            # Reached the peer, it simply lacks the snapshot: the
+            # breaker stays closed, the caller cold-builds.
+            self._count("fell_back")
+            return None
+        try:
+            # O(1) structural validation — magic, version, the offset
+            # table's total-length equation — the same admission check
+            # the mmap tier applies to a local file.  A full eager
+            # parse here would cost more than the cold build it is
+            # supposed to replace.
+            SkeletonLayout(payload)
+        except ValueError:
+            self._count("fetch_failed", "fell_back")
+            return None
+        self.local.save_payload(doc_fingerprint, qpt_hash, payload)
+        # Serve it through the local store so mmap_mode and the local
+        # hit counters see a fetched snapshot exactly like a saved one.
+        restored = self.local.load(doc_fingerprint, qpt_hash)
+        if restored is None:
+            # An eager-mode local load full-parses: corruption below
+            # the offset table is rejected (and the file reclaimed)
+            # there, after the cheap check above admitted it.
+            self._count("fetch_failed", "fell_back")
+            return None
+        self._count("fetched")
+        return restored
+
+    # -- stats ---------------------------------------------------------------
+
+    def net_stats(self) -> dict[str, int]:
+        with self._net_lock:
+            return {
+                "fetched": self.fetched,
+                "fetch_failed": self.fetch_failed,
+                "fell_back": self.fell_back,
+            }
+
+    def stats(self) -> dict:
+        merged = dict(self.local.stats())
+        merged.update(self.net_stats())
+        merged["breaker_state"] = self.breaker.state
+        return merged
+
+    # -- local-store delegation ----------------------------------------------
+
+    entry_name = staticmethod(SkeletonStore.entry_name)
+
+    @property
+    def root(self) -> Path:
+        return self.local.root
+
+    @property
+    def mmap_mode(self) -> bool:
+        return self.local.mmap_mode
+
+    def path_for(self, doc_fingerprint: str, qpt_hash: str) -> Path:
+        return self.local.path_for(doc_fingerprint, qpt_hash)
+
+    def save(self, doc_fingerprint: str, qpt_hash: str, skeleton) -> Path:
+        return self.local.save(doc_fingerprint, qpt_hash, skeleton)
+
+    def save_payload(
+        self, doc_fingerprint: str, qpt_hash: str, payload: bytes
+    ) -> Path:
+        return self.local.save_payload(doc_fingerprint, qpt_hash, payload)
+
+    def read_payload(
+        self, doc_fingerprint: str, qpt_hash: str
+    ) -> Optional[bytes]:
+        # Serving stays local on purpose: a peer asking *us* must never
+        # trigger a recursive fetch storm through a third host.
+        return self.local.read_payload(doc_fingerprint, qpt_hash)
+
+    def discard(self, doc_fingerprint: str, qpt_hash: str) -> bool:
+        return self.local.discard(doc_fingerprint, qpt_hash)
+
+    def __contains__(self, key: tuple[str, str]) -> bool:
+        return key in self.local
+
+    def entries(self) -> Iterator[Path]:
+        return self.local.entries()
+
+    def __len__(self) -> int:
+        return len(self.local)
+
+    def prune(self, keep: Optional[set[str]] = None) -> int:
+        return self.local.prune(keep=keep)

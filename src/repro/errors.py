@@ -74,6 +74,21 @@ class ShardingError(ReproError):
     """
 
 
+class SnapshotFetchError(ReproError):
+    """Raised when a networked snapshot fetch fails after its retries.
+
+    Carries the snapshot ``key`` (the ``<qpt_hash>-<doc_fingerprint>``
+    entry name) and the last transport error.  The networked store
+    catches this internally and falls back to the local cold build; it
+    escapes only when a caller drives a peer client directly.
+    """
+
+    def __init__(self, key: str, cause: str):
+        super().__init__(f"snapshot fetch failed for {key!r}: {cause}")
+        self.key = key
+        self.cause = cause
+
+
 class ViewDefinitionError(ReproError):
     """Raised when a view definition cannot be analyzed into QPTs."""
 

@@ -8,6 +8,8 @@ Public surface::
         Overloaded, AdmissionController, AdmissionLimits,  # admission
         WarmupReport, WarmupTarget, plan_warmup, execute_warmup,
         ServingStats, LatencyRecorder,
+        SearchAPI, HTTPServingEndpoint, BackgroundHTTPServing,  # wire
+        OVERLOAD_STATUS, ENGINE_ERROR_STATUS,
     )
 """
 
@@ -21,6 +23,13 @@ from repro.serving.admission import (
     AdmissionLimits,
     Overloaded,
 )
+from repro.serving.http import (
+    BackgroundHTTPServing,
+    ENGINE_ERROR_STATUS,
+    HTTPServingEndpoint,
+    OVERLOAD_STATUS,
+    SearchAPI,
+)
 from repro.serving.server import SearchServer, ServeResult, ServerConfig
 from repro.serving.stats import LatencyRecorder, ServingStats
 from repro.serving.warmup import (
@@ -33,8 +42,13 @@ from repro.serving.warmup import (
 __all__ = [
     "AdmissionController",
     "AdmissionLimits",
+    "BackgroundHTTPServing",
+    "ENGINE_ERROR_STATUS",
+    "HTTPServingEndpoint",
     "LatencyRecorder",
+    "OVERLOAD_STATUS",
     "Overloaded",
+    "SearchAPI",
     "REASON_COLD_VIEW_SHED",
     "REASON_QUEUE_FULL",
     "REASON_SERVER_STOPPED",

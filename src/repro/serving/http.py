@@ -1,0 +1,623 @@
+"""The HTTP wire front end over :class:`SearchServer`.
+
+Three layers, all dependency-free:
+
+* :class:`SearchAPI` — an ASGI 3.0 application speaking JSON.  Routes:
+
+  =====================  ======================================================
+  ``POST /search``       Ranked keyword search with cursor pagination.
+  ``GET /health``        Liveness: 200 while accepting traffic, 503 stopped.
+  ``GET /warmth``        The startup :class:`WarmupReport` (what is pre-warm).
+  ``GET /stats``         The server's consistent counter snapshot.
+  ``GET /snapshots/<e>`` One skeleton snapshot's v2 wire bytes, verbatim —
+                         the serving side of the fleet peer protocol
+                         (:mod:`repro.core.snapshot_net`).
+  =====================  ======================================================
+
+  Every error is typed: each :class:`Overloaded` admission reason and
+  each engine error class maps to a documented status code and a JSON
+  body ``{"error": {"code", "message", ...}}`` (see
+  :data:`OVERLOAD_STATUS` / :data:`ENGINE_ERROR_STATUS`), so clients
+  branch on machine-readable codes, never on message strings.
+
+* :class:`HTTPServingEndpoint` — a minimal asyncio HTTP/1.1 bridge that
+  serves any ASGI app on a local socket (``asyncio.start_server``; one
+  request per connection, ``Connection: close``).  The container has no
+  ASGI server installed, and the fleet path must not grow a dependency
+  for what is a few dozen lines of framing.
+
+* :class:`BackgroundHTTPServing` — a thread that owns an event loop
+  running engine → server → API → endpoint, for synchronous callers
+  (benchmarks, difftests, a peer process's ``__main__``).
+
+Pagination is cursor-based: the response's ``page.next_cursor`` is an
+opaque token encoding the next offset *and* a digest of the query it
+belongs to — replaying it with different keywords/view is a 400, not a
+silently wrong page.  Results are rendered deterministically
+(``sort_keys`` + compact separators), so two fleet members serving the
+same corpus produce byte-identical ``results``/``page`` sections — the
+property the fleet difftest asserts.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import base64
+import binascii
+import hashlib
+import json
+import re
+import threading
+from http.client import responses as _REASON_PHRASES
+from typing import Any, Awaitable, Callable, Optional
+
+from repro.errors import (
+    DocumentNotFoundError,
+    ReproError,
+    ShardingError,
+    StaleViewError,
+    StorageError,
+    UnsupportedQueryError,
+    ViewDefinitionError,
+    XQuerySyntaxError,
+)
+from repro.serving.admission import (
+    Overloaded,
+    REASON_COLD_VIEW_SHED,
+    REASON_QUEUE_FULL,
+    REASON_SERVER_STOPPED,
+    REASON_SHARD_SATURATED,
+    REASON_VIEW_SATURATED,
+)
+from repro.serving.server import SearchServer, ServeResult
+from repro.xmlmodel.serializer import serialize
+
+#: Admission rejections: queue-wide conditions are 503 (the replica is
+#: the problem — fail over), per-view/per-shard saturation and cold-view
+#: shedding are 429 (this traffic class is the problem — back off).
+OVERLOAD_STATUS: dict[str, int] = {
+    REASON_QUEUE_FULL: 503,
+    REASON_VIEW_SATURATED: 429,
+    REASON_SHARD_SATURATED: 429,
+    REASON_COLD_VIEW_SHED: 429,
+    REASON_SERVER_STOPPED: 503,
+}
+
+#: Engine errors, most-specific class first (``isinstance`` walks this
+#: in order, so a subclass must precede its base): what went wrong →
+#: (status, machine-readable code).
+ENGINE_ERROR_STATUS: tuple[tuple[type, int, str], ...] = (
+    (StaleViewError, 410, "stale_view"),
+    (ViewDefinitionError, 404, "unknown_view"),
+    (UnsupportedQueryError, 400, "unsupported_query"),
+    (XQuerySyntaxError, 400, "query_syntax"),
+    (DocumentNotFoundError, 404, "document_not_found"),
+    (StorageError, 500, "storage_error"),
+    (ShardingError, 500, "sharding_error"),
+    (ReproError, 500, "engine_error"),
+)
+
+_SNAPSHOT_NAME = re.compile(r"^([0-9a-f]{1,32})-([0-9a-f]{1,32})\.pdts$")
+
+_MAX_BODY_BYTES = 1 << 20  # requests are small JSON; 1 MiB is generous
+
+_JSON_COMPACT = {"sort_keys": True, "separators": (",", ":")}
+
+
+def _dump(payload: Any) -> bytes:
+    """Deterministic JSON bytes — the fleet difftest compares these."""
+    return json.dumps(payload, **_JSON_COMPACT).encode("utf-8")
+
+
+class _HTTPReply(Exception):
+    """Internal control flow: unwind to one typed JSON response."""
+
+    def __init__(self, status: int, payload: dict):
+        super().__init__(status)
+        self.status = status
+        self.payload = payload
+
+
+def _error_reply(status: int, code: str, message: str, **extra) -> _HTTPReply:
+    error = {"code": code, "message": message}
+    error.update(extra)
+    return _HTTPReply(status, {"error": error})
+
+
+def _query_tag(view: str, keywords: tuple, conjunctive: bool, size: int) -> str:
+    """Digest binding a cursor to the query that minted it."""
+    identity = _dump(
+        {"c": conjunctive, "k": list(keywords), "s": size, "v": view}
+    )
+    return hashlib.sha256(identity).hexdigest()[:16]
+
+
+def encode_cursor(offset: int, tag: str) -> str:
+    token = _dump({"o": offset, "q": tag})
+    return base64.urlsafe_b64encode(token).decode("ascii")
+
+
+def decode_cursor(cursor: str, tag: str) -> int:
+    """The offset a cursor carries; raises 400 on anything off.
+
+    Malformed base64/JSON, a non-dict, a bad offset, and a cursor
+    minted for a *different* query (tag mismatch) are all rejected the
+    same way — an opaque token the client altered or misapplied.
+    """
+    bad = _error_reply(400, "bad_cursor", "cursor is not valid for this query")
+    try:
+        token = json.loads(base64.urlsafe_b64decode(cursor.encode("ascii")))
+    except (ValueError, binascii.Error, UnicodeDecodeError):
+        raise bad from None
+    if not isinstance(token, dict):
+        raise bad
+    offset = token.get("o")
+    if not isinstance(offset, int) or isinstance(offset, bool) or offset < 0:
+        raise bad
+    if token.get("q") != tag:
+        raise bad
+    return offset
+
+
+class SearchAPI:
+    """ASGI 3.0 application over one :class:`SearchServer`.
+
+    With ``manage_server=True`` the ASGI lifespan protocol starts and
+    stops the server (the deployment shape where the ASGI host owns the
+    process); by default the caller manages the server's lifecycle and
+    the app only serves.
+    """
+
+    def __init__(self, server: SearchServer, manage_server: bool = False):
+        self.server = server
+        self.manage_server = manage_server
+        #: Results returned per page when the request does not say.
+        self.default_page_size = 10
+        self.max_page_size = 100
+
+    async def __call__(self, scope, receive, send) -> None:
+        if scope["type"] == "lifespan":
+            await self._lifespan(receive, send)
+            return
+        if scope["type"] != "http":  # pragma: no cover - ws etc.
+            raise RuntimeError(f"unsupported ASGI scope {scope['type']!r}")
+        try:
+            reply = await self._dispatch(scope, receive)
+        except _HTTPReply as early:
+            reply = early
+        headers = [(b"content-type", b"application/json")]
+        if reply.status in (429, 503):
+            headers.append((b"retry-after", b"1"))
+        body = reply.payload
+        if isinstance(body, (bytes, bytearray)):
+            headers[0] = (b"content-type", b"application/octet-stream")
+            raw = bytes(body)
+        else:
+            raw = _dump(body)
+        await send(
+            {
+                "type": "http.response.start",
+                "status": reply.status,
+                "headers": headers,
+            }
+        )
+        await send({"type": "http.response.body", "body": raw})
+
+    # -- routing -------------------------------------------------------------
+
+    async def _dispatch(self, scope, receive) -> _HTTPReply:
+        method = scope["method"].upper()
+        path = scope["path"]
+        if path == "/search":
+            if method != "POST":
+                raise _error_reply(405, "method_not_allowed", "POST only")
+            request = await self._read_json(receive)
+            return await self._search(request)
+        if method != "GET":
+            raise _error_reply(405, "method_not_allowed", "GET only")
+        if path == "/health":
+            return self._health()
+        if path == "/warmth":
+            return self._warmth()
+        if path == "/stats":
+            return _HTTPReply(200, self.server.snapshot())
+        if path.startswith("/snapshots/"):
+            return self._snapshot_bytes(path[len("/snapshots/"):])
+        raise _error_reply(404, "not_found", f"no route for {path!r}")
+
+    async def _read_json(self, receive) -> dict:
+        chunks: list[bytes] = []
+        received = 0
+        while True:
+            message = await receive()
+            if message["type"] == "http.disconnect":
+                raise _error_reply(400, "bad_request", "client disconnected")
+            chunks.append(message.get("body", b""))
+            received += len(chunks[-1])
+            if received > _MAX_BODY_BYTES:
+                raise _error_reply(413, "payload_too_large", "request too large")
+            if not message.get("more_body"):
+                break
+        try:
+            request = json.loads(b"".join(chunks) or b"null")
+        except ValueError:
+            raise _error_reply(400, "bad_request", "body is not valid JSON")
+        if not isinstance(request, dict):
+            raise _error_reply(400, "bad_request", "body must be a JSON object")
+        return request
+
+    # -- handlers ------------------------------------------------------------
+
+    def _health(self) -> _HTTPReply:
+        running = self.server.running
+        return _HTTPReply(
+            200 if running else 503,
+            {"status": "ok" if running else "stopped", "running": running},
+        )
+
+    def _warmth(self) -> _HTTPReply:
+        report = self.server.startup_warmup
+        if report is None:
+            return _HTTPReply(200, {"warmed": False})
+        return _HTTPReply(200, {"warmed": True, "report": report.as_dict()})
+
+    def _snapshot_bytes(self, name: str) -> _HTTPReply:
+        """The peer protocol: stored wire bytes, verbatim, or 404.
+
+        The entry name *is* the content key (``<qpt_hash[:32]>-
+        <doc_fingerprint[:32]>.pdts``); anything not shaped like one is
+        a 404 without touching the filesystem — this route can never be
+        steered at arbitrary paths.
+        """
+        match = _SNAPSHOT_NAME.match(name)
+        store = getattr(self.server.engine, "snapshot_store", None)
+        if match is None or store is None:
+            raise _error_reply(404, "snapshot_not_found", f"no snapshot {name!r}")
+        qpt_hash, doc_fingerprint = match.group(1), match.group(2)
+        payload = store.read_payload(doc_fingerprint, qpt_hash)
+        if payload is None:
+            raise _error_reply(404, "snapshot_not_found", f"no snapshot {name!r}")
+        return _HTTPReply(200, payload)
+
+    async def _search(self, request: dict) -> _HTTPReply:
+        view = request.get("view")
+        keywords = request.get("keywords")
+        if not isinstance(view, str) or not view:
+            raise _error_reply(400, "bad_request", "'view' must be a string")
+        if (
+            not isinstance(keywords, list)
+            or not keywords
+            or not all(isinstance(k, str) for k in keywords)
+        ):
+            raise _error_reply(
+                400, "bad_request", "'keywords' must be a list of strings"
+            )
+        conjunctive = request.get("conjunctive", True)
+        if not isinstance(conjunctive, bool):
+            raise _error_reply(400, "bad_request", "'conjunctive' must be a bool")
+        page_size = request.get("page_size", self.default_page_size)
+        if (
+            not isinstance(page_size, int)
+            or isinstance(page_size, bool)
+            or not 1 <= page_size <= self.max_page_size
+        ):
+            raise _error_reply(
+                400,
+                "bad_request",
+                f"'page_size' must be an int in [1, {self.max_page_size}]",
+            )
+        tag = _query_tag(view, tuple(keywords), conjunctive, page_size)
+        cursor = request.get("cursor")
+        offset = 0
+        if cursor is not None:
+            if not isinstance(cursor, str):
+                raise _error_reply(400, "bad_cursor", "'cursor' must be a string")
+            offset = decode_cursor(cursor, tag)
+        try:
+            served = await self.server.search(
+                view,
+                tuple(keywords),
+                top_k=offset + page_size,
+                conjunctive=conjunctive,
+            )
+        except ReproError as exc:
+            for error_type, status, code in ENGINE_ERROR_STATUS:
+                if isinstance(exc, error_type):
+                    raise _error_reply(status, code, str(exc)) from exc
+            raise  # pragma: no cover - ENGINE_ERROR_STATUS ends at ReproError
+        if isinstance(served, Overloaded):
+            raise _error_reply(
+                OVERLOAD_STATUS[served.reason],
+                served.reason,
+                served.describe(),
+                view=served.view,
+                queue_depth=served.queue_depth,
+                inflight=served.inflight,
+                limit=served.limit,
+                shard=served.shard,
+            )
+        return _HTTPReply(200, self._page(served, tag, offset, page_size))
+
+    def _page(
+        self, served: ServeResult, tag: str, offset: int, page_size: int
+    ) -> dict:
+        """One deterministic page of an outcome ranked to offset+size."""
+        outcome = served.outcome
+        page = outcome.results[offset : offset + page_size]
+        next_offset = offset + page_size
+        has_more = next_offset < outcome.matching_count
+        return {
+            "view": served.view,
+            "keywords": list(served.keywords),
+            "results": [
+                {
+                    "rank": result.rank,
+                    "score": result.score,
+                    "index": result.scored.index,
+                    "xml": serialize(result.pruned),
+                }
+                for result in page
+            ],
+            "page": {
+                "offset": offset,
+                "page_size": page_size,
+                "returned": len(page),
+                "matching_count": outcome.matching_count,
+                "view_size": outcome.view_size,
+                "next_cursor": (
+                    encode_cursor(next_offset, tag) if has_more else None
+                ),
+            },
+            # Timings are real-clock and deliberately outside the
+            # deterministic sections above.
+            "serving": {
+                "queue_wait": served.queue_wait,
+                "service_time": served.service_time,
+                "latency": served.latency,
+                "lanes": list(served.lanes),
+                "cache_hits": dict(sorted(outcome.cache_hits.items())),
+            },
+        }
+
+    # -- lifespan ------------------------------------------------------------
+
+    async def _lifespan(self, receive, send) -> None:
+        while True:
+            message = await receive()
+            if message["type"] == "lifespan.startup":
+                try:
+                    if self.manage_server and not self.server.running:
+                        await self.server.start()
+                except Exception as exc:
+                    await send(
+                        {
+                            "type": "lifespan.startup.failed",
+                            "message": str(exc),
+                        }
+                    )
+                    return
+                await send({"type": "lifespan.startup.complete"})
+            elif message["type"] == "lifespan.shutdown":
+                if self.manage_server:
+                    await self.server.stop()
+                await send({"type": "lifespan.shutdown.complete"})
+                return
+
+
+ASGIApp = Callable[[dict, Callable, Callable], Awaitable[None]]
+
+
+class HTTPServingEndpoint:
+    """Serve an ASGI app over HTTP/1.1 on an asyncio socket.
+
+    Deliberately minimal — enough protocol for JSON APIs and snapshot
+    byte streams: one request per connection (``Connection: close``),
+    bodies framed by ``Content-Length``, no chunked uploads, no TLS.
+    ``port=0`` binds an ephemeral port (read :attr:`port` after
+    :meth:`start`), which is what tests and same-host fleets want.
+    """
+
+    def __init__(self, app: ASGIApp, host: str = "127.0.0.1", port: int = 0):
+        self.app = app
+        self.host = host
+        self.port = port
+        self._server: Optional[asyncio.base_events.Server] = None
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    async def start(self) -> "HTTPServingEndpoint":
+        if self._server is not None:
+            raise RuntimeError("endpoint already started")
+        self._server = await asyncio.start_server(
+            self._handle, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self
+
+    async def stop(self) -> None:
+        if self._server is None:
+            return
+        self._server.close()
+        await self._server.wait_closed()
+        self._server = None
+
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            scope, body = await self._read_request(reader)
+        except (
+            asyncio.IncompleteReadError,
+            asyncio.LimitOverrunError,
+            ValueError,
+        ):
+            writer.close()
+            return
+        messages = [
+            {"type": "http.request", "body": body, "more_body": False},
+            {"type": "http.disconnect"},
+        ]
+        position = 0
+
+        async def receive():
+            nonlocal position
+            message = messages[min(position, len(messages) - 1)]
+            position += 1
+            return message
+
+        started: dict[str, Any] = {}
+        chunks: list[bytes] = []
+
+        async def send(message):
+            if message["type"] == "http.response.start":
+                started["status"] = message["status"]
+                started["headers"] = message.get("headers", [])
+            elif message["type"] == "http.response.body":
+                chunks.append(message.get("body", b""))
+
+        try:
+            await self.app(scope, receive, send)
+            payload = b"".join(chunks)
+            status = started.get("status", 500)
+            phrase = _REASON_PHRASES.get(status, "Unknown")
+            head = [f"HTTP/1.1 {status} {phrase}".encode("latin-1")]
+            for name, value in started.get("headers", []):
+                head.append(name + b": " + value)
+            head.append(b"content-length: " + str(len(payload)).encode())
+            head.append(b"connection: close")
+            writer.write(b"\r\n".join(head) + b"\r\n\r\n" + payload)
+            await writer.drain()
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover
+                pass
+
+    @staticmethod
+    async def _read_request(reader: asyncio.StreamReader) -> tuple[dict, bytes]:
+        request_line = (await reader.readline()).decode("latin-1").strip()
+        if not request_line:
+            raise ValueError("empty request")
+        try:
+            method, target, _version = request_line.split(" ", 2)
+        except ValueError:
+            raise ValueError(f"malformed request line {request_line!r}")
+        path, _, query = target.partition("?")
+        headers: list[tuple[bytes, bytes]] = []
+        content_length = 0
+        while True:
+            line = (await reader.readline()).strip()
+            if not line:
+                break
+            name, _, value = line.partition(b":")
+            name = name.lower().strip()
+            value = value.strip()
+            headers.append((name, value))
+            if name == b"content-length":
+                content_length = int(value)
+        if content_length > _MAX_BODY_BYTES:
+            raise ValueError("body too large")
+        body = (
+            await reader.readexactly(content_length) if content_length else b""
+        )
+        scope = {
+            "type": "http",
+            "asgi": {"version": "3.0", "spec_version": "2.3"},
+            "http_version": "1.1",
+            "method": method.upper(),
+            "path": path,
+            "raw_path": target.encode("latin-1"),
+            "query_string": query.encode("latin-1"),
+            "headers": headers,
+            "scheme": "http",
+        }
+        return scope, body
+
+
+class BackgroundHTTPServing:
+    """Engine → server → API → endpoint on a background event loop.
+
+    The synchronous fleet entry point: benchmarks, the two-process
+    difftest's in-process reference, and peer helpers construct one,
+    :meth:`start` it (blocks until the socket is bound and warm-up
+    finished — or raises what startup raised), talk plain HTTP to
+    :attr:`url`, and :meth:`stop` it.
+    """
+
+    def __init__(
+        self,
+        engine,
+        config=None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        startup_timeout: float = 60.0,
+    ):
+        self.engine = engine
+        self.config = config
+        self.host = host
+        self.port = port
+        self.startup_timeout = startup_timeout
+        self.server: Optional[SearchServer] = None
+        self.api: Optional[SearchAPI] = None
+        self._thread: Optional[threading.Thread] = None
+        self._ready = threading.Event()
+        self._error: Optional[BaseException] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._shutdown: Optional[asyncio.Event] = None
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> str:
+        if self._thread is not None:
+            raise RuntimeError("already started")
+        self._thread = threading.Thread(
+            target=lambda: asyncio.run(self._main()),
+            name="repro-http-serving",
+            daemon=True,
+        )
+        self._thread.start()
+        if not self._ready.wait(self.startup_timeout):
+            raise TimeoutError("HTTP serving did not start in time")
+        if self._error is not None:
+            self._thread.join()
+            self._thread = None
+            raise self._error
+        return self.url
+
+    def stop(self) -> None:
+        if self._thread is None:
+            return
+        loop, shutdown = self._loop, self._shutdown
+        if loop is not None and shutdown is not None:
+            loop.call_soon_threadsafe(shutdown.set)
+        self._thread.join()
+        self._thread = None
+
+    async def _main(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._shutdown = asyncio.Event()
+        endpoint: Optional[HTTPServingEndpoint] = None
+        try:
+            self.server = SearchServer(self.engine, self.config)
+            await self.server.start()
+            self.api = SearchAPI(self.server)
+            endpoint = HTTPServingEndpoint(self.api, self.host, self.port)
+            await endpoint.start()
+            self.port = endpoint.port
+        except BaseException as exc:
+            self._error = exc
+            self._ready.set()
+            return
+        self._ready.set()
+        try:
+            await self._shutdown.wait()
+        finally:
+            await endpoint.stop()
+            await self.server.stop()

@@ -188,6 +188,12 @@ class SearchServer:
 
     # -- lifecycle -----------------------------------------------------------
 
+    @property
+    def running(self) -> bool:
+        """Whether the server is accepting traffic (the health signal
+        the HTTP front end reports)."""
+        return self._running
+
     async def __aenter__(self) -> "SearchServer":
         await self.start()
         return self
@@ -458,6 +464,11 @@ class SearchServer:
             "cache": (
                 self.engine.cache.stats()
                 if getattr(self.engine, "cache", None) is not None
+                else {}
+            ),
+            "snapshot_store": (
+                self.engine.snapshot_store.stats()
+                if getattr(self.engine, "snapshot_store", None) is not None
                 else {}
             ),
         }

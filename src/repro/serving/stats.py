@@ -55,18 +55,34 @@ class LatencyRecorder:
 
     @property
     def mean(self) -> Optional[float]:
+        """Window-scoped mean — same population as the percentiles.
+
+        (It used to divide lifetime ``total`` by lifetime ``count``,
+        which made ``summary()`` mix scopes: a long-gone startup spike
+        dragged the mean while p50/p95/p99/max had already forgotten
+        it.  Lifetime aggregates live under explicit names now.)
+        """
+        if not self._samples:
+            return None
+        return sum(self._samples) / len(self._samples)
+
+    @property
+    def lifetime_mean(self) -> Optional[float]:
         return self.total / self.count if self.count else None
 
     def summary(self) -> dict[str, Any]:
-        """Window-scoped distribution (``max`` included — a startup
-        spike must not pin the summary forever) plus lifetime count."""
+        """Window-scoped distribution (``mean`` and ``max`` included —
+        a startup spike must not pin the summary forever) plus
+        explicitly-named lifetime aggregates."""
         return {
             "count": self.count,
+            "window_count": len(self._samples),
             "mean": self.mean,
             "p50": self.percentile(0.50),
             "p95": self.percentile(0.95),
             "p99": self.percentile(0.99),
             "max": max(self._samples) if self._samples else None,
+            "lifetime_mean": self.lifetime_mean,
             "lifetime_max": self.lifetime_max if self.count else None,
         }
 

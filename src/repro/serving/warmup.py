@@ -47,13 +47,24 @@ class WarmupReport:
     targets: list[WarmupTarget] = field(default_factory=list)
     #: ``(view, doc) -> "built"`` (skeleton constructed by this pass),
     #: ``"restored"`` (loaded from the persistent snapshot store —
-    #: warm-from-snapshot, no path probes, no merge pass) or ``"warm"``
-    #: (a prior query or warm-up already filled the in-memory tier).
+    #: warm-from-snapshot, no path probes, no merge pass), ``"warm"``
+    #: (a prior query or warm-up already filled the in-memory tier) or
+    #: ``"failed"`` (the view raised mid-warm-up — dropped or redefined
+    #: between planning and execution; the server starts without it).
     results: dict[tuple[str, str], str] = field(default_factory=dict)
+    #: ``view -> error string`` for every view that failed to warm.
+    errors: dict[str, str] = field(default_factory=dict)
     duration: float = 0.0
     #: Stale snapshot files reclaimed after warming (snapshots no live
     #: ``(document, view)`` coordinate can restore any more).
     pruned: int = 0
+    #: Networked snapshot tier activity during this pass (all zero when
+    #: the engine's store is purely local): snapshots fetched from a
+    #: peer, fetch attempts that failed after retries, and misses that
+    #: fell back to the local cold build.
+    fetched: int = 0
+    fetch_failed: int = 0
+    fell_back: int = 0
 
     @property
     def built_count(self) -> int:
@@ -69,6 +80,10 @@ class WarmupReport:
     def warm_count(self) -> int:
         return sum(1 for state in self.results.values() if state == "warm")
 
+    @property
+    def failed_count(self) -> int:
+        return sum(1 for state in self.results.values() if state == "failed")
+
     def as_dict(self) -> dict:
         return {
             "targets": [
@@ -78,8 +93,13 @@ class WarmupReport:
             "built": self.built_count,
             "restored": self.restored_count,
             "already_warm": self.warm_count,
+            "failed": self.failed_count,
+            "errors": dict(self.errors),
             "duration": self.duration,
             "pruned": self.pruned,
+            "fetched": self.fetched,
+            "fetch_failed": self.fetch_failed,
+            "fell_back": self.fell_back,
         }
 
 
@@ -127,11 +147,35 @@ def execute_warmup(
 
     Synchronous and engine-bound — the server runs it in its thread
     pool so startup warming does not block the event loop.
+
+    Per-view failures are tolerated: a view dropped or redefined between
+    ``plan_warmup`` and execution marks its targets ``"failed"`` (with
+    the error under :attr:`WarmupReport.errors`) and warming continues
+    with the remaining views — a stale plan entry must not keep the
+    whole server from starting.  When the engine's snapshot store has a
+    networked tier, the pass also records how many snapshots it fetched
+    from the peer versus failed or fell back (delta of the store's
+    ``net_stats`` across the pass).
     """
+    from repro.errors import ReproError
+
     report = WarmupReport(targets=list(targets))
     start = time.perf_counter()
-    for view_name in dict.fromkeys(target.view for target in targets):
-        cache_hits = engine.warm_view(view_name)
+    net_stats = getattr(
+        getattr(engine, "snapshot_store", None), "net_stats", None
+    )
+    net_before = net_stats() if callable(net_stats) else None
+    docs_of: dict[str, list[str]] = {}
+    for target in targets:
+        docs_of.setdefault(target.view, []).append(target.doc)
+    for view_name in docs_of:
+        try:
+            cache_hits = engine.warm_view(view_name)
+        except ReproError as exc:
+            for doc_name in docs_of[view_name]:
+                report.results[(view_name, doc_name)] = "failed"
+            report.errors[view_name] = f"{type(exc).__name__}: {exc}"
+            continue
         for doc_name, hit in cache_hits.items():
             if hit == "miss":
                 state = "built"
@@ -140,6 +184,13 @@ def execute_warmup(
             else:
                 state = "warm"
             report.results[(view_name, doc_name)] = state
+    if net_before is not None:
+        net_after = net_stats()
+        report.fetched = net_after["fetched"] - net_before["fetched"]
+        report.fetch_failed = (
+            net_after["fetch_failed"] - net_before["fetch_failed"]
+        )
+        report.fell_back = net_after["fell_back"] - net_before["fell_back"]
     # Every warm view just re-saved its snapshots under the current
     # fingerprints, so anything unreachable in the store is stale —
     # reclaim it while we hold the startup window.

@@ -1,0 +1,63 @@
+"""The fleet difftest's peer process.
+
+Runs one warm fleet member as a real OS process: generate the seeded
+case, cold-build and snapshot every skeleton, serve the HTTP API
+(including ``/snapshots/<key>``) on an ephemeral port, print
+``READY <port>`` and block until stdin closes (the parent's handle on
+our lifetime).
+
+``--max-snapshot-requests N`` scripts the peer-death scenario: after
+serving N snapshot payloads the process hard-exits (``os._exit``)
+*before* answering the next one — the cold member's in-flight fetch
+sees a reset connection and every later fetch a refused one, which is
+exactly what a peer crashing mid-warm-up looks like on the wire.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--seed", type=int, required=True)
+    parser.add_argument("--shape", default=None)
+    parser.add_argument("--store", required=True)
+    parser.add_argument("--max-snapshot-requests", type=int, default=None)
+    args = parser.parse_args()
+
+    from difftest.generators import generate_case
+    from repro.core.engine import KeywordSearchEngine
+    from repro.core.snapshot import SkeletonStore
+    from repro.serving import BackgroundHTTPServing, ServerConfig
+
+    case = generate_case(args.seed, args.shape)
+    store = SkeletonStore(args.store)
+    if args.max_snapshot_requests is not None:
+        real_read = store.read_payload
+        budget = args.max_snapshot_requests
+        served = {"count": 0}
+
+        def dying_read(doc_fingerprint, qpt_hash):
+            if served["count"] >= budget:
+                os._exit(0)  # crash mid-request: the fetcher sees a reset
+            served["count"] += 1
+            return real_read(doc_fingerprint, qpt_hash)
+
+        store.read_payload = dying_read  # type: ignore[method-assign]
+
+    engine = KeywordSearchEngine(case.database, snapshot_store=store)
+    engine.define_view("fleet", case.view_text)
+    serving = BackgroundHTTPServing(
+        engine, ServerConfig(warm_views=("fleet",), workers=2)
+    )
+    serving.start()
+    print(f"READY {serving.port}", flush=True)
+    sys.stdin.read()  # parent closes stdin (or kills us) to end the peer
+    serving.stop()
+
+
+if __name__ == "__main__":
+    main()

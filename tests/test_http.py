@@ -1,0 +1,373 @@
+"""The HTTP front end: typed error mapping and pagination boundaries.
+
+Two layers of test double:
+
+* The **error matrix** calls the ASGI app directly (no sockets) against
+  a server whose ``search`` is stubbed to return each ``Overloaded``
+  reason / raise each engine error — asserting the exact documented
+  status code and JSON error body for every row of
+  ``OVERLOAD_STATUS`` / ``ENGINE_ERROR_STATUS``.
+* The **pagination tests** run the full stack — engine → SearchServer →
+  SearchAPI → HTTPServingEndpoint → a real socket — through
+  ``BackgroundHTTPServing``, the same wiring the fleet uses.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import base64
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.core.engine import KeywordSearchEngine
+from repro.core.snapshot import SkeletonStore
+from repro.errors import (
+    DocumentNotFoundError,
+    ReproError,
+    ShardingError,
+    StaleViewError,
+    StorageError,
+    UnsupportedQueryError,
+    ViewDefinitionError,
+    XQuerySyntaxError,
+)
+from repro.serving import (
+    BackgroundHTTPServing,
+    ENGINE_ERROR_STATUS,
+    OVERLOAD_STATUS,
+    Overloaded,
+    REASON_COLD_VIEW_SHED,
+    REASON_QUEUE_FULL,
+    REASON_SERVER_STOPPED,
+    REASON_SHARD_SATURATED,
+    REASON_VIEW_SATURATED,
+    SearchAPI,
+    SearchServer,
+    ServerConfig,
+)
+from repro.serving.http import encode_cursor, _query_tag
+from repro.workloads.bookrev import BOOKREV_VIEW, generate_bookrev_database
+
+# -- direct ASGI harness (no sockets) ----------------------------------------
+
+
+def asgi_request(app, method: str, path: str, body: dict | None = None):
+    """One request through the raw ASGI interface; (status, json_body)."""
+
+    async def run():
+        raw = json.dumps(body).encode() if body is not None else b""
+        scope = {
+            "type": "http",
+            "method": method,
+            "path": path,
+            "query_string": b"",
+            "headers": [],
+        }
+        incoming = [
+            {"type": "http.request", "body": raw, "more_body": False},
+            {"type": "http.disconnect"},
+        ]
+        sent = []
+
+        async def receive():
+            return incoming.pop(0) if incoming else {"type": "http.disconnect"}
+
+        async def send(message):
+            sent.append(message)
+
+        await app(scope, receive, send)
+        status = sent[0]["status"]
+        payload = b"".join(
+            m.get("body", b"") for m in sent if m["type"] == "http.response.body"
+        )
+        headers = dict(sent[0].get("headers", []))
+        if headers.get(b"content-type") == b"application/json":
+            return status, json.loads(payload)
+        return status, payload
+
+    return asyncio.run(run())
+
+
+def stub_server(result=None, error: BaseException | None = None) -> SearchServer:
+    """An unstarted server whose ``search`` yields a canned response."""
+    db = generate_bookrev_database(book_count=2, reviews_per_book=1)
+    engine = KeywordSearchEngine(db)
+    engine.define_view("v", BOOKREV_VIEW)
+    server = SearchServer(engine)
+
+    async def scripted_search(*args, **kwargs):
+        if error is not None:
+            raise error
+        return result
+
+    server.search = scripted_search  # type: ignore[method-assign]
+    return server
+
+
+ALL_OVERLOAD_REASONS = (
+    REASON_QUEUE_FULL,
+    REASON_VIEW_SATURATED,
+    REASON_SHARD_SATURATED,
+    REASON_COLD_VIEW_SHED,
+    REASON_SERVER_STOPPED,
+)
+
+
+class TestOverloadStatusMapping:
+    def test_every_reason_has_a_documented_status(self):
+        assert set(OVERLOAD_STATUS) == set(ALL_OVERLOAD_REASONS)
+
+    @pytest.mark.parametrize("reason", ALL_OVERLOAD_REASONS)
+    def test_overloaded_maps_to_status_and_typed_body(self, reason):
+        shed = Overloaded(
+            reason=reason, view="v", queue_depth=7, inflight=3, limit=2,
+            shard=4 if reason == REASON_SHARD_SATURATED else None,
+        )
+        api = SearchAPI(stub_server(result=shed))
+        status, body = asgi_request(
+            api, "POST", "/search", {"view": "v", "keywords": ["xml"]}
+        )
+        assert status == OVERLOAD_STATUS[reason]
+        assert status in (429, 503)
+        error = body["error"]
+        assert error["code"] == reason
+        assert error["view"] == "v"
+        assert error["queue_depth"] == 7
+        assert error["inflight"] == 3
+        assert error["limit"] == 2
+        if reason == REASON_SHARD_SATURATED:
+            assert error["shard"] == 4
+
+
+ENGINE_ERROR_CASES = [
+    (StaleViewError("v", ["books.xml"]), 410, "stale_view"),
+    (ViewDefinitionError("no such view"), 404, "unknown_view"),
+    (UnsupportedQueryError("outside the subset"), 400, "unsupported_query"),
+    (XQuerySyntaxError("parse failed"), 400, "query_syntax"),
+    (DocumentNotFoundError("gone.xml"), 404, "document_not_found"),
+    (StorageError("bad range"), 500, "storage_error"),
+    (ShardingError("fragment spans shards"), 500, "sharding_error"),
+    (ReproError("anything else"), 500, "engine_error"),
+]
+
+
+class TestEngineErrorStatusMapping:
+    def test_matrix_covers_every_documented_row(self):
+        assert [(s, c) for _, s, c in ENGINE_ERROR_STATUS] == [
+            (status, code) for _, status, code in ENGINE_ERROR_CASES
+        ]
+
+    def test_subclasses_precede_their_bases(self):
+        types = [t for t, _, _ in ENGINE_ERROR_STATUS]
+        for index, error_type in enumerate(types):
+            for later in types[index + 1 :]:
+                assert not issubclass(later, error_type) or later is error_type
+
+    @pytest.mark.parametrize(
+        "error,status,code",
+        ENGINE_ERROR_CASES,
+        ids=[code for _, _, code in ENGINE_ERROR_CASES],
+    )
+    def test_engine_error_maps_to_status_and_code(self, error, status, code):
+        api = SearchAPI(stub_server(error=error))
+        got_status, body = asgi_request(
+            api, "POST", "/search", {"view": "v", "keywords": ["xml"]}
+        )
+        assert got_status == status
+        assert body["error"]["code"] == code
+        assert str(error) in body["error"]["message"]
+
+
+class TestRequestValidation:
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            {},
+            {"view": "v"},
+            {"view": "", "keywords": ["a"]},
+            {"view": "v", "keywords": []},
+            {"view": "v", "keywords": "xml"},
+            {"view": "v", "keywords": [1]},
+            {"view": "v", "keywords": ["a"], "page_size": 0},
+            {"view": "v", "keywords": ["a"], "page_size": 101},
+            {"view": "v", "keywords": ["a"], "page_size": True},
+            {"view": "v", "keywords": ["a"], "conjunctive": "yes"},
+            {"view": "v", "keywords": ["a"], "cursor": 7},
+        ],
+    )
+    def test_malformed_requests_are_400(self, payload):
+        api = SearchAPI(stub_server(result=None))
+        status, body = asgi_request(api, "POST", "/search", payload)
+        assert status == 400
+        assert body["error"]["code"] in ("bad_request", "bad_cursor")
+
+    def test_unknown_route_and_wrong_method(self):
+        api = SearchAPI(stub_server())
+        assert asgi_request(api, "GET", "/nope")[0] == 404
+        assert asgi_request(api, "GET", "/search")[0] == 405
+        assert asgi_request(api, "POST", "/health")[0] == 405
+
+    def test_health_reflects_running_state(self):
+        server = stub_server()
+        api = SearchAPI(server)
+        status, body = asgi_request(api, "GET", "/health")
+        assert (status, body["running"]) == (503, False)
+        server._running = True
+        status, body = asgi_request(api, "GET", "/health")
+        assert (status, body["running"]) == (200, True)
+
+    def test_snapshot_route_rejects_non_key_names(self, tmp_path):
+        server = stub_server()
+        server.engine.snapshot_store = SkeletonStore(tmp_path / "snap")
+        api = SearchAPI(server)
+        for name in ("../../etc/passwd", "x.pdts", "AB-CD.pdts", "a-b"):
+            status, _ = asgi_request(api, "GET", f"/snapshots/{name}")
+            assert status == 404
+
+
+# -- full-stack pagination over a real socket --------------------------------
+
+
+@pytest.fixture(scope="module")
+def fleet_serving():
+    db = generate_bookrev_database(book_count=60, reviews_per_book=3, seed=5)
+    engine = KeywordSearchEngine(db)
+    engine.define_view("v", BOOKREV_VIEW)
+    serving = BackgroundHTTPServing(
+        engine, ServerConfig(warm_views=("v",), workers=2)
+    )
+    serving.start()
+    yield serving
+    serving.stop()
+
+
+def http_post(url: str, payload: dict):
+    request = urllib.request.Request(
+        url + "/search",
+        data=json.dumps(payload).encode(),
+        headers={"content-type": "application/json"},
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=30) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read())
+
+
+MATCHING = {"view": "v", "keywords": ["xml", "search"]}
+
+
+class TestPaginationOverTheWire:
+    def test_cursor_walk_reassembles_the_full_ranking(self, fleet_serving):
+        url = fleet_serving.url
+        status, one_shot = http_post(
+            url, {**MATCHING, "page_size": 100}
+        )
+        assert status == 200
+        total = one_shot["page"]["matching_count"]
+        assert 2 < total <= 100, "fixture needs a multi-page result set"
+        walked, cursor, pages = [], None, 0
+        while True:
+            payload = {**MATCHING, "page_size": 2}
+            if cursor is not None:
+                payload["cursor"] = cursor
+            status, page = http_post(url, payload)
+            assert status == 200
+            assert page["page"]["matching_count"] == total
+            walked.extend(page["results"])
+            pages += 1
+            cursor = page["page"]["next_cursor"]
+            if cursor is None:
+                break
+        assert pages == (total + 1) // 2
+        assert walked == one_shot["results"][:total]
+        assert [r["rank"] for r in walked] == list(range(1, total + 1))
+
+    def test_empty_page_when_nothing_matches(self, fleet_serving):
+        status, body = http_post(
+            fleet_serving.url,
+            {"view": "v", "keywords": ["zzzznotaword"], "page_size": 5},
+        )
+        assert status == 200
+        assert body["results"] == []
+        page = body["page"]
+        assert page["returned"] == 0
+        assert page["matching_count"] == 0
+        assert page["next_cursor"] is None
+
+    def test_past_the_end_cursor_yields_an_empty_page(self, fleet_serving):
+        tag = _query_tag("v", ("xml", "search"), True, 2)
+        far = encode_cursor(10_000, tag)
+        status, body = http_post(
+            fleet_serving.url, {**MATCHING, "page_size": 2, "cursor": far}
+        )
+        assert status == 200
+        assert body["results"] == []
+        assert body["page"]["offset"] == 10_000
+        assert body["page"]["next_cursor"] is None
+
+    @pytest.mark.parametrize(
+        "cursor",
+        [
+            "not base64 at all!!!",
+            base64.urlsafe_b64encode(b"not json").decode(),
+            base64.urlsafe_b64encode(b"[1,2]").decode(),
+            base64.urlsafe_b64encode(b'{"o":-1,"q":"x"}').decode(),
+            base64.urlsafe_b64encode(b'{"o":true,"q":"x"}').decode(),
+            base64.urlsafe_b64encode(b'{"q":"x"}').decode(),
+        ],
+    )
+    def test_malformed_cursors_rejected_with_400(self, fleet_serving, cursor):
+        status, body = http_post(
+            fleet_serving.url, {**MATCHING, "page_size": 2, "cursor": cursor}
+        )
+        assert status == 400
+        assert body["error"]["code"] == "bad_cursor"
+
+    def test_cursor_bound_to_its_query(self, fleet_serving):
+        status, first = http_post(fleet_serving.url, {**MATCHING, "page_size": 2})
+        assert status == 200
+        cursor = first["page"]["next_cursor"]
+        assert cursor is not None
+        for mutated in (
+            {"view": "v", "keywords": ["xml"], "page_size": 2},
+            {**MATCHING, "page_size": 3},
+            {**MATCHING, "page_size": 2, "conjunctive": False},
+        ):
+            status, body = http_post(
+                fleet_serving.url, {**mutated, "cursor": cursor}
+            )
+            assert status == 400
+            assert body["error"]["code"] == "bad_cursor"
+
+    def test_snapshot_bytes_served_verbatim(self, tmp_path):
+        db = generate_bookrev_database(book_count=4, reviews_per_book=1)
+        store = SkeletonStore(tmp_path / "snap")
+        engine = KeywordSearchEngine(db, snapshot_store=store)
+        view = engine.define_view("v", BOOKREV_VIEW)
+        serving = BackgroundHTTPServing(
+            engine, ServerConfig(warm_views=("v",), workers=1)
+        )
+        serving.start()
+        try:
+            fingerprint = db.get("books.xml").fingerprint
+            qpt_hash = view.qpts["books.xml"].content_hash
+            expected = store.read_payload(fingerprint, qpt_hash)
+            assert expected is not None
+            name = store.entry_name(fingerprint, qpt_hash)
+            with urllib.request.urlopen(
+                f"{serving.url}/snapshots/{name}", timeout=30
+            ) as response:
+                assert response.status == 200
+                assert response.read() == expected
+            missing = store.entry_name("0" * 32, "1" * 32)
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(
+                    f"{serving.url}/snapshots/{missing}", timeout=30
+                )
+            assert excinfo.value.code == 404
+        finally:
+            serving.stop()

@@ -451,6 +451,71 @@ class TestWarmup:
         # The snapshots the warm-up itself just wrote survived.
         assert len(store) == 2
 
+    def test_view_dropped_mid_warmup_fails_soft_and_warms_the_rest(self):
+        # A view going stale between plan_warmup and execution (here:
+        # its document dropped) must not abort the pass — its targets
+        # read "failed" and every other view still warms.
+        from repro.serving.warmup import execute_warmup
+        from repro.storage.database import XMLDatabase
+
+        db = XMLDatabase()
+        db.load_document("gone.xml", "<r><a><b>alpha</b></a></r>")
+        db.load_document("kept.xml", "<r><a><b>beta</b></a></r>")
+        engine = KeywordSearchEngine(db)
+        engine.define_view(
+            "doomed", 'for $a in fn:doc(gone.xml)/r/a return <x>{ $a/b }</x>'
+        )
+        engine.define_view(
+            "fine", 'for $a in fn:doc(kept.xml)/r/a return <x>{ $a/b }</x>'
+        )
+        targets = plan_warmup(engine, ["doomed", "fine"])
+        db.drop_document("gone.xml")
+        report = execute_warmup(engine, targets)
+        assert report.results[("doomed", "gone.xml")] == "failed"
+        assert report.results[("fine", "kept.xml")] == "built"
+        assert report.failed_count == 1 and report.built_count == 1
+        assert "StaleViewError" in report.errors["doomed"]
+        summary = report.as_dict()
+        assert summary["failed"] == 1 and "doomed" in summary["errors"]
+
+    def test_server_starts_despite_a_view_lost_mid_warmup(self):
+        from repro.storage.database import XMLDatabase
+
+        db = XMLDatabase()
+        db.load_document("gone.xml", "<r><a><b>alpha</b></a></r>")
+        db.load_document("kept.xml", "<r><a><b>beta</b></a></r>")
+        engine = KeywordSearchEngine(db)
+        engine.define_view(
+            "doomed", 'for $a in fn:doc(gone.xml)/r/a return <x>{ $a/b }</x>'
+        )
+        engine.define_view(
+            "fine", 'for $a in fn:doc(kept.xml)/r/a return <x>{ $a/b }</x>'
+        )
+        real_warm = engine.warm_view
+
+        def dropping_warm(view_name, *args, **kwargs):
+            # The document disappears after planning, during execution.
+            if "gone.xml" in db.document_names():
+                db.drop_document("gone.xml")
+            return real_warm(view_name, *args, **kwargs)
+
+        engine.warm_view = dropping_warm
+
+        async def scenario():
+            config = ServerConfig(warm_views=("doomed", "fine"))
+            async with SearchServer(engine, config) as server:
+                report = server.startup_warmup
+                assert report is not None
+                assert report.failed_count == 1
+                assert report.results[("fine", "kept.xml")] in (
+                    "built",
+                    "warm",
+                )
+                response = await server.search("fine", ("beta",))
+                assert isinstance(response, ServeResult)
+
+        run_async(scenario())
+
     def test_route_matches_cache_shards(self, bookrev_db, bookrev_view_text):
         engine = KeywordSearchEngine(bookrev_db)
         view = engine.define_view("v", bookrev_view_text)
@@ -660,6 +725,32 @@ class TestStatsPrimitives:
         summary = recorder.summary()
         assert summary["max"] == pytest.approx(0.001)
         assert summary["lifetime_max"] == pytest.approx(0.010)
+        assert summary["window_count"] == 100
+
+    def test_mean_is_window_scoped_like_the_percentiles(self):
+        # Regression: mean used to divide lifetime total by lifetime
+        # count while p50/p95/p99/max described only the window —
+        # summary() mixed scopes.  A startup spike that has aged out of
+        # the window must no longer drag the mean.
+        recorder = LatencyRecorder(window=10)
+        recorder.record(1.0)  # the spike
+        for _ in range(10):
+            recorder.record(0.002)
+        assert recorder.mean == pytest.approx(0.002)
+        assert recorder.lifetime_mean == pytest.approx((1.0 + 0.02) / 11)
+        summary = recorder.summary()
+        assert summary["mean"] == pytest.approx(0.002)
+        assert summary["mean"] == pytest.approx(summary["p50"])
+        assert summary["lifetime_mean"] == pytest.approx(recorder.lifetime_mean)
+        assert summary["count"] == 11
+        assert summary["window_count"] == 10
+
+    def test_empty_recorder_means_are_none(self):
+        recorder = LatencyRecorder(window=4)
+        assert recorder.mean is None
+        assert recorder.lifetime_mean is None
+        summary = recorder.summary()
+        assert summary["mean"] is None and summary["lifetime_mean"] is None
 
     def test_serving_stats_snapshot_consistency(self):
         stats = ServingStats()
