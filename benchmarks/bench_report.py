@@ -10,8 +10,10 @@ the streaming merge's early-termination counters), the update pair
 of ``bench_x9_updates`` (post-edit query under delta maintenance vs the
 invalidation-storm cold rebuild), the memory pair of
 ``bench_x10_memory`` (DAG-compressed vs eager skeleton tier, plus the
-mmap-vs-parse restore race) and the fleet pair of ``bench_x11_fleet``
-(peer-warmed first contact over HTTP vs the local cold build), at one
+mmap-vs-parse restore race), the fleet pair of ``bench_x11_fleet``
+(peer-warmed first contact over HTTP vs the local cold build) and the
+chaos numbers of ``bench_x12_chaos`` (degraded-mode p50 under a
+one-shard outage, with the availability and recovery evidence), at one
 or more data scales, and writes the latencies as JSON.  This is the artifact the CI
 perf-smoke job uploads per commit, so the ROADMAP's "fast as the
 hardware allows" goal has a recorded trajectory instead of docstring
@@ -20,7 +22,7 @@ folklore.
 Run it directly (no pytest-benchmark needed)::
 
     PYTHONPATH=src python benchmarks/bench_report.py \
-        --scales 0 1 --pr 9 --out BENCH_pr9.json
+        --scales 0 1 --pr 10 --out BENCH_pr10.json
 
 Scale 0 is a degenerate near-empty database — it keeps the smoke run
 fast and exercises the empty-document and zero-result edge paths.
@@ -244,6 +246,30 @@ def _fleet_numbers(rounds: int) -> dict[str, float]:
     }
 
 
+def _chaos_numbers(rounds: int) -> dict[str, float]:
+    """The bench_x12 numbers: degraded-mode serving under an outage.
+
+    Delegates to :func:`repro.bench.experiments.measure_chaos` — one
+    measurement protocol shared with the X12 experiment table and the
+    self-enforcing acceptance bench.  Always measured on bench_x12's
+    own 48-document / 4-shard deployment so the numbers are comparable
+    across reports.
+    """
+    from repro.bench.experiments import measure_chaos
+
+    numbers = measure_chaos(rounds=max(4, rounds // 6))
+    return {
+        "healthy_p50_ms": round(numbers["healthy_p50_ms"], 3),
+        "degraded_p50_ms": round(numbers["degraded_p50_ms"], 3),
+        "degraded_over_healthy": round(numbers["degraded_over_healthy"], 3),
+        "availability": numbers["availability"],
+        "untyped_errors": numbers["untyped_errors"],
+        "quarantine_engaged": numbers["quarantine_engaged"],
+        "recovered_identical": numbers["recovered_identical"],
+        "injected_faults": numbers["injected_faults"],
+    }
+
+
 def build_report(scales: list[int], rounds: int, pr: int) -> dict:
     report: dict = {
         "pr": pr,
@@ -269,6 +295,7 @@ def build_report(scales: list[int], rounds: int, pr: int) -> dict:
     report["updates"] = _updates_ms(rounds)
     report["memory"] = _memory_numbers(rounds)
     report["fleet"] = _fleet_numbers(rounds)
+    report["chaos"] = _chaos_numbers(rounds)
     return report
 
 
@@ -276,8 +303,8 @@ def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--scales", type=int, nargs="+", default=[0, 1])
     parser.add_argument("--rounds", type=int, default=30)
-    parser.add_argument("--pr", type=int, default=9)
-    parser.add_argument("--out", type=Path, default=Path("BENCH_pr9.json"))
+    parser.add_argument("--pr", type=int, default=10)
+    parser.add_argument("--out", type=Path, default=Path("BENCH_pr10.json"))
     args = parser.parse_args()
     report = build_report(args.scales, args.rounds, args.pr)
     args.out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
@@ -292,6 +319,7 @@ def main() -> None:
     print(f"  updates: {report['updates']}")
     print(f"  memory: {report['memory']}")
     print(f"  fleet: {report['fleet']}")
+    print(f"  chaos: {report['chaos']}")
 
 
 if __name__ == "__main__":

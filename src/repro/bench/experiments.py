@@ -1333,6 +1333,223 @@ def run_x11_fleet(repeats: int = 1) -> ExperimentTable:
     return table
 
 
+def measure_chaos(
+    doc_count: int = 48,
+    shard_count: int = 4,
+    rounds: int = 6,
+    top_k: int = 5,
+) -> dict[str, float]:
+    """Degraded-mode serving under a hard single-shard outage.
+
+    The protocol exercises the full failure-domain story on one
+    coordinator (``partial_results=True`` with a quarantining
+    :class:`~repro.core.health.FleetHealth` on an injected clock) over
+    the cache-thrashing corpus of :func:`_sharding_corpus`:
+
+    1. **healthy** — seeded :class:`~repro.core.faults.FaultInjector`
+       armed on ``shard0.collect`` but *disabled*; per-query p50 over
+       ``rounds`` keyword-cycle sweeps;
+    2. **outage** — injector enabled (every shard-0 statistics call
+       errors).  Every query must come back as a degraded-flagged
+       outcome missing exactly shard 0 — the dict counts untyped
+       exceptions, unflagged responses, and whether quarantine engaged
+       (after the breaker trips, shard 0 is skipped without a call);
+       per-query p50 again;
+    3. **recovery** — injector disabled, the injected clock jumped past
+       the quarantine cooldown.  The half-open probe must heal shard 0
+       and every keyword set's outcome must be *bit-identical* (exact
+       ``==`` on idf floats, scores, indexes and serialized XML) to a
+       pristine coordinator that never saw a fault.
+
+    Wall times are measured with the garbage collector paused, median
+    statistic (p50 is the availability claim, not a best case).
+    """
+    import gc
+    import statistics
+    import time as _time
+
+    from repro.core.faults import FAULT_ERROR, FaultInjector, FaultPlan
+    from repro.core.health import FleetHealth
+    from repro.errors import ReproError
+    from repro.core.sharding import (
+        CorpusCoordinator,
+        ShardExecutor,
+        ShardPlan,
+    )
+
+    documents, view_text, keyword_sets = _sharding_corpus(doc_count)
+    names = sorted(documents)
+    plan = ShardPlan.from_assignments(
+        {name: i % shard_count for i, name in enumerate(names)}, shard_count
+    )
+
+    def build(injector, health):
+        executors = [
+            ShardExecutor(i, fault_injector=injector)
+            for i in range(shard_count)
+        ]
+        for name in names:
+            executors[plan.shard_of(name)].load_document(
+                name, documents[name]
+            )
+        coordinator = CorpusCoordinator(
+            executors,
+            plan,
+            partial_results=injector is not None,
+            health=health,
+        )
+        coordinator.define_view("v", view_text)
+        return coordinator
+
+    def canonical(outcome) -> tuple:
+        return (
+            outcome.degraded,
+            outcome.missing_shards,
+            outcome.view_size,
+            outcome.matching_count,
+            tuple(sorted(outcome.idf.items())),
+            tuple((r.rank, r.score, r.scored.index) for r in outcome.results),
+            tuple(r.to_xml() for r in outcome.results),
+        )
+
+    clock = [0.0]
+    health = FleetHealth(
+        shard_count,
+        failure_threshold=2,
+        reset_after=5.0,
+        clock=lambda: clock[0],
+    )
+    injector = FaultInjector(
+        FaultPlan.single(7, "shard0.collect", FAULT_ERROR)
+    )
+    injector.disable()
+    chaos = build(injector, health)
+    pristine = build(None, None)
+    try:
+        # Steady state before any clock starts.
+        for keywords in keyword_sets:
+            chaos.search("v", keywords, top_k=top_k)
+            pristine.search("v", keywords, top_k=top_k)
+
+        def timed_sweeps() -> list[float]:
+            samples: list[float] = []
+            gc_was_enabled = gc.isenabled()
+            gc.disable()
+            try:
+                for _ in range(rounds):
+                    for keywords in keyword_sets:
+                        start = _time.perf_counter()
+                        chaos.search_detailed("v", keywords, top_k=top_k)
+                        samples.append(_time.perf_counter() - start)
+            finally:
+                if gc_was_enabled:
+                    gc.enable()
+                    gc.collect()
+            return samples
+
+        healthy_samples = timed_sweeps()
+
+        # Outage: the availability sweep is counted un-timed first (the
+        # claim is typed behaviour, not the clock), then timed.
+        injector.enable()
+        queries = degraded_flagged = untyped = unflagged = 0
+        for _ in range(rounds):
+            for keywords in keyword_sets:
+                queries += 1
+                try:
+                    outcome = chaos.search_detailed(
+                        "v", keywords, top_k=top_k
+                    )
+                except ReproError:
+                    unflagged += 1  # typed, but the shard loss escaped
+                except Exception:  # noqa: BLE001 — the counted claim
+                    untyped += 1
+                else:
+                    if outcome.degraded and outcome.missing_shards == (0,):
+                        degraded_flagged += 1
+                    else:
+                        unflagged += 1
+        quarantined = 1.0 if 0 in health.quarantined() else 0.0
+        degraded_samples = timed_sweeps()
+
+        # Recovery: faults clear, cooldown elapses, the probe heals.
+        injector.disable()
+        clock[0] += 5.0
+        recovered = 1.0
+        for keywords in keyword_sets:
+            out = chaos.search_detailed("v", keywords, top_k=top_k)
+            ref = pristine.search_detailed("v", keywords, top_k=top_k)
+            if canonical(out) != canonical(ref):
+                recovered = 0.0
+        healed = 1.0 if health.quarantined() == () else 0.0
+    finally:
+        chaos.close()
+        pristine.close()
+
+    healthy_p50 = statistics.median(healthy_samples) * 1000.0
+    degraded_p50 = statistics.median(degraded_samples) * 1000.0
+    return {
+        "healthy_p50_ms": healthy_p50,
+        "degraded_p50_ms": degraded_p50,
+        "degraded_over_healthy": (
+            degraded_p50 / healthy_p50 if healthy_p50 else float("inf")
+        ),
+        "outage_queries": float(queries),
+        "degraded_flagged": float(degraded_flagged),
+        "availability": (
+            degraded_flagged / queries if queries else 0.0
+        ),
+        "unflagged_responses": float(unflagged),
+        "untyped_errors": float(untyped),
+        "quarantine_engaged": quarantined,
+        "quarantine_healed": healed,
+        "recovered_identical": recovered,
+        "injected_faults": float(len(injector.schedule())),
+    }
+
+
+def run_x12_chaos(repeats: int = 1) -> ExperimentTable:
+    """X12: failure domains — degraded serving under a one-shard outage.
+
+    The self-enforcing floors (100% degraded-flagged availability with
+    zero untyped errors, degraded p50 <= 1.5x healthy p50, bit-identical
+    post-recovery outcomes) live in ``benchmarks/bench_x12_chaos.py``;
+    this table records the degraded-over-healthy latency ratio across
+    fleet widths — losing 1-of-2 shards halves the work, losing 1-of-4
+    trims a quarter, so the ratio should sit *below* 1 once quarantine
+    stops the coordinator from even calling the dead shard.
+    """
+    rounds = max(6, 6 * repeats)
+    table = ExperimentTable(
+        experiment_id="X12",
+        title="Failure domains (one shard hard-failed, ms per query)",
+        parameter="shards",
+        columns=[
+            "healthy_p50_ms",
+            "degraded_p50_ms",
+            "degraded_over_healthy",
+            "availability",
+            "untyped_errors",
+            "quarantine_engaged",
+            "recovered_identical",
+            "injected_faults",
+        ],
+    )
+    for shard_count in (2, 4):
+        numbers = measure_chaos(shard_count=shard_count, rounds=rounds)
+        table.add_row(
+            shard_count,
+            **{k: numbers[k] for k in table.columns},
+        )
+    table.note(
+        "acceptance floors: availability 1.0 with zero untyped errors, "
+        "degraded p50 <= 1.5x healthy p50, quarantine engaged and healed, "
+        "post-recovery outcomes bit-identical to a never-failed "
+        "coordinator (self-enforced by benchmarks/bench_x12_chaos.py)"
+    )
+    return table
+
+
 ALL_EXPERIMENTS = {
     "T1": run_params_table,
     "F13": run_fig13_data_size,
@@ -1351,4 +1568,5 @@ ALL_EXPERIMENTS = {
     "X9": run_x9_updates,
     "X10": run_x10_memory,
     "X11": run_x11_fleet,
+    "X12": run_x12_chaos,
 }

@@ -59,6 +59,7 @@ from repro.core.scoring import (
 )
 from repro.core.topk import TopKSelector
 from repro.errors import (
+    InjectedFaultError,
     StaleViewError,
     StorageError,
     UnsupportedQueryError,
@@ -879,7 +880,15 @@ class KeywordSearchEngine:
                             # Serialize from the eager form *before*
                             # interning (identical bytes either way; the
                             # eager skeleton still has its columns hot).
-                            store.save(indexed.fingerprint, qpt_hash, skeleton)
+                            # A failed snapshot write costs the *next*
+                            # process a rebuild; it must never fail the
+                            # query that already has its skeleton.
+                            try:
+                                store.save(
+                                    indexed.fingerprint, qpt_hash, skeleton
+                                )
+                            except (OSError, InjectedFaultError):
+                                pass
                         # Interning seeds the compressed skeleton's weak
                         # tree reference from the tree just built, so the
                         # annotation below reuses it instead of

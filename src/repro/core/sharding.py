@@ -44,12 +44,16 @@ fragment set, a merge over one stream.
 
 from __future__ import annotations
 
+import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeoutError
 from dataclasses import dataclass, field
-from typing import Mapping, Optional, Sequence, Union
+from typing import Callable, Mapping, Optional, Sequence, Union
 
 from repro.core.cache import QueryCache
+from repro.core.faults import FaultInjector
+from repro.core.health import FleetHealth
 from repro.core.engine import (
     KeywordSearchEngine,
     PhaseTimings,
@@ -73,7 +77,13 @@ from repro.core.topk import (
     merge_shard_streams,
 )
 from repro.dewey import DeweyID
-from repro.errors import ShardingError, ViewDefinitionError
+from repro.errors import (
+    CoordinatorClosedError,
+    InjectedFaultError,
+    ShardUnavailableError,
+    ShardingError,
+    ViewDefinitionError,
+)
 from repro.storage.database import IndexedDocument, XMLDatabase
 from repro.storage.update import DocumentDelta
 from repro.xmlmodel.node import Document, XMLNode
@@ -283,8 +293,10 @@ class ShardExecutor:
         database: Optional[XMLDatabase] = None,
         dag_compression: bool = True,
         shape_table: Optional[ShapeTable] = None,
+        fault_injector: Optional[FaultInjector] = None,
     ):
         self.shard_id = shard_id
+        self._faults = fault_injector
         self.database = database if database is not None else XMLDatabase()
         self.engine = KeywordSearchEngine(
             self.database,
@@ -397,6 +409,8 @@ class ShardExecutor:
         self, view_name: str, normalized: tuple[str, ...]
     ) -> ShardHarvest:
         """Statistics scatter: phase 1 over every local fragment."""
+        if self._faults is not None:
+            self._faults.act(f"shard{self.shard_id}.collect")
         timings = PhaseTimings()
         fragments: list[FragmentStatistics] = []
         cache_hits: dict[str, str] = {}
@@ -436,6 +450,8 @@ class ShardExecutor:
         the heap's tie-break — and therefore the merged ranking — is
         identical to the single-engine path.
         """
+        if self._faults is not None:
+            self._faults.act(f"shard{self.shard_id}.rank")
         start = time.perf_counter()
         selector = TopKSelector(k)
         matching = 0
@@ -455,6 +471,61 @@ class ShardExecutor:
 
 def _fragment_view_name(view_name: str, position: int) -> str:
     return f"{view_name}#{position}"
+
+
+# -- shard failures -------------------------------------------------------------
+
+#: A scatter call exceeded the per-shard deadline.
+FAILURE_TIMEOUT = "timeout"
+#: A scatter call raised an infrastructure error (or an injected one).
+FAILURE_ERROR = "error"
+#: The shard's breaker is open: skipped without submitting work.
+FAILURE_QUARANTINED = "quarantined"
+
+
+@dataclass(frozen=True)
+class ShardFailure:
+    """One shard's typed failure record for one scatter phase.
+
+    ``reason`` is one of the ``FAILURE_*`` constants; ``error`` carries
+    the stringified exception (diagnostic — excluded from the
+    byte-comparable degraded page JSON); ``attempts`` counts how many
+    times the scatter tried the shard before giving up (0 for a
+    quarantined shard, which is never submitted).
+    """
+
+    shard_id: int
+    phase: str
+    reason: str
+    error: str = ""
+    attempts: int = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "shard_id": self.shard_id,
+            "phase": self.phase,
+            "reason": self.reason,
+            "error": self.error,
+            "attempts": self.attempts,
+        }
+
+
+def _is_semantic(exc: BaseException) -> bool:
+    """Query/view errors propagate raw; infrastructure failures degrade.
+
+    A :class:`StaleViewError` or :class:`ViewDefinitionError` from a
+    shard is deterministic — every retry and every healthy shard would
+    answer the same — so converting it into a shard failure would turn
+    a caller bug into a fake outage.  Library errors are semantic by
+    default; :class:`InjectedFaultError` (chaos stands in for crashes)
+    and anything non-library (OSError, arbitrary runtime errors) are
+    infrastructure.
+    """
+    from repro.errors import ReproError
+
+    return isinstance(exc, ReproError) and not isinstance(
+        exc, InjectedFaultError
+    )
 
 
 # -- the coordinator ------------------------------------------------------------
@@ -480,11 +551,22 @@ class CoordinatorView:
 
 @dataclass
 class ShardedSearchOutcome(SearchOutcome):
-    """A :class:`SearchOutcome` plus the scatter-gather diagnostics."""
+    """A :class:`SearchOutcome` plus the scatter-gather diagnostics.
+
+    ``degraded`` is ``True`` only under the ``partial_results`` policy
+    when one or more shards failed: ``missing_shards`` names them,
+    ``failures`` carries the typed records, and the global top-k
+    guarantee is forfeited — the results are exactly the healthy
+    shards' contribution (see :meth:`CorpusCoordinator.search_detailed`
+    for the precise semantics per phase).
+    """
 
     shards: tuple[int, ...] = ()
     merge_stats: Optional[MergeStats] = None
     shard_timings: dict[int, PhaseTimings] = field(default_factory=dict)
+    degraded: bool = False
+    missing_shards: tuple[int, ...] = ()
+    failures: tuple[ShardFailure, ...] = ()
 
 
 class CorpusCoordinator:
@@ -497,6 +579,33 @@ class CorpusCoordinator:
     ``False`` for deterministic serial execution (the difftest harness
     covers both).  The coordinator owns the pool — ``close()`` it, or
     use the coordinator as a context manager.
+
+    **Failure domains.**  Each scatter call is bounded by
+    ``shard_deadline`` seconds (``None`` = wait forever, the historical
+    behavior) and retried up to ``shard_retries`` times; a shard that
+    still fails yields a typed :class:`ShardFailure` instead of killing
+    the query.  Per-shard health (:class:`~repro.core.health.FleetHealth`)
+    quarantines a shard after consecutive failing queries — the scatter
+    skips it without submitting work until a half-open probe heals it.
+    What happens to a query with failures is the ``partial_results``
+    policy's call:
+
+    * ``False`` (default, fail-closed): a typed
+      :class:`~repro.errors.ShardUnavailableError` — bit-identical
+      semantics or nothing, exactly as before this knob existed.
+    * ``True``: a ``degraded`` :class:`ShardedSearchOutcome` over the
+      healthy shards.  A shard lost in the *statistics* phase is absent
+      from the gather too, so the outcome equals evaluating only the
+      surviving fragments (healthy-only idf — verifiable against a
+      healthy-fragments-only engine).  A shard lost in the *ranking*
+      phase keeps the true global idf, so the results are an ordered
+      subset of the full ranking restricted to healthy shards' results.
+      Zero healthy shards always raises, policy notwithstanding.
+
+    Semantic errors (stale views, unknown views, bad queries — any
+    library error that every retry would reproduce) propagate raw in
+    both policies; only infrastructure failures (timeouts, injected
+    faults, non-library exceptions) enter the failure machinery.
     """
 
     def __init__(
@@ -506,6 +615,10 @@ class CorpusCoordinator:
         normalize_scores: bool = True,
         parallel: bool = True,
         merge_batch_size: int = 4,
+        shard_deadline: Optional[float] = None,
+        shard_retries: int = 0,
+        partial_results: bool = False,
+        health: Optional[FleetHealth] = None,
     ):
         if len(executors) != plan.shard_count:
             raise ShardingError(
@@ -524,8 +637,16 @@ class CorpusCoordinator:
         self.normalize_scores = normalize_scores
         self.parallel = parallel
         self.merge_batch_size = merge_batch_size
+        self.shard_deadline = shard_deadline
+        self.shard_retries = max(0, int(shard_retries))
+        self.partial_results = partial_results
+        self.health = (
+            health if health is not None else FleetHealth(plan.shard_count)
+        )
         self._views: dict[str, CoordinatorView] = {}
         self._pool: Optional[ThreadPoolExecutor] = None
+        self._pool_lock = threading.Lock()
+        self._closed = False
 
     # -- lifecycle ---------------------------------------------------------------
 
@@ -534,9 +655,11 @@ class CorpusCoordinator:
         return self.plan.shard_count
 
     def close(self) -> None:
-        if self._pool is not None:
-            self._pool.shutdown(wait=True)
-            self._pool = None
+        with self._pool_lock:
+            self._closed = True
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
         for executor in self.executors:
             executor.close()
 
@@ -552,16 +675,156 @@ class CorpusCoordinator:
     def __exit__(self, *exc_info) -> None:
         self.close()
 
-    def _map(self, fn, shards: Sequence[int]) -> dict:
-        """Run ``fn(shard_id)`` for every shard, parallel when configured."""
-        if self.parallel and len(shards) > 1:
+    def _submit(self, fn: Callable[[], object]):
+        """Submit to the lazily-built pool, typed-failing after close.
+
+        Creation and submission hold ``_pool_lock`` so a query racing
+        :meth:`close` gets :class:`~repro.errors.CoordinatorClosedError`
+        instead of the pool's raw ``RuntimeError`` (or, worse, lazily
+        resurrecting a pool after shutdown).
+        """
+        with self._pool_lock:
+            if self._closed:
+                raise CoordinatorClosedError()
             if self._pool is None:
+                # Sized past the fleet so a worker parked on a hung
+                # shard (deadline expired, thread still blocked) does
+                # not starve retries or later queries outright.
+                workers = min(
+                    max(32, len(self.executors)),
+                    len(self.executors) * (self.shard_retries + 1),
+                )
                 self._pool = ThreadPoolExecutor(
-                    max_workers=len(self.executors),
+                    max_workers=max(workers, len(self.executors)),
                     thread_name_prefix="shard",
                 )
-            return dict(zip(shards, self._pool.map(fn, shards)))
-        return {shard: fn(shard) for shard in shards}
+            try:
+                return self._pool.submit(fn)
+            except RuntimeError as exc:
+                raise CoordinatorClosedError() from exc
+
+    def _scatter(
+        self,
+        phase: str,
+        fn: Callable[[int], object],
+        shards: Sequence[int],
+    ) -> tuple[dict, dict[int, "ShardFailure"]]:
+        """Run ``fn(shard)`` over the shards inside the failure domain.
+
+        Returns ``(results, failures)``.  Quarantined shards are never
+        submitted; the rest run in parallel (one shared wave deadline —
+        the shards execute concurrently, so per-shard budgets overlap)
+        or serially (per-shard deadline; with no deadline, direct calls
+        preserve the historical zero-thread path bit for bit).  Failed
+        shards are re-scattered up to ``shard_retries`` times.  Exactly
+        one health verdict is recorded per shard — quarantine counts
+        failing *queries*, not retry churn.  Semantic errors propagate.
+        """
+        deadline = self.shard_deadline
+        results: dict = {}
+        failures: dict[int, ShardFailure] = {}
+        pending: list[int] = []
+        for shard in shards:
+            if not self.health.allow(shard):
+                failures[shard] = ShardFailure(
+                    shard_id=shard, phase=phase, reason=FAILURE_QUARANTINED
+                )
+            else:
+                pending.append(shard)
+        attempt = 0
+        while pending and attempt <= self.shard_retries:
+            wave, pending = pending, []
+            wave_errors: dict[int, tuple[str, str]] = {}
+            if self.parallel and len(wave) > 1:
+                futures = {
+                    shard: self._submit(lambda s=shard: fn(s))
+                    for shard in wave
+                }
+                wave_deadline = (
+                    None if deadline is None else time.monotonic() + deadline
+                )
+                for shard in wave:
+                    remaining = (
+                        None
+                        if wave_deadline is None
+                        else max(0.0, wave_deadline - time.monotonic())
+                    )
+                    try:
+                        results[shard] = futures[shard].result(
+                            timeout=remaining
+                        )
+                    except FuturesTimeoutError:
+                        futures[shard].cancel()
+                        wave_errors[shard] = (
+                            FAILURE_TIMEOUT,
+                            f"no result within {deadline}s",
+                        )
+                    except Exception as exc:
+                        if _is_semantic(exc):
+                            raise
+                        wave_errors[shard] = (
+                            FAILURE_ERROR,
+                            f"{type(exc).__name__}: {exc}",
+                        )
+            else:
+                for shard in wave:
+                    try:
+                        if deadline is None:
+                            results[shard] = fn(shard)
+                        else:
+                            future = self._submit(lambda s=shard: fn(s))
+                            results[shard] = future.result(timeout=deadline)
+                    except FuturesTimeoutError:
+                        wave_errors[shard] = (
+                            FAILURE_TIMEOUT,
+                            f"no result within {deadline}s",
+                        )
+                    except Exception as exc:
+                        if _is_semantic(exc):
+                            raise
+                        wave_errors[shard] = (
+                            FAILURE_ERROR,
+                            f"{type(exc).__name__}: {exc}",
+                        )
+            for shard, (reason, detail) in sorted(wave_errors.items()):
+                if attempt < self.shard_retries:
+                    pending.append(shard)
+                else:
+                    failures[shard] = ShardFailure(
+                        shard_id=shard,
+                        phase=phase,
+                        reason=reason,
+                        error=detail,
+                        attempts=attempt + 1,
+                    )
+            attempt += 1
+        for shard in results:
+            self.health.record_success(shard)
+        for shard, failure in failures.items():
+            if failure.reason != FAILURE_QUARANTINED:
+                self.health.record_failure(shard)
+        return results, failures
+
+    def _enforce_policy(
+        self,
+        view_name: str,
+        failures: Mapping[int, "ShardFailure"],
+        healthy_count: int,
+    ) -> None:
+        """Fail-closed unless ``partial_results`` — and always when
+        *every* shard is gone (an empty 'result' is not a degraded
+        answer, it is no answer)."""
+        if not failures:
+            return
+        if not self.partial_results or healthy_count == 0:
+            raise ShardUnavailableError(
+                view_name, [failures[s] for s in sorted(failures)]
+            )
+
+    def health_snapshot(self) -> dict:
+        """Per-shard breaker states and quarantine counters (for
+        coordinator stats, ``/health`` and ``/stats``)."""
+        return self.health.snapshot()
 
     # -- views -------------------------------------------------------------------
 
@@ -651,13 +914,25 @@ class CorpusCoordinator:
         return self.executors[shard].replace_subtree(doc_name, target, payload)
 
     def warm_view(self, view: Union[CoordinatorView, str]) -> dict[str, str]:
-        """Warm every owning shard's fragment tiers; merged per-doc hits."""
+        """Warm every owning shard's fragment tiers; merged per-doc hits.
+
+        Warm-up is always fail-closed: a shard that cannot warm raises
+        :class:`~repro.errors.ShardUnavailableError` (the serving
+        warm-up layer already treats per-view errors as fail-soft, and
+        the healthy shards it did reach stay warm).
+        """
         if isinstance(view, str):
             view = self.get_view(view)
         name = view.name
-        hits = self._map(
-            lambda shard: self.executors[shard].warm_view(name), view.shards
+        hits, failures = self._scatter(
+            "warmup",
+            lambda shard: self.executors[shard].warm_view(name),
+            view.shards,
         )
+        if failures:
+            raise ShardUnavailableError(
+                name, [failures[s] for s in sorted(failures)]
+            )
         merged: dict[str, str] = {}
         for shard in view.shards:
             merged.update(hits[shard])
@@ -702,17 +977,23 @@ class CorpusCoordinator:
         coordinator_timings.qpt = time.perf_counter() - start
 
         # Phase 1 scatter: per-shard statistics (no scores exist yet).
-        harvests = self._map(
+        harvests, failures = self._scatter(
+            "statistics",
             lambda shard: self.executors[shard].collect(name, normalized),
             shards,
         )
+        self._enforce_policy(name, failures, healthy_count=len(harvests))
+        healthy = tuple(shard for shard in shards if shard in harvests)
 
         # Gather: integer sums -> global idf; rebase fragment-local
         # result indexes to global view positions so ranking tie-breaks
-        # match the single-engine concatenated evaluation exactly.
+        # match the single-engine concatenated evaluation exactly.  A
+        # shard lost in phase 1 contributes nothing here — view_size,
+        # offsets and idf all describe the *surviving* fragments, so a
+        # degraded outcome equals evaluating the healthy-only view.
         start = time.perf_counter()
         fragment_sizes: dict[int, int] = {}
-        for shard in shards:
+        for shard in healthy:
             for fragment in harvests[shard].fragments:
                 fragment_sizes[fragment.position] = len(fragment.stats.scored)
         offsets: dict[int, int] = {}
@@ -721,7 +1002,7 @@ class CorpusCoordinator:
             offsets[position] = running
             running += fragment_sizes[position]
         view_size = running
-        for shard in shards:
+        for shard in healthy:
             for fragment in harvests[shard].fragments:
                 base = offsets[fragment.position]
                 for local_index, scored in enumerate(fragment.stats.scored):
@@ -729,7 +1010,7 @@ class CorpusCoordinator:
         containing = {
             keyword: sum(
                 fragment.stats.containing.get(keyword, 0)
-                for shard in shards
+                for shard in healthy
                 for fragment in harvests[shard].fragments
             )
             for keyword in normalized
@@ -738,7 +1019,8 @@ class CorpusCoordinator:
         coordinator_timings.post_processing += time.perf_counter() - start
 
         # Phase 2 scatter: global idf -> scores -> per-shard bounded heap.
-        rankings = self._map(
+        rankings, rank_failures = self._scatter(
+            "ranking",
             lambda shard: self.executors[shard].rank(
                 harvests[shard],
                 idf,
@@ -747,21 +1029,31 @@ class CorpusCoordinator:
                 top_k,
                 self.normalize_scores,
             ),
-            shards,
+            healthy,
+        )
+        failures.update(rank_failures)
+        self._enforce_policy(name, failures, healthy_count=len(rankings))
+        ranked_shards = tuple(
+            shard for shard in healthy if shard in rankings
         )
 
-        # Streaming k-way merge with early termination.
+        # Streaming k-way merge with early termination.  A shard lost
+        # in phase 2 simply contributes no stream: its results vanish
+        # but the idf (computed above) stays the phase-1 truth, so the
+        # survivors' scores — and their relative order — are exactly
+        # the full ranking's, restricted to the healthy shards.
         start = time.perf_counter()
         streams = [
             ShardStream(
                 shard, rankings[shard].ranked, batch_size=self.merge_batch_size
             )
-            for shard in shards
+            for shard in ranked_shards
         ]
         winners, merge_stats = merge_shard_streams(streams, top_k)
+        merge_stats.missing = len(shards) - len(ranked_shards)
         owner = {
             id(scored): shard
-            for shard in shards
+            for shard in ranked_shards
             for scored in rankings[shard].ranked
         }
         results = [
@@ -778,10 +1070,10 @@ class CorpusCoordinator:
                 result.materialize()
         coordinator_timings.post_processing += time.perf_counter() - start
 
-        shard_timings = {shard: harvests[shard].timings for shard in shards}
+        shard_timings = {shard: harvests[shard].timings for shard in healthy}
         merged_shard_timings = PhaseTimings.merge(
             list(shard_timings.values()),
-            concurrent=self.parallel and len(shards) > 1,
+            concurrent=self.parallel and len(healthy) > 1,
         )
         timings = PhaseTimings.merge(
             [coordinator_timings, merged_shard_timings], concurrent=False
@@ -789,23 +1081,27 @@ class CorpusCoordinator:
 
         pdts: dict = {}
         cache_hits: dict[str, str] = {}
-        for shard in shards:
+        for shard in healthy:
             pdts.update(harvests[shard].pdts)
             cache_hits.update(harvests[shard].cache_hits)
+        missing = tuple(sorted(failures))
         return ShardedSearchOutcome(
             results=results,
             view_size=view_size,
             matching_count=sum(
-                rankings[shard].matching_count for shard in shards
+                rankings[shard].matching_count for shard in ranked_shards
             ),
             idf=idf,
             pdts=pdts,
             timings=timings,
             cache_hits=cache_hits,
             evaluated_hit=all(
-                harvests[shard].evaluated_hit for shard in shards
+                harvests[shard].evaluated_hit for shard in healthy
             ),
             shards=shards,
             merge_stats=merge_stats,
             shard_timings=shard_timings,
+            degraded=bool(failures),
+            missing_shards=missing,
+            failures=tuple(failures[shard] for shard in missing),
         )

@@ -46,6 +46,7 @@ import threading
 from pathlib import Path
 from typing import Iterator, Optional, Union
 
+from repro.core.faults import FAULT_CORRUPT, FaultInjector
 from repro.core.pdt import (
     PDTSkeleton,
     SkeletonLayout,
@@ -54,6 +55,7 @@ from repro.core.pdt import (
     serialize_skeleton,
     skeleton_payload_version,
 )
+from repro.errors import InjectedFaultError
 
 _SUFFIX = ".pdts"
 
@@ -207,12 +209,27 @@ class SkeletonStore:
     eager — a fully-decoded skeleton with no open file mappings —
     which is also the strictest validation point for store hygiene
     (corrupt payloads are detected and reclaimed at load, not later).
+
+    ``fault_injector`` arms the chaos sites ``store.load`` and
+    ``store.save``: an injected *error* on a load behaves exactly like
+    an unreadable file (a counted miss — the store's contract is that
+    storage trouble reads back as a miss, never as data), an injected
+    *corruption* mangles the bytes (a corrupt save poisons the file for
+    later readers to reject; a corrupt load is rejected and reclaimed
+    on the spot), and an injected error on a save propagates like a
+    real write failure.
     """
 
-    def __init__(self, root: Union[str, Path], mmap_mode: bool = False):
+    def __init__(
+        self,
+        root: Union[str, Path],
+        mmap_mode: bool = False,
+        fault_injector: Optional[FaultInjector] = None,
+    ):
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
         self.mmap_mode = mmap_mode
+        self._faults = fault_injector
         self.saves = 0
         self.hits = 0
         self.misses = 0
@@ -264,6 +281,10 @@ class SkeletonStore:
         function of the key, so bytes from any honest process are
         interchangeable with a local serialization).
         """
+        if self._faults is not None:
+            event = self._faults.act("store.save")  # error kind raises here
+            if event is not None and event.kind == FAULT_CORRUPT:
+                payload = self._faults.mangle(event, payload)
         target = self.path_for(doc_fingerprint, qpt_hash)
         descriptor, temp_name = tempfile.mkstemp(
             dir=self.root, prefix=".tmp-", suffix=_SUFFIX
@@ -329,8 +350,18 @@ class SkeletonStore:
         reading the columns; anything else falls back to the eager
         parse below.
         """
+        corrupt = None
+        if self._faults is not None:
+            try:
+                event = self._faults.act("store.load")
+            except InjectedFaultError:
+                # An injected read failure is an unreadable file: miss.
+                self._count("misses")
+                return None
+            if event is not None and event.kind == FAULT_CORRUPT:
+                corrupt = event
         target = self.path_for(doc_fingerprint, qpt_hash)
-        if self.mmap_mode:
+        if self.mmap_mode and corrupt is None:
             return self._load_mapped(target)
         try:
             before = target.stat()
@@ -338,6 +369,12 @@ class SkeletonStore:
         except OSError:
             self._count("misses")
             return None
+        if corrupt is not None:
+            # Injected read corruption: the mangled bytes fail the parse
+            # below, so the load counts as a miss and the (actually
+            # fine) file is reclaimed — exactly what real on-disk rot
+            # would cost: a rebuild, never wrong data.
+            payload = self._faults.mangle(corrupt, payload)
         try:
             skeleton = PDTSkeleton.from_bytes(payload)
         except ValueError:

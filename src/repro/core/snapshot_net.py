@@ -16,17 +16,22 @@ The pieces:
 * :class:`HTTPSnapshotPeer` — the stdlib HTTP implementation (GET
   ``/snapshots/<entry_name>`` against a peer's serving endpoint), with
   a per-fetch timeout and bounded exponential-backoff retries.
-* :class:`CircuitBreaker` — after ``failure_threshold`` consecutive
-  fetch failures the network path opens (every load falls back to the
-  local cold build immediately, no timeout waits); after
-  ``reset_after`` seconds one half-open trial fetch decides whether to
-  close it again.
+* :class:`~repro.core.health.CircuitBreaker` — after
+  ``failure_threshold`` consecutive fetch failures the network path
+  opens (every load falls back to the local cold build immediately, no
+  timeout waits); after ``reset_after`` seconds one half-open trial
+  fetch decides whether to close it again.  It lives in
+  ``repro.core.health`` now (the coordinator quarantines shards with
+  the same state machine) and is re-exported here for compatibility.
 * :class:`NetworkedSkeletonStore` — wraps a local store; ``load``
   consults the local tier first, then the peer (validated +
   written through to local disk, so one fetch warms the file tier
   for every later process too), and falls back to ``None`` — the
   engine's existing cold build — when the network cannot help.
-  Counts ``fetched`` / ``fetch_failed`` / ``fell_back``.
+  Concurrent misses on the *same* key are coalesced into one fetch
+  (single-flight: the first caller fetches, the rest wait and re-read
+  the local tier).  Counts ``fetched`` / ``fetch_failed`` /
+  ``fell_back`` / ``coalesced``.
 
 Failure semantics, in one table::
 
@@ -36,6 +41,7 @@ Failure semantics, in one table::
     fetch error (after retries)  -> None            fetch_failed += 1, fell_back += 1
     breaker open                 -> None            fell_back += 1
     corrupt peer payload         -> None            fetch_failed += 1, fell_back += 1
+    follower of an in-flight key -> leader's result coalesced += 1
 
 ``None`` always means "cold-build locally" — a fleet member never
 fails a query because a peer is down.
@@ -50,9 +56,18 @@ import urllib.request
 from pathlib import Path
 from typing import Callable, Iterator, Optional, Protocol, Union
 
+from repro.core.faults import FAULT_CORRUPT, FaultInjector
+from repro.core.health import CircuitBreaker
 from repro.core.pdt import PDTSkeleton, SkeletonLayout
 from repro.core.snapshot import MappedSkeleton, SkeletonStore
-from repro.errors import SnapshotFetchError
+from repro.errors import InjectedFaultError, SnapshotFetchError
+
+__all__ = [
+    "CircuitBreaker",
+    "HTTPSnapshotPeer",
+    "NetworkedSkeletonStore",
+    "SnapshotPeer",
+]
 
 
 class SnapshotPeer(Protocol):
@@ -67,83 +82,6 @@ class SnapshotPeer(Protocol):
         ...  # pragma: no cover - protocol signature
 
 
-class CircuitBreaker:
-    """Consecutive-failure circuit breaker for the snapshot network path.
-
-    Closed (normal) until ``failure_threshold`` consecutive failures;
-    then open for ``reset_after`` seconds, during which :meth:`allow`
-    answers ``False`` and callers skip the network entirely — a dead
-    peer must cost a cold build, not a connect timeout per miss.  After
-    the cooldown, exactly one caller is admitted as the half-open
-    trial; its success closes the breaker, its failure re-opens it for
-    another full cooldown.
-
-    Thread-safe; ``clock`` is injectable for tests (monotonic seconds).
-    """
-
-    def __init__(
-        self,
-        failure_threshold: int = 3,
-        reset_after: float = 5.0,
-        clock: Callable[[], float] = time.monotonic,
-    ):
-        if failure_threshold < 1:
-            raise ValueError("failure_threshold must be >= 1")
-        self.failure_threshold = failure_threshold
-        self.reset_after = reset_after
-        self._clock = clock
-        self._lock = threading.Lock()
-        self._consecutive_failures = 0
-        self._opened_at: Optional[float] = None
-        self._half_open_inflight = False
-
-    @property
-    def state(self) -> str:
-        """``"closed"``, ``"open"`` or ``"half_open"`` (informational)."""
-        with self._lock:
-            if self._opened_at is None:
-                return "closed"
-            if self._half_open_inflight:
-                return "half_open"
-            if self._clock() - self._opened_at >= self.reset_after:
-                return "half_open"
-            return "open"
-
-    def allow(self) -> bool:
-        """May the caller try the network now?
-
-        While open, answers ``False``.  Once the cooldown elapses, the
-        first caller gets ``True`` as the half-open trial and everyone
-        else keeps getting ``False`` until that trial reports back.
-        """
-        with self._lock:
-            if self._opened_at is None:
-                return True
-            if self._half_open_inflight:
-                return False
-            if self._clock() - self._opened_at >= self.reset_after:
-                self._half_open_inflight = True
-                return True
-            return False
-
-    def record_success(self) -> None:
-        with self._lock:
-            self._consecutive_failures = 0
-            self._opened_at = None
-            self._half_open_inflight = False
-
-    def record_failure(self) -> None:
-        with self._lock:
-            if self._half_open_inflight:
-                # The half-open trial failed: restart the cooldown.
-                self._half_open_inflight = False
-                self._opened_at = self._clock()
-                return
-            self._consecutive_failures += 1
-            if self._consecutive_failures >= self.failure_threshold:
-                self._opened_at = self._clock()
-
-
 class HTTPSnapshotPeer:
     """Fetch snapshot bytes from a peer's HTTP serving endpoint.
 
@@ -155,7 +93,11 @@ class HTTPSnapshotPeer:
     returned as ``None`` without retrying.
 
     Built on ``urllib`` so the fleet path adds no dependencies;
-    ``opener`` and ``sleep`` are injectable for tests.
+    ``opener`` and ``sleep`` are injectable for tests.  The
+    ``peer.fetch`` fault site covers the whole call: an injected error
+    surfaces as a :class:`SnapshotFetchError` (what a real transport
+    failure looks like to callers) and an injected corruption mangles
+    the fetched bytes before validation sees them.
     """
 
     def __init__(
@@ -166,6 +108,7 @@ class HTTPSnapshotPeer:
         backoff: float = 0.05,
         opener: Optional[Callable[..., object]] = None,
         sleep: Callable[[float], None] = time.sleep,
+        fault_injector: Optional[FaultInjector] = None,
     ):
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
@@ -173,9 +116,18 @@ class HTTPSnapshotPeer:
         self.backoff = backoff
         self._open = opener or urllib.request.urlopen
         self._sleep = sleep
+        self._faults = fault_injector
 
     def fetch(self, doc_fingerprint: str, qpt_hash: str) -> Optional[bytes]:
         entry = SkeletonStore.entry_name(doc_fingerprint, qpt_hash)
+        corrupt = None
+        if self._faults is not None:
+            try:
+                event = self._faults.act("peer.fetch")
+            except InjectedFaultError as exc:
+                raise SnapshotFetchError(entry, str(exc)) from exc
+            if event is not None and event.kind == FAULT_CORRUPT:
+                corrupt = event
         url = f"{self.base_url}/snapshots/{entry}"
         last_error = "no attempt made"
         for attempt in range(self.retries + 1):
@@ -183,7 +135,10 @@ class HTTPSnapshotPeer:
                 self._sleep(self.backoff * (2 ** (attempt - 1)))
             try:
                 with self._open(url, timeout=self.timeout) as response:
-                    return response.read()
+                    payload = response.read()
+                if corrupt is not None:
+                    payload = self._faults.mangle(corrupt, payload)
+                return payload
             except urllib.error.HTTPError as exc:
                 if exc.code == 404:
                     return None  # definitive miss: never retry
@@ -223,14 +178,18 @@ class NetworkedSkeletonStore:
         local: SkeletonStore,
         peer: SnapshotPeer,
         breaker: Optional[CircuitBreaker] = None,
+        single_flight_timeout: float = 30.0,
     ):
         self.local = local
         self.peer = peer
         self.breaker = breaker or CircuitBreaker()
+        self.single_flight_timeout = single_flight_timeout
         self.fetched = 0
         self.fetch_failed = 0
         self.fell_back = 0
+        self.coalesced = 0
         self._net_lock = threading.Lock()
+        self._inflight: dict[tuple[str, str], threading.Event] = {}
 
     def _count(self, *counters: str) -> None:
         with self._net_lock:
@@ -245,6 +204,42 @@ class NetworkedSkeletonStore:
         found = self.local.load(doc_fingerprint, qpt_hash)
         if found is not None:
             return found
+        # Single-flight: concurrent misses on the same key ride one
+        # fetch.  The first caller through becomes the leader and runs
+        # the networked path; followers wait for it to finish, then
+        # re-read the (now write-through-warmed) local tier.
+        key = (doc_fingerprint, qpt_hash)
+        with self._net_lock:
+            done = self._inflight.get(key)
+            if done is None:
+                done = threading.Event()
+                self._inflight[key] = done
+                leader = True
+            else:
+                leader = False
+        if not leader:
+            finished = done.wait(self.single_flight_timeout)
+            self._count("coalesced")
+            if not finished:
+                # A hung leader must not hang the fleet: degrade to a
+                # local cold build.
+                self._count("fell_back")
+                return None
+            restored = self.local.load(doc_fingerprint, qpt_hash)
+            if restored is None:
+                # The leader's fetch failed/missed; we fall back too.
+                self._count("fell_back")
+            return restored
+        try:
+            return self._fetch_through(doc_fingerprint, qpt_hash)
+        finally:
+            with self._net_lock:
+                self._inflight.pop(key, None)
+            done.set()
+
+    def _fetch_through(
+        self, doc_fingerprint: str, qpt_hash: str
+    ) -> Optional[Union[PDTSkeleton, MappedSkeleton]]:
         if not self.breaker.allow():
             self._count("fell_back")
             return None
@@ -291,6 +286,7 @@ class NetworkedSkeletonStore:
                 "fetched": self.fetched,
                 "fetch_failed": self.fetch_failed,
                 "fell_back": self.fell_back,
+                "coalesced": self.coalesced,
             }
 
     def stats(self) -> dict:

@@ -188,7 +188,10 @@ class MergeStats:
     held; ``consumed`` is how many the merge actually pulled — the gap
     between the two is what early termination saved.  ``pruned`` counts
     streams abandoned with results still unread because their upper
-    bound fell strictly below the k-th score.
+    bound fell strictly below the k-th score.  ``missing`` counts shards
+    that contributed *no* stream at all — zero unless a degraded
+    (``partial_results``) scatter dropped failed shards, in which case
+    the merge's top-k guarantee is scoped to the streams it saw.
     """
 
     shard_count: int = 0
@@ -197,6 +200,7 @@ class MergeStats:
     batches: int = 0
     pruned: int = 0
     exhausted: int = 0
+    missing: int = 0
 
     def as_dict(self) -> dict[str, int]:
         return {
@@ -206,6 +210,7 @@ class MergeStats:
             "batches": self.batches,
             "pruned": self.pruned,
             "exhausted": self.exhausted,
+            "missing": self.missing,
         }
 
 

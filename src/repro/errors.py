@@ -74,6 +74,60 @@ class ShardingError(ReproError):
     """
 
 
+class InjectedFaultError(ReproError):
+    """Raised by :class:`repro.core.faults.FaultInjector` at an armed site.
+
+    Deliberately *infrastructure-shaped*: the coordinator and the
+    snapshot tier treat it like a transport/storage failure (a shard
+    failure, a fetch error, a lost snapshot) — never like a semantic
+    query error — so chaos runs exercise exactly the degraded paths a
+    real outage would.
+    """
+
+    def __init__(self, site: str, call: int, kind: str = "error"):
+        super().__init__(
+            f"injected {kind} fault at {site!r} (call #{call})"
+        )
+        self.site = site
+        self.call = call
+        self.kind = kind
+
+
+class ShardUnavailableError(ShardingError):
+    """Raised when shard failures abort a scatter under fail-closed policy.
+
+    Carries the per-shard :class:`repro.core.sharding.ShardFailure`
+    records (duck-typed here to avoid the import cycle) so callers — and
+    the HTTP error table — can report exactly which shards failed, in
+    which phase, and why.  Under ``partial_results=True`` the same
+    records travel on the degraded outcome instead.
+    """
+
+    def __init__(self, view_name: str, failures=()):
+        self.view_name = view_name
+        self.failures = tuple(failures)
+        detail = ", ".join(
+            f"shard {f.shard_id} ({f.reason} in {f.phase})"
+            for f in self.failures
+        )
+        super().__init__(
+            f"view {view_name!r}: {len(self.failures)} shard(s) "
+            f"unavailable{': ' + detail if detail else ''}"
+        )
+
+
+class CoordinatorClosedError(ReproError):
+    """Raised when a query races :meth:`CorpusCoordinator.close`.
+
+    Previously this surfaced as the thread pool's raw ``RuntimeError:
+    cannot schedule new futures after shutdown``; the typed error keeps
+    the shutdown race distinguishable from an engine bug.
+    """
+
+    def __init__(self, message: str = "coordinator is closed"):
+        super().__init__(message)
+
+
 class SnapshotFetchError(ReproError):
     """Raised when a networked snapshot fetch fails after its retries.
 

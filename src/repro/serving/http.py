@@ -51,9 +51,13 @@ import threading
 from http.client import responses as _REASON_PHRASES
 from typing import Any, Awaitable, Callable, Optional
 
+from repro.core.faults import FaultInjector
 from repro.errors import (
+    CoordinatorClosedError,
     DocumentNotFoundError,
+    InjectedFaultError,
     ReproError,
+    ShardUnavailableError,
     ShardingError,
     StaleViewError,
     StorageError,
@@ -93,7 +97,10 @@ ENGINE_ERROR_STATUS: tuple[tuple[type, int, str], ...] = (
     (XQuerySyntaxError, 400, "query_syntax"),
     (DocumentNotFoundError, 404, "document_not_found"),
     (StorageError, 500, "storage_error"),
+    (ShardUnavailableError, 503, "shards_unavailable"),
     (ShardingError, 500, "sharding_error"),
+    (CoordinatorClosedError, 503, "coordinator_closed"),
+    (InjectedFaultError, 500, "injected_fault"),
     (ReproError, 500, "engine_error"),
 )
 
@@ -107,6 +114,10 @@ _JSON_COMPACT = {"sort_keys": True, "separators": (",", ":")}
 def _dump(payload: Any) -> bytes:
     """Deterministic JSON bytes — the fleet difftest compares these."""
     return json.dumps(payload, **_JSON_COMPACT).encode("utf-8")
+
+
+class _RequestTooLarge(ValueError):
+    """A request (headers or framed body) exceeded the endpoint's limit."""
 
 
 class _HTTPReply(Exception):
@@ -249,10 +260,44 @@ class SearchAPI:
     # -- handlers ------------------------------------------------------------
 
     def _health(self) -> _HTTPReply:
+        """Liveness plus fleet health.
+
+        A plain engine keeps the historical ``{"status", "running"}``
+        shape.  A coordinator-backed server adds a ``shards`` section
+        from :class:`~repro.core.health.FleetHealth`: 200 with status
+        ``"ok"`` while every shard serves, 200 ``"degraded"`` while some
+        are quarantined but at least one still serves (the replica can
+        answer, possibly partially), 503 ``"unavailable"`` when no
+        shard can serve at all — indistinguishable from down, so load
+        balancers should fail over.
+        """
         running = self.server.running
+        if not running:
+            return _HTTPReply(503, {"status": "stopped", "running": False})
+        health = getattr(self.server.engine, "health_snapshot", None)
+        if not callable(health):
+            return _HTTPReply(200, {"status": "ok", "running": True})
+        snapshot = health()
+        quarantined = sorted(int(s) for s in snapshot["quarantined"])
+        serving = snapshot["serving"]
+        total = len(snapshot["shards"])
+        if serving == 0:
+            status, code = "unavailable", 503
+        elif quarantined:
+            status, code = "degraded", 200
+        else:
+            status, code = "ok", 200
         return _HTTPReply(
-            200 if running else 503,
-            {"status": "ok" if running else "stopped", "running": running},
+            code,
+            {
+                "status": status,
+                "running": True,
+                "shards": {
+                    "total": total,
+                    "serving": serving,
+                    "quarantined": quarantined,
+                },
+            },
         )
 
     def _warmth(self) -> _HTTPReply:
@@ -346,7 +391,7 @@ class SearchAPI:
         page = outcome.results[offset : offset + page_size]
         next_offset = offset + page_size
         has_more = next_offset < outcome.matching_count
-        return {
+        reply = {
             "view": served.view,
             "keywords": list(served.keywords),
             "results": [
@@ -378,6 +423,21 @@ class SearchAPI:
                 "cache_hits": dict(sorted(outcome.cache_hits.items())),
             },
         }
+        if getattr(outcome, "degraded", False):
+            # Deterministic (phase and reason only — no timing-dependent
+            # diagnostic strings), so two replicas dropping the same
+            # shards produce byte-identical degraded sections.
+            reply["degraded"] = {
+                "missing_shards": sorted(
+                    int(s) for s in outcome.missing_shards
+                ),
+                "failures": {
+                    str(f.shard_id): {"phase": f.phase, "reason": f.reason}
+                    for f in outcome.failures
+                },
+                "top_k_guarantee": False,
+            }
+        return reply
 
     # -- lifespan ------------------------------------------------------------
 
@@ -415,12 +475,31 @@ class HTTPServingEndpoint:
     bodies framed by ``Content-Length``, no chunked uploads, no TLS.
     ``port=0`` binds an ephemeral port (read :attr:`port` after
     :meth:`start`), which is what tests and same-host fleets want.
+
+    Two client-side failure domains are bounded here, before the ASGI
+    app ever runs: a client that trickles its request slower than
+    ``read_timeout`` gets a typed 408 (a reader coroutine must not be
+    pinned open forever by a slowloris), and one that frames more than
+    ``max_request_bytes`` gets a typed 413 without the body being read.
+    ``fault_injector`` (site ``"http.request"``) lets chaos tests crash
+    or stall the bridge itself, deterministically.
     """
 
-    def __init__(self, app: ASGIApp, host: str = "127.0.0.1", port: int = 0):
+    def __init__(
+        self,
+        app: ASGIApp,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        read_timeout: float = 10.0,
+        max_request_bytes: int = _MAX_BODY_BYTES,
+        fault_injector: Optional[FaultInjector] = None,
+    ):
         self.app = app
         self.host = host
         self.port = port
+        self.read_timeout = read_timeout
+        self.max_request_bytes = max_request_bytes
+        self._faults = fault_injector
         self._server: Optional[asyncio.base_events.Server] = None
 
     @property
@@ -443,11 +522,72 @@ class HTTPServingEndpoint:
         await self._server.wait_closed()
         self._server = None
 
+    @staticmethod
+    def _canned_reply(status: int, code: str, message: str) -> bytes:
+        """A complete typed JSON response, framed for one write."""
+        payload = _dump({"error": {"code": code, "message": message}})
+        phrase = _REASON_PHRASES.get(status, "Unknown")
+        head = (
+            f"HTTP/1.1 {status} {phrase}\r\n"
+            "content-type: application/json\r\n"
+            f"content-length: {len(payload)}\r\n"
+            "connection: close\r\n\r\n"
+        )
+        return head.encode("latin-1") + payload
+
+    async def _reject(self, writer: asyncio.StreamWriter, raw: bytes) -> None:
+        try:
+            writer.write(raw)
+            await writer.drain()
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover
+                pass
+
     async def _handle(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
+        if self._faults is not None:
+            # Run the fault site off the event loop: an injected delay
+            # or hang must stall *this* connection, not every one.
+            try:
+                await asyncio.get_running_loop().run_in_executor(
+                    None, self._faults.act, "http.request"
+                )
+            except InjectedFaultError:
+                # An injected bridge crash: the connection just drops,
+                # exactly what a killed process looks like to clients.
+                writer.close()
+                return
         try:
-            scope, body = await self._read_request(reader)
+            scope, body = await asyncio.wait_for(
+                self._read_request(reader, self.max_request_bytes),
+                timeout=self.read_timeout,
+            )
+        except asyncio.TimeoutError:
+            await self._reject(
+                writer,
+                self._canned_reply(
+                    408,
+                    "request_timeout",
+                    f"request not received within {self.read_timeout}s",
+                ),
+            )
+            return
+        except _RequestTooLarge:
+            await self._reject(
+                writer,
+                self._canned_reply(
+                    413,
+                    "payload_too_large",
+                    f"request exceeds {self.max_request_bytes} bytes",
+                ),
+            )
+            return
         except (
             asyncio.IncompleteReadError,
             asyncio.LimitOverrunError,
@@ -499,7 +639,9 @@ class HTTPServingEndpoint:
                 pass
 
     @staticmethod
-    async def _read_request(reader: asyncio.StreamReader) -> tuple[dict, bytes]:
+    async def _read_request(
+        reader: asyncio.StreamReader, limit: int = _MAX_BODY_BYTES
+    ) -> tuple[dict, bytes]:
         request_line = (await reader.readline()).decode("latin-1").strip()
         if not request_line:
             raise ValueError("empty request")
@@ -510,8 +652,15 @@ class HTTPServingEndpoint:
         path, _, query = target.partition("?")
         headers: list[tuple[bytes, bytes]] = []
         content_length = 0
+        header_bytes = len(request_line)
         while True:
-            line = (await reader.readline()).strip()
+            raw_line = await reader.readline()
+            header_bytes += len(raw_line)
+            if header_bytes > limit:
+                # Unbounded header streams are the other way a client
+                # can feed us forever; same limit, same typed reply.
+                raise _RequestTooLarge("headers too large")
+            line = raw_line.strip()
             if not line:
                 break
             name, _, value = line.partition(b":")
@@ -520,8 +669,8 @@ class HTTPServingEndpoint:
             headers.append((name, value))
             if name == b"content-length":
                 content_length = int(value)
-        if content_length > _MAX_BODY_BYTES:
-            raise ValueError("body too large")
+        if content_length > limit:
+            raise _RequestTooLarge("body too large")
         body = (
             await reader.readexactly(content_length) if content_length else b""
         )

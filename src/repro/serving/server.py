@@ -436,7 +436,11 @@ class SearchServer:
         self.admission.release(request.view_name, request.lanes)
         self.admission.observe(request.view_name, outcome.cache_hits)
         self.stats.record_completed(
-            queue_wait, service_time, latency, outcome.cache_hits
+            queue_wait,
+            service_time,
+            latency,
+            outcome.cache_hits,
+            degraded=getattr(outcome, "degraded", False),
         )
         if not request.future.done():
             request.future.set_result(
@@ -469,6 +473,11 @@ class SearchServer:
             "snapshot_store": (
                 self.engine.snapshot_store.stats()
                 if getattr(self.engine, "snapshot_store", None) is not None
+                else {}
+            ),
+            "health": (
+                self.engine.health_snapshot()
+                if callable(getattr(self.engine, "health_snapshot", None))
                 else {}
             ),
         }

@@ -102,6 +102,7 @@ class ServingStats:
         self._lock = threading.Lock()
         self.submitted = 0
         self.completed = 0
+        self.degraded = 0
         self.failed = 0
         self.rejected: Counter[str] = Counter()
         self.warmed_targets = 0
@@ -126,9 +127,15 @@ class ServingStats:
         service: float,
         latency: float,
         cache_hits: Optional[dict[str, str]] = None,
+        degraded: bool = False,
     ) -> None:
         with self._lock:
             self.completed += 1
+            if degraded:
+                # Completed, but with shards missing under the
+                # partial_results policy — counted separately so
+                # operators can see partial availability in /stats.
+                self.degraded += 1
             self.queue_wait.record(queue_wait)
             self.service.record(service)
             self.latency.record(latency)
@@ -156,6 +163,7 @@ class ServingStats:
             return {
                 "submitted": self.submitted,
                 "completed": self.completed,
+                "degraded": self.degraded,
                 "failed": self.failed,
                 "rejected": dict(self.rejected),
                 "rejected_total": sum(self.rejected.values()),

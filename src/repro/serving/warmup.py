@@ -65,6 +65,12 @@ class WarmupReport:
     fetched: int = 0
     fetch_failed: int = 0
     fell_back: int = 0
+    #: Concurrent same-key misses coalesced into one fetch (the
+    #: networked store's single-flight guard) during this pass.
+    coalesced: int = 0
+    #: Shards quarantined (breaker open) when the pass finished — only
+    #: populated when the engine is a coordinator with fleet health.
+    quarantined_shards: tuple[int, ...] = ()
 
     @property
     def built_count(self) -> int:
@@ -100,6 +106,8 @@ class WarmupReport:
             "fetched": self.fetched,
             "fetch_failed": self.fetch_failed,
             "fell_back": self.fell_back,
+            "coalesced": self.coalesced,
+            "quarantined_shards": list(self.quarantined_shards),
         }
 
 
@@ -191,6 +199,14 @@ def execute_warmup(
             net_after["fetch_failed"] - net_before["fetch_failed"]
         )
         report.fell_back = net_after["fell_back"] - net_before["fell_back"]
+        report.coalesced = net_after.get("coalesced", 0) - net_before.get(
+            "coalesced", 0
+        )
+    health = getattr(engine, "health_snapshot", None)
+    if callable(health):
+        # A coordinator-backed server surfaces which shards sat out the
+        # pass in quarantine — their views warmed fail-soft above.
+        report.quarantined_shards = tuple(health()["quarantined"])
     # Every warm view just re-saved its snapshots under the current
     # fingerprints, so anything unreachable in the store is stale —
     # reclaim it while we hold the startup window.

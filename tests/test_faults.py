@@ -1,0 +1,264 @@
+"""The deterministic fault injector: decisions as pure functions.
+
+The contract under test is the module's whole point: whether call *n*
+at site *s* fires is a function of ``(site, call-count, seed)`` and
+nothing else — not wall clock, not RNG state, not thread identity.  Two
+injectors built from the same plan and driven through the same per-site
+call sequences must produce byte-identical schedules; that property is
+what lets the chaos difftest replay failures exactly.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.core.faults import (
+    FAULT_CORRUPT,
+    FAULT_DELAY,
+    FAULT_ERROR,
+    FAULT_HANG,
+    FAULT_KINDS,
+    FaultEvent,
+    FaultInjector,
+    FaultPlan,
+    FaultRule,
+)
+from repro.errors import InjectedFaultError, ReproError
+
+
+class TestRuleValidation:
+    def test_unknown_kind_is_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultRule("store.load", "explode")
+
+    @pytest.mark.parametrize("rate", [-0.1, 1.5])
+    def test_rate_outside_unit_interval_is_rejected(self, rate):
+        with pytest.raises(ValueError, match="rate must be in"):
+            FaultRule("store.load", FAULT_ERROR, rate=rate)
+
+    @pytest.mark.parametrize("kind", FAULT_KINDS)
+    def test_every_documented_kind_is_accepted(self, kind):
+        assert FaultRule("site", kind).kind == kind
+
+
+class TestDeterminism:
+    def drive(self, injector: FaultInjector, calls: int = 50):
+        for _ in range(calls):
+            for site in ("store.load", "shard0.collect", "shard1.collect"):
+                try:
+                    injector.act(site)
+                except InjectedFaultError:
+                    pass
+
+    def test_same_plan_same_calls_same_schedule(self):
+        plan = FaultPlan(
+            seed=424242,
+            rules=(
+                FaultRule("store.load", FAULT_ERROR, rate=0.3),
+                FaultRule("shard*.collect", FAULT_ERROR, rate=0.5),
+            ),
+        )
+        first, second = FaultInjector(plan), FaultInjector(plan)
+        self.drive(first)
+        self.drive(second)
+        assert first.schedule() == second.schedule()
+        assert first.schedule_digest() == second.schedule_digest()
+        assert len(first.schedule()) > 0  # the scenario actually fired
+
+    def test_different_seeds_differ(self):
+        rules = (FaultRule("store.load", FAULT_ERROR, rate=0.5),)
+        first = FaultInjector(FaultPlan(seed=1, rules=rules))
+        second = FaultInjector(FaultPlan(seed=2, rules=rules))
+        self.drive(first)
+        self.drive(second)
+        assert first.schedule() != second.schedule()
+
+    def test_schedule_is_canonically_ordered(self):
+        injector = FaultInjector(
+            FaultPlan.single(7, "*", FAULT_ERROR, rate=1.0)
+        )
+        # Interleave sites out of order; the schedule must sort anyway.
+        for site in ("b", "a", "b", "a", "c", "a"):
+            with pytest.raises(InjectedFaultError):
+                injector.act(site)
+        schedule = injector.schedule()
+        assert schedule == tuple(
+            sorted(schedule, key=lambda item: (item[0], item[1]))
+        )
+
+    def test_thread_interleaving_does_not_change_the_schedule(self):
+        """Concurrent callers at distinct sites each keep their own
+        per-site call sequence, so the canonical schedule is stable."""
+
+        def run_once() -> tuple:
+            plan = FaultPlan(
+                seed=99, rules=(FaultRule("shard*", FAULT_ERROR, rate=0.4),)
+            )
+            injector = FaultInjector(plan)
+            barrier = threading.Barrier(4)
+
+            def worker(site: str) -> None:
+                barrier.wait()
+                for _ in range(25):
+                    try:
+                        injector.act(site)
+                    except InjectedFaultError:
+                        pass
+
+            threads = [
+                threading.Thread(target=worker, args=(f"shard{i}",))
+                for i in range(4)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            return injector.schedule()
+
+        assert run_once() == run_once()
+
+
+class TestFiringRules:
+    def test_at_calls_fires_exactly_those_calls(self):
+        injector = FaultInjector(
+            FaultPlan.single(1, "s", FAULT_ERROR, at_calls=(2, 4))
+        )
+        outcomes = []
+        for _ in range(5):
+            try:
+                injector.act("s")
+                outcomes.append("ok")
+            except InjectedFaultError:
+                outcomes.append("fault")
+        assert outcomes == ["ok", "fault", "ok", "fault", "ok"]
+
+    def test_rate_zero_never_fires_rate_one_always_fires(self):
+        silent = FaultInjector(FaultPlan.single(1, "s", FAULT_ERROR, rate=0.0))
+        for _ in range(20):
+            assert silent.act("s") is None
+        assert silent.schedule() == ()
+
+        loud = FaultInjector(FaultPlan.single(1, "s", FAULT_ERROR, rate=1.0))
+        for _ in range(5):
+            with pytest.raises(InjectedFaultError):
+                loud.act("s")
+        assert len(loud.schedule()) == 5
+
+    def test_max_fires_caps_the_rule(self):
+        injector = FaultInjector(
+            FaultPlan.single(1, "s", FAULT_ERROR, rate=1.0, max_fires=2)
+        )
+        fired = 0
+        for _ in range(6):
+            try:
+                injector.act("s")
+            except InjectedFaultError:
+                fired += 1
+        assert fired == 2
+        assert injector.call_count("s") == 6
+
+    def test_first_matching_rule_owns_the_site(self):
+        """A rule that matches but declines must shadow later rules —
+        otherwise adding a low-rate specific rule would *increase*
+        firing at a site also matched by a broad rule."""
+        plan = FaultPlan(
+            seed=1,
+            rules=(
+                FaultRule("shard0.collect", FAULT_ERROR, rate=0.0),
+                FaultRule("shard*", FAULT_ERROR, rate=1.0),
+            ),
+        )
+        injector = FaultInjector(plan)
+        assert injector.act("shard0.collect") is None  # owned, declined
+        with pytest.raises(InjectedFaultError):
+            injector.act("shard1.collect")  # falls to the broad rule
+
+    def test_unmatched_sites_still_count_calls(self):
+        injector = FaultInjector(FaultPlan(seed=1, rules=()))
+        assert injector.act("anything") is None
+        assert injector.act("anything") is None
+        assert injector.call_count("anything") == 2
+
+
+class TestFaultKinds:
+    def test_error_raises_typed_library_error(self):
+        injector = FaultInjector(FaultPlan.single(1, "s", FAULT_ERROR))
+        with pytest.raises(InjectedFaultError) as excinfo:
+            injector.act("s")
+        assert isinstance(excinfo.value, ReproError)
+        assert excinfo.value.site == "s"
+        assert excinfo.value.call == 1
+        assert excinfo.value.kind == FAULT_ERROR
+
+    def test_delay_sleeps_the_rule_duration(self):
+        slept: list[float] = []
+        injector = FaultInjector(
+            FaultPlan.single(1, "s", FAULT_DELAY, delay=0.125),
+            sleep=slept.append,
+        )
+        event = injector.act("s")
+        assert event is not None and event.kind == FAULT_DELAY
+        assert slept == [0.125]
+
+    def test_corrupt_returns_event_for_caller_side_mangling(self):
+        injector = FaultInjector(FaultPlan.single(1, "s", FAULT_CORRUPT))
+        event = injector.act("s")
+        assert event is not None and event.kind == FAULT_CORRUPT
+
+    def test_mangle_is_deterministic_and_destructive(self):
+        injector = FaultInjector(FaultPlan.single(5, "s", FAULT_CORRUPT))
+        other = FaultInjector(FaultPlan.single(5, "s", FAULT_CORRUPT))
+        payload = bytes(range(256)) * 4
+        event = injector.act("s")
+        assert injector.mangle(event, payload) == other.mangle(
+            other.act("s"), payload
+        )
+        mangled = injector.mangle(event, payload)
+        assert mangled != payload[: len(mangled)]
+        assert len(mangled) == len(payload) // 2
+
+    def test_mangle_survives_tiny_payloads(self):
+        injector = FaultInjector(FaultPlan.single(5, "s", FAULT_CORRUPT))
+        event = injector.act("s")
+        assert len(injector.mangle(event, b"x")) == 1
+
+    def test_hang_blocks_until_released(self):
+        injector = FaultInjector(
+            FaultPlan.single(1, "s", FAULT_HANG), hang_timeout=30.0
+        )
+        entered = threading.Event()
+        finished = threading.Event()
+
+        def hang_victim() -> None:
+            entered.set()
+            injector.act("s")
+            finished.set()
+
+        thread = threading.Thread(target=hang_victim, daemon=True)
+        thread.start()
+        assert entered.wait(5.0)
+        assert not finished.wait(0.1)  # parked in the hang
+        injector.release_hangs()
+        assert finished.wait(5.0)
+        thread.join(5.0)
+
+
+class TestEnableDisable:
+    def test_disable_gates_firing_but_counters_advance(self):
+        injector = FaultInjector(FaultPlan.single(1, "s", FAULT_ERROR))
+        injector.disable()
+        assert not injector.enabled
+        for _ in range(3):
+            assert injector.act("s") is None
+        assert injector.call_count("s") == 3
+        injector.enable()
+        with pytest.raises(InjectedFaultError) as excinfo:
+            injector.act("s")
+        # The call counter kept running while disabled.
+        assert excinfo.value.call == 4
+
+    def test_event_tuple_round_trip(self):
+        event = FaultEvent(site="s", call=3, kind=FAULT_ERROR, rule_index=0)
+        assert event.as_tuple() == ("s", 3, FAULT_ERROR, 0)

@@ -25,8 +25,11 @@ import pytest
 from repro.core.engine import KeywordSearchEngine
 from repro.core.snapshot import SkeletonStore
 from repro.errors import (
+    CoordinatorClosedError,
     DocumentNotFoundError,
+    InjectedFaultError,
     ReproError,
+    ShardUnavailableError,
     ShardingError,
     StaleViewError,
     StorageError,
@@ -149,7 +152,10 @@ ENGINE_ERROR_CASES = [
     (XQuerySyntaxError("parse failed"), 400, "query_syntax"),
     (DocumentNotFoundError("gone.xml"), 404, "document_not_found"),
     (StorageError("bad range"), 500, "storage_error"),
+    (ShardUnavailableError("v"), 503, "shards_unavailable"),
     (ShardingError("fragment spans shards"), 500, "sharding_error"),
+    (CoordinatorClosedError(), 503, "coordinator_closed"),
+    (InjectedFaultError("shard0.collect", 1), 500, "injected_fault"),
     (ReproError("anything else"), 500, "engine_error"),
 ]
 
@@ -371,3 +377,269 @@ class TestPaginationOverTheWire:
             assert excinfo.value.code == 404
         finally:
             serving.stop()
+
+
+# -- failure-domain serving: /health, degraded pages, endpoint limits --------
+
+
+class TestFleetHealthRoute:
+    def _api_with_health(self, snapshot):
+        server = stub_server()
+        server._running = True
+        server.engine.health_snapshot = lambda: snapshot
+        return SearchAPI(server)
+
+    @staticmethod
+    def _snapshot(states):
+        return {
+            "shards": {
+                str(i): {
+                    "state": state,
+                    "consecutive_failures": 0,
+                    "quarantines": 0,
+                }
+                for i, state in enumerate(states)
+            },
+            "quarantined": [
+                i for i, state in enumerate(states) if state == "open"
+            ],
+            "serving": sum(1 for state in states if state != "open"),
+        }
+
+    def test_plain_engine_keeps_the_historical_shape(self):
+        server = stub_server()
+        server._running = True
+        status, body = asgi_request(SearchAPI(server), "GET", "/health")
+        assert (status, body) == (200, {"status": "ok", "running": True})
+
+    def test_all_shards_serving_is_ok(self):
+        api = self._api_with_health(self._snapshot(["closed", "closed"]))
+        status, body = asgi_request(api, "GET", "/health")
+        assert status == 200
+        assert body["status"] == "ok"
+        assert body["shards"] == {
+            "total": 2, "serving": 2, "quarantined": [],
+        }
+
+    def test_quarantined_shard_degrades_but_still_200(self):
+        api = self._api_with_health(
+            self._snapshot(["closed", "open", "half_open"])
+        )
+        status, body = asgi_request(api, "GET", "/health")
+        assert status == 200
+        assert body["status"] == "degraded"
+        assert body["shards"] == {
+            "total": 3, "serving": 2, "quarantined": [1],
+        }
+
+    def test_no_shard_serving_is_503_unavailable(self):
+        api = self._api_with_health(self._snapshot(["open", "open"]))
+        status, body = asgi_request(api, "GET", "/health")
+        assert status == 503
+        assert body["status"] == "unavailable"
+        assert body["shards"]["serving"] == 0
+
+    def test_stopped_server_trumps_fleet_health(self):
+        api = self._api_with_health(self._snapshot(["closed"]))
+        api.server._running = False
+        status, body = asgi_request(api, "GET", "/health")
+        assert (status, body["status"]) == (503, "stopped")
+
+
+class TestDegradedPage:
+    def _served(self, **outcome_kwargs):
+        from repro.core.engine import PhaseTimings
+        from repro.core.sharding import ShardedSearchOutcome
+        from repro.serving.server import ServeResult
+
+        outcome = ShardedSearchOutcome(
+            results=[],
+            view_size=3,
+            matching_count=0,
+            idf={},
+            pdts={},
+            timings=PhaseTimings(),
+            **outcome_kwargs,
+        )
+        return ServeResult(
+            outcome=outcome,
+            view="v",
+            keywords=("xml",),
+            lanes=(),
+            queue_wait=0.0,
+            service_time=0.0,
+            latency=0.0,
+        )
+
+    def test_degraded_section_is_deterministic_and_scrubbed(self):
+        from repro.core.sharding import ShardFailure
+
+        served = self._served(
+            degraded=True,
+            missing_shards=(2, 0),
+            failures=(
+                ShardFailure(
+                    0, "statistics", "timeout",
+                    error="TimeoutError: 0.31415s of wall clock",
+                    attempts=2,
+                ),
+                ShardFailure(
+                    2, "ranking", "error",
+                    error="OSError: fd 42 went away", attempts=1,
+                ),
+            ),
+        )
+        api = SearchAPI(stub_server(result=served))
+        status, body = asgi_request(
+            api, "POST", "/search", {"view": "v", "keywords": ["xml"]}
+        )
+        assert status == 200
+        assert body["degraded"] == {
+            "missing_shards": [0, 2],
+            "failures": {
+                "0": {"phase": "statistics", "reason": "timeout"},
+                "2": {"phase": "ranking", "reason": "error"},
+            },
+            "top_k_guarantee": False,
+        }
+        # The diagnostic error strings (timing- and fd-dependent) must
+        # never leak into the byte-comparable page.
+        assert "wall clock" not in json.dumps(body)
+        assert "fd 42" not in json.dumps(body)
+
+    def test_healthy_sharded_outcome_has_no_degraded_key(self):
+        api = SearchAPI(stub_server(result=self._served(degraded=False)))
+        status, body = asgi_request(
+            api, "POST", "/search", {"view": "v", "keywords": ["xml"]}
+        )
+        assert status == 200
+        assert "degraded" not in body
+
+
+class TestEndpointHardening:
+    """Raw-socket abuse against the asyncio bridge: slowloris, oversize
+    frames, and the injected bridge-crash fault — all bounded and typed.
+    """
+
+    @staticmethod
+    def _run(scenario, **endpoint_kwargs):
+        from repro.serving.http import HTTPServingEndpoint
+
+        async def app(scope, receive, send):
+            await send(
+                {
+                    "type": "http.response.start",
+                    "status": 200,
+                    "headers": [(b"content-type", b"application/json")],
+                }
+            )
+            await send({"type": "http.response.body", "body": b"{\"ok\":true}"})
+
+        async def runner():
+            endpoint = HTTPServingEndpoint(app, **endpoint_kwargs)
+            await endpoint.start()
+            try:
+                return await scenario(endpoint)
+            finally:
+                await endpoint.stop()
+
+        return asyncio.run(runner())
+
+    @staticmethod
+    def _parse(raw: bytes):
+        head, _, body = raw.partition(b"\r\n\r\n")
+        status = int(head.split(b"\r\n")[0].split(b" ")[1])
+        return status, json.loads(body)
+
+    def test_well_formed_request_still_serves(self):
+        async def scenario(endpoint):
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", endpoint.port
+            )
+            writer.write(b"GET /anything HTTP/1.1\r\n\r\n")
+            await writer.drain()
+            raw = await asyncio.wait_for(reader.read(), timeout=10)
+            writer.close()
+            return raw
+
+        status, body = self._parse(
+            self._run(scenario, read_timeout=5.0, max_request_bytes=4096)
+        )
+        assert (status, body) == (200, {"ok": True})
+
+    def test_slow_client_gets_typed_408(self):
+        async def scenario(endpoint):
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", endpoint.port
+            )
+            # Send the request line, then stall mid-headers forever.
+            writer.write(b"POST /search HTTP/1.1\r\ncontent-")
+            await writer.drain()
+            raw = await asyncio.wait_for(reader.read(), timeout=10)
+            writer.close()
+            return raw
+
+        status, body = self._parse(self._run(scenario, read_timeout=0.2))
+        assert status == 408
+        assert body["error"]["code"] == "request_timeout"
+
+    def test_oversized_body_gets_typed_413_without_reading_it(self):
+        async def scenario(endpoint):
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", endpoint.port
+            )
+            writer.write(
+                b"POST /search HTTP/1.1\r\n"
+                b"content-length: 99999999\r\n\r\n"
+            )
+            await writer.drain()
+            # No body bytes are ever sent: the reply must not wait for them.
+            raw = await asyncio.wait_for(reader.read(), timeout=10)
+            writer.close()
+            return raw
+
+        status, body = self._parse(
+            self._run(scenario, max_request_bytes=4096)
+        )
+        assert status == 413
+        assert body["error"]["code"] == "payload_too_large"
+
+    def test_unbounded_header_stream_gets_typed_413(self):
+        async def scenario(endpoint):
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", endpoint.port
+            )
+            writer.write(b"GET / HTTP/1.1\r\n")
+            for i in range(300):
+                writer.write(b"x-filler-%d: %s\r\n" % (i, b"y" * 64))
+            await writer.drain()
+            raw = await asyncio.wait_for(reader.read(), timeout=10)
+            writer.close()
+            return raw
+
+        status, body = self._parse(
+            self._run(scenario, max_request_bytes=4096)
+        )
+        assert status == 413
+        assert body["error"]["code"] == "payload_too_large"
+
+    def test_injected_bridge_crash_drops_the_connection(self):
+        from repro.core.faults import FAULT_ERROR, FaultInjector, FaultPlan
+
+        injector = FaultInjector(
+            FaultPlan.single(3, "http.request", FAULT_ERROR)
+        )
+
+        async def scenario(endpoint):
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", endpoint.port
+            )
+            writer.write(b"GET /anything HTTP/1.1\r\n\r\n")
+            await writer.drain()
+            raw = await asyncio.wait_for(reader.read(), timeout=10)
+            writer.close()
+            return raw
+
+        # A bridge crash looks like a dropped connection, not a reply.
+        assert self._run(scenario, fault_injector=injector) == b""
+        assert injector.call_count("http.request") == 1

@@ -6,15 +6,32 @@ import pytest
 
 from repro.core.cache import QueryCache, ShardedLRUCache
 from repro.core.engine import KeywordSearchEngine, PhaseTimings
+from repro.core.faults import (
+    FAULT_DELAY,
+    FAULT_ERROR,
+    FaultInjector,
+    FaultPlan,
+    FaultRule,
+)
+from repro.core.health import FleetHealth
 from repro.core.ingest import ingest_corpus
 from repro.core.routing import ShardRouter
 from repro.core.sharding import (
+    FAILURE_ERROR,
+    FAILURE_QUARANTINED,
+    FAILURE_TIMEOUT,
     CorpusCoordinator,
     ShardExecutor,
     ShardPlan,
     view_fragments,
 )
-from repro.errors import ShardingError, StorageError, ViewDefinitionError
+from repro.errors import (
+    CoordinatorClosedError,
+    ShardUnavailableError,
+    ShardingError,
+    StorageError,
+    ViewDefinitionError,
+)
 from repro.storage.database import XMLDatabase, index_document
 from repro.xquery.functions import inline_functions
 from repro.xquery.parser import parse_query
@@ -325,6 +342,232 @@ class TestCoordinator:
         with _coordinator(4, _view_text(sorted(DOCS))) as coord:
             for name in DOCS:
                 assert coord.shard_of_document(name) == coord.plan.shard_of(name)
+
+
+def _faulty_coordinator(
+    shard_count, view_text, injector, docs=DOCS, **kwargs
+):
+    """A coordinator whose executors all share one fault injector."""
+    plan = ShardPlan.build(sorted(docs), shard_count)
+    executors = [
+        ShardExecutor(i, fault_injector=injector) for i in range(shard_count)
+    ]
+    for name in sorted(docs):
+        executors[plan.shard_of(name)].load_document(name, docs[name])
+    coordinator = CorpusCoordinator(executors, plan, **kwargs)
+    coordinator.define_view("v", view_text)
+    return coordinator
+
+
+class _FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+class TestFailureDomains:
+    VIEW = _view_text(sorted(DOCS))
+
+    def test_close_then_search_is_typed(self):
+        coord = _coordinator(2, self.VIEW, parallel=True)
+        assert coord.search("v", ("alpha",), top_k=3)  # pool exists now
+        coord.close()
+        with pytest.raises(CoordinatorClosedError):
+            coord.search("v", ("alpha",), top_k=3)
+
+    def test_close_is_idempotent_and_safe_under_races(self):
+        import threading
+
+        coord = _coordinator(2, self.VIEW, parallel=True)
+        outcomes = []
+
+        def query():
+            try:
+                coord.search("v", ("alpha",), top_k=3)
+                outcomes.append("ok")
+            except CoordinatorClosedError:
+                outcomes.append("closed")
+
+        threads = [threading.Thread(target=query) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        coord.close()
+        coord.close()
+        for thread in threads:
+            thread.join()
+        # Every racer got a real answer or the typed error — never the
+        # pool's raw RuntimeError, never a resurrected pool.
+        assert set(outcomes) <= {"ok", "closed"}
+        assert len(outcomes) == 8
+
+    def test_fail_closed_is_the_default(self):
+        injector = FaultInjector(
+            FaultPlan.single(11, "shard0.collect", FAULT_ERROR)
+        )
+        with _faulty_coordinator(
+            2, self.VIEW, injector, parallel=False
+        ) as coord:
+            with pytest.raises(ShardUnavailableError) as excinfo:
+                coord.search("v", ("alpha",), top_k=3)
+        failure = excinfo.value.failures[0]
+        assert failure.shard_id == 0
+        assert failure.phase == "statistics"
+        assert failure.reason == FAILURE_ERROR
+        assert failure.attempts == 1
+
+    def test_retry_budget_recovers_a_transient_fault(self):
+        injector = FaultInjector(
+            FaultPlan.single(
+                11, "shard0.collect", FAULT_ERROR, at_calls=(1,)
+            )
+        )
+        reference = _coordinator(2, self.VIEW, parallel=False)
+        with reference, _faulty_coordinator(
+            2, self.VIEW, injector, parallel=False, shard_retries=1
+        ) as coord:
+            out = coord.search_detailed("v", ("alpha",), top_k=5)
+            ref = reference.search_detailed("v", ("alpha",), top_k=5)
+        assert not out.degraded
+        assert out.failures == ()
+        assert [(r.rank, r.score, r.scored.index) for r in out.results] == [
+            (r.rank, r.score, r.scored.index) for r in ref.results
+        ]
+
+    def test_partial_results_yields_typed_degraded_outcome(self):
+        injector = FaultInjector(
+            FaultPlan.single(11, "shard1.collect", FAULT_ERROR)
+        )
+        with _faulty_coordinator(
+            2, self.VIEW, injector, parallel=False, partial_results=True
+        ) as coord:
+            out = coord.search_detailed("v", ("alpha",), top_k=5)
+        assert out.degraded
+        assert out.missing_shards == (1,)
+        assert [f.as_dict() for f in out.failures] == [
+            {
+                "shard_id": 1,
+                "phase": "statistics",
+                "reason": FAILURE_ERROR,
+                "error": out.failures[0].error,
+                "attempts": 1,
+            }
+        ]
+        assert out.results  # shard 0's contribution survives
+        assert out.merge_stats.missing == 1
+
+    def test_all_shards_failing_raises_even_with_partial_results(self):
+        injector = FaultInjector(
+            FaultPlan.single(11, "shard*.collect", FAULT_ERROR)
+        )
+        with _faulty_coordinator(
+            2, self.VIEW, injector, parallel=False, partial_results=True
+        ) as coord:
+            with pytest.raises(ShardUnavailableError):
+                coord.search("v", ("alpha",), top_k=3)
+
+    @pytest.mark.parametrize("parallel", [False, True])
+    def test_deadline_converts_slowness_into_timeout(self, parallel):
+        injector = FaultInjector(
+            FaultPlan.single(
+                11, "shard0.collect", FAULT_DELAY, delay=0.5
+            )
+        )
+        with _faulty_coordinator(
+            2,
+            self.VIEW,
+            injector,
+            parallel=parallel,
+            shard_deadline=0.05,
+            partial_results=True,
+        ) as coord:
+            out = coord.search_detailed("v", ("alpha",), top_k=5)
+        assert out.degraded
+        assert out.missing_shards == (0,)
+        assert out.failures[0].reason == FAILURE_TIMEOUT
+
+    def test_semantic_errors_propagate_raw_despite_partial_results(self):
+        plan = ShardPlan.build(sorted(DOCS), 2)
+        executors = [ShardExecutor(i) for i in range(2)]
+        for name in sorted(DOCS):
+            executors[plan.shard_of(name)].load_document(name, DOCS[name])
+        coord = CorpusCoordinator(
+            executors, plan, parallel=False, partial_results=True
+        )
+        coord.define_view("v", self.VIEW)
+
+        def broken_collect(view_name, normalized):
+            raise ViewDefinitionError("deterministic caller bug")
+
+        executors[0].collect = broken_collect
+        with coord:
+            with pytest.raises(ViewDefinitionError):
+                coord.search("v", ("alpha",), top_k=3)
+
+    def test_quarantine_skips_then_heals(self):
+        clock = _FakeClock()
+        health = FleetHealth(
+            2, failure_threshold=2, reset_after=5.0, clock=clock
+        )
+        injector = FaultInjector(
+            FaultPlan.single(11, "shard0.collect", FAULT_ERROR)
+        )
+        reference = _coordinator(2, self.VIEW, parallel=False)
+        with reference, _faulty_coordinator(
+            2,
+            self.VIEW,
+            injector,
+            parallel=False,
+            partial_results=True,
+            health=health,
+        ) as coord:
+            # Two failing queries trip the breaker...
+            for _ in range(2):
+                out = coord.search_detailed("v", ("alpha",), top_k=5)
+                assert out.failures[0].reason == FAILURE_ERROR
+            assert health.quarantined() == (0,)
+            # ...the third is skipped without ever submitting work.
+            calls_before = injector.call_count("shard0.collect")
+            out = coord.search_detailed("v", ("alpha",), top_k=5)
+            assert out.failures[0].reason == FAILURE_QUARANTINED
+            assert out.failures[0].attempts == 0
+            assert injector.call_count("shard0.collect") == calls_before
+            snapshot = coord.health_snapshot()
+            assert snapshot["quarantined"] == [0]
+            assert snapshot["serving"] == 1
+
+            # Faults clear, cooldown elapses: the probe heals the shard
+            # and the outcome converges with the never-failed reference.
+            injector.disable()
+            clock.now += 5.0
+            out = coord.search_detailed("v", ("alpha",), top_k=5)
+            ref = reference.search_detailed("v", ("alpha",), top_k=5)
+            assert not out.degraded
+            assert health.quarantined() == ()
+            assert [
+                (r.rank, r.score, r.scored.index) for r in out.results
+            ] == [(r.rank, r.score, r.scored.index) for r in ref.results]
+
+    def test_warmup_is_always_fail_closed(self):
+        plan = ShardPlan.build(sorted(DOCS), 2)
+        executors = [ShardExecutor(i) for i in range(2)]
+        for name in sorted(DOCS):
+            executors[plan.shard_of(name)].load_document(name, DOCS[name])
+        coord = CorpusCoordinator(
+            executors, plan, parallel=False, partial_results=True
+        )
+        coord.define_view("v", self.VIEW)
+
+        def broken_warm(view_name):
+            raise OSError("disk went away")
+
+        executors[0].warm_view = broken_warm
+        with coord:
+            with pytest.raises(ShardUnavailableError) as excinfo:
+                coord.warm_view("v")
+        assert excinfo.value.failures[0].phase == "warmup"
+        assert excinfo.value.failures[0].reason == FAILURE_ERROR
 
 
 class TestIngest:

@@ -9,6 +9,8 @@ without sockets.  The real two-process wire path is exercised by
 from __future__ import annotations
 
 import io
+import threading
+import time
 import urllib.error
 
 import pytest
@@ -208,6 +210,7 @@ class TestNetworkedSkeletonStore:
         assert peer.fetches == 0
         assert net.net_stats() == {
             "fetched": 0, "fetch_failed": 0, "fell_back": 0,
+            "coalesced": 0,
         }
 
     def test_peer_hit_writes_through_and_counts_fetched(
@@ -297,3 +300,132 @@ class TestNetworkedSkeletonStore:
         assert len(net) == 0
         merged = net.stats()
         assert merged["pruned"] == 1 and merged["fell_back"] == 0
+
+
+class BlockingPeer:
+    """A peer whose fetch parks on an event until the test releases it."""
+
+    def __init__(self, payloads=None, error: bool = False):
+        self.payloads = dict(payloads or {})
+        self.error = error
+        self.fetches = 0
+        self.entered = threading.Event()
+        self.release = threading.Event()
+
+    def fetch(self, doc_fingerprint, qpt_hash):
+        self.fetches += 1
+        self.entered.set()
+        assert self.release.wait(10.0), "test never released the peer"
+        if self.error:
+            raise SnapshotFetchError(
+                SkeletonStore.entry_name(doc_fingerprint, qpt_hash), "down"
+            )
+        return self.payloads.get((doc_fingerprint, qpt_hash))
+
+
+class TestSingleFlight:
+    def _herd(self, net, fingerprint, qpt_hash, peer, followers=4):
+        """One leader parked in the peer + ``followers`` waiting threads.
+
+        Deterministic ordering: the leader thread starts alone and we
+        wait for it to enter the peer fetch; only then do the followers
+        start, and the peer is released only after every follower is
+        provably inside the single-flight wait (counted via a wrapper
+        around the in-flight event — a follower that has retrieved the
+        event has already lost the leader election, so its outcome is
+        fixed).
+        """
+        results = []
+        lock = threading.Lock()
+
+        def load():
+            restored = net.load(fingerprint, qpt_hash)
+            with lock:
+                results.append(restored)
+
+        leader = threading.Thread(target=load)
+        leader.start()
+        assert peer.entered.wait(10.0)
+
+        key = (fingerprint, qpt_hash)
+        waiting = threading.Semaphore(0)
+        with net._net_lock:
+            original = net._inflight[key]
+
+        class CountingEvent:
+            def wait(self, timeout=None):
+                waiting.release()
+                return original.wait(timeout)
+
+        with net._net_lock:
+            net._inflight[key] = CountingEvent()
+
+        threads = [threading.Thread(target=load) for _ in range(followers)]
+        for thread in threads:
+            thread.start()
+        for _ in threads:
+            assert waiting.acquire(timeout=10.0)
+        peer.release.set()
+        leader.join(10.0)
+        for thread in threads:
+            thread.join(10.0)
+        return results
+
+    def test_thundering_herd_coalesces_to_one_fetch(
+        self, tmp_path, snapshot_payload
+    ):
+        (fingerprint, qpt_hash), payload = snapshot_payload
+        local = SkeletonStore(tmp_path / "s")
+        peer = BlockingPeer({(fingerprint, qpt_hash): payload})
+        net = NetworkedSkeletonStore(local, peer)
+        results = self._herd(net, fingerprint, qpt_hash, peer, followers=4)
+        assert peer.fetches == 1  # the herd rode one fetch
+        assert len(results) == 5
+        assert all(restored is not None for restored in results)
+        stats = net.net_stats()
+        assert stats["fetched"] == 1
+        assert stats["coalesced"] == 4
+        assert stats["fell_back"] == 0
+
+    def test_followers_of_a_failed_leader_fall_back(
+        self, tmp_path, snapshot_payload
+    ):
+        (fingerprint, qpt_hash), _payload = snapshot_payload
+        local = SkeletonStore(tmp_path / "s")
+        peer = BlockingPeer(error=True)
+        net = NetworkedSkeletonStore(local, peer)
+        results = self._herd(net, fingerprint, qpt_hash, peer, followers=3)
+        assert peer.fetches == 1
+        assert results == [None, None, None, None]
+        stats = net.net_stats()
+        assert stats["fetch_failed"] == 1
+        assert stats["coalesced"] == 3
+        # Leader fell back once; each follower re-read a still-cold
+        # local tier and fell back too.
+        assert stats["fell_back"] == 4
+
+    def test_hung_leader_does_not_hang_followers(
+        self, tmp_path, snapshot_payload
+    ):
+        (fingerprint, qpt_hash), payload = snapshot_payload
+        local = SkeletonStore(tmp_path / "s")
+        peer = BlockingPeer({(fingerprint, qpt_hash): payload})
+        net = NetworkedSkeletonStore(
+            local, peer, single_flight_timeout=0.05
+        )
+        leader = threading.Thread(
+            target=net.load, args=(fingerprint, qpt_hash)
+        )
+        leader.start()
+        assert peer.entered.wait(10.0)
+        # The leader is parked in the peer; a follower must degrade to
+        # the local cold build after the single-flight timeout, not
+        # inherit the hang.
+        start = time.monotonic()
+        assert net.load(fingerprint, qpt_hash) is None
+        assert time.monotonic() - start < 5.0
+        stats = net.net_stats()
+        assert stats["coalesced"] == 1
+        assert stats["fell_back"] == 1
+        peer.release.set()  # unpark the leader for clean teardown
+        leader.join(10.0)
